@@ -1,0 +1,206 @@
+// Command splitft-bench regenerates the paper's tables and figures on the
+// simulated testbed. Each experiment prints rows shaped like the paper's;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	splitft-bench [flags] <experiment> [<experiment>...]
+//	splitft-bench all
+//
+// Experiments: table1 table2 fig1 fig1d fig8 fig9 fig10 fig11a fig11b
+// table3 fig12 ablate-repl ablate-split ablate-nolog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"splitft/internal/bench"
+)
+
+var experimentOrder = []string{
+	"table1", "table2", "fig1", "fig1d", "fig8", "fig9", "fig10",
+	"fig11a", "fig11b", "table3", "fig12", "ablate-repl", "ablate-split", "ablate-nolog",
+}
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "use the reduced QuickScale (seconds per experiment)")
+		keys    = flag.Int64("keys", 0, "override row count for kvstore/redstore loads")
+		dur     = flag.Duration("dur", 0, "override measured window per data point")
+		clients = flag.Int("clients", 0, "override client count for fixed-client experiments")
+		logMB   = flag.Int("logmb", 0, "override recovery-log size in MiB (paper: 60)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		apps    = flag.String("apps", "kvstore,redstore,litedb", "comma-separated app list for fig1/fig9/fig10")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintf(os.Stderr, "usage: splitft-bench [flags] <experiment...|all>\nexperiments: %v\n", experimentOrder)
+		os.Exit(2)
+	}
+
+	sc := bench.DefaultScale()
+	if *quick {
+		sc = bench.QuickScale()
+	}
+	if *keys > 0 {
+		sc.LoadKeys = *keys
+	}
+	if *dur > 0 {
+		sc.RunDur = *dur
+	}
+	if *clients > 0 {
+		sc.Clients = *clients
+	}
+	if *logMB > 0 {
+		sc.LogSizeMB = *logMB
+	}
+
+	var appList []string
+	for _, a := range splitComma(*apps) {
+		appList = append(appList, a)
+	}
+
+	want := map[string]bool{}
+	for _, arg := range flag.Args() {
+		if arg == "all" {
+			for _, e := range experimentOrder {
+				want[e] = true
+			}
+			continue
+		}
+		want[arg] = true
+	}
+
+	start := time.Now()
+	for _, exp := range experimentOrder {
+		if !want[exp] {
+			continue
+		}
+		delete(want, exp)
+		if err := run(exp, sc, *seed, appList); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", exp, err)
+			os.Exit(1)
+		}
+	}
+	for exp := range want {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %v)\n", exp, experimentOrder)
+		os.Exit(2)
+	}
+	fmt.Printf("\n[done in %v wall-clock]\n", time.Since(start).Round(time.Second))
+}
+
+func run(exp string, sc bench.Scale, seed int64, apps []string) error {
+	banner(exp)
+	switch exp {
+	case "table1":
+		res, err := bench.Table1(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "table2":
+		fmt.Println(bench.Table2())
+	case "fig1":
+		for _, app := range apps {
+			res, err := bench.Fig1(app, sc, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		}
+	case "fig1d":
+		res, err := bench.Fig1d(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "fig8":
+		res, err := bench.Fig8(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "fig9":
+		for _, app := range apps {
+			res, err := bench.Fig9(app, sc, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		}
+	case "fig10":
+		for _, app := range apps {
+			res, err := bench.Fig10(app, sc, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		}
+	case "fig11a":
+		res, err := bench.Fig11a(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "fig11b":
+		res, err := bench.Fig11b(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "table3":
+		res, err := bench.Table3(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "fig12":
+		res, err := bench.Fig12(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "ablate-repl":
+		res, err := bench.AblateReplication(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "ablate-split":
+		res, err := bench.AblateSplit(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "ablate-nolog":
+		res, err := bench.AblateNoLog(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	default:
+		return fmt.Errorf("unknown experiment")
+	}
+	return nil
+}
+
+func banner(exp string) {
+	fmt.Printf("==== %s ====\n", exp)
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+// Package splitft is a from-scratch Go reproduction of "SplitFT: Fault
+// Tolerance for Disaggregated Datacenters via Remote Memory Logging"
+// (Luo, Alagappan, Ganesan — EuroSys 2024).
+//
+// The system splits storage-centric applications' writes: large background
+// writes (SSTables, snapshots, checkpoints) go straight to the
+// disaggregated file system, while small synchronous log writes are made
+// fault-tolerant within the compute layer by near-compute logs (NCL) —
+// replication to spare memory on 2f+1 log peers via 1-sided RDMA writes.
+//
+// Everything the paper's evaluation depends on is implemented in this
+// module, bottom to top: a deterministic discrete-event datacenter
+// simulator (internal/simnet), simulated RDMA verbs (internal/rdma), a
+// CephFS-like disaggregated file system (internal/dfs), a Raft-replicated
+// ZooKeeper-style controller (internal/raft, internal/controller), log
+// peers (internal/peer), the NCL library (internal/ncl), the SplitFT POSIX
+// layer with the O_NCL flag (internal/core), three ported applications
+// (internal/apps/...), a YCSB generator (internal/ycsb), a protocol model
+// checker (internal/modelcheck), and the benchmark harness regenerating
+// every table and figure of the paper (internal/bench, cmd/splitft-bench).
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// simulation-substitution rationale, and EXPERIMENTS.md for paper-vs-
+// measured results.
+package splitft

@@ -1,0 +1,101 @@
+// peer-failure: NCL's failure handling live — a log keeps accepting writes
+// through a single peer crash (background replacement), stalls briefly when
+// two peers die at once (> f), and treats peer-initiated memory revocation
+// exactly like a failure. Mirrors §5.4.3 / Fig 12.
+//
+// Run with: go run ./examples/peer-failure
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"splitft/internal/core"
+	"splitft/internal/harness"
+	"splitft/internal/ncl"
+	"splitft/internal/simnet"
+)
+
+func main() {
+	cluster := harness.New(harness.Options{Seed: 11, NumPeers: 6})
+	err := cluster.Run(func(p *simnet.Proc) error {
+		fs, err := cluster.NewFS(p, "peer-demo", 0)
+		if err != nil {
+			return err
+		}
+		f, err := fs.OpenFile(p, "demo.log", core.O_NCL|core.O_CREATE, 8<<20)
+		if err != nil {
+			return err
+		}
+		lg := f.(interface{ Log() *ncl.Log }).Log()
+
+		write := func(n int) time.Duration {
+			start := p.Now()
+			for i := 0; i < n; i++ {
+				if _, err := f.Write(p, make([]byte, 128)); err != nil {
+					log.Fatalf("write: %v", err)
+				}
+			}
+			return (p.Now() - start) / time.Duration(n)
+		}
+
+		fmt.Printf("members: %v\n", lg.LivePeers())
+		fmt.Printf("healthy: 128B writes at %v each\n\n", write(2000))
+
+		// One peer crash: within the failure budget, writes keep flowing on
+		// the remaining majority while the repair proc swaps in a new peer.
+		victim := lg.LivePeers()[0]
+		fmt.Printf("*** crashing log peer %s (1 <= f) ***\n", victim)
+		cluster.Sim.Node(victim).Crash()
+		lat := write(2000)
+		p.Sleep(200 * time.Millisecond) // let the background replacement finish
+		fmt.Printf("writes continued at %v each; members now: %v (replacements: %d)\n",
+			lat, lg.LivePeers(), lg.Replacements)
+		st := lg.LastReplacement
+		fmt.Printf("replacement breakdown: get peer %v, connect %v, catch up %v, ap-map %v\n\n",
+			st.GetPeer.Round(time.Microsecond), st.Connect.Round(time.Microsecond),
+			st.CatchUp.Round(time.Microsecond), st.ApMap.Round(time.Microsecond))
+
+		// Two simultaneous crashes: beyond the budget — writes stall until a
+		// replacement catches up, then resume. No data is lost either way.
+		m := lg.LivePeers()
+		fmt.Printf("*** crashing peers %s and %s simultaneously (2 > f) ***\n", m[0], m[1])
+		cluster.Sim.Node(m[0]).Crash()
+		cluster.Sim.Node(m[1]).Crash()
+		start := p.Now()
+		if _, err := f.Write(p, make([]byte, 128)); err != nil {
+			return err
+		}
+		fmt.Printf("first write after double crash took %v (stalled for the catch-up)\n",
+			(p.Now() - start).Round(time.Microsecond))
+		p.Sleep(300 * time.Millisecond)
+		fmt.Printf("members now: %v (replacements: %d)\n\n", lg.LivePeers(), lg.Replacements)
+
+		// Bring the earlier casualties back online (restarted peers have
+		// empty mr-maps but re-register as fresh pool members).
+		for _, name := range []string{"peer0", m[0], m[1]} {
+			if err := cluster.RestartPeer(p, name); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("restarted peers rejoin the pool: %s, %s, %s\n\n", "peer0", m[0], m[1])
+
+		// Memory revocation: a peer reclaims its region locally; the app
+		// sees a remote-access error and treats it as a peer failure.
+		victim = lg.LivePeers()[1]
+		fmt.Printf("*** peer %s revokes its memory (local, instantaneous) ***\n", victim)
+		cluster.Peers[victim].Revoke(p, "peer-demo", "demo.log")
+		write(2000)
+		// The pool is small and recently crashed peers stay on the suspect
+		// list for a cooldown; wait it out so the replacement can land.
+		p.Sleep(2500 * time.Millisecond)
+		fmt.Printf("writes continued; members now: %v (replacements: %d)\n", lg.LivePeers(), lg.Replacements)
+		fmt.Printf("\ntotal records: %d, log length: %d bytes, epoch: %d\n",
+			lg.Records, lg.Length(), lg.Epoch())
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module splitft
+
+go 1.22

@@ -1,0 +1,492 @@
+// Package kvell is a KVell-style key-value store: unlike the LSM stores it
+// keeps NO write-ahead log — values live in immutable chunk files and an
+// in-memory index maps keys to their locations. The paper's §6 observes
+// that such no-log designs issue many small random writes, which perform
+// poorly in the DFT setting, and suggests NCL "can act as a faster tier to
+// absorb the random writes and then write large chunks to dfs".
+//
+// This package implements exactly that extension. Three persistence modes:
+//
+//   - DFTSync: every put appends to the open chunk and fsyncs it — durable
+//     but slow (a dfs round trip per put).
+//   - DFTAsync: appends are buffered; acknowledged puts can be lost.
+//   - NCLTier: puts are absorbed into an NCL journal (microsecond
+//     durability); when the journal fills, its live records are written to
+//     the dfs as one large chunk and the journal is released — small random
+//     writes become large sequential ones, with no durability gap.
+//
+// Chunk layout: repeated [4B klen][4B vlen][key][value], then a footer
+// index ([4B count] repeated [4B klen][key][8B off][4B vlen]) and a trailer
+// [8B indexOff][8B magic]. Incomplete chunks (crash mid-write) fail the
+// magic check and are ignored at recovery; their content is still safe —
+// in NCLTier mode it remains in the journal until the chunk is durable.
+package kvell
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"splitft/internal/core"
+	"splitft/internal/simnet"
+)
+
+// Mode selects the persistence strategy.
+type Mode int
+
+const (
+	// DFTSync fsyncs every put to the dfs.
+	DFTSync Mode = iota
+	// DFTAsync buffers puts (weak: acknowledged data can be lost).
+	DFTAsync
+	// NCLTier absorbs puts into a near-compute log and flushes large
+	// chunks to the dfs in the background.
+	NCLTier
+)
+
+func (m Mode) String() string {
+	switch m {
+	case DFTSync:
+		return "dft-sync"
+	case DFTAsync:
+		return "dft-async"
+	default:
+		return "ncl-tier"
+	}
+}
+
+// Config tunes the store.
+type Config struct {
+	Dir  string
+	Mode Mode
+	// JournalBytes triggers a chunk flush (NCLTier) or chunk rotation
+	// (DFT modes).
+	JournalBytes int64
+	// JournalRegion is the NCL region capacity.
+	JournalRegion int64
+	// PutCPU/GetCPU model per-op work.
+	PutCPU time.Duration
+	GetCPU time.Duration
+}
+
+// DefaultConfig returns simulation-scaled settings.
+func DefaultConfig() Config {
+	return Config{
+		Dir:           "/kvell",
+		Mode:          NCLTier,
+		JournalBytes:  4 << 20,
+		JournalRegion: 10 << 20,
+		PutCPU:        2 * time.Microsecond,
+		GetCPU:        1500 * time.Nanosecond,
+	}
+}
+
+const (
+	chunkMagic   = 0x4b56454c4c4f47 // "KVELLOG"
+	chunkTrailer = 16
+)
+
+var errBadChunk = errors.New("kvell: invalid or incomplete chunk")
+
+// location says where a key's current value lives.
+type location struct {
+	journal bool
+	chunk   int // chunk id when !journal
+	off     int64
+	vlen    int
+}
+
+// Store is a running instance.
+type Store struct {
+	fs   *core.FS
+	node *simnet.Node
+	cfg  Config
+
+	mu simnet.Mutex
+
+	index map[string]location
+
+	// Journal tier (NCLTier) or open chunk buffer (DFT modes).
+	journal    core.File
+	journalNum int
+	jPending   map[string][]byte // live records not yet in a durable chunk
+
+	chunks   map[int]core.File
+	chunkSeq int
+
+	flushing bool
+
+	// Stats.
+	Puts, Gets, Flushes int64
+}
+
+func (s *Store) journalPath(n int) string { return fmt.Sprintf("%s/journal-%04d", s.cfg.Dir, n) }
+func (s *Store) chunkPath(n int) string   { return fmt.Sprintf("%s/chunk-%06d.kv", s.cfg.Dir, n) }
+
+// Open creates a fresh store.
+func Open(p *simnet.Proc, fs *core.FS, cfg Config) (*Store, error) {
+	s := &Store{
+		fs:       fs,
+		node:     fs.Node(),
+		cfg:      cfg,
+		index:    make(map[string]location),
+		jPending: make(map[string][]byte),
+		chunks:   make(map[int]core.File),
+	}
+	if err := s.openJournal(p); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// openJournal opens the write-absorbing tier: an ncl file in NCLTier mode,
+// a plain dfs file otherwise.
+func (s *Store) openJournal(p *simnet.Proc) error {
+	s.journalNum++
+	flags := core.OpenFlag(core.O_CREATE)
+	if s.cfg.Mode == NCLTier {
+		flags |= core.O_NCL | core.O_APPEND
+	}
+	j, err := s.fs.OpenFile(p, s.journalPath(s.journalNum), flags, s.cfg.JournalRegion)
+	if err != nil {
+		return err
+	}
+	s.journal = j
+	return nil
+}
+
+func encodeRecord(key string, value []byte) []byte {
+	buf := make([]byte, 8+len(key)+len(value))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(value)))
+	copy(buf[8:], key)
+	copy(buf[8+len(key):], value)
+	return buf
+}
+
+// Put stores key=value. In NCLTier and DFTSync modes the put is durable
+// when Put returns; in DFTAsync it is merely buffered.
+func (s *Store) Put(p *simnet.Proc, key string, value []byte) error {
+	s.mu.Lock(p)
+	defer s.mu.Unlock(p)
+	p.Sleep(s.cfg.PutCPU)
+	rec := encodeRecord(key, value)
+	off := s.journal.Size()
+	if _, err := s.journal.Write(p, rec); err != nil {
+		return err
+	}
+	if s.cfg.Mode == DFTSync {
+		if err := s.journal.Sync(p); err != nil {
+			return err
+		}
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.jPending[key] = v
+	s.index[key] = location{journal: true, off: off + 8 + int64(len(key)), vlen: len(value)}
+	s.Puts++
+	if s.journal.Size() >= s.cfg.JournalBytes && !s.flushing {
+		s.startFlush(p)
+	}
+	return nil
+}
+
+// Get returns the value for key.
+func (s *Store) Get(p *simnet.Proc, key string) ([]byte, bool, error) {
+	s.mu.Lock(p)
+	loc, ok := s.index[key]
+	if !ok {
+		s.mu.Unlock(p)
+		return nil, false, nil
+	}
+	s.Gets++
+	if loc.journal {
+		v := s.jPending[key]
+		s.mu.Unlock(p)
+		s.node.CPU().Use(p, s.cfg.GetCPU)
+		return v, true, nil
+	}
+	chunk := s.chunks[loc.chunk]
+	s.mu.Unlock(p)
+	s.node.CPU().Use(p, s.cfg.GetCPU)
+	buf := make([]byte, loc.vlen)
+	if _, err := chunk.Pread(p, buf, loc.off); err != nil {
+		return nil, false, err
+	}
+	return buf, true, nil
+}
+
+// startFlush converts the journal's live records into one large sequential
+// chunk write. The journal stays intact (and recoverable) until the chunk
+// is durable; only then is it released. Caller holds s.mu.
+func (s *Store) startFlush(p *simnet.Proc) {
+	s.flushing = true
+	snap := s.jPending
+	s.jPending = make(map[string][]byte)
+	oldJournal := s.journal
+	oldPath := s.journalPath(s.journalNum)
+	if err := s.openJournal(p); err != nil {
+		// Keep absorbing into the old journal; retry on the next put.
+		s.jPending = snap
+		s.journal = oldJournal
+		s.journalNum--
+		s.flushing = false
+		return
+	}
+	s.chunkSeq++
+	chunkID := s.chunkSeq
+	p.GoOn(s.node, "kvell-flush", func(fp *simnet.Proc) {
+		defer func() { s.flushing = false }()
+		f, idx, err := writeChunk(fp, s.fs, s.chunkPath(chunkID), snap)
+		if err != nil {
+			return
+		}
+		s.mu.Lock(fp)
+		s.chunks[chunkID] = f
+		// Repoint index entries that still refer to the flushed values
+		// (a newer put may have superseded them in the new journal).
+		for key, ent := range idx {
+			if cur, ok := s.index[key]; ok && cur.journal {
+				if _, superseded := s.jPending[key]; superseded {
+					continue
+				}
+				cur.journal = false
+				cur.chunk = chunkID
+				cur.off = ent.off
+				cur.vlen = ent.vlen
+				s.index[key] = cur
+			}
+		}
+		s.Flushes++
+		s.mu.Unlock(fp)
+		// Chunk durable: the old journal is disposable.
+		oldJournal.Close(fp)
+		s.fs.Unlink(fp, oldPath) //nolint:errcheck
+	})
+}
+
+type chunkEntry struct {
+	off  int64
+	vlen int
+}
+
+// writeChunk serializes records (sorted by key) with a footer index and
+// syncs the file.
+func writeChunk(p *simnet.Proc, fs *core.FS, path string, records map[string][]byte) (core.File, map[string]chunkEntry, error) {
+	keys := make([]string, 0, len(records))
+	for k := range records {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	size := 0
+	for _, k := range keys {
+		size += 8 + len(k) + len(records[k])
+	}
+	data := make([]byte, 0, size)
+	idx := make(map[string]chunkEntry, len(keys))
+	for _, k := range keys {
+		v := records[k]
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(k)))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(v)))
+		idx[k] = chunkEntry{off: int64(len(data)) + 8 + int64(len(k)), vlen: len(v)}
+		data = append(data, hdr[:]...)
+		data = append(data, k...)
+		data = append(data, v...)
+	}
+	indexOff := int64(len(data))
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(keys)))
+	data = append(data, cnt[:]...)
+	for _, k := range keys {
+		var klen [4]byte
+		binary.LittleEndian.PutUint32(klen[:], uint32(len(k)))
+		data = append(data, klen[:]...)
+		data = append(data, k...)
+		var ent [12]byte
+		binary.LittleEndian.PutUint64(ent[0:8], uint64(idx[k].off))
+		binary.LittleEndian.PutUint32(ent[8:12], uint32(idx[k].vlen))
+		data = append(data, ent[:]...)
+	}
+	var trailer [chunkTrailer]byte
+	binary.LittleEndian.PutUint64(trailer[0:8], uint64(indexOff))
+	binary.LittleEndian.PutUint64(trailer[8:16], chunkMagic)
+	data = append(data, trailer[:]...)
+
+	f, err := fs.OpenFile(p, path, core.O_CREATE, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := f.Write(p, data); err != nil {
+		return nil, nil, err
+	}
+	if err := f.Sync(p); err != nil {
+		return nil, nil, err
+	}
+	return f, idx, nil
+}
+
+// readChunkIndex opens a chunk and parses its footer.
+func readChunkIndex(p *simnet.Proc, fs *core.FS, path string) (core.File, map[string]chunkEntry, error) {
+	f, err := fs.OpenFile(p, path, 0, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	size := f.Size()
+	if size < chunkTrailer {
+		return nil, nil, errBadChunk
+	}
+	var trailer [chunkTrailer]byte
+	if _, err := f.Pread(p, trailer[:], size-chunkTrailer); err != nil {
+		return nil, nil, err
+	}
+	if binary.LittleEndian.Uint64(trailer[8:16]) != chunkMagic {
+		return nil, nil, errBadChunk
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(trailer[0:8]))
+	if indexOff < 0 || indexOff > size-chunkTrailer {
+		return nil, nil, errBadChunk
+	}
+	meta := make([]byte, size-chunkTrailer-indexOff)
+	if _, err := f.Pread(p, meta, indexOff); err != nil {
+		return nil, nil, err
+	}
+	count := int(binary.LittleEndian.Uint32(meta[0:4]))
+	pos := 4
+	idx := make(map[string]chunkEntry, count)
+	for i := 0; i < count; i++ {
+		klen := int(binary.LittleEndian.Uint32(meta[pos : pos+4]))
+		pos += 4
+		key := string(meta[pos : pos+klen])
+		pos += klen
+		off := int64(binary.LittleEndian.Uint64(meta[pos : pos+8]))
+		vlen := int(binary.LittleEndian.Uint32(meta[pos+8 : pos+12]))
+		pos += 12
+		idx[key] = chunkEntry{off: off, vlen: vlen}
+	}
+	return f, idx, nil
+}
+
+// Recover rebuilds the store: chunk footers rebuild the bulk of the index,
+// then surviving journals are replayed over it (newest last). In NCLTier
+// mode the journals come back from the log peers, so no acknowledged put is
+// lost; in DFTAsync mode whatever the page cache had not written back is
+// gone.
+func Recover(p *simnet.Proc, fs *core.FS, cfg Config) (*Store, error) {
+	s := &Store{
+		fs:       fs,
+		node:     fs.Node(),
+		cfg:      cfg,
+		index:    make(map[string]location),
+		jPending: make(map[string][]byte),
+		chunks:   make(map[int]core.File),
+	}
+	// Chunks, oldest first so newer values win.
+	for _, path := range fs.ListDFS(cfg.Dir + "/chunk-") {
+		var id int
+		if _, err := fmt.Sscanf(path[len(cfg.Dir)+1:], "chunk-%06d.kv", &id); err != nil {
+			continue
+		}
+		f, idx, err := readChunkIndex(p, fs, path)
+		if err != nil {
+			continue // incomplete chunk: its data is still in a journal
+		}
+		for key, ent := range idx {
+			s.index[key] = location{chunk: id, off: ent.off, vlen: ent.vlen}
+		}
+		s.chunks[id] = f
+		if id > s.chunkSeq {
+			s.chunkSeq = id
+		}
+	}
+	// Journals, oldest first.
+	var journals []string
+	if cfg.Mode == NCLTier {
+		names, err := fs.ListNCL(p)
+		if err != nil {
+			return nil, err
+		}
+		journals = names
+	} else {
+		journals = fs.ListDFS(cfg.Dir + "/journal-")
+	}
+	sort.Strings(journals)
+	for _, path := range journals {
+		var n int
+		if _, err := fmt.Sscanf(path[len(cfg.Dir)+1:], "journal-%04d", &n); err == nil && n > s.journalNum {
+			s.journalNum = n
+		}
+		flags := core.OpenFlag(0)
+		if cfg.Mode == NCLTier {
+			flags = core.O_NCL
+		}
+		f, err := fs.OpenFile(p, path, flags, cfg.JournalRegion)
+		if err != nil {
+			return nil, err
+		}
+		s.replayJournal(p, f)
+		f.Close(p)
+		fs.Unlink(p, path) //nolint:errcheck
+	}
+	if err := s.openJournal(p); err != nil {
+		return nil, err
+	}
+	// Re-absorb replayed pending values into the fresh journal so they are
+	// durable under the new instance before anything is acknowledged.
+	for key, v := range s.jPending {
+		rec := encodeRecord(key, v)
+		off := s.journal.Size()
+		if _, err := s.journal.Write(p, rec); err != nil {
+			return nil, err
+		}
+		if cfg.Mode == DFTSync {
+			if err := s.journal.Sync(p); err != nil {
+				return nil, err
+			}
+		}
+		s.index[key] = location{journal: true, off: off + 8 + int64(len(key)), vlen: len(v)}
+	}
+	return s, nil
+}
+
+// replayJournal applies intact records; a torn trailing record (crash
+// mid-write, never acknowledged) stops the replay.
+func (s *Store) replayJournal(p *simnet.Proc, f core.File) {
+	data := make([]byte, f.Size())
+	if _, err := f.Pread(p, data, 0); err != nil {
+		return
+	}
+	p.Sleep(time.Duration(float64(len(data)) / 150e6 * float64(time.Second))) // parse
+	pos := 0
+	for pos+8 <= len(data) {
+		klen := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		vlen := int(binary.LittleEndian.Uint32(data[pos+4 : pos+8]))
+		if klen == 0 || pos+8+klen+vlen > len(data) {
+			return
+		}
+		key := string(data[pos+8 : pos+8+klen])
+		v := make([]byte, vlen)
+		copy(v, data[pos+8+klen:pos+8+klen+vlen])
+		s.jPending[key] = v
+		s.index[key] = location{journal: true, vlen: vlen}
+		pos += 8 + klen + vlen
+	}
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return len(s.index) }
+
+// Stats snapshot.
+type Stats struct {
+	Puts, Gets, Flushes int64
+	Chunks              int
+	JournalBytes        int64
+}
+
+// Stats returns internal counters.
+func (s *Store) Stats() Stats {
+	return Stats{Puts: s.Puts, Gets: s.Gets, Flushes: s.Flushes,
+		Chunks: len(s.chunks), JournalBytes: s.journal.Size()}
+}

@@ -1,0 +1,279 @@
+package kvell
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"splitft/internal/harness"
+	"splitft/internal/simnet"
+)
+
+func testConfig(m Mode) Config {
+	cfg := DefaultConfig()
+	cfg.Mode = m
+	cfg.JournalBytes = 64 << 10
+	cfg.JournalRegion = 256 << 10
+	return cfg
+}
+
+func withStore(t *testing.T, seed int64, m Mode, fn func(p *simnet.Proc, c *harness.Cluster, s *Store)) {
+	t.Helper()
+	c := harness.New(harness.Options{Seed: seed, NumPeers: 4})
+	err := c.Run(func(p *simnet.Proc) error {
+		fs, err := c.NewFS(p, "kvell", 0)
+		if err != nil {
+			return err
+		}
+		s, err := Open(p, fs, testConfig(m))
+		if err != nil {
+			return err
+		}
+		fn(p, c, s)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestPutGetAllModes(t *testing.T) {
+	for _, m := range []Mode{DFTSync, DFTAsync, NCLTier} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			withStore(t, 1, m, func(p *simnet.Proc, c *harness.Cluster, s *Store) {
+				for i := 0; i < 200; i++ {
+					if err := s.Put(p, fmt.Sprintf("k%04d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+						t.Fatalf("put: %v", err)
+					}
+				}
+				for i := 0; i < 200; i++ {
+					v, ok, err := s.Get(p, fmt.Sprintf("k%04d", i))
+					if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+						t.Fatalf("get k%04d = %q %v %v", i, v, ok, err)
+					}
+				}
+				if _, ok, _ := s.Get(p, "nope"); ok {
+					t.Fatal("phantom key")
+				}
+			})
+		})
+	}
+}
+
+func TestFlushConvertsJournalToChunks(t *testing.T) {
+	withStore(t, 2, NCLTier, func(p *simnet.Proc, c *harness.Cluster, s *Store) {
+		val := bytes.Repeat([]byte("x"), 200)
+		for i := 0; i < 1000; i++ { // ~230KB >> 64KB threshold
+			if err := s.Put(p, fmt.Sprintf("k%05d", i%400), val); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+		p.Sleep(2 * time.Second)
+		st := s.Stats()
+		if st.Flushes == 0 || st.Chunks == 0 {
+			t.Fatalf("no chunk flush: %+v", st)
+		}
+		// Chunks are on the dfs; only the active journal remains in NCL.
+		if n := len(s.fs.ListDFS("/kvell/chunk-")); n != st.Chunks {
+			t.Errorf("dfs chunks = %d, stats %d", n, st.Chunks)
+		}
+		names, _ := s.fs.ListNCL(p)
+		if len(names) != 1 {
+			t.Errorf("ncl journals = %v, want only the active one", names)
+		}
+		// All values still readable (journal + chunk paths).
+		for i := 0; i < 400; i++ {
+			v, ok, err := s.Get(p, fmt.Sprintf("k%05d", i))
+			if err != nil || !ok || !bytes.Equal(v, val) {
+				t.Fatalf("get after flush: %v %v", ok, err)
+			}
+		}
+	})
+}
+
+func TestRandomWriteLatencyNCLTierVsDFTSync(t *testing.T) {
+	lat := func(m Mode) time.Duration {
+		var avg time.Duration
+		withStore(t, 3, m, func(p *simnet.Proc, c *harness.Cluster, s *Store) {
+			val := bytes.Repeat([]byte("r"), 120)
+			start := p.Now()
+			const n = 300
+			for i := 0; i < n; i++ {
+				s.Put(p, fmt.Sprintf("rnd%07d", (i*7919)%100000), val)
+			}
+			avg = (p.Now() - start) / n
+		})
+		return avg
+	}
+	sync := lat(DFTSync)
+	tier := lat(NCLTier)
+	if tier*50 > sync {
+		t.Fatalf("NCL tier (%v) should be orders faster than dft-sync (%v) for random writes", tier, sync)
+	}
+}
+
+func crashRecover(t *testing.T, seed int64, m Mode, writes int) (acked, survived int) {
+	t.Helper()
+	c := harness.New(harness.Options{Seed: seed, NumPeers: 4})
+	err := c.Run(func(p *simnet.Proc) error {
+		c.AppNode.Go("app-v1", func(ap *simnet.Proc) {
+			fs, err := c.NewFS(ap, "kvell", 0)
+			if err != nil {
+				return
+			}
+			s, err := Open(ap, fs, testConfig(m))
+			if err != nil {
+				return
+			}
+			for i := 0; i < writes; i++ {
+				if err := s.Put(ap, fmt.Sprintf("k%05d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+					return
+				}
+				acked = i + 1
+			}
+			ap.Sleep(time.Hour)
+		})
+		p.Sleep(400 * time.Millisecond)
+		c.CrashApp()
+		p.Sleep(10 * time.Millisecond)
+		c.RestartApp()
+		fs2, err := c.NewFS(p, "kvell", 1)
+		if err != nil {
+			return err
+		}
+		s2, err := Recover(p, fs2, testConfig(m))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < acked; i++ {
+			v, ok, err := s2.Get(p, fmt.Sprintf("k%05d", i))
+			if err != nil {
+				return err
+			}
+			if ok && string(v) == fmt.Sprintf("v%d", i) {
+				survived++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return acked, survived
+}
+
+func TestCrashRecoveryNCLTierNoLoss(t *testing.T) {
+	acked, survived := crashRecover(t, 4, NCLTier, 2500) // spans several flushes
+	if acked == 0 || survived != acked {
+		t.Fatalf("acked=%d survived=%d", acked, survived)
+	}
+}
+
+func TestCrashRecoveryDFTSyncNoLoss(t *testing.T) {
+	acked, survived := crashRecover(t, 5, DFTSync, 60)
+	if acked == 0 || survived != acked {
+		t.Fatalf("acked=%d survived=%d", acked, survived)
+	}
+}
+
+func TestCrashRecoveryDFTAsyncLoses(t *testing.T) {
+	acked, survived := crashRecover(t, 6, DFTAsync, 2500)
+	if acked == 0 {
+		t.Fatal("nothing acked")
+	}
+	if survived >= acked {
+		t.Fatalf("async mode lost nothing (%d/%d)", survived, acked)
+	}
+}
+
+func TestRecoveryAfterCrashMidFlush(t *testing.T) {
+	// Crash while a chunk flush is in flight: the chunk may be incomplete
+	// (no magic), but the journal still holds the data.
+	c := harness.New(harness.Options{Seed: 7, NumPeers: 4})
+	err := c.Run(func(p *simnet.Proc) error {
+		total := 0
+		c.AppNode.Go("app-v1", func(ap *simnet.Proc) {
+			fs, _ := c.NewFS(ap, "kvell", 0)
+			cfg := testConfig(NCLTier)
+			s, err := Open(ap, fs, cfg)
+			if err != nil {
+				return
+			}
+			val := bytes.Repeat([]byte("m"), 200)
+			for i := 0; ; i++ {
+				if err := s.Put(ap, fmt.Sprintf("k%05d", i), val); err != nil {
+					return
+				}
+				total = i + 1
+				if s.flushing { // crash window: flush in flight
+					break
+				}
+			}
+			ap.Sleep(time.Hour)
+		})
+		p.Sleep(300 * time.Millisecond)
+		c.CrashApp()
+		p.Sleep(10 * time.Millisecond)
+		c.RestartApp()
+		fs2, _ := c.NewFS(p, "kvell", 1)
+		s2, err := Recover(p, fs2, testConfig(NCLTier))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < total; i++ {
+			if _, ok, _ := s2.Get(p, fmt.Sprintf("k%05d", i)); !ok {
+				return fmt.Errorf("k%05d lost across mid-flush crash", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkCodecRoundtrip(t *testing.T) {
+	c := harness.New(harness.Options{Seed: 8, NumPeers: 3})
+	err := c.Run(func(p *simnet.Proc) error {
+		fs, _ := c.NewFS(p, "kvell", 0)
+		records := map[string][]byte{}
+		for i := 0; i < 300; i++ {
+			records[fmt.Sprintf("key%04d", i)] = []byte(fmt.Sprintf("value-%d", i))
+		}
+		f, idx, err := writeChunk(p, fs, "/c/x.kv", records)
+		if err != nil {
+			return err
+		}
+		f.Close(p)
+		f2, idx2, err := readChunkIndex(p, fs, "/c/x.kv")
+		if err != nil {
+			return err
+		}
+		if len(idx2) != len(idx) {
+			return fmt.Errorf("index sizes differ: %d vs %d", len(idx2), len(idx))
+		}
+		for k, want := range records {
+			ent := idx2[k]
+			buf := make([]byte, ent.vlen)
+			if _, err := f2.Pread(p, buf, ent.off); err != nil {
+				return err
+			}
+			if !bytes.Equal(buf, want) {
+				return fmt.Errorf("key %s = %q, want %q", k, buf, want)
+			}
+		}
+		// A torn chunk is rejected.
+		g, _ := fs.OpenFile(p, "/c/torn.kv", 1, 0) // O_CREATE
+		g.Write(p, []byte("garbage without a trailer"))
+		g.Sync(p)
+		if _, _, err := readChunkIndex(p, fs, "/c/torn.kv"); err == nil {
+			return fmt.Errorf("torn chunk accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

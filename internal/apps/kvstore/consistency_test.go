@@ -1,0 +1,138 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"splitft/internal/harness"
+	"splitft/internal/simnet"
+	"splitft/internal/ycsb"
+)
+
+// Consistency property: under SplitFT, for any random op sequence and crash
+// point, a recovered store returns exactly the last acknowledged value for
+// every key (no loss, no staleness, no resurrection of deleted keys).
+
+func TestQuickSplitFTConsistencyAcrossCrash(t *testing.T) {
+	f := func(seed int64, nOps uint16, crashMS uint8) bool {
+		ops := int(nOps)%400 + 50
+		c := harness.New(harness.Options{Seed: seed, NumPeers: 4})
+		shadow := map[string]string{} // acked state only
+		ok := true
+		err := c.Run(func(p *simnet.Proc) error {
+			c.AppNode.Go("app-v1", func(ap *simnet.Proc) {
+				fs, err := c.NewFS(ap, "kvq", 0)
+				if err != nil {
+					return
+				}
+				cfg := testConfig(SplitFT)
+				db, err := Open(ap, fs, cfg)
+				if err != nil {
+					return
+				}
+				g := ycsb.NewGenerator(ycsb.WorkloadA, 200, seed+1)
+				for i := 0; i < ops; i++ {
+					op := g.Next()
+					switch {
+					case i%37 == 36:
+						if db.Delete(ap, op.Key) != nil {
+							return
+						}
+						delete(shadow, op.Key)
+					case op.Type == ycsb.Read:
+						db.Get(ap, op.Key) //nolint:errcheck
+					default:
+						val := fmt.Sprintf("v%d-%d", seed, i)
+						if db.Put(ap, op.Key, []byte(val)) != nil {
+							return
+						}
+						shadow[op.Key] = val
+					}
+				}
+				ap.Sleep(time.Hour)
+			})
+			p.Sleep(150*time.Millisecond + time.Duration(crashMS)*time.Millisecond)
+			c.CrashApp()
+			p.Sleep(10 * time.Millisecond)
+			c.RestartApp()
+			fs2, err := c.NewFS(p, "kvq", 1)
+			if err != nil {
+				return err
+			}
+			db2, err := Recover(p, fs2, testConfig(SplitFT))
+			if err != nil {
+				return err
+			}
+			for key, want := range shadow {
+				v, found, err := db2.Get(p, key)
+				if err != nil || !found || string(v) != want {
+					ok = false
+					return nil
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The same property with peer failures injected mid-run: losing one log
+// peer (within the budget) must never lose acknowledged data.
+func TestSplitFTConsistencyWithPeerCrash(t *testing.T) {
+	c := harness.New(harness.Options{Seed: 99, NumPeers: 5})
+	shadow := map[string]string{}
+	err := c.Run(func(p *simnet.Proc) error {
+		var db *DB
+		c.AppNode.Go("app-v1", func(ap *simnet.Proc) {
+			fs, err := c.NewFS(ap, "kvq", 0)
+			if err != nil {
+				return
+			}
+			db, err = Open(ap, fs, testConfig(SplitFT))
+			if err != nil {
+				return
+			}
+			for i := 0; i < 2000; i++ {
+				key := ycsb.Key(int64(i % 300))
+				val := fmt.Sprintf("val-%d", i)
+				if db.Put(ap, key, []byte(val)) != nil {
+					return
+				}
+				shadow[key] = val
+			}
+			ap.Sleep(time.Hour)
+		})
+		// Crash a peer mid-run, then the app shortly after — the app may die
+		// before the background replacement finished.
+		p.Sleep(120 * time.Millisecond)
+		_ = db
+		c.PeerNodes[0].Crash() // deterministically a WAL member (most-free-first)
+		p.Sleep(30 * time.Millisecond)
+		c.CrashApp()
+		p.Sleep(10 * time.Millisecond)
+		c.RestartApp()
+		fs2, err := c.NewFS(p, "kvq", 1)
+		if err != nil {
+			return err
+		}
+		db2, err := Recover(p, fs2, testConfig(SplitFT))
+		if err != nil {
+			return err
+		}
+		for key, want := range shadow {
+			v, found, err := db2.Get(p, key)
+			if err != nil || !found || string(v) != want {
+				return fmt.Errorf("key %s = %q (found=%v, err=%v), want %q", key, v, found, err, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,705 @@
+// Package kvstore is the RocksDB-style LSM key-value store ported to
+// SplitFT (§4.7). Its write path mirrors RocksDB's: concurrent updates are
+// group-committed by a leader into one write-ahead-log append, applied to an
+// in-memory memtable, and acknowledged; memtables are flushed to sorted
+// tables on the dfs in the background and the corresponding WAL is deleted
+// (delete-based log reclamation, Table 2). L0 tables are compacted into L1.
+//
+// The port required what the paper reports for RocksDB: passing O_NCL when
+// opening WAL files. Every other code path is identical across the three
+// evaluated configurations:
+//
+//	Weak    — WAL on the dfs, never fsynced (buffered; lost on crash)
+//	Strong  — WAL on the dfs, fsynced once per group-commit batch
+//	SplitFT — WAL in near-compute logs (replicated synchronously)
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+	"time"
+
+	"splitft/internal/core"
+	"splitft/internal/simnet"
+)
+
+// Durability selects the evaluation configuration.
+type Durability int
+
+const (
+	// Weak buffers log writes in the dfs client cache (weak-app DFT).
+	Weak Durability = iota
+	// Strong fsyncs every group-commit batch to the dfs (strong-app DFT).
+	Strong
+	// SplitFT routes log files to near-compute logs via O_NCL.
+	SplitFT
+)
+
+func (d Durability) String() string {
+	switch d {
+	case Weak:
+		return "weak"
+	case Strong:
+		return "strong"
+	default:
+		return "splitft"
+	}
+}
+
+// Config tunes the store.
+type Config struct {
+	Dir        string
+	Durability Durability
+	// MemtableBytes triggers memtable rotation + WAL switch.
+	MemtableBytes int64
+	// WALRegion is the ncl region capacity per WAL (>= MemtableBytes plus
+	// framing overhead).
+	WALRegion int64
+	// L0CompactTrigger starts a compaction when L0 reaches this many tables.
+	L0SlowdownTrigger int
+	L0CompactTrigger  int
+	// MaxImmutables stalls writers when this many unflushed memtables pile up.
+	MaxImmutables int
+	// CPU cost model (per operation).
+	EncodeCPU time.Duration // batch serialization, per op
+	ApplyCPU  time.Duration // memtable insert, per op
+	GetCPU    time.Duration // read-path lookup work
+	// SlowdownDelay is the per-batch delay applied when L0 is past the
+	// slowdown trigger (RocksDB's delayed-write-rate mechanism).
+	SlowdownDelay time.Duration
+}
+
+// DefaultConfig returns the configuration used by the benchmarks, scaled to
+// simulation-sized datasets.
+func DefaultConfig() Config {
+	return Config{
+		Dir:               "/kv",
+		Durability:        SplitFT,
+		MemtableBytes:     4 << 20,
+		WALRegion:         8 << 20,
+		L0SlowdownTrigger: 8,
+		L0CompactTrigger:  4,
+		MaxImmutables:     4,
+		EncodeCPU:         600 * time.Nanosecond,
+		ApplyCPU:          2500 * time.Nanosecond,
+		GetCPU:            1800 * time.Nanosecond,
+		SlowdownDelay:     200 * time.Microsecond,
+	}
+}
+
+// memtable is the mutable in-memory write buffer.
+type memtable struct {
+	data  map[string]entry
+	bytes int64
+	// walPath is the log file backing this memtable.
+	walPath string
+}
+
+func newMemtable(walPath string) *memtable {
+	return &memtable{data: make(map[string]entry), walPath: walPath}
+}
+
+func (m *memtable) put(e entry) {
+	m.data[e.key] = e
+	m.bytes += int64(len(e.key) + len(e.value) + 16)
+}
+
+func (m *memtable) sorted() []entry {
+	keys := make([]string, 0, len(m.data))
+	for k := range m.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]entry, len(keys))
+	for i, k := range keys {
+		out[i] = m.data[k]
+	}
+	return out
+}
+
+type writeReq struct {
+	ent  entry
+	done bool
+	err  error
+}
+
+// DB is an open store instance.
+type DB struct {
+	fs   *core.FS
+	node *simnet.Node
+	cfg  Config
+
+	mu      simnet.Mutex
+	qCond   *simnet.Cond
+	flush   *simnet.Cond // flusher wake + stall wait
+	compact *simnet.Cond
+
+	queue        []*writeReq
+	leaderActive bool
+
+	mem     *memtable
+	imm     []*memtable
+	wal     core.File
+	fileSeq int
+	// nextWAL is pre-opened in the background once the memtable is half
+	// full, so rotation never blocks the commit leader on NCL region setup
+	// (RocksDB's log-file preallocation/recycling).
+	nextWAL     core.File
+	nextWALPath string
+	preparing   bool
+
+	l0 []*ssTable // newest first
+	l1 []*ssTable // sorted, non-overlapping (kept as one run)
+
+	closed bool
+
+	// Stats.
+	Batches      int64
+	Ops          int64
+	StallTime    time.Duration
+	Compactions  int64
+	Flushes      int64
+	SlowdownTime time.Duration
+}
+
+// Open creates a fresh store (no recovery; use Recover for restart paths).
+func Open(p *simnet.Proc, fs *core.FS, cfg Config) (*DB, error) {
+	db := newDB(fs, cfg)
+	if err := db.rotateWAL(p); err != nil {
+		return nil, err
+	}
+	db.startBackground(p)
+	return db, nil
+}
+
+func newDB(fs *core.FS, cfg Config) *DB {
+	db := &DB{fs: fs, node: fs.Node(), cfg: cfg}
+	db.qCond = simnet.NewCond(&db.mu)
+	db.flush = simnet.NewCond(&db.mu)
+	db.compact = simnet.NewCond(&db.mu)
+	return db
+}
+
+func (db *DB) startBackground(p *simnet.Proc) {
+	p.GoOn(db.node, "kv-flusher", db.flusherLoop)
+	p.GoOn(db.node, "kv-compactor", db.compactorLoop)
+}
+
+func (db *DB) walPath(n int) string { return fmt.Sprintf("%s/wal-%06d.log", db.cfg.Dir, n) }
+func (db *DB) sstPath(level, n int) string {
+	return fmt.Sprintf("%s/L%d-%06d.sst", db.cfg.Dir, level, n)
+}
+
+// walFlags returns the open flags for a WAL file under the configuration:
+// the entire SplitFT port is the O_NCL bit (plus the append-only hint that
+// enables tail catch-up at recovery).
+func (db *DB) walFlags() core.OpenFlag {
+	if db.cfg.Durability == SplitFT {
+		return core.O_NCL | core.O_CREATE | core.O_APPEND
+	}
+	return core.O_CREATE
+}
+
+// rotateWAL opens a fresh WAL and memtable; caller must hold no lock or the
+// write lock consistently (called at open and from the commit path).
+func (db *DB) rotateWAL(p *simnet.Proc) error {
+	db.fileSeq++
+	path := db.walPath(db.fileSeq)
+	w, err := db.fs.OpenFile(p, path, db.walFlags(), db.cfg.WALRegion)
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	db.mem = newMemtable(path)
+	return nil
+}
+
+// Put inserts or updates a key.
+func (db *DB) Put(p *simnet.Proc, key string, value []byte) error {
+	v := make([]byte, len(value))
+	copy(v, value)
+	return db.write(p, entry{key: key, value: v})
+}
+
+// Delete removes a key (tombstone).
+func (db *DB) Delete(p *simnet.Proc, key string) error {
+	return db.write(p, entry{key: key, del: true})
+}
+
+// write enqueues the update and runs the group-commit protocol: the first
+// waiter becomes leader, takes the whole queue as one batch, appends a
+// single WAL record (fsynced or NCL-recorded per configuration), applies
+// the batch to the memtable, and wakes everyone.
+func (db *DB) write(p *simnet.Proc, e entry) error {
+	db.mu.Lock(p)
+	if db.closed {
+		db.mu.Unlock(p)
+		return errors.New("kvstore: closed")
+	}
+	w := &writeReq{ent: e}
+	db.queue = append(db.queue, w)
+	for {
+		if w.done {
+			db.mu.Unlock(p)
+			return w.err
+		}
+		if db.leaderActive {
+			db.qCond.Wait(p)
+			continue
+		}
+		db.leaderActive = true
+		batch := db.queue
+		db.queue = nil
+		db.mu.Unlock(p)
+
+		err := db.commitBatch(p, batch)
+
+		db.mu.Lock(p)
+		for _, b := range batch {
+			b.done = true
+			b.err = err
+		}
+		db.leaderActive = false
+		db.Batches++
+		db.Ops += int64(len(batch))
+		db.qCond.Broadcast(p)
+	}
+}
+
+// walRecord layout: [4B payloadLen][4B crc32(payload)][payload], where
+// payload is [4B count] then per op [1B del][4B klen][4B vlen][key][value].
+func encodeBatch(batch []*writeReq) []byte {
+	size := 4
+	for _, w := range batch {
+		size += 9 + len(w.ent.key) + len(w.ent.value)
+	}
+	buf := make([]byte, 8+size)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(size))
+	payload := buf[8:]
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(len(batch)))
+	pos := 4
+	for _, w := range batch {
+		if w.ent.del {
+			payload[pos] = 1
+		}
+		binary.LittleEndian.PutUint32(payload[pos+1:pos+5], uint32(len(w.ent.key)))
+		binary.LittleEndian.PutUint32(payload[pos+5:pos+9], uint32(len(w.ent.value)))
+		pos += 9
+		copy(payload[pos:], w.ent.key)
+		pos += len(w.ent.key)
+		copy(payload[pos:], w.ent.value)
+		pos += len(w.ent.value)
+	}
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+func (db *DB) commitBatch(p *simnet.Proc, batch []*writeReq) error {
+	// Serialize (leader CPU).
+	p.Sleep(time.Duration(len(batch)) * db.cfg.EncodeCPU)
+	rec := encodeBatch(batch)
+
+	// One log write per batch; durability per configuration.
+	if _, err := db.wal.Write(p, rec); err != nil {
+		return err
+	}
+	if db.cfg.Durability == Strong {
+		if err := db.wal.Sync(p); err != nil {
+			return err
+		}
+	}
+
+	// Apply to the memtable.
+	p.Sleep(time.Duration(len(batch)) * db.cfg.ApplyCPU)
+	for _, w := range batch {
+		db.mem.put(w.ent)
+	}
+
+	// Backpressure: slow down when L0 piles up; stall when flushing lags.
+	db.mu.Lock(p)
+	if len(db.l0) >= db.cfg.L0SlowdownTrigger {
+		db.mu.Unlock(p)
+		p.Sleep(db.cfg.SlowdownDelay)
+		db.SlowdownTime += db.cfg.SlowdownDelay
+		db.mu.Lock(p)
+	}
+	for len(db.imm) >= db.cfg.MaxImmutables && !db.closed {
+		start := p.Now()
+		db.flush.WaitTimeout(p, 20*time.Millisecond)
+		db.StallTime += p.Now() - start
+	}
+	// Prepare the next WAL off the critical path once half full.
+	if db.mem.bytes >= db.cfg.MemtableBytes/2 && db.nextWAL == nil && !db.preparing {
+		db.preparing = true
+		db.fileSeq++
+		seq := db.fileSeq
+		p.GoOn(db.node, "kv-wal-prep", func(wp *simnet.Proc) {
+			path := db.walPath(seq)
+			w, err := db.fs.OpenFile(wp, path, db.walFlags(), db.cfg.WALRegion)
+			db.mu.Lock(wp)
+			db.preparing = false
+			if err == nil {
+				db.nextWAL = w
+				db.nextWALPath = path
+			}
+			db.mu.Unlock(wp)
+		})
+	}
+	// Rotate if the memtable is full.
+	var err error
+	if db.mem.bytes >= db.cfg.MemtableBytes {
+		db.imm = append(db.imm, db.mem)
+		oldWAL := db.wal
+		if db.nextWAL != nil {
+			db.wal = db.nextWAL
+			db.mem = newMemtable(db.nextWALPath)
+			db.nextWAL = nil
+			db.mu.Unlock(p)
+		} else {
+			db.mu.Unlock(p)
+			err = db.rotateWAL(p)
+		}
+		_ = oldWAL.Close(p) // kept durable/recoverable until the flush deletes it
+		db.mu.Lock(p)
+		db.flush.Broadcast(p)
+	}
+	db.mu.Unlock(p)
+	return err
+}
+
+// Get returns the value for key, if present.
+func (db *DB) Get(p *simnet.Proc, key string) ([]byte, bool, error) {
+	db.node.CPU().Use(p, db.cfg.GetCPU)
+	db.mu.Lock(p)
+	// Memtable, then immutables newest-first.
+	if e, ok := db.mem.data[key]; ok {
+		db.mu.Unlock(p)
+		return e.value, !e.del, nil
+	}
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		if e, ok := db.imm[i].data[key]; ok {
+			db.mu.Unlock(p)
+			return e.value, !e.del, nil
+		}
+	}
+	l0 := append([]*ssTable(nil), db.l0...)
+	l1 := append([]*ssTable(nil), db.l1...)
+	db.mu.Unlock(p)
+	for _, t := range l0 {
+		v, found, deleted, err := t.get(p, key)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			return v, !deleted, nil
+		}
+	}
+	for _, t := range l1 {
+		v, found, deleted, err := t.get(p, key)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			return v, !deleted, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// flusherLoop writes immutable memtables to L0 tables and deletes their
+// WALs — the background "large write then reclaim the log" cycle of §3.
+func (db *DB) flusherLoop(p *simnet.Proc) {
+	for {
+		db.mu.Lock(p)
+		for len(db.imm) == 0 && !db.closed {
+			db.flush.WaitTimeout(p, 50*time.Millisecond)
+		}
+		if db.closed {
+			db.mu.Unlock(p)
+			return
+		}
+		m := db.imm[0]
+		db.fileSeq++
+		path := db.sstPath(0, db.fileSeq)
+		db.mu.Unlock(p)
+
+		t, err := writeSSTable(p, db.fs, path, m.sorted())
+		if err != nil {
+			p.Sleep(10 * time.Millisecond)
+			continue
+		}
+		db.mu.Lock(p)
+		db.imm = db.imm[1:]
+		db.l0 = append([]*ssTable{t}, db.l0...)
+		db.Flushes++
+		trigger := len(db.l0) >= db.cfg.L0CompactTrigger
+		db.flush.Broadcast(p)
+		if trigger {
+			db.compact.Signal(p)
+		}
+		db.mu.Unlock(p)
+		// The memtable is durable as a table; delete its log (reclaim).
+		db.fs.Unlink(p, m.walPath) //nolint:errcheck
+	}
+}
+
+// compactorLoop merges all of L0 with L1 into a fresh L1 run.
+func (db *DB) compactorLoop(p *simnet.Proc) {
+	for {
+		db.mu.Lock(p)
+		for len(db.l0) < db.cfg.L0CompactTrigger && !db.closed {
+			db.compact.WaitTimeout(p, 100*time.Millisecond)
+		}
+		if db.closed {
+			db.mu.Unlock(p)
+			return
+		}
+		inputsL0 := append([]*ssTable(nil), db.l0...)
+		inputsL1 := append([]*ssTable(nil), db.l1...)
+		db.mu.Unlock(p)
+
+		merged, err := db.mergeTables(p, inputsL0, inputsL1)
+		if err != nil {
+			p.Sleep(10 * time.Millisecond)
+			continue
+		}
+		db.fileSeq++
+		path := db.sstPath(1, db.fileSeq)
+		t, err := writeSSTable(p, db.fs, path, merged)
+		if err != nil {
+			p.Sleep(10 * time.Millisecond)
+			continue
+		}
+		db.mu.Lock(p)
+		db.l0 = db.l0[:len(db.l0)-len(inputsL0)]
+		db.l1 = []*ssTable{t}
+		db.Compactions++
+		db.mu.Unlock(p)
+		for _, in := range append(inputsL0, inputsL1...) {
+			db.fs.Unlink(p, in.path) //nolint:errcheck
+		}
+	}
+}
+
+// mergeTables produces the sorted union with newest-wins semantics.
+// inputsL0 is newest-first; L1 is oldest.
+func (db *DB) mergeTables(p *simnet.Proc, inputsL0, inputsL1 []*ssTable) ([]entry, error) {
+	result := make(map[string]entry)
+	// Oldest first so newer entries overwrite.
+	for _, t := range inputsL1 {
+		ents, err := t.scanAll(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			result[e.key] = e
+		}
+	}
+	for i := len(inputsL0) - 1; i >= 0; i-- {
+		ents, err := inputsL0[i].scanAll(p)
+		if err != nil {
+			return nil, err
+		}
+		// Charge merge CPU coarsely per table.
+		p.Sleep(time.Duration(len(ents)) * 200 * time.Nanosecond)
+		for _, e := range ents {
+			result[e.key] = e
+		}
+	}
+	keys := make([]string, 0, len(result))
+	for k := range result {
+		if result[k].del {
+			delete(result, k) // full-merge drops tombstones
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]entry, len(keys))
+	for i, k := range keys {
+		out[i] = result[k]
+	}
+	return out, nil
+}
+
+// Close stops background work (the store remains recoverable).
+func (db *DB) Close(p *simnet.Proc) {
+	db.mu.Lock(p)
+	db.closed = true
+	db.flush.Broadcast(p)
+	db.compact.Signal(p)
+	db.qCond.Broadcast(p)
+	db.mu.Unlock(p)
+}
+
+// ---- Recovery ----
+
+// Recover reconstructs a store after an application-server crash: open the
+// surviving tables from the dfs, then replay the WALs. In SplitFT mode the
+// WALs are recovered from NCL peers; in DFT modes, from the dfs (weak mode
+// recovers only what writeback happened to flush — the data-loss window the
+// paper's Table 1 guarantees column is about).
+func Recover(p *simnet.Proc, fs *core.FS, cfg Config) (*DB, error) {
+	db := newDB(fs, cfg)
+
+	// Tables: keep only complete ones, newest L1 generation wins.
+	var l0 []*ssTable
+	var l1 []*ssTable
+	maxSeq := 0
+	for _, path := range fs.ListDFS(cfg.Dir + "/") {
+		if !strings.HasSuffix(path, ".sst") {
+			continue
+		}
+		t, err := openSSTable(p, fs, path)
+		if err != nil {
+			continue // incomplete flush/compaction output: ignore
+		}
+		var level, n int
+		if _, err := fmt.Sscanf(path[len(cfg.Dir)+1:], "L%d-%06d.sst", &level, &n); err != nil {
+			continue
+		}
+		if n > maxSeq {
+			maxSeq = n
+		}
+		if level == 0 {
+			l0 = append(l0, t)
+		} else {
+			l1 = append(l1, t)
+		}
+	}
+	// L0 newest first by sequence in the file name.
+	sort.Slice(l0, func(i, j int) bool { return l0[i].path > l0[j].path })
+	// Only the newest complete L1 run is current.
+	sort.Slice(l1, func(i, j int) bool { return l1[i].path > l1[j].path })
+	if len(l1) > 1 {
+		for _, stale := range l1[1:] {
+			fs.Unlink(p, stale.path) //nolint:errcheck
+		}
+		l1 = l1[:1]
+	}
+	db.l0 = l0
+	db.l1 = l1
+
+	// WALs: ncl files in SplitFT mode, dfs files otherwise.
+	var wals []string
+	if cfg.Durability == SplitFT {
+		names, err := fs.ListNCL(p)
+		if err != nil {
+			return nil, err
+		}
+		wals = names
+	} else {
+		for _, path := range fs.ListDFS(cfg.Dir + "/") {
+			if strings.HasSuffix(path, ".log") {
+				wals = append(wals, path)
+			}
+		}
+	}
+	sort.Strings(wals)
+	for _, w := range wals {
+		var n int
+		if _, err := fmt.Sscanf(w[len(cfg.Dir)+1:], "wal-%06d.log", &n); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+	}
+	db.fileSeq = maxSeq
+
+	// Replay WALs oldest-to-newest into fresh memtables, then flush them to
+	// tables and reclaim the logs, ending with one empty memtable + WAL.
+	for _, walName := range wals {
+		flags := db.walFlags() &^ core.O_CREATE
+		f, err := fs.OpenFile(p, walName, flags, cfg.WALRegion)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: reopen wal %s: %w", walName, err)
+		}
+		mem := newMemtable(walName)
+		if err := replayWAL(p, f, mem); err != nil {
+			return nil, err
+		}
+		if len(mem.data) > 0 {
+			db.fileSeq++
+			t, err := writeSSTable(p, fs, db.sstPath(0, db.fileSeq), mem.sorted())
+			if err != nil {
+				return nil, err
+			}
+			db.l0 = append([]*ssTable{t}, db.l0...)
+		}
+		f.Close(p)
+		fs.Unlink(p, walName) //nolint:errcheck
+	}
+	if err := db.rotateWAL(p); err != nil {
+		return nil, err
+	}
+	db.startBackground(p)
+	return db, nil
+}
+
+// replayWAL applies every intact batch record; it stops at the first torn
+// or corrupt record (an unacknowledged trailing write, §4.5.1).
+func replayWAL(p *simnet.Proc, f core.File, mem *memtable) error {
+	size := f.Size()
+	data := make([]byte, size)
+	if _, err := f.Pread(p, data, 0); err != nil {
+		return err
+	}
+	// Parsing cost: reading and decoding dominates app-level recovery time
+	// (Fig 11b "parse"); model at ~150 MB/s.
+	p.Sleep(time.Duration(float64(len(data)) / 150e6 * float64(time.Second)))
+	pos := 0
+	for pos+8 <= len(data) {
+		plen := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		crc := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
+		if plen == 0 || pos+8+plen > len(data) {
+			return nil
+		}
+		payload := data[pos+8 : pos+8+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil // torn batch: stop replay here
+		}
+		count := int(binary.LittleEndian.Uint32(payload[0:4]))
+		q := 4
+		for i := 0; i < count; i++ {
+			del := payload[q] == 1
+			klen := int(binary.LittleEndian.Uint32(payload[q+1 : q+5]))
+			vlen := int(binary.LittleEndian.Uint32(payload[q+5 : q+9]))
+			q += 9
+			key := string(payload[q : q+klen])
+			q += klen
+			val := make([]byte, vlen)
+			copy(val, payload[q:q+vlen])
+			q += vlen
+			mem.put(entry{key: key, value: val, del: del})
+		}
+		pos += 8 + plen
+	}
+	return nil
+}
+
+// Stats snapshot for benches.
+type Stats struct {
+	Batches, Ops         int64
+	Flushes, Compactions int64
+	StallTime            time.Duration
+	SlowdownTime         time.Duration
+	L0Tables, L1Tables   int
+	MemtableBytes        int64
+}
+
+// WAL returns the active write-ahead-log file (failure-injection benches
+// use it to find the log's current NCL peers).
+func (db *DB) WAL() core.File { return db.wal }
+
+// Stats returns a consistent snapshot of internal counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Batches: db.Batches, Ops: db.Ops,
+		Flushes: db.Flushes, Compactions: db.Compactions,
+		StallTime: db.StallTime, SlowdownTime: db.SlowdownTime,
+		L0Tables: len(db.l0), L1Tables: len(db.l1),
+		MemtableBytes: db.mem.bytes,
+	}
+}

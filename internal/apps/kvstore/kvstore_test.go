@@ -1,0 +1,431 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"splitft/internal/core"
+	"splitft/internal/harness"
+	"splitft/internal/simnet"
+)
+
+func testConfig(d Durability) Config {
+	cfg := DefaultConfig()
+	cfg.Durability = d
+	cfg.MemtableBytes = 64 << 10 // small so rotation/flush paths exercise
+	cfg.WALRegion = 256 << 10
+	return cfg
+}
+
+func withDB(t *testing.T, seed int64, d Durability, fn func(p *simnet.Proc, c *harness.Cluster, db *DB)) {
+	t.Helper()
+	c := harness.New(harness.Options{Seed: seed, NumPeers: 4})
+	err := c.Run(func(p *simnet.Proc) error {
+		fs, err := c.NewFS(p, "kvapp", 0)
+		if err != nil {
+			return err
+		}
+		db, err := Open(p, fs, testConfig(d))
+		if err != nil {
+			return err
+		}
+		fn(p, c, db)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestPutGetAllDurabilities(t *testing.T) {
+	for _, d := range []Durability{Weak, Strong, SplitFT} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			withDB(t, 1, d, func(p *simnet.Proc, c *harness.Cluster, db *DB) {
+				for i := 0; i < 100; i++ {
+					key := fmt.Sprintf("user%06d", i)
+					if err := db.Put(p, key, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+						t.Fatalf("put: %v", err)
+					}
+				}
+				for i := 0; i < 100; i++ {
+					key := fmt.Sprintf("user%06d", i)
+					v, ok, err := db.Get(p, key)
+					if err != nil || !ok || string(v) != fmt.Sprintf("value-%d", i) {
+						t.Fatalf("get %s = %q %v %v", key, v, ok, err)
+					}
+				}
+				if _, ok, _ := db.Get(p, "missing"); ok {
+					t.Fatal("phantom key")
+				}
+			})
+		})
+	}
+}
+
+func TestGroupCommitBatches(t *testing.T) {
+	withDB(t, 2, SplitFT, func(p *simnet.Proc, c *harness.Cluster, db *DB) {
+		var wg simnet.WaitGroup
+		const writers, each = 16, 30
+		wg.Add(writers)
+		for w := 0; w < writers; w++ {
+			w := w
+			p.GoOn(c.AppNode, fmt.Sprintf("writer%d", w), func(wp *simnet.Proc) {
+				for i := 0; i < each; i++ {
+					db.Put(wp, fmt.Sprintf("k%02d-%03d", w, i), []byte("v"))
+				}
+				wg.Done(wp)
+			})
+		}
+		wg.Wait(p)
+		if db.Ops != writers*each {
+			t.Fatalf("ops = %d, want %d", db.Ops, writers*each)
+		}
+		if db.Batches >= db.Ops {
+			t.Fatalf("no batching: %d batches for %d ops", db.Batches, db.Ops)
+		}
+		t.Logf("batches=%d ops=%d (%.1f ops/batch)", db.Batches, db.Ops, float64(db.Ops)/float64(db.Batches))
+	})
+}
+
+func TestRotationFlushAndLogReclaim(t *testing.T) {
+	withDB(t, 3, SplitFT, func(p *simnet.Proc, c *harness.Cluster, db *DB) {
+		val := bytes.Repeat([]byte("v"), 100)
+		for i := 0; i < 3000; i++ { // ~370KB >> 64KB memtable
+			if err := db.Put(p, fmt.Sprintf("user%06d", i), val); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+		p.Sleep(2 * time.Second) // flushes complete
+		st := db.Stats()
+		if st.Flushes == 0 {
+			t.Fatal("no memtable flush happened")
+		}
+		// Old WALs were reclaimed: only the active WAL (plus possibly one
+		// pre-allocated next WAL) remains in NCL.
+		names, err := db.fs.ListNCL(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) < 1 || len(names) > 2 {
+			t.Fatalf("ncl files = %v, want the active WAL (+ optional preallocated one)", names)
+		}
+		// SSTables exist on the dfs.
+		if n := len(db.fs.ListDFS("/kv/")); n < 1 {
+			t.Fatalf("dfs files = %d", n)
+		}
+		// Everything still readable (memtable + L0 + L1 paths).
+		for _, i := range []int{0, 1234, 2999} {
+			v, ok, err := db.Get(p, fmt.Sprintf("user%06d", i))
+			if err != nil || !ok || !bytes.Equal(v, val) {
+				t.Fatalf("get after flush: %v %v", ok, err)
+			}
+		}
+	})
+}
+
+func TestCompactionPreservesData(t *testing.T) {
+	withDB(t, 4, SplitFT, func(p *simnet.Proc, c *harness.Cluster, db *DB) {
+		val := bytes.Repeat([]byte("x"), 100)
+		for i := 0; i < 6000; i++ {
+			db.Put(p, fmt.Sprintf("user%06d", i%2000), val) // overwrites
+		}
+		p.Sleep(3 * time.Second)
+		st := db.Stats()
+		if st.Compactions == 0 {
+			t.Fatal("no compaction happened")
+		}
+		for _, i := range []int{0, 999, 1999} {
+			v, ok, err := db.Get(p, fmt.Sprintf("user%06d", i))
+			if err != nil || !ok || !bytes.Equal(v, val) {
+				t.Fatalf("get after compaction: %v %v", ok, err)
+			}
+		}
+	})
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	withDB(t, 5, SplitFT, func(p *simnet.Proc, c *harness.Cluster, db *DB) {
+		db.Put(p, "doomed", []byte("v"))
+		val := bytes.Repeat([]byte("f"), 120)
+		for i := 0; i < 1000; i++ { // push "doomed" into an sstable
+			db.Put(p, fmt.Sprintf("filler%06d", i), val)
+		}
+		db.Delete(p, "doomed")
+		if _, ok, _ := db.Get(p, "doomed"); ok {
+			t.Fatal("deleted key still visible")
+		}
+		for i := 0; i < 3000; i++ { // force flush + compaction of the tombstone
+			db.Put(p, fmt.Sprintf("filler%06d", i), val)
+		}
+		p.Sleep(3 * time.Second)
+		if _, ok, _ := db.Get(p, "doomed"); ok {
+			t.Fatal("deleted key resurrected by compaction")
+		}
+	})
+}
+
+func crashRecover(t *testing.T, seed int64, d Durability, writes int) (acked int, survived int) {
+	t.Helper()
+	c := harness.New(harness.Options{Seed: seed, NumPeers: 4})
+	err := c.Run(func(p *simnet.Proc) error {
+		c.AppNode.Go("app-v1", func(ap *simnet.Proc) {
+			fs, err := c.NewFS(ap, "kvapp", 0)
+			if err != nil {
+				return
+			}
+			db, err := Open(ap, fs, testConfig(d))
+			if err != nil {
+				return
+			}
+			for i := 0; i < writes; i++ {
+				if err := db.Put(ap, fmt.Sprintf("user%06d", i), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+					return
+				}
+				acked = i + 1
+			}
+			ap.Sleep(time.Hour)
+		})
+		p.Sleep(400 * time.Millisecond)
+		c.CrashApp()
+		p.Sleep(10 * time.Millisecond)
+		c.RestartApp()
+		fs2, err := c.NewFS(p, "kvapp", 1)
+		if err != nil {
+			return err
+		}
+		db2, err := Recover(p, fs2, testConfig(d))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < acked; i++ {
+			v, ok, err := db2.Get(p, fmt.Sprintf("user%06d", i))
+			if err != nil {
+				return err
+			}
+			if ok && string(v) == fmt.Sprintf("val-%d", i) {
+				survived++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return acked, survived
+}
+
+func TestCrashRecoverySplitFTNoLoss(t *testing.T) {
+	acked, survived := crashRecover(t, 6, SplitFT, 2000)
+	if acked == 0 {
+		t.Fatal("nothing acked before crash")
+	}
+	if survived != acked {
+		t.Fatalf("lost data: %d acked, %d survived", acked, survived)
+	}
+}
+
+func TestCrashRecoveryStrongNoLoss(t *testing.T) {
+	acked, survived := crashRecover(t, 7, Strong, 60) // strong is slow; fewer writes
+	if acked == 0 {
+		t.Fatal("nothing acked before crash")
+	}
+	if survived != acked {
+		t.Fatalf("lost data: %d acked, %d survived", acked, survived)
+	}
+}
+
+func TestCrashRecoveryWeakLosesRecentWrites(t *testing.T) {
+	acked, survived := crashRecover(t, 8, Weak, 2000)
+	if acked == 0 {
+		t.Fatal("nothing acked before crash")
+	}
+	if survived >= acked {
+		t.Fatalf("weak mode lost nothing (%d/%d): the data-loss window is the point", survived, acked)
+	}
+}
+
+func TestRecoveryAfterFlushUsesTables(t *testing.T) {
+	// Data that was flushed to sstables must come back from the dfs even
+	// though the WALs were deleted.
+	c := harness.New(harness.Options{Seed: 9, NumPeers: 4})
+	err := c.Run(func(p *simnet.Proc) error {
+		val := bytes.Repeat([]byte("z"), 100)
+		c.AppNode.Go("app-v1", func(ap *simnet.Proc) {
+			fs, _ := c.NewFS(ap, "kvapp", 0)
+			db, err := Open(ap, fs, testConfig(SplitFT))
+			if err != nil {
+				return
+			}
+			for i := 0; i < 4000; i++ {
+				db.Put(ap, fmt.Sprintf("user%06d", i), val)
+			}
+			ap.Sleep(time.Hour)
+		})
+		p.Sleep(2 * time.Second) // writes + flushes done
+		c.CrashApp()
+		p.Sleep(10 * time.Millisecond)
+		c.RestartApp()
+		fs2, _ := c.NewFS(p, "kvapp", 1)
+		db2, err := Recover(p, fs2, testConfig(SplitFT))
+		if err != nil {
+			return err
+		}
+		for _, i := range []int{0, 2000, 3999} {
+			v, ok, err := db2.Get(p, fmt.Sprintf("user%06d", i))
+			if err != nil || !ok || !bytes.Equal(v, val) {
+				return fmt.Errorf("get user%06d after recovery: ok=%v err=%v", i, ok, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// ---- sstable unit tests ----
+
+func sstFixture(t *testing.T, fn func(p *simnet.Proc, fs *core.FS)) {
+	t.Helper()
+	c := harness.New(harness.Options{Seed: 11, NumPeers: 3})
+	if err := c.Run(func(p *simnet.Proc) error {
+		fs, err := c.NewFS(p, "sst-test", 0)
+		if err != nil {
+			return err
+		}
+		fn(p, fs)
+		return nil
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestSSTableRoundtrip(t *testing.T) {
+	sstFixture(t, func(p *simnet.Proc, fs *core.FS) {
+		var ents []entry
+		for i := 0; i < 500; i++ {
+			ents = append(ents, entry{key: fmt.Sprintf("key%06d", i), value: []byte(fmt.Sprintf("val%d", i))})
+		}
+		ents = append(ents, entry{key: "zzz-deleted", del: true})
+		tb, err := writeSSTable(p, fs, "/t/a.sst", ents)
+		if err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		// Reopen from the durable representation.
+		tb2, err := openSSTable(p, fs, "/t/a.sst")
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		for _, tab := range []*ssTable{tb, tb2} {
+			v, found, del, err := tab.get(p, "key000123")
+			if err != nil || !found || del || string(v) != "val123" {
+				t.Fatalf("get = %q %v %v %v", v, found, del, err)
+			}
+			_, found, del, _ = tab.get(p, "zzz-deleted")
+			if !found || !del {
+				t.Fatalf("tombstone not found: %v %v", found, del)
+			}
+			if _, found, _, _ := tab.get(p, "nope"); found {
+				t.Fatal("phantom key in sstable")
+			}
+		}
+		all, err := tb2.scanAll(p)
+		if err != nil || len(all) != 501 {
+			t.Fatalf("scanAll = %d, %v", len(all), err)
+		}
+	})
+}
+
+func TestSSTableIncompleteIsRejected(t *testing.T) {
+	sstFixture(t, func(p *simnet.Proc, fs *core.FS) {
+		f, _ := fs.OpenFile(p, "/t/torn.sst", core.O_CREATE, 0)
+		f.Write(p, []byte("partial garbage no trailer"))
+		f.Sync(p)
+		if _, err := openSSTable(p, fs, "/t/torn.sst"); err == nil {
+			t.Fatal("incomplete table accepted")
+		}
+	})
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := func(keys []string) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		b := newBloom(len(keys))
+		for _, k := range keys {
+			b.add(k)
+		}
+		for _, k := range keys {
+			if !b.mayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b := newBloom(10000)
+	for i := 0; i < 10000; i++ {
+		b.add(fmt.Sprintf("present%06d", i))
+	}
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if b.mayContain(fmt.Sprintf("absent%06d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 10000; rate > 0.05 {
+		t.Fatalf("false positive rate = %.3f, want < 5%%", rate)
+	}
+}
+
+// Property: a write/open/get roundtrip returns exactly the written values
+// for arbitrary key-value sets.
+func TestQuickSSTableFidelity(t *testing.T) {
+	f := func(pairs map[string]string) bool {
+		if len(pairs) == 0 || len(pairs) > 200 {
+			return true
+		}
+		ok := true
+		sstFixture(t, func(p *simnet.Proc, fs *core.FS) {
+			var ents []entry
+			for k, v := range pairs {
+				ents = append(ents, entry{key: k, value: []byte(v)})
+			}
+			sortEntries(ents)
+			tb, err := writeSSTable(p, fs, "/t/q.sst", ents)
+			if err != nil {
+				ok = false
+				return
+			}
+			for k, v := range pairs {
+				got, found, del, err := tb.get(p, k)
+				if err != nil || !found || del || string(got) != v {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortEntries(ents []entry) {
+	for i := 1; i < len(ents); i++ {
+		for j := i; j > 0 && ents[j].key < ents[j-1].key; j-- {
+			ents[j], ents[j-1] = ents[j-1], ents[j]
+		}
+	}
+}

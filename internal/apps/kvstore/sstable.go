@@ -1,0 +1,309 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"splitft/internal/core"
+	"splitft/internal/simnet"
+)
+
+// SSTable layout (all integers little endian):
+//
+//	data:    repeated [4B klen][4B vlen][key][value]   (vlen==MaxUint32: tombstone)
+//	bloom:   [4B bits][bitset]
+//	index:   [4B count] repeated ([4B klen][key][8B offset])
+//	trailer: [8B bloomOff][8B indexOff][8B numEntries][8B magic]
+//
+// Entries are sorted by key. The sparse index holds every indexIntervalth
+// key; a Get reads only the spanned data slice. The trailer's magic makes
+// partially written tables (crash during flush/compaction, before fsync)
+// detectable and ignorable at recovery.
+const (
+	ssMagic       = 0x53504c49544654 // "SPLITFT"
+	indexInterval = 16
+	tombstoneLen  = ^uint32(0)
+	trailerLen    = 32
+)
+
+var errBadTable = errors.New("kvstore: invalid or incomplete sstable")
+
+type entry struct {
+	key   string
+	value []byte // nil + tombstone flag encoded via sentinel
+	del   bool
+}
+
+// bloom is a split-free Bloom filter with double hashing.
+type bloom struct {
+	bits []byte
+	m    uint64
+}
+
+func newBloom(n int) *bloom {
+	m := uint64(n*10 + 64)
+	return &bloom{bits: make([]byte, (m+7)/8), m: m}
+}
+
+func bloomHash(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	h2 := h1>>33 | h1<<31
+	return h1, h2 | 1
+}
+
+func (b *bloom) add(key string) {
+	h1, h2 := bloomHash(key)
+	for i := uint64(0); i < 4; i++ {
+		bit := (h1 + i*h2) % b.m
+		b.bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+func (b *bloom) mayContain(key string) bool {
+	h1, h2 := bloomHash(key)
+	for i := uint64(0); i < 4; i++ {
+		bit := (h1 + i*h2) % b.m
+		if b.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+type indexEntry struct {
+	key string
+	off int64
+}
+
+// ssTable is an open, immutable sorted table backed by a dfs file.
+type ssTable struct {
+	path    string
+	file    core.File
+	index   []indexEntry
+	filter  *bloom
+	entries int64
+	dataEnd int64
+	minKey  string
+	maxKey  string
+}
+
+// writeSSTable serializes sorted entries to path on the dfs and syncs it.
+// The write is one large sequential IO — exactly the background write class
+// SplitFT pushes straight to the dfs (Fig 1).
+func writeSSTable(p *simnet.Proc, fs *core.FS, path string, entries []entry) (*ssTable, error) {
+	f, err := fs.OpenFile(p, path, core.O_CREATE, 0)
+	if err != nil {
+		return nil, err
+	}
+	var data bytes.Buffer
+	filter := newBloom(len(entries))
+	var index []indexEntry
+	for i, e := range entries {
+		if i%indexInterval == 0 {
+			index = append(index, indexEntry{key: e.key, off: int64(data.Len())})
+		}
+		filter.add(e.key)
+		var lenBuf [8]byte
+		binary.LittleEndian.PutUint32(lenBuf[0:4], uint32(len(e.key)))
+		vlen := uint32(len(e.value))
+		if e.del {
+			vlen = tombstoneLen
+		}
+		binary.LittleEndian.PutUint32(lenBuf[4:8], vlen)
+		data.Write(lenBuf[:])
+		data.WriteString(e.key)
+		if !e.del {
+			data.Write(e.value)
+		}
+	}
+	dataEnd := int64(data.Len())
+
+	bloomOff := dataEnd
+	var bm [4]byte
+	binary.LittleEndian.PutUint32(bm[:], uint32(filter.m))
+	data.Write(bm[:])
+	data.Write(filter.bits)
+
+	indexOff := int64(data.Len())
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(index)))
+	data.Write(cnt[:])
+	for _, ie := range index {
+		var klen [4]byte
+		binary.LittleEndian.PutUint32(klen[:], uint32(len(ie.key)))
+		data.Write(klen[:])
+		data.WriteString(ie.key)
+		var off [8]byte
+		binary.LittleEndian.PutUint64(off[:], uint64(ie.off))
+		data.Write(off[:])
+	}
+	var trailer [trailerLen]byte
+	binary.LittleEndian.PutUint64(trailer[0:8], uint64(bloomOff))
+	binary.LittleEndian.PutUint64(trailer[8:16], uint64(indexOff))
+	binary.LittleEndian.PutUint64(trailer[16:24], uint64(len(entries)))
+	binary.LittleEndian.PutUint64(trailer[24:32], ssMagic)
+	data.Write(trailer[:])
+
+	if _, err := f.Write(p, data.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := f.Sync(p); err != nil {
+		return nil, err
+	}
+	t := &ssTable{
+		path: path, file: f, index: index, filter: filter,
+		entries: int64(len(entries)), dataEnd: dataEnd,
+	}
+	if len(entries) > 0 {
+		t.minKey = entries[0].key
+		t.maxKey = entries[len(entries)-1].key
+	}
+	return t, nil
+}
+
+// openSSTable opens an existing table, reading its trailer, bloom filter
+// and sparse index. Incomplete tables (no valid magic) yield errBadTable.
+func openSSTable(p *simnet.Proc, fs *core.FS, path string) (*ssTable, error) {
+	f, err := fs.OpenFile(p, path, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	size := f.Size()
+	if size < trailerLen {
+		return nil, errBadTable
+	}
+	var trailer [trailerLen]byte
+	if _, err := f.Pread(p, trailer[:], size-trailerLen); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(trailer[24:32]) != ssMagic {
+		return nil, errBadTable
+	}
+	bloomOff := int64(binary.LittleEndian.Uint64(trailer[0:8]))
+	indexOff := int64(binary.LittleEndian.Uint64(trailer[8:16]))
+	numEntries := int64(binary.LittleEndian.Uint64(trailer[16:24]))
+	if bloomOff < 0 || indexOff < bloomOff || indexOff > size-trailerLen {
+		return nil, errBadTable
+	}
+	meta := make([]byte, size-trailerLen-bloomOff)
+	if _, err := f.Pread(p, meta, bloomOff); err != nil {
+		return nil, err
+	}
+	// Bloom.
+	m := binary.LittleEndian.Uint32(meta[0:4])
+	filter := &bloom{m: uint64(m), bits: meta[4 : 4+(m+7)/8]}
+	// Index.
+	idx := meta[indexOff-bloomOff:]
+	count := binary.LittleEndian.Uint32(idx[0:4])
+	pos := 4
+	index := make([]indexEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		klen := int(binary.LittleEndian.Uint32(idx[pos : pos+4]))
+		pos += 4
+		key := string(idx[pos : pos+klen])
+		pos += klen
+		off := int64(binary.LittleEndian.Uint64(idx[pos : pos+8]))
+		pos += 8
+		index = append(index, indexEntry{key: key, off: off})
+	}
+	t := &ssTable{
+		path: path, file: f, index: index, filter: filter,
+		entries: numEntries, dataEnd: bloomOff,
+	}
+	if len(index) > 0 {
+		t.minKey = index[0].key
+	}
+	return t, nil
+}
+
+// get looks key up in the table, reading only the indexed data slice.
+func (t *ssTable) get(p *simnet.Proc, key string) (value []byte, found, deleted bool, err error) {
+	if !t.filter.mayContain(key) {
+		return nil, false, false, nil
+	}
+	if len(t.index) == 0 {
+		return nil, false, false, nil
+	}
+	// Binary search: greatest index key <= key.
+	lo, hi := 0, len(t.index)-1
+	if key < t.index[0].key {
+		return nil, false, false, nil
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if t.index[mid].key <= key {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	start := t.index[lo].off
+	end := t.dataEnd
+	if lo+1 < len(t.index) {
+		end = t.index[lo+1].off
+	}
+	block := make([]byte, end-start)
+	if _, err := t.file.Pread(p, block, start); err != nil {
+		return nil, false, false, err
+	}
+	pos := 0
+	for pos+8 <= len(block) {
+		klen := int(binary.LittleEndian.Uint32(block[pos : pos+4]))
+		vlen := binary.LittleEndian.Uint32(block[pos+4 : pos+8])
+		pos += 8
+		k := string(block[pos : pos+klen])
+		pos += klen
+		if vlen == tombstoneLen {
+			if k == key {
+				return nil, true, true, nil
+			}
+			continue
+		}
+		v := block[pos : pos+int(vlen)]
+		pos += int(vlen)
+		if k == key {
+			out := make([]byte, len(v))
+			copy(out, v)
+			return out, true, false, nil
+		}
+		if k > key {
+			return nil, false, false, nil
+		}
+	}
+	return nil, false, false, nil
+}
+
+// scanAll reads the full table sequentially (compaction input).
+func (t *ssTable) scanAll(p *simnet.Proc) ([]entry, error) {
+	data := make([]byte, t.dataEnd)
+	if _, err := t.file.Pread(p, data, 0); err != nil {
+		return nil, err
+	}
+	var out []entry
+	pos := 0
+	for pos+8 <= len(data) {
+		klen := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		vlen := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
+		pos += 8
+		key := string(data[pos : pos+klen])
+		pos += klen
+		if vlen == tombstoneLen {
+			out = append(out, entry{key: key, del: true})
+			continue
+		}
+		v := make([]byte, vlen)
+		copy(v, data[pos:pos+int(vlen)])
+		pos += int(vlen)
+		out = append(out, entry{key: key, value: v})
+	}
+	return out, nil
+}
+
+func (t *ssTable) String() string {
+	return fmt.Sprintf("sstable(%s, %d entries)", t.path, t.entries)
+}

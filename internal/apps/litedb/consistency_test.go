@@ -1,0 +1,82 @@
+package litedb
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"splitft/internal/harness"
+	"splitft/internal/simnet"
+)
+
+// Consistency property for the circular-WAL store: for any random sequence
+// of transactions and any crash point — including crashes spanning WAL
+// wrap-arounds and checkpoints — a recovered SplitFT database returns the
+// last acknowledged value of every row.
+func TestQuickSplitFTConsistencyAcrossCrash(t *testing.T) {
+	f := func(seed int64, nTxns uint16, crashMS uint8) bool {
+		txns := int(nTxns)%250 + 30
+		c := harness.New(harness.Options{Seed: seed, NumPeers: 4})
+		shadow := map[string]string{}
+		ok := true
+		err := c.Run(func(p *simnet.Proc) error {
+			c.AppNode.Go("app-v1", func(ap *simnet.Proc) {
+				fs, err := c.NewFS(ap, "liteq", 0)
+				if err != nil {
+					return
+				}
+				cfg := testConfig(SplitFT)
+				cfg.WALBytes = 64 << 10 // ~15 frames: wraps often
+				db, err := Open(ap, fs, cfg)
+				if err != nil {
+					return
+				}
+				rng := seed
+				for i := 0; i < txns; i++ {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					key := fmt.Sprintf("row%03d", uint64(rng)%97)
+					if uint64(rng)>>32%11 == 0 {
+						if db.Delete(ap, key) != nil {
+							return
+						}
+						delete(shadow, key)
+					} else {
+						val := fmt.Sprintf("v%d-%d", seed, i)
+						if db.Set(ap, key, []byte(val)) != nil {
+							return
+						}
+						shadow[key] = val
+					}
+				}
+				ap.Sleep(time.Hour)
+			})
+			p.Sleep(150*time.Millisecond + time.Duration(crashMS)*time.Millisecond)
+			c.CrashApp()
+			p.Sleep(10 * time.Millisecond)
+			c.RestartApp()
+			fs2, err := c.NewFS(p, "liteq", 1)
+			if err != nil {
+				return err
+			}
+			cfg := testConfig(SplitFT)
+			cfg.WALBytes = 64 << 10
+			db2, err := Recover(p, fs2, cfg)
+			if err != nil {
+				return err
+			}
+			for key, want := range shadow {
+				v, found, err := db2.Get(p, key)
+				if err != nil || !found || string(v) != want {
+					ok = false
+					return nil
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package redstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"splitft/internal/harness"
+	"splitft/internal/simnet"
+)
+
+// Consistency property: for any random command sequence and crash point —
+// including crashes around AOF rewrites/snapshots — a recovered SplitFT
+// store returns exactly the last acknowledged value of every key.
+func TestQuickSplitFTConsistencyAcrossCrash(t *testing.T) {
+	f := func(seed int64, nOps uint16, crashMS uint8) bool {
+		ops := int(nOps)%300 + 40
+		c := harness.New(harness.Options{Seed: seed, NumPeers: 4})
+		shadow := map[string]string{}
+		ok := true
+		err := c.Run(func(p *simnet.Proc) error {
+			c.AppNode.Go("app-v1", func(ap *simnet.Proc) {
+				fs, err := c.NewFS(ap, "redq", 0)
+				if err != nil {
+					return
+				}
+				cfg := testConfig(SplitFT)
+				cfg.AOFRewriteBytes = 16 << 10 // snapshots trigger often
+				s, err := Open(ap, fs, cfg)
+				if err != nil {
+					return
+				}
+				rng := seed
+				for i := 0; i < ops; i++ {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					key := fmt.Sprintf("k%03d", uint64(rng)%83)
+					if uint64(rng)>>32%13 == 0 {
+						if s.Del(ap, key) != nil {
+							return
+						}
+						delete(shadow, key)
+					} else {
+						val := fmt.Sprintf("v%d-%d", seed, i)
+						if s.Set(ap, key, []byte(val)) != nil {
+							return
+						}
+						shadow[key] = val
+					}
+				}
+				ap.Sleep(time.Hour)
+			})
+			p.Sleep(150*time.Millisecond + time.Duration(crashMS)*time.Millisecond)
+			c.CrashApp()
+			p.Sleep(10 * time.Millisecond)
+			c.RestartApp()
+			fs2, err := c.NewFS(p, "redq", 1)
+			if err != nil {
+				return err
+			}
+			cfg := testConfig(SplitFT)
+			cfg.AOFRewriteBytes = 16 << 10
+			s2, err := Recover(p, fs2, cfg)
+			if err != nil {
+				return err
+			}
+			for key, want := range shadow {
+				v, found, err := s2.Get(p, key)
+				if err != nil || !found || string(v) != want {
+					ok = false
+					return nil
+				}
+			}
+			// Deleted keys must stay deleted.
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

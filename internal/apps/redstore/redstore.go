@@ -1,0 +1,491 @@
+// Package redstore is the Redis-style data-structure store ported to
+// SplitFT (§4.7). Like Redis it runs a single-threaded command loop: every
+// request — reads included — passes through one processing proc, which is
+// what produces the head-of-line blocking the paper observes in strong-app
+// DFT under YCSB (§5.3): reads queue behind writes waiting on fsyncs.
+//
+// Durability uses an append-only file (AOF). Pipelined commands arriving
+// while the loop is busy are batched into one AOF append. When the AOF
+// outgrows its limit, a background snapshot writes the dataset as an RDB
+// file to the dfs and the AOF is deleted and recreated (delete-based
+// reclamation, Table 2).
+//
+// The SplitFT port is the O_NCL flag on the AOF open call.
+package redstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+
+	"splitft/internal/core"
+	"splitft/internal/simnet"
+)
+
+// Durability mirrors the kvstore configurations.
+type Durability int
+
+const (
+	// Weak appends to the AOF without fsync (appendfsync no).
+	Weak Durability = iota
+	// Strong fsyncs the AOF after every batch (appendfsync always).
+	Strong
+	// SplitFT keeps the AOF in near-compute logs.
+	SplitFT
+)
+
+func (d Durability) String() string {
+	switch d {
+	case Weak:
+		return "weak"
+	case Strong:
+		return "strong"
+	default:
+		return "splitft"
+	}
+}
+
+// Config tunes the store.
+type Config struct {
+	Dir        string
+	Durability Durability
+	// AOFRewriteBytes triggers an RDB snapshot + AOF swap.
+	AOFRewriteBytes int64
+	// AOFRegion is the ncl region capacity for the AOF.
+	AOFRegion int64
+	// OpCPU is the single-threaded per-command processing cost.
+	OpCPU time.Duration
+	// BatchMax bounds how many pipelined commands one loop iteration takes.
+	BatchMax int
+	// SnapshotCopyBW models the copy-on-write fork cost charged to the loop
+	// when a snapshot starts (bytes/sec).
+	SnapshotCopyBW float64
+}
+
+// DefaultConfig returns simulation-scaled settings.
+func DefaultConfig() Config {
+	return Config{
+		Dir:             "/redis",
+		Durability:      SplitFT,
+		AOFRewriteBytes: 8 << 20,
+		AOFRegion:       16 << 20,
+		OpCPU:           8600 * time.Nanosecond,
+		BatchMax:        32,
+		SnapshotCopyBW:  8e9,
+	}
+}
+
+type opKind int
+
+const (
+	opSet opKind = iota
+	opGet
+	opDel
+)
+
+type request struct {
+	kind  opKind
+	key   string
+	value []byte
+	reply *simnet.Chan[response]
+}
+
+type response struct {
+	value []byte
+	found bool
+	err   error
+}
+
+// Store is a running instance.
+type Store struct {
+	fs   *core.FS
+	node *simnet.Node
+	cfg  Config
+
+	data   map[string][]byte
+	reqCh  *simnet.Chan[request]
+	aof    core.File
+	aofNum int
+	closed bool
+
+	snapshotting bool
+
+	// Stats.
+	Ops       int64
+	Batches   int64
+	Snapshots int64
+}
+
+func (s *Store) aofPath(n int) string { return fmt.Sprintf("%s/appendonly-%04d.aof", s.cfg.Dir, n) }
+func (s *Store) rdbPath(n int) string { return fmt.Sprintf("%s/dump-%04d.rdb", s.cfg.Dir, n) }
+
+func (s *Store) aofFlags() core.OpenFlag {
+	if s.cfg.Durability == SplitFT {
+		return core.O_NCL | core.O_CREATE | core.O_APPEND
+	}
+	return core.O_CREATE
+}
+
+// Open starts a fresh store.
+func Open(p *simnet.Proc, fs *core.FS, cfg Config) (*Store, error) {
+	s := &Store{
+		fs:    fs,
+		node:  fs.Node(),
+		cfg:   cfg,
+		data:  make(map[string][]byte),
+		reqCh: simnet.NewChan[request](fs.Node().Sim()),
+	}
+	s.aofNum = 1
+	aof, err := fs.OpenFile(p, s.aofPath(s.aofNum), s.aofFlags(), cfg.AOFRegion)
+	if err != nil {
+		return nil, err
+	}
+	s.aof = aof
+	p.GoOn(s.node, "redstore-loop", s.commandLoop)
+	return s, nil
+}
+
+// Set stores key=value, durably per the configuration, and returns once the
+// command loop acknowledged it.
+func (s *Store) Set(p *simnet.Proc, key string, value []byte) error {
+	v := make([]byte, len(value))
+	copy(v, value)
+	r := s.do(p, request{kind: opSet, key: key, value: v})
+	return r.err
+}
+
+// Get returns the value for key.
+func (s *Store) Get(p *simnet.Proc, key string) ([]byte, bool, error) {
+	r := s.do(p, request{kind: opGet, key: key})
+	return r.value, r.found, r.err
+}
+
+// Del removes key.
+func (s *Store) Del(p *simnet.Proc, key string) error {
+	r := s.do(p, request{kind: opDel, key: key})
+	return r.err
+}
+
+func (s *Store) do(p *simnet.Proc, r request) response {
+	r.reply = simnet.NewChan[response](s.node.Sim())
+	s.reqCh.Send(p, r)
+	resp, ok := r.reply.Recv(p)
+	if !ok {
+		return response{err: errors.New("redstore: closed")}
+	}
+	return resp
+}
+
+// commandLoop is the single thread: it drains up to BatchMax pipelined
+// requests, processes them, persists the write commands as one AOF record,
+// and replies. Reads wait their turn behind writes — by design.
+func (s *Store) commandLoop(p *simnet.Proc) {
+	for {
+		first, ok := s.reqCh.Recv(p)
+		if !ok {
+			return
+		}
+		batch := []request{first}
+		for len(batch) < s.cfg.BatchMax {
+			r, ok := s.reqCh.TryRecv(p)
+			if !ok {
+				break
+			}
+			batch = append(batch, r)
+		}
+		// Per-command CPU (single threaded).
+		p.Sleep(time.Duration(len(batch)) * s.cfg.OpCPU)
+
+		// Persist the write commands.
+		var writes []request
+		for _, r := range batch {
+			if r.kind != opGet {
+				writes = append(writes, r)
+			}
+		}
+		var err error
+		if len(writes) > 0 {
+			rec := encodeAOF(writes)
+			if _, werr := s.aof.Write(p, rec); werr != nil {
+				err = werr
+			} else if s.cfg.Durability == Strong {
+				err = s.aof.Sync(p)
+			}
+		}
+		// Apply and reply.
+		for _, r := range batch {
+			resp := response{err: err}
+			if err == nil {
+				switch r.kind {
+				case opSet:
+					s.data[r.key] = r.value
+				case opDel:
+					delete(s.data, r.key)
+				case opGet:
+					v, found := s.data[r.key]
+					resp.value, resp.found = v, found
+				}
+			}
+			r.reply.Send(p, resp)
+		}
+		s.Ops += int64(len(batch))
+		s.Batches++
+
+		if len(writes) > 0 && s.aof.Size() > s.cfg.AOFRewriteBytes && !s.snapshotting {
+			s.startSnapshot(p)
+		}
+	}
+}
+
+// encodeAOF frames a batch: [4B len][4B crc][payload]; payload is
+// [4B count] then per op [1B kind][4B klen][4B vlen][key][value].
+func encodeAOF(writes []request) []byte {
+	size := 4
+	for _, w := range writes {
+		size += 9 + len(w.key) + len(w.value)
+	}
+	buf := make([]byte, 8+size)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(size))
+	payload := buf[8:]
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(len(writes)))
+	pos := 4
+	for _, w := range writes {
+		if w.kind == opDel {
+			payload[pos] = 1
+		}
+		binary.LittleEndian.PutUint32(payload[pos+1:pos+5], uint32(len(w.key)))
+		binary.LittleEndian.PutUint32(payload[pos+5:pos+9], uint32(len(w.value)))
+		pos += 9
+		copy(payload[pos:], w.key)
+		pos += len(w.key)
+		copy(payload[pos:], w.value)
+		pos += len(w.value)
+	}
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// startSnapshot forks the dataset (copy charged to the loop, like fork COW
+// pressure) and writes it to an RDB file in the background; on completion
+// the old AOF is deleted and a fresh one absorbs further updates.
+func (s *Store) startSnapshot(p *simnet.Proc) {
+	s.snapshotting = true
+	snap := make(map[string][]byte, len(s.data))
+	var bytes int64
+	for k, v := range s.data {
+		snap[k] = v
+		bytes += int64(len(k) + len(v))
+	}
+	p.Sleep(time.Duration(float64(bytes) / s.cfg.SnapshotCopyBW * float64(time.Second)))
+	oldAOF := s.aof
+	oldPath := s.aofPath(s.aofNum)
+	s.aofNum++
+	newAOF, err := s.fs.OpenFile(p, s.aofPath(s.aofNum), s.aofFlags(), s.cfg.AOFRegion)
+	if err != nil {
+		s.snapshotting = false
+		s.aofNum--
+		return
+	}
+	s.aof = newAOF
+	rdbNum := s.aofNum
+	p.GoOn(s.node, "redstore-snapshot", func(sp *simnet.Proc) {
+		defer func() { s.snapshotting = false }()
+		if err := s.writeRDB(sp, rdbNum, snap); err != nil {
+			return
+		}
+		// RDB durable: reclaim the old AOF and the previous RDB.
+		oldAOF.Close(sp)
+		s.fs.Unlink(sp, oldPath) //nolint:errcheck
+		if rdbNum > 1 {
+			prev := s.rdbPath(rdbNum - 1)
+			if s.fs.Exists(sp, prev) {
+				s.fs.Unlink(sp, prev) //nolint:errcheck
+			}
+		}
+		s.Snapshots++
+	})
+}
+
+// writeRDB serializes the snapshot to the dfs: one large background write.
+func (s *Store) writeRDB(p *simnet.Proc, num int, snap map[string][]byte) error {
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	size := 8
+	for _, k := range keys {
+		size += 8 + len(k) + len(snap[k])
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(len(keys)))
+	pos := 8
+	for _, k := range keys {
+		binary.LittleEndian.PutUint32(buf[pos:pos+4], uint32(len(k)))
+		binary.LittleEndian.PutUint32(buf[pos+4:pos+8], uint32(len(snap[k])))
+		pos += 8
+		copy(buf[pos:], k)
+		pos += len(k)
+		copy(buf[pos:], snap[k])
+		pos += len(snap[k])
+	}
+	f, err := s.fs.OpenFile(p, s.rdbPath(num), core.O_CREATE, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(p, buf); err != nil {
+		return err
+	}
+	if err := f.Sync(p); err != nil {
+		return err
+	}
+	return f.Close(p)
+}
+
+// Close shuts the command loop down.
+func (s *Store) Close(p *simnet.Proc) {
+	if !s.closed {
+		s.closed = true
+		s.reqCh.Close(p)
+	}
+}
+
+// ---- Recovery ----
+
+// Recover rebuilds the store from the newest complete RDB snapshot plus the
+// surviving AOFs — from NCL peers in SplitFT mode, from the dfs otherwise.
+func Recover(p *simnet.Proc, fs *core.FS, cfg Config) (*Store, error) {
+	s := &Store{
+		fs:    fs,
+		node:  fs.Node(),
+		cfg:   cfg,
+		data:  make(map[string][]byte),
+		reqCh: simnet.NewChan[request](fs.Node().Sim()),
+	}
+	// Newest RDB first.
+	rdbs := fs.ListDFS(cfg.Dir + "/dump-")
+	maxNum := 0
+	if len(rdbs) > 0 {
+		newest := rdbs[len(rdbs)-1]
+		if err := s.loadRDB(p, newest); err != nil {
+			return nil, err
+		}
+		fmt.Sscanf(newest[len(cfg.Dir)+1:], "dump-%04d.rdb", &maxNum) //nolint:errcheck
+	}
+	// Replay AOFs newer than the snapshot, oldest first.
+	var aofs []string
+	if cfg.Durability == SplitFT {
+		names, err := fs.ListNCL(p)
+		if err != nil {
+			return nil, err
+		}
+		aofs = names
+	} else {
+		aofs = fs.ListDFS(cfg.Dir + "/appendonly-")
+	}
+	sort.Strings(aofs)
+	for _, path := range aofs {
+		var n int
+		if _, err := fmt.Sscanf(path[len(cfg.Dir)+1:], "appendonly-%04d.aof", &n); err == nil && n > maxNum {
+			maxNum = n
+		}
+		flags := s.aofFlags() &^ core.O_CREATE
+		f, err := fs.OpenFile(p, path, flags, cfg.AOFRegion)
+		if err != nil {
+			return nil, err
+		}
+		s.replayAOF(p, f)
+		f.Close(p)
+		fs.Unlink(p, path) //nolint:errcheck
+	}
+	s.aofNum = maxNum + 1
+	aof, err := fs.OpenFile(p, s.aofPath(s.aofNum), s.aofFlags(), cfg.AOFRegion)
+	if err != nil {
+		return nil, err
+	}
+	s.aof = aof
+	p.GoOn(s.node, "redstore-loop", s.commandLoop)
+	return s, nil
+}
+
+func (s *Store) loadRDB(p *simnet.Proc, path string) error {
+	f, err := s.fs.OpenFile(p, path, 0, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close(p)
+	buf := make([]byte, f.Size())
+	if _, err := f.Pread(p, buf, 0); err != nil {
+		return err
+	}
+	p.Sleep(time.Duration(float64(len(buf)) / 200e6 * float64(time.Second))) // parse
+	if len(buf) < 8 {
+		return nil
+	}
+	count := binary.LittleEndian.Uint64(buf[0:8])
+	pos := 8
+	for i := uint64(0); i < count && pos+8 <= len(buf); i++ {
+		klen := int(binary.LittleEndian.Uint32(buf[pos : pos+4]))
+		vlen := int(binary.LittleEndian.Uint32(buf[pos+4 : pos+8]))
+		pos += 8
+		if pos+klen+vlen > len(buf) {
+			break
+		}
+		key := string(buf[pos : pos+klen])
+		pos += klen
+		val := make([]byte, vlen)
+		copy(val, buf[pos:pos+vlen])
+		pos += vlen
+		s.data[key] = val
+	}
+	return nil
+}
+
+// replayAOF applies intact batches, stopping at the first torn record.
+func (s *Store) replayAOF(p *simnet.Proc, f core.File) {
+	data := make([]byte, f.Size())
+	if _, err := f.Pread(p, data, 0); err != nil {
+		return
+	}
+	p.Sleep(time.Duration(float64(len(data)) / 150e6 * float64(time.Second))) // parse
+	pos := 0
+	for pos+8 <= len(data) {
+		plen := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		crc := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
+		if plen == 0 || pos+8+plen > len(data) {
+			return
+		}
+		payload := data[pos+8 : pos+8+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return
+		}
+		count := int(binary.LittleEndian.Uint32(payload[0:4]))
+		q := 4
+		for i := 0; i < count; i++ {
+			del := payload[q] == 1
+			klen := int(binary.LittleEndian.Uint32(payload[q+1 : q+5]))
+			vlen := int(binary.LittleEndian.Uint32(payload[q+5 : q+9]))
+			q += 9
+			key := string(payload[q : q+klen])
+			q += klen
+			val := make([]byte, vlen)
+			copy(val, payload[q:q+vlen])
+			q += vlen
+			if del {
+				delete(s.data, key)
+			} else {
+				s.data[key] = val
+			}
+		}
+		pos += 8 + plen
+	}
+}
+
+// Len returns the number of keys (tests).
+func (s *Store) Len() int { return len(s.data) }
+
+// AOFSize returns the active append-only file's current size.
+func (s *Store) AOFSize() int64 { return s.aof.Size() }

@@ -1,0 +1,270 @@
+package redstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"splitft/internal/harness"
+	"splitft/internal/simnet"
+)
+
+func testConfig(d Durability) Config {
+	cfg := DefaultConfig()
+	cfg.Durability = d
+	cfg.AOFRewriteBytes = 64 << 10
+	cfg.AOFRegion = 512 << 10
+	return cfg
+}
+
+func TestSetGetDelAllDurabilities(t *testing.T) {
+	for _, d := range []Durability{Weak, Strong, SplitFT} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			c := harness.New(harness.Options{Seed: 1, NumPeers: 4})
+			err := c.Run(func(p *simnet.Proc) error {
+				fs, err := c.NewFS(p, "redis", 0)
+				if err != nil {
+					return err
+				}
+				s, err := Open(p, fs, testConfig(d))
+				if err != nil {
+					return err
+				}
+				for i := 0; i < 50; i++ {
+					if err := s.Set(p, fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+						return err
+					}
+				}
+				v, ok, err := s.Get(p, "k007")
+				if err != nil || !ok || string(v) != "v7" {
+					return fmt.Errorf("get = %q %v %v", v, ok, err)
+				}
+				if err := s.Del(p, "k007"); err != nil {
+					return err
+				}
+				if _, ok, _ := s.Get(p, "k007"); ok {
+					return fmt.Errorf("deleted key still present")
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPipelinedBatching(t *testing.T) {
+	c := harness.New(harness.Options{Seed: 2, NumPeers: 4})
+	err := c.Run(func(p *simnet.Proc) error {
+		fs, _ := c.NewFS(p, "redis", 0)
+		s, err := Open(p, fs, testConfig(SplitFT))
+		if err != nil {
+			return err
+		}
+		var wg simnet.WaitGroup
+		const clients, each = 12, 40
+		wg.Add(clients)
+		for i := 0; i < clients; i++ {
+			i := i
+			p.GoOn(c.AppNode, fmt.Sprintf("cli%d", i), func(cp *simnet.Proc) {
+				for j := 0; j < each; j++ {
+					s.Set(cp, fmt.Sprintf("c%02d-%03d", i, j), []byte("v"))
+				}
+				wg.Done(cp)
+			})
+		}
+		wg.Wait(p)
+		if s.Ops != clients*each {
+			return fmt.Errorf("ops = %d", s.Ops)
+		}
+		if s.Batches >= s.Ops {
+			return fmt.Errorf("no batching: %d batches / %d ops", s.Batches, s.Ops)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRotatesAOF(t *testing.T) {
+	c := harness.New(harness.Options{Seed: 3, NumPeers: 4})
+	err := c.Run(func(p *simnet.Proc) error {
+		fs, _ := c.NewFS(p, "redis", 0)
+		s, err := Open(p, fs, testConfig(SplitFT))
+		if err != nil {
+			return err
+		}
+		val := bytes.Repeat([]byte("x"), 120)
+		for i := 0; i < 1500; i++ { // ~200KB of AOF > 64KB threshold
+			if err := s.Set(p, fmt.Sprintf("key%05d", i), val); err != nil {
+				return err
+			}
+		}
+		p.Sleep(2 * time.Second)
+		if s.Snapshots == 0 {
+			return fmt.Errorf("no snapshot happened")
+		}
+		if rdbs := fs.ListDFS("/redis/dump-"); len(rdbs) == 0 {
+			return fmt.Errorf("no rdb file on the dfs")
+		}
+		names, _ := fs.ListNCL(p)
+		if len(names) != 1 {
+			return fmt.Errorf("ncl files = %v, want only the active AOF", names)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func crashRecover(t *testing.T, seed int64, d Durability, writes int) (acked, survived int) {
+	t.Helper()
+	c := harness.New(harness.Options{Seed: seed, NumPeers: 4})
+	err := c.Run(func(p *simnet.Proc) error {
+		c.AppNode.Go("app-v1", func(ap *simnet.Proc) {
+			fs, err := c.NewFS(ap, "redis", 0)
+			if err != nil {
+				return
+			}
+			s, err := Open(ap, fs, testConfig(d))
+			if err != nil {
+				return
+			}
+			for i := 0; i < writes; i++ {
+				if err := s.Set(ap, fmt.Sprintf("key%05d", i), []byte(fmt.Sprintf("val%d", i))); err != nil {
+					return
+				}
+				acked = i + 1
+			}
+			ap.Sleep(time.Hour)
+		})
+		p.Sleep(400 * time.Millisecond)
+		c.CrashApp()
+		p.Sleep(10 * time.Millisecond)
+		c.RestartApp()
+		fs2, err := c.NewFS(p, "redis", 1)
+		if err != nil {
+			return err
+		}
+		s2, err := Recover(p, fs2, testConfig(d))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < acked; i++ {
+			v, ok, err := s2.Get(p, fmt.Sprintf("key%05d", i))
+			if err != nil {
+				return err
+			}
+			if ok && string(v) == fmt.Sprintf("val%d", i) {
+				survived++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acked, survived
+}
+
+func TestCrashRecoverySplitFTNoLoss(t *testing.T) {
+	acked, survived := crashRecover(t, 4, SplitFT, 1200)
+	if acked == 0 || survived != acked {
+		t.Fatalf("acked=%d survived=%d", acked, survived)
+	}
+}
+
+func TestCrashRecoveryStrongNoLoss(t *testing.T) {
+	acked, survived := crashRecover(t, 5, Strong, 60)
+	if acked == 0 || survived != acked {
+		t.Fatalf("acked=%d survived=%d", acked, survived)
+	}
+}
+
+func TestCrashRecoveryWeakLoses(t *testing.T) {
+	acked, survived := crashRecover(t, 6, Weak, 1200)
+	if acked == 0 {
+		t.Fatal("nothing acked")
+	}
+	if survived >= acked {
+		t.Fatalf("weak lost nothing (%d/%d)", survived, acked)
+	}
+}
+
+func TestRecoveryUsesSnapshotPlusAOF(t *testing.T) {
+	// Data must come back from RDB + AOF even when snapshots rotated AOFs.
+	c := harness.New(harness.Options{Seed: 7, NumPeers: 4})
+	err := c.Run(func(p *simnet.Proc) error {
+		val := bytes.Repeat([]byte("y"), 120)
+		c.AppNode.Go("app-v1", func(ap *simnet.Proc) {
+			fs, _ := c.NewFS(ap, "redis", 0)
+			s, err := Open(ap, fs, testConfig(SplitFT))
+			if err != nil {
+				return
+			}
+			for i := 0; i < 2000; i++ {
+				s.Set(ap, fmt.Sprintf("key%05d", i), val)
+			}
+			ap.Sleep(time.Hour)
+		})
+		p.Sleep(3 * time.Second) // writes done + snapshot(s)
+		c.CrashApp()
+		p.Sleep(10 * time.Millisecond)
+		c.RestartApp()
+		fs2, _ := c.NewFS(p, "redis", 1)
+		s2, err := Recover(p, fs2, testConfig(SplitFT))
+		if err != nil {
+			return err
+		}
+		if s2.Len() != 2000 {
+			return fmt.Errorf("recovered %d keys, want 2000", s2.Len())
+		}
+		for _, i := range []int{0, 1000, 1999} {
+			v, ok, _ := s2.Get(p, fmt.Sprintf("key%05d", i))
+			if !ok || !bytes.Equal(v, val) {
+				return fmt.Errorf("key%05d missing after recovery", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeadOfLineBlocking(t *testing.T) {
+	// In strong mode a read behind a write waits for the write's fsync —
+	// the single-threaded behaviour behind Redis' poor YCSB-B results.
+	c := harness.New(harness.Options{Seed: 8, NumPeers: 4})
+	err := c.Run(func(p *simnet.Proc) error {
+		fs, _ := c.NewFS(p, "redis", 0)
+		s, err := Open(p, fs, testConfig(Strong))
+		if err != nil {
+			return err
+		}
+		s.Set(p, "a", []byte("1"))
+		done := simnet.NewChan[time.Duration](c.Sim)
+		p.GoOn(c.AppNode, "writer", func(wp *simnet.Proc) {
+			s.Set(wp, "b", []byte("2"))
+		})
+		p.GoOn(c.AppNode, "reader", func(rp *simnet.Proc) {
+			rp.Sleep(10 * time.Microsecond) // queue behind the write
+			start := rp.Now()
+			s.Get(rp, "a")
+			done.Send(rp, rp.Now()-start)
+		})
+		lat, _ := done.Recv(p)
+		if lat < time.Millisecond {
+			return fmt.Errorf("read latency %v; expected head-of-line blocking behind the fsync", lat)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,340 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"splitft/internal/apps/kvell"
+	"splitft/internal/core"
+	"splitft/internal/metrics"
+	"splitft/internal/raft"
+	"splitft/internal/simnet"
+	"splitft/internal/ycsb"
+)
+
+// This file implements the §6 "Discussion" ablations:
+//
+//   - Choice of replication protocol: replicate the small writes through a
+//     consensus group running on full replicas (Paxos-family; our Raft)
+//     instead of NCL's passive-memory protocol, and compare latency,
+//     throughput, and resource footprint.
+//   - Fine-granular write splitting: a file receiving both small and large
+//     writes, handled by a size threshold (core.SplitFile) versus
+//     all-to-dfs-synchronously and all-to-NCL.
+//   - No-log applications: a KVell-style store with NCL as a random-write
+//     absorber tier versus per-put dfs fsyncs and unsafe buffering.
+
+// AblateReplResult compares NCL against consensus-based replication.
+type AblateReplResult struct {
+	NCLLatency   time.Duration
+	RaftLatency  time.Duration
+	NCLKOps      float64
+	RaftKOps     float64
+	NCLCPUNodes  int // nodes running application logic
+	RaftCPUNodes int
+}
+
+// Render prints the comparison.
+func (r AblateReplResult) Render() string {
+	rows := [][]string{
+		{"NCL (passive peers)", fmtUS(r.NCLLatency), fmt.Sprintf("%.1f", r.NCLKOps), fmt.Sprint(r.NCLCPUNodes)},
+		{"Consensus (full replicas)", fmtUS(r.RaftLatency), fmt.Sprintf("%.1f", r.RaftKOps), fmt.Sprint(r.RaftCPUNodes)},
+	}
+	return "Ablation: replication protocol for small writes (128B, 12 writers)\n" +
+		metrics.Table([]string{"protocol", "mean latency (us)", "KOps/s", "active CPUs"}, rows)
+}
+
+// AblateReplication measures replicating 128-byte log writes via NCL versus
+// via a consensus group whose replicas each run the full logging service
+// (the paper's argument for a custom protocol, §6).
+func AblateReplication(sc Scale, seed int64) (AblateReplResult, error) {
+	res := AblateReplResult{NCLCPUNodes: 1, RaftCPUNodes: 3}
+	const writers = 12
+	window := sc.RunDur
+
+	// NCL side.
+	c := newCluster(seed)
+	err := c.Run(func(p *simnet.Proc) error {
+		fs, err := c.NewFS(p, "ablate-ncl", 0)
+		if err != nil {
+			return err
+		}
+		f, err := fs.OpenFile(p, "log", core.O_NCL|core.O_CREATE, 64<<20)
+		if err != nil {
+			return err
+		}
+		var hist metrics.Histogram
+		count := int64(0)
+		end := p.Now() + window
+		var wg simnet.WaitGroup
+		wg.Add(writers)
+		for i := 0; i < writers; i++ {
+			p.GoOn(c.AppNode, fmt.Sprintf("w%d", i), func(wp *simnet.Proc) {
+				defer wg.Done(wp)
+				buf := make([]byte, 128)
+				for wp.Now() < end {
+					t0 := wp.Now()
+					if _, err := f.Write(wp, buf); err != nil {
+						return
+					}
+					hist.Record(wp.Now() - t0)
+					count++
+				}
+			})
+		}
+		wg.Wait(p)
+		res.NCLLatency = hist.Mean()
+		res.NCLKOps = float64(count) / window.Seconds() / 1000
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Consensus side: a 3-replica Raft group logging the same records.
+	c2 := newCluster(seed + 1)
+	err = c2.Run(func(p *simnet.Proc) error {
+		ids := []string{"r0", "r1", "r2"}
+		nodes := make([]*simnet.Node, len(ids))
+		for i, id := range ids {
+			nodes[i] = c2.Sim.NewNode(id)
+		}
+		cl := raft.NewCluster(c2.Sim, "repl-log", raft.DefaultConfig(), ids,
+			func() raft.StateMachine { return &appendSM{} })
+		for i, id := range ids {
+			raft.StartReplica(cl, nodes[i], id)
+		}
+		p.Sleep(time.Second) // election
+		client := raft.NewClient(cl, c2.AppNode)
+		client.Propose(p, "warm") //nolint:errcheck
+
+		var hist metrics.Histogram
+		count := int64(0)
+		end := p.Now() + window
+		var wg simnet.WaitGroup
+		wg.Add(writers)
+		for i := 0; i < writers; i++ {
+			p.GoOn(c2.AppNode, fmt.Sprintf("w%d", i), func(wp *simnet.Proc) {
+				defer wg.Done(wp)
+				rec := string(make([]byte, 128))
+				for wp.Now() < end {
+					t0 := wp.Now()
+					if _, err := client.Propose(wp, rec); err != nil {
+						continue
+					}
+					hist.Record(wp.Now() - t0)
+					count++
+				}
+			})
+		}
+		wg.Wait(p)
+		res.RaftLatency = hist.Mean()
+		res.RaftKOps = float64(count) / window.Seconds() / 1000
+		return nil
+	})
+	return res, err
+}
+
+// appendSM is the trivial replicated log used by the consensus baseline.
+type appendSM struct{ n int }
+
+func (m *appendSM) Apply(cmd any) any { m.n++; return m.n }
+
+// AblateSplitResult compares strategies for a mixed small/large write file.
+type AblateSplitResult struct {
+	SmallLat map[string]time.Duration // strategy -> mean small-write latency
+	LargeLat map[string]time.Duration
+	KOps     map[string]float64
+}
+
+// SplitStrategies in presentation order.
+var SplitStrategies = []string{"dfs (sync)", "all NCL", "split (threshold)"}
+
+// Render prints per-strategy latencies.
+func (r AblateSplitResult) Render() string {
+	var rows [][]string
+	for _, s := range SplitStrategies {
+		rows = append(rows, []string{s, fmtUS(r.SmallLat[s]), fmtUS(r.LargeLat[s]),
+			fmt.Sprintf("%.1f", r.KOps[s])})
+	}
+	return "Ablation: fine-granular write splitting (95% 128B, 5% 128KB pwrites)\n" +
+		metrics.Table([]string{"strategy", "small lat (us)", "large lat (us)", "KOps/s"}, rows)
+}
+
+// AblateSplit exercises the §6 extension: one file receiving mostly small
+// writes with occasional large ones, under three strategies.
+func AblateSplit(sc Scale, seed int64) (AblateSplitResult, error) {
+	res := AblateSplitResult{
+		SmallLat: map[string]time.Duration{},
+		LargeLat: map[string]time.Duration{},
+		KOps:     map[string]float64{},
+	}
+	const ops = 4000
+	small := make([]byte, 128)
+	large := make([]byte, 128<<10)
+
+	run := func(strategy string, write func(p *simnet.Proc, data []byte, off int64) error,
+		setup func(p *simnet.Proc, fs *core.FS) (func(p *simnet.Proc, data []byte, off int64) error, error)) error {
+		c := newCluster(seed)
+		return c.Run(func(p *simnet.Proc) error {
+			fs, err := c.NewFS(p, "ablate-split", 0)
+			if err != nil {
+				return err
+			}
+			w, err := setup(p, fs)
+			if err != nil {
+				return err
+			}
+			var smallH, largeH metrics.Histogram
+			start := p.Now()
+			off := int64(0)
+			for i := 0; i < ops; i++ {
+				data := small
+				if i%20 == 19 {
+					data = large
+				}
+				t0 := p.Now()
+				if err := w(p, data, off%(4<<20)); err != nil {
+					return err
+				}
+				if len(data) == len(small) {
+					smallH.Record(p.Now() - t0)
+				} else {
+					largeH.Record(p.Now() - t0)
+				}
+				off += int64(len(data))
+			}
+			res.SmallLat[strategy] = smallH.Mean()
+			res.LargeLat[strategy] = largeH.Mean()
+			res.KOps[strategy] = float64(ops) / (p.Now() - start).Seconds() / 1000
+			return nil
+		})
+	}
+
+	// Strategy 1: everything to the dfs with a sync per write.
+	if err := run("dfs (sync)", nil, func(p *simnet.Proc, fs *core.FS) (func(*simnet.Proc, []byte, int64) error, error) {
+		f, err := fs.OpenFile(p, "/mixed", core.O_CREATE, 0)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *simnet.Proc, data []byte, off int64) error {
+			if _, err := f.Pwrite(p, data, off); err != nil {
+				return err
+			}
+			return f.Sync(p)
+		}, nil
+	}); err != nil {
+		return res, err
+	}
+
+	// Strategy 2: everything through NCL (large writes hog the log region
+	// and the replication path).
+	if err := run("all NCL", nil, func(p *simnet.Proc, fs *core.FS) (func(*simnet.Proc, []byte, int64) error, error) {
+		f, err := fs.OpenFile(p, "mixed-ncl", core.O_NCL|core.O_CREATE, 8<<20)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *simnet.Proc, data []byte, off int64) error {
+			_, err := f.Pwrite(p, data, off)
+			return err
+		}, nil
+	}); err != nil {
+		return res, err
+	}
+
+	// Strategy 3: the SplitFile threshold router.
+	if err := run("split (threshold)", nil, func(p *simnet.Proc, fs *core.FS) (func(*simnet.Proc, []byte, int64) error, error) {
+		sf, err := fs.OpenSplit(p, "/mixed-split", 4096, 8<<20)
+		if err != nil {
+			return nil, err
+		}
+		count := 0
+		return func(p *simnet.Proc, data []byte, off int64) error {
+			count++
+			if count%1000 == 0 {
+				if err := sf.Checkpoint(p); err != nil { // keep the journal bounded
+					return err
+				}
+			}
+			_, err := sf.Pwrite(p, data, off)
+			return err
+		}, nil
+	}); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// AblateNoLogResult compares persistence strategies for a no-log,
+// random-write store (§6 "Supporting Non-Log Files and Applications").
+type AblateNoLogResult struct {
+	KOps    map[string]float64
+	MeanLat map[string]time.Duration
+	// Lossy notes which strategies can lose acknowledged puts.
+	Lossy map[string]bool
+}
+
+// NoLogModes in presentation order.
+var NoLogModes = []kvell.Mode{kvell.DFTSync, kvell.DFTAsync, kvell.NCLTier}
+
+// Render prints the comparison.
+func (r AblateNoLogResult) Render() string {
+	var rows [][]string
+	for _, m := range NoLogModes {
+		loss := "no"
+		if r.Lossy[m.String()] {
+			loss = "YES"
+		}
+		rows = append(rows, []string{m.String(), fmt.Sprintf("%.1f", r.KOps[m.String()]),
+			fmtUS(r.MeanLat[m.String()]), loss})
+	}
+	return "Ablation: no-log store (KVell-style), uniform random puts\n" +
+		metrics.Table([]string{"mode", "KOps/s", "mean put latency (us)", "can lose acked data"}, rows)
+}
+
+// AblateNoLog runs a random-write workload against the KVell-style store in
+// its three modes: NCL as an absorber tier should approach the unsafe
+// buffered mode while keeping per-put durability.
+func AblateNoLog(sc Scale, seed int64) (AblateNoLogResult, error) {
+	res := AblateNoLogResult{
+		KOps:    map[string]float64{},
+		MeanLat: map[string]time.Duration{},
+		Lossy:   map[string]bool{kvell.DFTAsync.String(): true},
+	}
+	for _, m := range NoLogModes {
+		m := m
+		c := newCluster(seed)
+		err := c.Run(func(p *simnet.Proc) error {
+			fs, err := c.NewFS(p, "kvell-bench", 0)
+			if err != nil {
+				return err
+			}
+			cfg := kvell.DefaultConfig()
+			cfg.Mode = m
+			s, err := kvell.Open(p, fs, cfg)
+			if err != nil {
+				return err
+			}
+			g := ycsb.NewGenerator(ycsb.Spec{Name: "w", UpdateProp: 1, Dist: ycsb.Uniform}, sc.LoadKeys, seed)
+			var hist metrics.Histogram
+			count := 0
+			end := p.Now() + sc.RunDur
+			for p.Now() < end {
+				op := g.Next()
+				t0 := p.Now()
+				if err := s.Put(p, op.Key, g.Value()); err != nil {
+					return err
+				}
+				hist.Record(p.Now() - t0)
+				count++
+			}
+			res.KOps[m.String()] = float64(count) / sc.RunDur.Seconds() / 1000
+			res.MeanLat[m.String()] = hist.Mean()
+			return nil
+		})
+		if err != nil {
+			return res, fmt.Errorf("ablate-nolog %s: %w", m, err)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,303 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// The bench tests validate the *shapes* the paper reports at a reduced
+// scale (QuickScale): who wins, by roughly what factor, and where gaps
+// close. Absolute values are checked loosely; EXPERIMENTS.md records the
+// full-scale numbers.
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(QuickScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	weak, strong := res.Rows[0], res.Rows[1]
+	if weak.Config != CfgWeak || strong.Config != CfgStrong {
+		t.Fatalf("unexpected row order: %+v", res.Rows)
+	}
+	if weak.KOps < 5*strong.KOps {
+		t.Errorf("weak %.1f KOps vs strong %.1f KOps: want order(s)-of-magnitude gap", weak.KOps, strong.KOps)
+	}
+	if strong.AvgLat < 10*weak.AvgLat {
+		t.Errorf("strong latency %v vs weak %v: want >=10x", strong.AvgLat, weak.AvgLat)
+	}
+	if strong.AvgLat < time.Millisecond {
+		t.Errorf("strong latency %v: should be ms-scale (fsync-bound)", strong.AvgLat)
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	out := Table2()
+	if len(out) == 0 {
+		t.Fatal("empty table 2")
+	}
+	t.Log("\n" + out)
+}
+
+func TestFig1dShape(t *testing.T) {
+	res, err := Fig1d(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	small := res.Points[0]
+	large := res.Points[len(res.Points)-1]
+	if small.BlockSize != 512 || large.BlockSize != 64<<20 {
+		t.Fatalf("unexpected sweep: %+v", res.Points)
+	}
+	ratio := large.MBps / small.MBps
+	if ratio < 300 || ratio > 10000 {
+		t.Errorf("64MB/512B throughput ratio = %.0f, want ~3 orders of magnitude", ratio)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	res, err := Fig8(QuickScale(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	get := func(size int, variant string) time.Duration {
+		for _, pt := range res.Points {
+			if pt.Size == size && pt.Variant == variant {
+				return pt.AvgLat
+			}
+		}
+		t.Fatalf("missing point %d/%s", size, variant)
+		return 0
+	}
+	nclSmall := get(128, "NCL")
+	weakSmall := get(128, "weak-bench DFS")
+	strongSmall := get(128, "strong-bench DFS")
+	// Paper: NCL 4.6us, weak 1.2us, strong ~2000us at 128B.
+	if nclSmall < 2*time.Microsecond || nclSmall > 12*time.Microsecond {
+		t.Errorf("NCL 128B = %v, want ~4.6us", nclSmall)
+	}
+	if weakSmall > nclSmall {
+		t.Errorf("weak (%v) should beat NCL (%v) slightly", weakSmall, nclSmall)
+	}
+	if strongSmall < 100*nclSmall {
+		t.Errorf("strong (%v) should be ~2 orders above NCL (%v)", strongSmall, nclSmall)
+	}
+}
+
+func TestFig10KVShape(t *testing.T) {
+	res, err := Fig10("kvstore", QuickScale(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	sp, wk, st := res.KOps[CfgSplitFT], res.KOps[CfgWeak], res.KOps[CfgStrong]
+	// Write-heavy (A, F): SplitFT crushes strong and approximates weak.
+	for _, w := range []string{"a", "f"} {
+		if sp[w] < 2.5*st[w] {
+			t.Errorf("workload %s: splitft %.1f vs strong %.1f, want >=2.5x", w, sp[w], st[w])
+		}
+		if sp[w] < 0.7*wk[w] {
+			t.Errorf("workload %s: splitft %.1f vs weak %.1f, want close", w, sp[w], wk[w])
+		}
+	}
+	// Read-only (C): the gap closes.
+	if st["c"] < 0.7*sp["c"] {
+		t.Errorf("workload c: strong %.1f vs splitft %.1f, gap should close", st["c"], sp["c"])
+	}
+}
+
+func TestFig10RedstoreShape(t *testing.T) {
+	res, err := Fig10("redstore", QuickScale(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	sp, st := res.KOps[CfgSplitFT], res.KOps[CfgStrong]
+	// Single-threaded head-of-line blocking: strong is poor even on the
+	// read-heavy workload B, not just A.
+	for _, w := range []string{"a", "b", "f"} {
+		if sp[w] < 2*st[w] {
+			t.Errorf("workload %s: splitft %.1f vs strong %.1f, want >=2x (head-of-line)", w, sp[w], st[w])
+		}
+	}
+	if st["c"] < 0.7*sp["c"] {
+		t.Errorf("read-only c: strong %.1f vs splitft %.1f should match", st["c"], sp["c"])
+	}
+}
+
+func TestFig9LitedbShape(t *testing.T) {
+	res, err := Fig9("litedb", QuickScale(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	sp := res.Series[CfgSplitFT][0]
+	wk := res.Series[CfgWeak][0]
+	st := res.Series[CfgStrong][0]
+	if sp.KOps < 2.5*st.KOps {
+		t.Errorf("litedb splitft %.2f vs strong %.2f, want >=2.5x", sp.KOps, st.KOps)
+	}
+	if sp.KOps < 0.7*wk.KOps {
+		t.Errorf("litedb splitft %.2f vs weak %.2f, want close", sp.KOps, wk.KOps)
+	}
+}
+
+func TestFig11aShape(t *testing.T) {
+	res, err := Fig11a(QuickScale(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	get := func(size int, variant string) time.Duration {
+		for _, pt := range res.Points {
+			if pt.Size == size && pt.Variant == variant {
+				return pt.AvgLat
+			}
+		}
+		t.Fatalf("missing %d/%s", size, variant)
+		return 0
+	}
+	nclP := get(128, "NCL")
+	dfsP := get(128, "DFS")
+	nclNP := get(128, "NCL no prefetch")
+	direct := get(128, "DFS direct IO")
+	if nclP >= dfsP {
+		t.Errorf("NCL prefetch (%v) should beat DFS (%v) at 128B", nclP, dfsP)
+	}
+	if nclNP <= dfsP {
+		t.Errorf("NCL without prefetch (%v) should lose to DFS (%v)", nclNP, dfsP)
+	}
+	if direct < 10*dfsP {
+		t.Errorf("direct IO (%v) should dwarf cached DFS (%v)", direct, dfsP)
+	}
+}
+
+func TestFig11bShape(t *testing.T) {
+	res, err := Fig11b(QuickScale(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	byKey := map[string]Fig11bRow{}
+	for _, row := range res.Rows {
+		byKey[row.App+"/"+row.Variant] = row
+	}
+	for _, app := range []string{"kvstore", "redstore", "litedb"} {
+		sp := byKey[app+"/SplitFT"]
+		dft := byKey[app+"/DFT"]
+		if sp.Total <= 0 || dft.Total <= 0 {
+			t.Fatalf("%s: missing rows", app)
+		}
+		// NCL recovery is comparable to DFT (same order of magnitude), and
+		// the NCL-specific part is a modest fraction of the total.
+		if sp.Total > 4*dft.Total {
+			t.Errorf("%s: splitft recovery %v vs dft %v, want comparable", app, sp.Total, dft.Total)
+		}
+		if sp.NCL.Total() == 0 {
+			t.Errorf("%s: no NCL breakdown recorded", app)
+		}
+		if sp.NCL.Connect <= 0 || sp.NCL.RdmaRead <= 0 {
+			t.Errorf("%s: breakdown incomplete: %+v", app, sp.NCL)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res, err := Table3(QuickScale(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	s := res.Stats
+	if s.Total() <= 0 {
+		t.Fatal("no replacement recorded")
+	}
+	// The paper's dominant step is connect+MR registration.
+	if s.Connect < s.GetPeer || s.Connect < s.ApMap {
+		t.Errorf("connect (%v) should dominate controller ops (%v, %v)", s.Connect, s.GetPeer, s.ApMap)
+	}
+	if s.CatchUp <= 0 {
+		t.Errorf("catch-up missing: %+v", s)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	sc := QuickScale()
+	sc.RunDur = 600 * time.Millisecond // x3 inside Fig12
+	res, err := Fig12(sc, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if len(res.Events) < 2 {
+		t.Fatalf("events = %v", res.Events)
+	}
+	total := sc.Warmup + 3*sc.RunDur
+	healthy := res.MeanDuring(sc.Warmup, total*4/10)
+	stallWin := res.MinDuring(total*4/10, total*4/10+200*time.Millisecond)
+	after := res.MeanDuring(total*4/10+300*time.Millisecond, total*70/100)
+	if healthy <= 0 {
+		t.Fatal("no healthy throughput")
+	}
+	// Two simultaneous crashes exceed the failure budget: writes must dip
+	// until a replacement is caught up. With region recycling the
+	// replacement is the paper's "much lower latency" case (~10ms), so the
+	// dip is visible but brief; Table 3 covers the worst case.
+	if stallWin > healthy*0.8 {
+		t.Errorf("two simultaneous peer crashes: min rate %.0f vs healthy %.0f — expected a dip", stallWin, healthy)
+	}
+	if after < healthy*0.8 {
+		t.Errorf("throughput did not recover after replacement: %.0f vs %.0f", after, healthy)
+	}
+}
+
+func TestAblateReplicationShape(t *testing.T) {
+	sc := QuickScale()
+	res, err := AblateReplication(sc, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if res.NCLLatency >= res.RaftLatency {
+		t.Errorf("NCL (%v) should beat consensus (%v) on latency", res.NCLLatency, res.RaftLatency)
+	}
+	if res.RaftLatency < 50*res.NCLLatency {
+		t.Errorf("consensus (%v) should be orders slower than NCL (%v)", res.RaftLatency, res.NCLLatency)
+	}
+}
+
+func TestAblateSplitShape(t *testing.T) {
+	res, err := AblateSplit(QuickScale(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	split := res.SmallLat["split (threshold)"]
+	dfsS := res.SmallLat["dfs (sync)"]
+	allNCL := res.SmallLat["all NCL"]
+	if split >= dfsS {
+		t.Errorf("split small-write latency (%v) should beat dfs-sync (%v)", split, dfsS)
+	}
+	if split > 4*allNCL {
+		t.Errorf("split small-write latency (%v) should be near all-NCL (%v)", split, allNCL)
+	}
+}
+
+func TestAblateNoLogShape(t *testing.T) {
+	res, err := AblateNoLog(QuickScale(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	tier := res.MeanLat["ncl-tier"]
+	syncM := res.MeanLat["dft-sync"]
+	asyncM := res.MeanLat["dft-async"]
+	if tier >= syncM/50 {
+		t.Errorf("ncl-tier (%v) should be orders faster than dft-sync (%v)", tier, syncM)
+	}
+	if tier > 20*asyncM {
+		t.Errorf("ncl-tier (%v) should be near dft-async (%v)", tier, asyncM)
+	}
+}

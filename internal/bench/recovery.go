@@ -1,0 +1,354 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"splitft/internal/apps/kvstore"
+	"splitft/internal/apps/litedb"
+	"splitft/internal/apps/redstore"
+	"splitft/internal/core"
+	"splitft/internal/dfs"
+	"splitft/internal/harness"
+	"splitft/internal/metrics"
+	"splitft/internal/ncl"
+	"splitft/internal/simnet"
+	"splitft/internal/ycsb"
+)
+
+// ---- Fig 11(b): application recovery time ----
+
+// Fig11bRow is one (app, variant) recovery measurement with the NCL
+// breakdown (zero for the DFT and local-ext4 variants).
+type Fig11bRow struct {
+	App     string
+	Variant string // "SplitFT", "DFT", "local ext4"
+	Total   time.Duration
+	NCL     ncl.RecoveryStats // SplitFT only
+	Parse   time.Duration     // application-level read + parse + rebuild
+}
+
+// Fig11bResult holds all rows.
+type Fig11bResult struct {
+	Rows []Fig11bRow
+}
+
+// Render prints recovery time and the SplitFT breakdown.
+func (r Fig11bResult) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		breakdown := "-"
+		if row.Variant == "SplitFT" {
+			breakdown = fmt.Sprintf("get peer %.1fms, connect %.1fms, rdma read %.1fms, sync peer %.1fms",
+				row.NCL.GetPeer.Seconds()*1000, row.NCL.Connect.Seconds()*1000,
+				row.NCL.RdmaRead.Seconds()*1000, row.NCL.SyncPeer.Seconds()*1000)
+		}
+		rows = append(rows, []string{row.App, row.Variant,
+			fmt.Sprintf("%.0fms", row.Total.Seconds()*1000),
+			fmt.Sprintf("%.0fms", row.Parse.Seconds()*1000), breakdown})
+	}
+	return "Fig 11(b). Recovery time for a " + fmt.Sprint(cap11bMB) + "MB log\n" +
+		metrics.Table([]string{"app", "variant", "total", "parse", "ncl breakdown"}, rows)
+}
+
+var cap11bMB = 60
+
+// Fig11b measures how long each application takes to recover a log of
+// sc.LogSizeMB from NCL peers (SplitFT), from the dfs (DFT — weak and
+// strong recover identically), and from a local ext4 disk (unrealistic
+// comparison point, as in the paper).
+func Fig11b(sc Scale, seed int64) (Fig11bResult, error) {
+	cap11bMB = sc.LogSizeMB
+	var res Fig11bResult
+	for _, appName := range []string{"kvstore", "redstore", "litedb"} {
+		for _, variant := range []string{"SplitFT", "DFT", "local ext4"} {
+			row, err := recoverOnce(sc, seed, appName, variant)
+			if err != nil {
+				return res, fmt.Errorf("fig11b %s/%s: %w", appName, variant, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// recoverOnce builds a log of the target size, crashes the app, and times
+// recovery.
+func recoverOnce(sc Scale, seed int64, appName, variant string) (Fig11bRow, error) {
+	row := Fig11bRow{App: appName, Variant: variant}
+	c := newCluster(seed)
+	logBytes := int64(sc.LogSizeMB) << 20
+
+	// Map the variant to a configuration + backing store.
+	cfg := CfgSplitFT
+	if variant != "SplitFT" {
+		cfg = CfgStrong // DFT recovers from the dfs regardless of weak/strong
+	}
+	err := c.Run(func(p *simnet.Proc) error {
+		fsOpts := func(fencing int64) core.Options {
+			o := c.FSOptions(appName, fencing)
+			if variant == "local ext4" {
+				o.DFS = localClusterFor(c)
+			}
+			return o
+		}
+		// Writer: fill the log to the target size, then park.
+		written := make(chan struct{}, 1)
+		c.AppNode.Go("app-v1", func(wp *simnet.Proc) {
+			fs, err := core.NewFS(wp, fsOpts(0))
+			if err != nil {
+				return
+			}
+			if err := fillLog(wp, fs, appName, cfg, logBytes); err != nil {
+				return
+			}
+			written <- struct{}{}
+			wp.Sleep(24 * time.Hour)
+		})
+		// Wait for the fill to finish (poll the signal).
+		for len(written) == 0 {
+			p.Sleep(100 * time.Millisecond)
+		}
+		c.CrashApp()
+		p.Sleep(10 * time.Millisecond)
+		c.RestartApp()
+
+		fs2, err := core.NewFS(p, fsOpts(1))
+		if err != nil {
+			return err
+		}
+		start := p.Now()
+		if err := recoverApp(p, fs2, appName, cfg); err != nil {
+			return err
+		}
+		row.Total = p.Now() - start
+		var nclTotal time.Duration
+		for _, st := range fs2.LastRecovery {
+			row.NCL = st
+			nclTotal = st.Total()
+		}
+		row.Parse = row.Total - nclTotal
+		return nil
+	})
+	return row, err
+}
+
+// localClusterFor returns the harness's local-ext4 cluster.
+func localClusterFor(c *harness.Cluster) *dfs.Cluster { return c.LocalFS }
+
+// fillLog writes application data until the active log reaches target
+// bytes, with settings that prevent rotation/checkpointing first.
+func fillLog(p *simnet.Proc, fs *core.FS, appName, cfg string, target int64) error {
+	val := make([]byte, ycsb.ValueSize)
+	switch appName {
+	case "kvstore":
+		dbCfg := kvstore.DefaultConfig()
+		dbCfg.Durability = kvDurability(cfg)
+		dbCfg.MemtableBytes = target * 2 // never rotate
+		dbCfg.WALRegion = target + target/4
+		db, err := kvstore.Open(p, fs, dbCfg)
+		if err != nil {
+			return err
+		}
+		for i := int64(0); db.WAL().Size() < target; i++ {
+			if err := db.Put(p, ycsb.Key(i), val); err != nil {
+				return err
+			}
+		}
+	case "redstore":
+		sCfg := redstore.DefaultConfig()
+		sCfg.Durability = redDurability(cfg)
+		sCfg.AOFRewriteBytes = target * 2
+		sCfg.AOFRegion = target + target/4
+		st, err := redstore.Open(p, fs, sCfg)
+		if err != nil {
+			return err
+		}
+		for i := int64(0); st.AOFSize() < target; i++ {
+			if err := st.Set(p, ycsb.Key(i%500000), val); err != nil {
+				return err
+			}
+		}
+	case "litedb":
+		dbCfg := litedb.DefaultConfig()
+		dbCfg.Durability = liteDurability(cfg)
+		dbCfg.WALBytes = target + target/8 // one generation fills the target
+		dbCfg.NPages = int(target / 4096 * 2)
+		db, err := litedb.Open(p, fs, dbCfg)
+		if err != nil {
+			return err
+		}
+		frames := target / (4096 + 24)
+		for i := int64(0); i < frames; i++ {
+			if err := db.Set(p, ycsb.Key(i), val); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("bench: unknown app %q", appName)
+	}
+	return nil
+}
+
+// recoverApp runs the application's recovery path.
+func recoverApp(p *simnet.Proc, fs *core.FS, appName, cfg string) error {
+	switch appName {
+	case "kvstore":
+		dbCfg := kvstore.DefaultConfig()
+		dbCfg.Durability = kvDurability(cfg)
+		dbCfg.MemtableBytes = 1 << 40 // recovery only; avoid rotation
+		dbCfg.WALRegion = 64 << 20    // fresh active WAL after replay
+		_, err := kvstore.Recover(p, fs, dbCfg)
+		return err
+	case "redstore":
+		sCfg := redstore.DefaultConfig()
+		sCfg.Durability = redDurability(cfg)
+		sCfg.AOFRegion = 64 << 20
+		_, err := redstore.Recover(p, fs, sCfg)
+		return err
+	case "litedb":
+		dbCfg := litedb.DefaultConfig()
+		dbCfg.Durability = liteDurability(cfg)
+		dbCfg.WALBytes = 64 << 20
+		dbCfg.NPages = 1 << 15
+		_, err := litedb.Recover(p, fs, dbCfg)
+		return err
+	}
+	return fmt.Errorf("bench: unknown app %q", appName)
+}
+
+// ---- Table 3: peer replacement latency breakdown ----
+
+// Table3Result is the breakdown of replacing a failed peer that held a
+// sc.LogSizeMB region.
+type Table3Result struct {
+	Stats ncl.ReplacementStats
+}
+
+// Render formats the paper-style step table.
+func (r Table3Result) Render() string {
+	rows := [][]string{
+		{"Get new peer from controller", fmtUS(r.Stats.GetPeer)},
+		{"Connect to new peer and set up MR", fmtUS(r.Stats.Connect)},
+		{"Catch up new peer", fmtUS(r.Stats.CatchUp)},
+		{"Update ap-map on controller", fmtUS(r.Stats.ApMap)},
+		{"Total", fmtUS(r.Stats.Total())},
+	}
+	return "Table 3. Peer recovery latency breakdown\n" +
+		metrics.Table([]string{"Step", "Time (us)"}, rows)
+}
+
+// Table3 opens a log, fills it to the target size, crashes one member peer
+// and reports the replacement breakdown.
+func Table3(sc Scale, seed int64) (Table3Result, error) {
+	var res Table3Result
+	c := newCluster(seed)
+	logBytes := int64(sc.LogSizeMB) << 20
+	err := c.Run(func(p *simnet.Proc) error {
+		fs, err := c.NewFS(p, "table3", 0)
+		if err != nil {
+			return err
+		}
+		nf, err := fs.OpenFile(p, "biglog", core.O_NCL|core.O_CREATE, logBytes+1024)
+		if err != nil {
+			return err
+		}
+		chunk := make([]byte, 256<<10)
+		for off := int64(0); off < logBytes; off += int64(len(chunk)) {
+			if _, err := nf.Write(p, chunk); err != nil {
+				return err
+			}
+		}
+		type hasLog interface{ Log() *ncl.Log }
+		lg := nf.(hasLog).Log()
+		victim := lg.LivePeers()[0]
+		c.Sim.Node(victim).Crash()
+		// Trigger detection and wait for the replacement.
+		for lg.Replacements == 0 {
+			if _, err := nf.Write(p, []byte("tick")); err != nil {
+				return err
+			}
+			p.Sleep(5 * time.Millisecond)
+		}
+		res.Stats = lg.LastReplacement
+		return nil
+	})
+	return res, err
+}
+
+// ---- Fig 1(a)-(c): IO size distributions ----
+
+// Fig1Result holds, per application, the CDFs of durable write sizes by
+// file class (log vs background), collected under a strong write-only run.
+type Fig1Result struct {
+	App    string
+	LogCDF *metrics.SizeCDF
+	BgCDF  *metrics.SizeCDF
+}
+
+// Render prints quantiles of both distributions.
+func (r Fig1Result) Render() string {
+	q := []float64{0.1, 0.5, 0.9, 0.99, 1.0}
+	var rows [][]string
+	for _, f := range q {
+		rows = append(rows, []string{fmt.Sprintf("p%02.0f", f*100),
+			metrics.HumanBytes(r.LogCDF.Quantile(f)), metrics.HumanBytes(r.BgCDF.Quantile(f))})
+	}
+	return fmt.Sprintf("Fig 1 (%s): durable write sizes — log (n=%d) vs background (n=%d)\n",
+		r.App, r.LogCDF.Count(), r.BgCDF.Count()) +
+		metrics.Table([]string{"quantile", "log writes", "background writes"}, rows)
+}
+
+// Fig1 traces durable write sizes for one application under a strong-mode
+// write-only workload, classifying by file name (the paper's Fig 1a-c).
+func Fig1(appName string, sc Scale, seed int64) (Fig1Result, error) {
+	res := Fig1Result{App: appName, LogCDF: &metrics.SizeCDF{}, BgCDF: &metrics.SizeCDF{}}
+	c := newCluster(seed)
+	err := c.Run(func(p *simnet.Proc) error {
+		keys := appLoadKeys(appName, sc) / 2
+		a, err := newApp(c, p, appName, CfgStrong, keys)
+		if err != nil {
+			return err
+		}
+		// Attach the trace after load so only workload IO is counted.
+		if err := loadApp(c, p, a, keys); err != nil {
+			return err
+		}
+		var fs *core.FS
+		switch aa := a.(type) {
+		case *kvApp:
+			fs = aa.fs
+		case *redApp:
+			fs = aa.fs
+		case *liteApp:
+			fs = aa.fs
+		}
+		fs.Trace = func(e core.TraceEvent) {
+			if isLogPath(e.Path) {
+				res.LogCDF.Add(e.Bytes)
+			} else {
+				res.BgCDF.Add(e.Bytes)
+			}
+		}
+		startServer(c, "app", a)
+		clients := sc.Clients
+		if appName == "litedb" {
+			clients = 1
+		}
+		spec := ycsb.Spec{Name: "write-only", UpdateProp: 1.0, Dist: ycsb.Zipfian}
+		runWorkload(c, p, "app", spec, keys, clients, sc, nil)
+		return nil
+	})
+	return res, err
+}
+
+// isLogPath classifies traced paths into the log class (Table 2's second
+// column) vs the background class.
+func isLogPath(path string) bool {
+	for _, suffix := range []string{".log", ".aof", "-wal"} {
+		if len(path) >= len(suffix) && path[len(path)-len(suffix):] == suffix {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,235 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"splitft/internal/raft"
+	"splitft/internal/simnet"
+)
+
+// Client is a typed controller client used by ncl-lib and by log peers.
+// Every operation is a linearizable command through the Raft log.
+type Client struct {
+	svc     *Service
+	rc      *raft.Client
+	node    *simnet.Node
+	session string
+	fencing int64
+	started bool
+}
+
+// NewClient creates a controller client for the given node. name identifies
+// the principal (application or peer identity); fencing is its incarnation
+// number, used for ephemeral takeover on recovery. The underlying session id
+// is unique per (name, node, fencing) so concurrent instances of the same
+// principal hold distinct sessions and arbitration happens on the znodes'
+// fencing tokens, as in ZooKeeper where each client connection is its own
+// session.
+func NewClient(svc *Service, node *simnet.Node, name string, fencing int64) *Client {
+	rc := raft.NewClient(svc.cluster, node)
+	rc.Deadline = svc.cfg.OpTimeout
+	// Fast per-attempt failover: keep-alives must land within a fraction of
+	// the session timeout even right after a partition heals.
+	rc.CallTimeout = svc.cfg.SessionTimeout / 6
+	session := fmt.Sprintf("%s@%s#%d", name, node.Name(), fencing)
+	return &Client{svc: svc, rc: rc, node: node, session: session, fencing: fencing}
+}
+
+// propose runs one command and unwraps the opResult.
+func (c *Client) propose(p *simnet.Proc, cmd any) (opResult, error) {
+	res, err := c.rc.Propose(p, cmd)
+	if err != nil {
+		return opResult{}, err
+	}
+	r := res.(opResult)
+	if r.Err != nil {
+		return r, r.Err
+	}
+	return r, nil
+}
+
+// StartSession registers the client's session and spawns the keep-alive
+// proc (which dies with the node, letting the session expire — exactly the
+// ZooKeeper ephemeral-node behaviour the paper relies on).
+func (c *Client) StartSession(p *simnet.Proc) error {
+	_, err := c.propose(p, cmdNewSession{
+		Session: c.session,
+		At:      p.Now(),
+		Timeout: c.svc.cfg.SessionTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	if !c.started {
+		c.started = true
+		c.node.Go("ctrl-keepalive:"+c.session, func(kp *simnet.Proc) {
+			for {
+				kp.Sleep(c.svc.cfg.KeepAlive)
+				_, err := c.propose(kp, cmdKeepAlive{Session: c.session, At: kp.Now()})
+				if err == ErrSession {
+					// Expired (e.g. after a partition): re-establish so our
+					// ephemerals can be re-created by the owner.
+					c.propose(kp, cmdNewSession{ //nolint:errcheck
+						Session: c.session,
+						At:      kp.Now(),
+						Timeout: c.svc.cfg.SessionTimeout,
+					})
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// ---- Peer registry (/peers) ----
+
+func peerPath(name string) string { return "/peers/" + name }
+
+// RegisterPeer advertises a log peer and its lendable memory (§4.3). The
+// registration is ephemeral: it disappears if the peer dies.
+func (c *Client) RegisterPeer(p *simnet.Proc, info PeerInfo) error {
+	_, err := c.propose(p, cmdCreate{
+		Path: peerPath(info.Name), Data: info,
+		Ephemeral: true, Session: c.session, Fencing: c.fencing, Takeover: true,
+	})
+	return err
+}
+
+// UpdatePeerMem republishes a peer's available memory (paper step 4a; the
+// value is a hint, so unconditional set is correct).
+func (c *Client) UpdatePeerMem(p *simnet.Proc, name string, avail int64) error {
+	res, err := c.propose(p, cmdGet{Path: peerPath(name)})
+	if err != nil || !res.Found {
+		return ErrNotFound
+	}
+	info := res.Data.(PeerInfo)
+	info.AvailMem = avail
+	_, err = c.propose(p, cmdSet{Path: peerPath(name), Data: info, Version: -1})
+	return err
+}
+
+// PickPeers returns up to n registered peers with at least minMem available,
+// excluding the given names, most-free first (name tiebreak). The choice is
+// a hint: a returned peer can still reject the allocation (§4.3).
+func (c *Client) PickPeers(p *simnet.Proc, n int, minMem int64, exclude []string) ([]PeerInfo, error) {
+	res, err := c.propose(p, cmdList{Prefix: "/peers/"})
+	if err != nil {
+		return nil, err
+	}
+	skip := make(map[string]bool, len(exclude))
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	var cands []PeerInfo
+	for _, d := range res.Datas {
+		info := d.(PeerInfo)
+		if !skip[info.Name] && info.AvailMem >= minMem {
+			cands = append(cands, info)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].AvailMem != cands[j].AvailMem {
+			return cands[i].AvailMem > cands[j].AvailMem
+		}
+		return cands[i].Name < cands[j].Name
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	return cands, nil
+}
+
+// GetPeer returns one peer's registration.
+func (c *Client) GetPeer(p *simnet.Proc, name string) (PeerInfo, bool, error) {
+	res, err := c.propose(p, cmdGet{Path: peerPath(name)})
+	if err != nil {
+		return PeerInfo{}, false, err
+	}
+	if !res.Found {
+		return PeerInfo{}, false, nil
+	}
+	return res.Data.(PeerInfo), true, nil
+}
+
+// ---- ap-map (/apps/<app>/<file>) ----
+
+func fileKey(app, file string) string { return "/apps/" + app + "/" + file }
+
+// SetAppFile writes the ap-map entry for (app, file). version -1 creates or
+// overwrites; otherwise it is a compare-and-set on the znode version.
+func (c *Client) SetAppFile(p *simnet.Proc, app, file string, e FileEntry, version int64) (int64, error) {
+	path := fileKey(app, file)
+	if version < 0 {
+		res, err := c.propose(p, cmdGet{Path: path})
+		if err != nil {
+			return 0, err
+		}
+		if !res.Found {
+			r, err := c.propose(p, cmdCreate{Path: path, Data: e})
+			if err == ErrExists {
+				// Lost a (retried) race with ourselves; fall through to set.
+				r, err = c.propose(p, cmdSet{Path: path, Data: e, Version: -1})
+			}
+			return r.Version, err
+		}
+		r, err := c.propose(p, cmdSet{Path: path, Data: e, Version: -1})
+		return r.Version, err
+	}
+	r, err := c.propose(p, cmdSet{Path: path, Data: e, Version: version})
+	return r.Version, err
+}
+
+// GetAppFile reads the ap-map entry for (app, file).
+func (c *Client) GetAppFile(p *simnet.Proc, app, file string) (FileEntry, int64, bool, error) {
+	res, err := c.propose(p, cmdGet{Path: fileKey(app, file)})
+	if err != nil {
+		return FileEntry{}, 0, false, err
+	}
+	if !res.Found {
+		return FileEntry{}, 0, false, nil
+	}
+	return res.Data.(FileEntry), res.Version, true, nil
+}
+
+// DeleteAppFile removes the ap-map entry (on ncl-file release).
+func (c *Client) DeleteAppFile(p *simnet.Proc, app, file string) error {
+	_, err := c.propose(p, cmdDelete{Path: fileKey(app, file), Version: -1})
+	if err == ErrNotFound {
+		return nil
+	}
+	return err
+}
+
+// ListAppFiles returns the ncl files recorded for app (used on recovery to
+// find what must be restored from peers).
+func (c *Client) ListAppFiles(p *simnet.Proc, app string) (map[string]FileEntry, error) {
+	prefix := "/apps/" + app + "/"
+	res, err := c.propose(p, cmdList{Prefix: prefix})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]FileEntry, len(res.Paths))
+	for i, path := range res.Paths {
+		out[path[len(prefix):]] = res.Datas[i].(FileEntry)
+	}
+	return out, nil
+}
+
+// ---- Single-instance lock (/servers/<app>) ----
+
+// AcquireServerLock claims the application's single-instance znode (§4.7).
+// A fresh instance takes over from a crashed predecessor with a lower
+// fencing token; concurrent instances with the same token race and exactly
+// one wins (the paper's ZooKeeper guarantee).
+func (c *Client) AcquireServerLock(p *simnet.Proc, app string) error {
+	_, err := c.propose(p, cmdCreate{
+		Path:      "/servers/" + app,
+		Data:      ServerInfo{Node: c.node.Name(), Fencing: c.fencing},
+		Ephemeral: true, Session: c.session, Fencing: c.fencing, Takeover: true,
+	})
+	if err == ErrExists {
+		return fmt.Errorf("%w: another instance of %s is active", ErrFenced, app)
+	}
+	return err
+}

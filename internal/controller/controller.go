@@ -1,0 +1,323 @@
+// Package controller implements NCL's fault-tolerant controller (§4.3,
+// §4.7). The paper builds it on a ZooKeeper ensemble; this implementation
+// provides the same facilities — a hierarchical key space with versioned
+// compare-and-set, ephemeral nodes bound to client sessions, and a
+// single-instance lock per application — as a state machine replicated by
+// the internal/raft package across three controller nodes.
+//
+// Directory layout mirrors §4.7:
+//
+//	/peers/<name>          -> PeerInfo   (ephemeral: registered log peers)
+//	/apps/<app>/<file>     -> FileEntry  (the ap-map: peers + epoch per ncl file)
+//	/servers/<app>         -> ServerInfo (ephemeral: single-instance lock)
+//
+// One deviation from stock ZooKeeper, documented in DESIGN.md: ephemeral
+// creates carry a fencing token (the application incarnation). A recovering
+// instance with a higher token takes over the /servers znode immediately
+// instead of waiting out the dead session, keeping recovery at the paper's
+// sub-second scale while preserving the only-one-instance guarantee (two
+// instances with the same token still race, and exactly one wins).
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"splitft/internal/raft"
+	"splitft/internal/simnet"
+)
+
+// PeerInfo is the value stored at /peers/<name>.
+type PeerInfo struct {
+	Name     string
+	Addr     string // RPC address of the peer daemon
+	AvailMem int64
+}
+
+// FileEntry is the ap-map value stored at /apps/<app>/<file>.
+type FileEntry struct {
+	Peers      []string
+	Epoch      int64
+	RegionSize int64
+	// AppendOnly records that the file only ever grows, enabling the
+	// tail-shipping catch-up optimization during recovery (§4.5.1).
+	AppendOnly bool
+}
+
+// ServerInfo is the value stored at /servers/<app>.
+type ServerInfo struct {
+	Node    string
+	Fencing int64
+}
+
+// Errors.
+var (
+	ErrExists     = errors.New("controller: node exists")
+	ErrNotFound   = errors.New("controller: node not found")
+	ErrBadVersion = errors.New("controller: version mismatch")
+	ErrSession    = errors.New("controller: session expired or unknown")
+	ErrFenced     = errors.New("controller: fenced by a newer instance")
+)
+
+// ---- Replicated state machine ----
+
+type znode struct {
+	data      any
+	version   int64
+	ephemeral bool
+	session   string
+	fencing   int64
+}
+
+type session struct {
+	lastSeen time.Duration
+	timeout  time.Duration
+}
+
+type tree struct {
+	nodes    map[string]*znode
+	sessions map[string]*session
+}
+
+func newTree() *tree {
+	return &tree{nodes: make(map[string]*znode), sessions: make(map[string]*session)}
+}
+
+// Commands. Every mutation is versioned or idempotent so client retries
+// after ambiguous failures are safe.
+type cmdNewSession struct {
+	Session string
+	At      time.Duration
+	Timeout time.Duration
+}
+
+type cmdKeepAlive struct {
+	Session string
+	At      time.Duration
+}
+
+type cmdExpire struct {
+	Session string
+	AsOf    time.Duration
+}
+
+type cmdCreate struct {
+	Path      string
+	Data      any
+	Ephemeral bool
+	Session   string
+	Fencing   int64
+	Takeover  bool // allow replacing an owner with a strictly lower fencing token
+}
+
+type cmdSet struct {
+	Path    string
+	Data    any
+	Version int64 // -1: unconditional
+}
+
+type cmdDelete struct {
+	Path    string
+	Version int64 // -1: unconditional
+}
+
+type cmdGet struct{ Path string }
+
+type cmdList struct{ Prefix string }
+
+// Results.
+type opResult struct {
+	Err     error
+	Version int64
+	Found   bool
+	Data    any
+	Paths   []string
+	Datas   []any
+}
+
+// Apply implements raft.StateMachine. It must not block.
+func (t *tree) Apply(cmd any) any {
+	switch c := cmd.(type) {
+	case cmdNewSession:
+		// Re-creating a session (same name, new fencing) replaces it and
+		// drops the old incarnation's ephemerals.
+		if _, ok := t.sessions[c.Session]; ok {
+			t.dropEphemerals(c.Session)
+		}
+		t.sessions[c.Session] = &session{lastSeen: c.At, timeout: c.Timeout}
+		return opResult{}
+	case cmdKeepAlive:
+		s, ok := t.sessions[c.Session]
+		if !ok {
+			return opResult{Err: ErrSession}
+		}
+		if c.At > s.lastSeen {
+			s.lastSeen = c.At
+		}
+		return opResult{}
+	case cmdExpire:
+		s, ok := t.sessions[c.Session]
+		if !ok {
+			return opResult{}
+		}
+		if c.AsOf-s.lastSeen < s.timeout {
+			return opResult{} // heartbeat arrived in the meantime
+		}
+		delete(t.sessions, c.Session)
+		t.dropEphemerals(c.Session)
+		return opResult{}
+	case cmdCreate:
+		if c.Ephemeral {
+			if _, ok := t.sessions[c.Session]; !ok {
+				return opResult{Err: ErrSession}
+			}
+		}
+		if old, ok := t.nodes[c.Path]; ok {
+			if !(c.Takeover && old.ephemeral && c.Fencing > old.fencing) {
+				return opResult{Err: ErrExists}
+			}
+		}
+		t.nodes[c.Path] = &znode{data: c.Data, version: 1, ephemeral: c.Ephemeral,
+			session: c.Session, fencing: c.Fencing}
+		return opResult{Version: 1}
+	case cmdSet:
+		n, ok := t.nodes[c.Path]
+		if !ok {
+			return opResult{Err: ErrNotFound}
+		}
+		if c.Version >= 0 && n.version != c.Version {
+			return opResult{Err: ErrBadVersion, Version: n.version}
+		}
+		n.data = c.Data
+		n.version++
+		return opResult{Version: n.version}
+	case cmdDelete:
+		n, ok := t.nodes[c.Path]
+		if !ok {
+			return opResult{Err: ErrNotFound}
+		}
+		if c.Version >= 0 && n.version != c.Version {
+			return opResult{Err: ErrBadVersion, Version: n.version}
+		}
+		delete(t.nodes, c.Path)
+		return opResult{}
+	case cmdGet:
+		n, ok := t.nodes[c.Path]
+		if !ok {
+			return opResult{Found: false}
+		}
+		return opResult{Found: true, Data: n.data, Version: n.version}
+	case cmdList:
+		var paths []string
+		for p := range t.nodes {
+			if strings.HasPrefix(p, c.Prefix) {
+				paths = append(paths, p)
+			}
+		}
+		sort.Strings(paths)
+		datas := make([]any, len(paths))
+		for i, p := range paths {
+			datas[i] = t.nodes[p].data
+		}
+		return opResult{Paths: paths, Datas: datas}
+	default:
+		return opResult{Err: fmt.Errorf("controller: unknown command %T", cmd)}
+	}
+}
+
+func (t *tree) dropEphemerals(sess string) {
+	for p, n := range t.nodes {
+		if n.ephemeral && n.session == sess {
+			delete(t.nodes, p)
+		}
+	}
+}
+
+// ---- Service ----
+
+// Config holds controller timing.
+type Config struct {
+	Raft           raft.Config
+	SessionTimeout time.Duration
+	KeepAlive      time.Duration
+	ExpiryScan     time.Duration
+	OpTimeout      time.Duration
+}
+
+// DefaultConfig returns standard controller timing: sessions expire ~600 ms
+// after a client dies, scanned every 200 ms.
+func DefaultConfig() Config {
+	return Config{
+		Raft:           raft.DefaultConfig(),
+		SessionTimeout: 600 * time.Millisecond,
+		KeepAlive:      150 * time.Millisecond,
+		ExpiryScan:     200 * time.Millisecond,
+		OpTimeout:      3 * time.Second,
+	}
+}
+
+// Service is a running controller ensemble.
+type Service struct {
+	sim      *simnet.Sim
+	cfg      Config
+	cluster  *raft.Cluster
+	nodes    []*simnet.Node
+	replicas map[string]*raft.Replica
+}
+
+// Start boots a controller ensemble across the given nodes (typically 3).
+func Start(s *simnet.Sim, nodes []*simnet.Node, cfg Config) *Service {
+	ids := make([]string, len(nodes))
+	for i, n := range nodes {
+		ids[i] = n.Name()
+	}
+	svc := &Service{sim: s, cfg: cfg, nodes: nodes, replicas: make(map[string]*raft.Replica)}
+	svc.cluster = raft.NewCluster(s, "ncl-controller", cfg.Raft, ids, func() raft.StateMachine { return newTree() })
+	for i, n := range nodes {
+		svc.startNode(n, ids[i])
+	}
+	return svc
+}
+
+func (svc *Service) startNode(n *simnet.Node, id string) {
+	rep := raft.StartReplica(svc.cluster, n, id)
+	svc.replicas[id] = rep
+	// Session-expiry monitor: the leader proposes expirations for sessions
+	// whose heartbeats stopped. The state machine re-checks at apply time,
+	// so a stale monitor can never expire a live session.
+	n.Go("ctrl-expiry:"+id, func(p *simnet.Proc) {
+		rc := raft.NewClient(svc.cluster, n)
+		rc.Deadline = svc.cfg.OpTimeout
+		for {
+			p.Sleep(svc.cfg.ExpiryScan)
+			if !rep.IsLeader() {
+				continue
+			}
+			t := rep.SM().(*tree)
+			var stale []string
+			for name, sess := range t.sessions {
+				if p.Now()-sess.lastSeen >= sess.timeout {
+					stale = append(stale, name)
+				}
+			}
+			sort.Strings(stale)
+			for _, name := range stale {
+				rc.Propose(p, cmdExpire{Session: name, AsOf: p.Now()}) //nolint:errcheck
+			}
+		}
+	})
+}
+
+// RestartNode re-joins a restarted controller node to the ensemble.
+func (svc *Service) RestartNode(n *simnet.Node) {
+	svc.startNode(n, n.Name())
+}
+
+// Cluster exposes the underlying Raft cluster (for clients).
+func (svc *Service) Cluster() *raft.Cluster { return svc.cluster }
+
+// Config returns the service timing configuration.
+func (svc *Service) Config() Config { return svc.cfg }

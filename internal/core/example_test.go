@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"splitft/internal/core"
+	"splitft/internal/harness"
+	"splitft/internal/simnet"
+)
+
+// Example demonstrates the SplitFT public API end to end: a write-ahead log
+// opened with O_NCL is durable on a log-peer majority the moment Write
+// returns, survives an application-server crash, and recovers on restart.
+// The simulation is deterministic, so the output is stable.
+func Example() {
+	cluster := harness.New(harness.Options{Seed: 7, NumPeers: 4})
+	err := cluster.Run(func(p *simnet.Proc) error {
+		cluster.AppNode.Go("app", func(ap *simnet.Proc) {
+			fs, err := cluster.NewFS(ap, "example", 0)
+			if err != nil {
+				return
+			}
+			wal, err := fs.OpenFile(ap, "wal", core.O_NCL|core.O_CREATE|core.O_APPEND, 1<<20)
+			if err != nil {
+				return
+			}
+			wal.Write(ap, []byte("commit-1;"))
+			wal.Write(ap, []byte("commit-2;"))
+			fmt.Printf("acknowledged %d bytes\n", wal.Size())
+			ap.Sleep(1 << 40) // hold until the crash
+		})
+		p.Sleep(200 * 1e6)
+		cluster.CrashApp()
+		p.Sleep(10 * 1e6)
+		cluster.RestartApp()
+
+		fs2, err := cluster.NewFS(p, "example", 1)
+		if err != nil {
+			return err
+		}
+		wal2, err := fs2.OpenFile(p, "wal", core.O_NCL, 0)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, wal2.Size())
+		wal2.Pread(p, buf, 0)
+		fmt.Printf("recovered %q\n", buf)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// acknowledged 18 bytes
+	// recovered "commit-1;commit-2;"
+}

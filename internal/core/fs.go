@@ -1,0 +1,344 @@
+// Package core implements the SplitFT layer (§3, §4.1): a POSIX-style file
+// interface that splits application writes between the disaggregated file
+// system and near-compute logs. Classification is static and at file
+// granularity: applications tag files that receive small synchronous writes
+// with the O_NCL open flag (write-ahead logs, append-only files); everything
+// else — SSTables, checkpoints, database files — goes straight to the dfs,
+// exactly as in the DFT paradigm.
+//
+// The same FS serves all three configurations of the evaluation: weak-app
+// DFT (logs on dfs, no fsync), strong-app DFT (logs on dfs, fsync per
+// batch), and SplitFT (logs opened with O_NCL; Sync on them is a no-op
+// because every record is already replicated synchronously).
+//
+// The package also implements the §6 extension: fine-granular write
+// splitting for files that mix small and large writes (see splitfile.go).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"splitft/internal/controller"
+	"splitft/internal/dfs"
+	"splitft/internal/ncl"
+	"splitft/internal/rdma"
+	"splitft/internal/simnet"
+)
+
+// Open flags.
+type OpenFlag int
+
+const (
+	// O_CREATE creates the file if absent.
+	O_CREATE OpenFlag = 1 << iota
+	// O_NCL routes the file to near-compute logs: small synchronous writes
+	// are replicated to log peers instead of hitting the dfs. Opening an
+	// existing ncl file (after a crash) triggers NCL recovery.
+	O_NCL
+	// O_TRUNC truncates an existing file.
+	O_TRUNC
+	// O_APPEND declares the file append-only. For ncl files this enables
+	// the tail-shipping recovery catch-up (§4.5.1): lagging peers receive
+	// only the missing log suffix instead of a whole-region copy. Never
+	// set it on circular logs.
+	O_APPEND
+)
+
+// Errors.
+var (
+	ErrNotExist = errors.New("splitft: file does not exist")
+	ErrIsNCL    = errors.New("splitft: operation not supported on ncl files")
+)
+
+// File is the interface applications program against; both dfs-backed and
+// ncl-backed files implement it.
+type File interface {
+	Write(p *simnet.Proc, data []byte) (int, error)
+	Pwrite(p *simnet.Proc, data []byte, off int64) (int, error)
+	Read(p *simnet.Proc, buf []byte) (int, error)
+	Pread(p *simnet.Proc, buf []byte, off int64) (int, error)
+	Sync(p *simnet.Proc) error
+	Close(p *simnet.Proc) error
+	Size() int64
+	Path() string
+}
+
+// TraceEvent records one durable write for the Fig 1 IO-size analysis.
+type TraceEvent struct {
+	Path  string
+	Class string // "ncl" or "dfs"
+	Bytes int64
+}
+
+// Options configures an FS instance.
+type Options struct {
+	Controller *controller.Service
+	Fabric     *rdma.Fabric
+	DFS        *dfs.Cluster
+	Node       *simnet.Node
+	AppID      string
+	// Fencing is the application incarnation; bump on every restart.
+	Fencing int64
+	// NCL tunes the near-compute log library.
+	NCL ncl.Config
+	// DefaultRegionSize is the ncl region capacity used when OpenFile is
+	// called without an explicit size (apps usually configure their log
+	// size; 64 MiB default).
+	DefaultRegionSize int64
+	// AcquireLock claims the single-instance znode at start-up.
+	AcquireLock bool
+}
+
+// FS is one application's SplitFT file system instance.
+type FS struct {
+	node *simnet.Node
+	dfs  *dfs.Client
+	lib  *ncl.Lib
+
+	appID             string
+	defaultRegionSize int64
+
+	nclOpen map[string]*nclFile
+
+	// Trace, when set, observes durable writes (ncl records and dfs
+	// flushes) for the IO-size characterization.
+	Trace func(TraceEvent)
+
+	// LastRecovery records NCL recovery statistics per path (Fig 11b).
+	LastRecovery map[string]ncl.RecoveryStats
+}
+
+// NewFS mounts the dfs and initializes ncl-lib for the application.
+func NewFS(p *simnet.Proc, opts Options) (*FS, error) {
+	if opts.DefaultRegionSize == 0 {
+		opts.DefaultRegionSize = 64 << 20
+	}
+	lib, err := ncl.NewLib(p, opts.Controller, opts.Fabric, opts.Node, opts.AppID, opts.Fencing, opts.NCL)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		node:              opts.Node,
+		dfs:               opts.DFS.Mount(opts.Node),
+		lib:               lib,
+		appID:             opts.AppID,
+		defaultRegionSize: opts.DefaultRegionSize,
+		nclOpen:           make(map[string]*nclFile),
+		LastRecovery:      make(map[string]ncl.RecoveryStats),
+	}
+	if opts.AcquireLock {
+		if err := lib.AcquireInstanceLock(p); err != nil {
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+// Node returns the application-server node this FS instance runs on.
+func (fs *FS) Node() *simnet.Node { return fs.node }
+
+// DFSClient exposes the underlying dfs mount (benchmarks and recovery code
+// use it for direct access).
+func (fs *FS) DFSClient() *dfs.Client { return fs.dfs }
+
+// NCLLib exposes the underlying ncl-lib instance.
+func (fs *FS) NCLLib() *ncl.Lib { return fs.lib }
+
+// OpenFile opens path. With O_NCL the file lives in near-compute logs:
+// creation allocates peer regions of regionSize (0 = default), and opening
+// an existing ncl file runs recovery. Without O_NCL the file is a plain dfs
+// file.
+func (fs *FS) OpenFile(p *simnet.Proc, path string, flags OpenFlag, regionSize int64) (File, error) {
+	if flags&O_NCL != 0 {
+		return fs.openNCL(p, path, flags, regionSize)
+	}
+	inner, err := fs.dfs.OpenFile(p, path, flags&O_CREATE != 0)
+	if err != nil {
+		if errors.Is(err, dfs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+		}
+		return nil, err
+	}
+	return &dfsFile{fs: fs, inner: inner}, nil
+}
+
+func (fs *FS) openNCL(p *simnet.Proc, path string, flags OpenFlag, regionSize int64) (File, error) {
+	if f, ok := fs.nclOpen[path]; ok {
+		return f, nil
+	}
+	// A log closed earlier in this same instance is still live in ncl-lib:
+	// hand out a fresh handle (offset zero) instead of running recovery.
+	if lg, ok := fs.lib.OpenLog(path); ok && flags&O_TRUNC == 0 {
+		f := &nclFile{fs: fs, lg: lg, path: path}
+		fs.nclOpen[path] = f
+		return f, nil
+	}
+	if regionSize == 0 {
+		regionSize = fs.defaultRegionSize
+	}
+	exists, err := fs.lib.Exists(p, path)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case exists && flags&O_TRUNC != 0:
+		if err := fs.lib.ReleaseByName(p, path); err != nil {
+			return nil, err
+		}
+		fallthrough
+	case !exists:
+		if flags&O_CREATE == 0 && !exists {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+		}
+		lg, err := fs.lib.OpenWithOptions(p, path, regionSize,
+			ncl.LogOptions{AppendOnly: flags&O_APPEND != 0})
+		if err != nil {
+			return nil, err
+		}
+		f := &nclFile{fs: fs, lg: lg, path: path}
+		fs.nclOpen[path] = f
+		return f, nil
+	default:
+		lg, stats, err := fs.lib.Recover(p, path)
+		if err != nil {
+			return nil, err
+		}
+		fs.LastRecovery[path] = stats
+		f := &nclFile{fs: fs, lg: lg, path: path, cursor: 0}
+		fs.nclOpen[path] = f
+		return f, nil
+	}
+}
+
+// Unlink removes a file from whichever layer holds it. Deleting an ncl file
+// releases its peer regions and ap-map entry — the delete-to-reclaim
+// pattern of RocksDB/Redis logs.
+func (fs *FS) Unlink(p *simnet.Proc, path string) error {
+	if f, ok := fs.nclOpen[path]; ok {
+		delete(fs.nclOpen, path)
+		return f.lg.Release(p)
+	}
+	if exists, err := fs.lib.Exists(p, path); err == nil && exists {
+		return fs.lib.ReleaseByName(p, path)
+	}
+	err := fs.dfs.Unlink(p, path)
+	if errors.Is(err, dfs.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return err
+}
+
+// Rename renames a dfs file (ncl files are never renamed by the ported
+// applications).
+func (fs *FS) Rename(p *simnet.Proc, oldPath, newPath string) error {
+	return fs.dfs.Rename(p, oldPath, newPath)
+}
+
+// Exists reports whether path exists in either layer.
+func (fs *FS) Exists(p *simnet.Proc, path string) bool {
+	if _, ok := fs.nclOpen[path]; ok {
+		return true
+	}
+	if ok, err := fs.lib.Exists(p, path); err == nil && ok {
+		return true
+	}
+	return fs.dfs.Exists(path)
+}
+
+// ListNCL lists the application's ncl files (recovery discovery).
+func (fs *FS) ListNCL(p *simnet.Proc) ([]string, error) { return fs.lib.ListFiles(p) }
+
+// ListDFS lists dfs paths with the given prefix.
+func (fs *FS) ListDFS(prefix string) []string { return fs.dfs.List(prefix) }
+
+// ---- dfs-backed file ----
+
+type dfsFile struct {
+	fs    *FS
+	inner *dfs.File
+}
+
+func (f *dfsFile) Write(p *simnet.Proc, data []byte) (int, error) { return f.inner.Write(p, data) }
+func (f *dfsFile) Pwrite(p *simnet.Proc, data []byte, off int64) (int, error) {
+	return f.inner.Pwrite(p, data, off)
+}
+func (f *dfsFile) Read(p *simnet.Proc, buf []byte) (int, error) { return f.inner.Read(p, buf) }
+func (f *dfsFile) Pread(p *simnet.Proc, buf []byte, off int64) (int, error) {
+	return f.inner.Pread(p, buf, off)
+}
+
+func (f *dfsFile) Sync(p *simnet.Proc) error {
+	dirty := f.inner.DirtyBytes()
+	err := f.inner.Sync(p)
+	if err == nil && dirty > 0 && f.fs.Trace != nil {
+		f.fs.Trace(TraceEvent{Path: f.inner.Path(), Class: "dfs", Bytes: dirty})
+	}
+	return err
+}
+
+func (f *dfsFile) Close(p *simnet.Proc) error { return f.inner.Close(p) }
+func (f *dfsFile) Size() int64                { return f.inner.Size() }
+func (f *dfsFile) Path() string               { return f.inner.Path() }
+
+// ---- ncl-backed file ----
+
+type nclFile struct {
+	fs     *FS
+	lg     *ncl.Log
+	path   string
+	cursor int64
+	closed bool
+}
+
+func (f *nclFile) Write(p *simnet.Proc, data []byte) (int, error) {
+	n, err := f.Pwrite(p, data, f.cursor)
+	f.cursor += int64(n)
+	return n, err
+}
+
+func (f *nclFile) Pwrite(p *simnet.Proc, data []byte, off int64) (int, error) {
+	if err := f.lg.Record(p, off, data); err != nil {
+		return 0, err
+	}
+	if f.fs.Trace != nil {
+		f.fs.Trace(TraceEvent{Path: f.path, Class: "ncl", Bytes: int64(len(data))})
+	}
+	return len(data), nil
+}
+
+func (f *nclFile) Read(p *simnet.Proc, buf []byte) (int, error) {
+	n, err := f.Pread(p, buf, f.cursor)
+	f.cursor += int64(n)
+	return n, err
+}
+
+func (f *nclFile) Pread(p *simnet.Proc, buf []byte, off int64) (int, error) {
+	// Reads come from the local buffer; after recovery the content was
+	// prefetched from the recovery peer (Fig 11a). ncl-lib serves them in
+	// user space — no syscall — so the fixed cost undercuts a dfs read.
+	p.Sleep(300 * time.Nanosecond)
+	return f.lg.ReadAt(buf, off), nil
+}
+
+// Sync is a no-op for ncl files: every Record is already replicated to a
+// majority of log peers before returning. This is precisely SplitFT's
+// performance win — the fsync disappears from the critical path.
+func (f *nclFile) Sync(p *simnet.Proc) error {
+	p.Sleep(200 * time.Nanosecond)
+	return nil
+}
+
+func (f *nclFile) Close(p *simnet.Proc) error {
+	// The log stays registered (and recoverable) until unlinked.
+	f.closed = true
+	delete(f.fs.nclOpen, f.path)
+	return nil
+}
+
+func (f *nclFile) Size() int64  { return f.lg.Length() }
+func (f *nclFile) Path() string { return f.path }
+
+// Log exposes the underlying ncl log (white-box tests and benches).
+func (f *nclFile) Log() *ncl.Log { return f.lg }

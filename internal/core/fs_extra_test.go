@@ -1,0 +1,165 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"splitft/internal/simnet"
+)
+
+// Additional core-layer coverage: cursor semantics, truncation, append-only
+// enforcement, and trace classification.
+
+func TestNCLFileCursorSemantics(t *testing.T) {
+	tb := newTestbed(20, 3)
+	tb.run(t, func(p *simnet.Proc) {
+		fs, _ := NewFS(p, tb.opts(0))
+		f, err := fs.OpenFile(p, "log", O_NCL|O_CREATE, 1<<20)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		f.Write(p, []byte("abc"))
+		f.Write(p, []byte("def"))
+		if f.Size() != 6 {
+			t.Fatalf("size = %d", f.Size())
+		}
+		// Pwrite does not move the cursor.
+		f.Pwrite(p, []byte("XY"), 1)
+		f.Write(p, []byte("ghi"))
+		buf := make([]byte, 9)
+		f.Pread(p, buf, 0)
+		if string(buf) != "aXYdefghi" {
+			t.Fatalf("content = %q", buf)
+		}
+		// Read shares the fd offset with Write (POSIX semantics): the
+		// cursor sits at EOF after the appends, so a plain Read sees EOF.
+		r := make([]byte, 4)
+		if n, _ := f.Read(p, r); n != 0 {
+			t.Fatalf("read at EOF returned %d bytes", n)
+		}
+		// Closing and reopening within the same instance yields a fresh
+		// handle over the SAME live log (no recovery), offset zero.
+		f.Close(p)
+		f2, err := fs.OpenFile(p, "log", O_NCL, 0)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		n, _ := f2.Read(p, r)
+		if n != 4 || string(r) != "aXYd" {
+			t.Fatalf("read = %q", r[:n])
+		}
+		n, _ = f2.Read(p, r)
+		if n != 4 || string(r) != "efgh" {
+			t.Fatalf("second read = %q", r[:n])
+		}
+		if _, ok := fs.LastRecovery["log"]; ok {
+			t.Fatal("same-instance reopen went through recovery")
+		}
+	})
+}
+
+func TestNCLOpenTruncReplacesContent(t *testing.T) {
+	tb := newTestbed(21, 3)
+	tb.run(t, func(p *simnet.Proc) {
+		fs, _ := NewFS(p, tb.opts(0))
+		f, _ := fs.OpenFile(p, "log", O_NCL|O_CREATE, 1<<20)
+		f.Write(p, []byte("old-contents"))
+		f.Close(p)
+		f2, err := fs.OpenFile(p, "log", O_NCL|O_CREATE|O_TRUNC, 1<<20)
+		if err != nil {
+			t.Fatalf("trunc open: %v", err)
+		}
+		if f2.Size() != 0 {
+			t.Fatalf("size after trunc = %d", f2.Size())
+		}
+		f2.Write(p, []byte("new"))
+		buf := make([]byte, 8)
+		n, _ := f2.Pread(p, buf, 0)
+		if string(buf[:n]) != "new" {
+			t.Fatalf("content = %q", buf[:n])
+		}
+	})
+}
+
+func TestAppendOnlyFlagEnforced(t *testing.T) {
+	tb := newTestbed(22, 3)
+	tb.run(t, func(p *simnet.Proc) {
+		fs, _ := NewFS(p, tb.opts(0))
+		f, _ := fs.OpenFile(p, "aof", O_NCL|O_CREATE|O_APPEND, 1<<20)
+		if _, err := f.Write(p, []byte("one")); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if _, err := f.Pwrite(p, []byte("x"), 0); err == nil {
+			t.Fatal("overwrite allowed on O_APPEND ncl file")
+		}
+		// Sequential pwrite at the end is an append and is allowed.
+		if _, err := f.Pwrite(p, []byte("two"), 3); err != nil {
+			t.Fatalf("pwrite at end: %v", err)
+		}
+	})
+}
+
+func TestTraceClassification(t *testing.T) {
+	tb := newTestbed(23, 3)
+	tb.run(t, func(p *simnet.Proc) {
+		fs, _ := NewFS(p, tb.opts(0))
+		classes := map[string]int64{}
+		fs.Trace = func(e TraceEvent) { classes[e.Class] += e.Bytes }
+		nf, _ := fs.OpenFile(p, "wal", O_NCL|O_CREATE, 1<<20)
+		nf.Write(p, make([]byte, 100))
+		df, _ := fs.OpenFile(p, "/sst", O_CREATE, 0)
+		df.Write(p, make([]byte, 5000))
+		df.Sync(p)
+		df.Sync(p) // clean sync: no extra trace
+		if classes["ncl"] != 100 || classes["dfs"] != 5000 {
+			t.Fatalf("traced = %v", classes)
+		}
+	})
+}
+
+func TestOpenMissingWithoutCreate(t *testing.T) {
+	tb := newTestbed(24, 3)
+	tb.run(t, func(p *simnet.Proc) {
+		fs, _ := NewFS(p, tb.opts(0))
+		if _, err := fs.OpenFile(p, "ghost", O_NCL, 0); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("ncl open: %v", err)
+		}
+		if _, err := fs.OpenFile(p, "/ghost", 0, 0); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("dfs open: %v", err)
+		}
+		if err := fs.Unlink(p, "/ghost"); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("unlink: %v", err)
+		}
+	})
+}
+
+func TestSplitFileThresholdBoundary(t *testing.T) {
+	tb := newTestbed(25, 3)
+	tb.run(t, func(p *simnet.Proc) {
+		fs, _ := NewFS(p, tb.opts(0))
+		sf, err := fs.OpenSplit(p, "/f", 1024, 1<<20)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		// Exactly at the threshold goes to the dfs (>=), below goes to NCL.
+		start := p.Now()
+		sf.Pwrite(p, make([]byte, 1024), 0)
+		largeLat := p.Now() - start
+		start = p.Now()
+		sf.Pwrite(p, make([]byte, 1023), 4096)
+		smallLat := p.Now() - start
+		if largeLat < time.Millisecond {
+			t.Errorf("threshold-size write (%v) did not pay the dfs sync", largeLat)
+		}
+		if smallLat > 100*time.Microsecond {
+			t.Errorf("sub-threshold write (%v) did not take the NCL path", smallLat)
+		}
+		got := make([]byte, 1024)
+		sf.Pread(p, got, 0)
+		if !bytes.Equal(got, make([]byte, 1024)) {
+			t.Error("content mismatch")
+		}
+	})
+}

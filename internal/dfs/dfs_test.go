@@ -1,0 +1,493 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"splitft/internal/simnet"
+)
+
+type fixture struct {
+	sim     *simnet.Sim
+	cluster *Cluster
+	node    *simnet.Node
+	client  *Client
+}
+
+func newFixture(seed int64) *fixture {
+	s := simnet.New(seed)
+	c := NewCluster(s, "ceph", DefaultParams())
+	n := s.NewNode("appserver")
+	return &fixture{sim: s, cluster: c, node: n, client: c.Mount(n)}
+}
+
+func run(t *testing.T, s *simnet.Sim) {
+	t.Helper()
+	if err := s.RunUntil(time.Hour); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestWriteSyncReadBack(t *testing.T) {
+	fx := newFixture(1)
+	fx.node.Go("test", func(p *simnet.Proc) {
+		f, err := fx.client.Create(p, "/data/wal-1")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		if _, err := f.Write(p, []byte("hello ")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if _, err := f.Write(p, []byte("world")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Sync(p); err != nil {
+			t.Errorf("sync: %v", err)
+		}
+		buf := make([]byte, 11)
+		n, err := f.Pread(p, buf, 0)
+		if err != nil || n != 11 || string(buf) != "hello world" {
+			t.Errorf("pread = %q, %d, %v", buf[:n], n, err)
+		}
+		got, ok := fx.cluster.DurableBytes("/data/wal-1")
+		if !ok || string(got) != "hello world" {
+			t.Errorf("durable = %q, %v", got, ok)
+		}
+		fx.sim.Stop()
+	})
+	run(t, fx.sim)
+}
+
+func TestUnsyncedDataLostOnCrash(t *testing.T) {
+	fx := newFixture(1)
+	fx.sim.Go("test", func(p *simnet.Proc) {
+		done := make(chan struct{}, 1)
+		fx.node.Go("app", func(ap *simnet.Proc) {
+			f, _ := fx.client.Create(ap, "/log")
+			f.Write(ap, []byte("durable|"))
+			f.Sync(ap)
+			f.Write(ap, []byte("volatile"))
+			done <- struct{}{}
+			ap.Sleep(time.Hour)
+		})
+		p.Sleep(100 * time.Millisecond) // before writeback interval fires
+		<-done
+		fx.node.Crash()
+		got, ok := fx.cluster.DurableBytes("/log")
+		if !ok || string(got) != "durable|" {
+			t.Errorf("durable after crash = %q (ok=%v), want only synced prefix", got, ok)
+		}
+		fx.sim.Stop()
+	})
+	run(t, fx.sim)
+}
+
+func TestBackgroundWritebackEventuallyDurable(t *testing.T) {
+	fx := newFixture(1)
+	fx.node.Go("test", func(p *simnet.Proc) {
+		f, _ := fx.client.Create(p, "/log")
+		f.Write(p, []byte("lazily"))
+		// No sync: wait past the writeback interval.
+		p.Sleep(2 * DefaultParams().WritebackInterval)
+		got, _ := fx.cluster.DurableBytes("/log")
+		if string(got) != "lazily" {
+			t.Errorf("durable after writeback = %q", got)
+		}
+		fx.sim.Stop()
+	})
+	run(t, fx.sim)
+}
+
+func TestSyncCostModel(t *testing.T) {
+	fx := newFixture(1)
+	pm := DefaultParams()
+	fx.node.Go("test", func(p *simnet.Proc) {
+		f, _ := fx.client.Create(p, "/f")
+		// Small sync write: dominated by the fixed cost (~2.3ms).
+		f.Write(p, make([]byte, 512))
+		start := p.Now()
+		f.Sync(p)
+		small := p.Now() - start
+		if small < pm.SyncFixed || small > pm.SyncFixed+time.Millisecond {
+			t.Errorf("512B sync = %v, want ~%v", small, pm.SyncFixed)
+		}
+		// 64MB sync write: dominated by bandwidth (~128ms @ 500MB/s).
+		f.Write(p, make([]byte, 64<<20))
+		start = p.Now()
+		f.Sync(p)
+		large := p.Now() - start
+		if large < 100*time.Millisecond || large > 200*time.Millisecond {
+			t.Errorf("64MB sync = %v, want ~130ms", large)
+		}
+		fx.sim.Stop()
+	})
+	run(t, fx.sim)
+}
+
+// Fig 1(d): sequential sync-write throughput spans roughly three orders of
+// magnitude between 512B and 64MB IOs.
+func TestFig1dThroughputShape(t *testing.T) {
+	tput := func(ioSize int64) float64 {
+		fx := newFixture(1)
+		var mbps float64
+		fx.node.Go("bench", func(p *simnet.Proc) {
+			f, _ := fx.client.Create(p, "/seq")
+			total := int64(0)
+			target := int64(16 << 20)
+			if ioSize >= 16<<20 {
+				target = 2 * ioSize
+			}
+			buf := make([]byte, ioSize)
+			start := p.Now()
+			for total < target {
+				f.Write(p, buf)
+				f.Sync(p)
+				total += ioSize
+			}
+			secs := (p.Now() - start).Seconds()
+			mbps = float64(total) / 1e6 / secs
+			fx.sim.Stop()
+		})
+		if err := fx.sim.RunUntil(24 * time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		return mbps
+	}
+	small := tput(512)
+	large := tput(64 << 20)
+	ratio := large / small
+	if ratio < 500 || ratio > 5000 {
+		t.Errorf("64MB/512B throughput ratio = %.0f (small=%.2f MB/s large=%.0f MB/s), want ~3 orders",
+			ratio, small, large)
+	}
+}
+
+func TestMetadataOps(t *testing.T) {
+	fx := newFixture(1)
+	fx.node.Go("test", func(p *simnet.Proc) {
+		if _, err := fx.client.Open(p, "/missing"); !errors.Is(err, ErrNotExist) {
+			t.Errorf("open missing: %v", err)
+		}
+		f, _ := fx.client.Create(p, "/a")
+		f.Write(p, []byte("x"))
+		f.Sync(p)
+		f.Close(p)
+		if err := fx.client.Rename(p, "/a", "/b"); err != nil {
+			t.Errorf("rename: %v", err)
+		}
+		if fx.client.Exists("/a") || !fx.client.Exists("/b") {
+			t.Error("rename did not move the file")
+		}
+		if got := fx.client.List("/"); fmt.Sprint(got) != "[/b]" {
+			t.Errorf("list = %v", got)
+		}
+		if err := fx.client.Unlink(p, "/b"); err != nil {
+			t.Errorf("unlink: %v", err)
+		}
+		if fx.client.Exists("/b") {
+			t.Error("unlink left the file")
+		}
+		if err := fx.client.Unlink(p, "/b"); !errors.Is(err, ErrNotExist) {
+			t.Errorf("double unlink: %v", err)
+		}
+		fx.sim.Stop()
+	})
+	run(t, fx.sim)
+}
+
+func TestReopenSeesDurableOnly(t *testing.T) {
+	fx := newFixture(1)
+	fx.sim.Go("test", func(p *simnet.Proc) {
+		fx.node.Go("writer", func(wp *simnet.Proc) {
+			f, _ := fx.client.Create(wp, "/f")
+			f.Write(wp, []byte("synced"))
+			f.Sync(wp)
+			f.Write(wp, []byte("+dirty"))
+		})
+		p.Sleep(50 * time.Millisecond)
+		fx.node.Crash()
+		p.Sleep(time.Millisecond)
+		fx.node.Restart()
+		cl2 := fx.cluster.Mount(fx.node)
+		fx.node.Go("reader", func(rp *simnet.Proc) {
+			f, err := cl2.Open(rp, "/f")
+			if err != nil {
+				t.Errorf("reopen: %v", err)
+				return
+			}
+			buf := make([]byte, 64)
+			n, _ := f.Pread(rp, buf, 0)
+			if string(buf[:n]) != "synced" {
+				t.Errorf("reopened content = %q", buf[:n])
+			}
+			fx.sim.Stop()
+		})
+	})
+	run(t, fx.sim)
+}
+
+func TestDirectIOSlowerThanCached(t *testing.T) {
+	fx := newFixture(1)
+	fx.node.Go("test", func(p *simnet.Proc) {
+		f, _ := fx.client.Create(p, "/f")
+		f.Write(p, make([]byte, 8<<20))
+		f.Sync(p)
+		f.Close(p)
+
+		read := func(direct bool) time.Duration {
+			fx.client.DirectIO = direct
+			h, _ := fx.client.Open(p, "/f")
+			defer h.Close(p)
+			buf := make([]byte, 4096)
+			start := p.Now()
+			for off := int64(0); off < 8<<20; off += 4096 {
+				h.Pread(p, buf, off)
+			}
+			return p.Now() - start
+		}
+		direct := read(true)
+		// New mount so the cache is cold but readahead applies.
+		cached := read(false)
+		if cached >= direct {
+			t.Errorf("cached read (%v) not faster than direct IO (%v)", cached, direct)
+		}
+		if direct < 100*cached/10 { // direct should be much slower (per-read fixed cost)
+			t.Logf("direct=%v cached=%v", direct, cached)
+		}
+		fx.sim.Stop()
+	})
+	run(t, fx.sim)
+}
+
+func TestReadaheadAmortizesSequentialReads(t *testing.T) {
+	s := simnet.New(1)
+	params := DefaultParams()
+	params.CacheCapacity = 8 << 20 // small cache so eviction is cheap to force
+	cluster := NewCluster(s, "ceph", params)
+	node := s.NewNode("appserver")
+	fx := &fixture{sim: s, cluster: cluster, node: node, client: cluster.Mount(node)}
+	var seqLat, randLat time.Duration
+	fx.node.Go("test", func(p *simnet.Proc) {
+		f, _ := fx.client.Create(p, "/f")
+		f.Write(p, make([]byte, 16<<20))
+		f.Sync(p)
+		f.Close(p)
+		// Evict everything by filling the cache with another file.
+		g, _ := fx.client.Create(p, "/fill")
+		g.Write(p, make([]byte, 12<<20))
+		g.Sync(p)
+		g.Close(p)
+
+		h, _ := fx.client.Open(p, "/f")
+		buf := make([]byte, 512)
+		start := p.Now()
+		reads := 0
+		for off := int64(0); off < 8<<20; off += 512 {
+			h.Read(p, buf)
+			reads++
+		}
+		seqLat = (p.Now() - start) / time.Duration(reads)
+
+		// Random-ish strided reads defeat readahead.
+		start = p.Now()
+		reads = 0
+		for off := int64(8 << 20); off < 16<<20; off += 1 << 20 {
+			h.Pread(p, buf, off)
+			reads++
+		}
+		randLat = (p.Now() - start) / time.Duration(reads)
+		fx.sim.Stop()
+	})
+	run(t, fx.sim)
+	if seqLat >= randLat {
+		t.Errorf("sequential read latency (%v) should beat strided (%v)", seqLat, randLat)
+	}
+	if seqLat > 100*time.Microsecond {
+		t.Errorf("sequential 512B read = %v, want small (readahead-amortized)", seqLat)
+	}
+}
+
+func TestDirtyHighWaterStallsWriter(t *testing.T) {
+	fx := newFixture(1)
+	fx.node.Go("test", func(p *simnet.Proc) {
+		f, _ := fx.client.Create(p, "/log")
+		// Write far past the high watermark without syncing.
+		chunk := make([]byte, 1<<20)
+		for i := 0; i < 150; i++ {
+			f.Write(p, chunk)
+		}
+		if fx.client.StallTime == 0 {
+			t.Error("expected writer stalls past the dirty high watermark")
+		}
+		fx.sim.Stop()
+	})
+	run(t, fx.sim)
+}
+
+func TestPwriteOverwriteAndSpans(t *testing.T) {
+	fx := newFixture(1)
+	fx.node.Go("test", func(p *simnet.Proc) {
+		f, _ := fx.client.Create(p, "/f")
+		f.Pwrite(p, []byte("aaaaaaaaaa"), 0)
+		f.Sync(p)
+		f.Pwrite(p, []byte("BB"), 3)
+		f.Pwrite(p, []byte("CC"), 8) // extends nothing, within file
+		f.Sync(p)
+		got, _ := fx.cluster.DurableBytes("/f")
+		if string(got) != "aaaBBaaaCC" {
+			t.Errorf("durable = %q", got)
+		}
+		fx.sim.Stop()
+	})
+	run(t, fx.sim)
+}
+
+func TestAddSpanMerging(t *testing.T) {
+	var spans []span
+	spans = addSpan(spans, span{10, 20})
+	spans = addSpan(spans, span{30, 40})
+	spans = addSpan(spans, span{15, 35}) // bridges both
+	if len(spans) != 1 || spans[0] != (span{10, 40}) {
+		t.Fatalf("spans = %+v", spans)
+	}
+	spans = addSpan(spans, span{0, 5})
+	if len(spans) != 2 || spans[0] != (span{0, 5}) {
+		t.Fatalf("spans = %+v", spans)
+	}
+	spans = addSpan(spans, span{5, 10}) // adjacent: merges with both
+	if len(spans) != 1 || spans[0] != (span{0, 40}) {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+// Property: any sequence of pwrites followed by sync yields durable content
+// identical to applying the writes to a shadow buffer.
+func TestQuickPwriteSyncFidelity(t *testing.T) {
+	type op struct {
+		Off  uint16
+		Data []byte
+		Sync bool
+	}
+	f := func(ops []op) bool {
+		if len(ops) == 0 || len(ops) > 24 {
+			return true
+		}
+		fx := newFixture(5)
+		ok := true
+		fx.node.Go("t", func(p *simnet.Proc) {
+			file, _ := fx.client.Create(p, "/f")
+			shadow := []byte{}
+			for _, o := range ops {
+				if len(o.Data) == 0 {
+					continue
+				}
+				off := int64(o.Off) % 4096
+				file.Pwrite(p, o.Data, off)
+				if end := off + int64(len(o.Data)); end > int64(len(shadow)) {
+					grown := make([]byte, end)
+					copy(grown, shadow)
+					shadow = grown
+				}
+				copy(shadow[off:], o.Data)
+				if o.Sync {
+					file.Sync(p)
+				}
+			}
+			file.Sync(p)
+			got, _ := fx.cluster.DurableBytes("/f")
+			if !bytes.Equal(got, shadow) {
+				ok = false
+			}
+			fx.sim.Stop()
+		})
+		if err := fx.sim.RunUntil(time.Hour); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after a crash, durable content is exactly the content as of some
+// prefix point >= the last explicit sync (writeback may have flushed more,
+// but never reorders or loses synced data).
+func TestQuickCrashDurabilityPrefix(t *testing.T) {
+	f := func(nWrites uint8, crashAfterMs uint8) bool {
+		n := int(nWrites)%12 + 1
+		s := simnet.New(9)
+		cluster := NewCluster(s, "c", DefaultParams())
+		node := s.NewNode("n")
+		client := cluster.Mount(node)
+		var syncedLen int64
+		node.Go("writer", func(p *simnet.Proc) {
+			file, _ := client.Create(p, "/f")
+			for i := 0; i < n; i++ {
+				payload := bytes.Repeat([]byte{byte(i + 1)}, 100)
+				file.Write(p, payload)
+				if i%3 == 0 {
+					file.Sync(p)
+					syncedLen = file.Size()
+				}
+			}
+			p.Sleep(time.Hour)
+		})
+		crashed := false
+		s.Go("injector", func(p *simnet.Proc) {
+			p.Sleep(time.Duration(crashAfterMs) * time.Millisecond / 4)
+			node.Crash()
+			crashed = true
+		})
+		if err := s.RunUntil(time.Hour); err != nil {
+			return false
+		}
+		if !crashed {
+			return false
+		}
+		got, _ := cluster.DurableBytes("/f")
+		if int64(len(got)) < syncedLen {
+			return false
+		}
+		// Content must be a clean prefix: byte j belongs to write j/100.
+		for j := 0; j < len(got); j++ {
+			if got[j] != byte(j/100+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalExt4Faster(t *testing.T) {
+	syncLat := func(params Params) time.Duration {
+		s := simnet.New(1)
+		c := NewCluster(s, "x", params)
+		n := s.NewNode("n")
+		cl := c.Mount(n)
+		var lat time.Duration
+		n.Go("t", func(p *simnet.Proc) {
+			f, _ := cl.Create(p, "/f")
+			f.Write(p, make([]byte, 4096))
+			start := p.Now()
+			f.Sync(p)
+			lat = p.Now() - start
+			s.Stop()
+		})
+		s.RunUntil(time.Hour)
+		return lat
+	}
+	ceph := syncLat(DefaultParams())
+	ext4 := syncLat(LocalExt4Params())
+	if ext4 >= ceph {
+		t.Errorf("local ext4 sync (%v) should beat CephFS (%v)", ext4, ceph)
+	}
+}

@@ -1,0 +1,177 @@
+// Package harness assembles the full SplitFT deployment used by tests,
+// benchmarks and examples: the simulated datacenter of §5's testbed — a
+// three-node controller ensemble, a CephFS-like dfs cluster, an RDMA
+// fabric, a pool of log peers, an application-server node, and a client
+// node — all on one deterministic simulation.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"splitft/internal/controller"
+	"splitft/internal/core"
+	"splitft/internal/dfs"
+	"splitft/internal/ncl"
+	"splitft/internal/peer"
+	"splitft/internal/rdma"
+	"splitft/internal/simnet"
+)
+
+// Options configures a testbed.
+type Options struct {
+	Seed     int64
+	NumPeers int
+	// PeerMem is each peer's lendable memory (default 1 GiB).
+	PeerMem int64
+	// AppCores is the application server's core count (default 10, the
+	// paper's E5-2640v4).
+	AppCores int
+	// DFSParams overrides the dfs cost model (zero value: defaults).
+	DFSParams *dfs.Params
+	// WithLocalFS adds a local-ext4 cluster (Fig 11b baseline).
+	WithLocalFS bool
+	// NetLatency is the default one-way latency (default 5us: RDMA-class).
+	NetLatency time.Duration
+	// PeerConfig overrides peer daemon settings (LendableMem is still
+	// taken from PeerMem when set).
+	PeerConfig *peer.Config
+}
+
+// Cluster is a running testbed.
+type Cluster struct {
+	Sim        *simnet.Sim
+	Controller *controller.Service
+	Fabric     *rdma.Fabric
+	DFS        *dfs.Cluster
+	LocalFS    *dfs.Cluster
+	AppNode    *simnet.Node
+	ClientNode *simnet.Node
+	PeerNodes  []*simnet.Node
+	Peers      map[string]*peer.Peer
+
+	peerCfg peer.Config
+}
+
+// New builds the testbed (nodes and services that need no running procs).
+// Call Run (or Boot from your own proc) to bring up peers.
+func New(opts Options) *Cluster {
+	if opts.NumPeers == 0 {
+		opts.NumPeers = 4
+	}
+	if opts.AppCores == 0 {
+		opts.AppCores = 10
+	}
+	if opts.NetLatency == 0 {
+		opts.NetLatency = 5 * time.Microsecond
+	}
+	s := simnet.New(opts.Seed)
+	s.Net().SetDefaultLatency(opts.NetLatency)
+	ctrlNodes := []*simnet.Node{s.NewNode("ctrl0"), s.NewNode("ctrl1"), s.NewNode("ctrl2")}
+	dfsParams := dfs.DefaultParams()
+	if opts.DFSParams != nil {
+		dfsParams = *opts.DFSParams
+	}
+	c := &Cluster{
+		Sim:        s,
+		Controller: controller.Start(s, ctrlNodes, controller.DefaultConfig()),
+		Fabric:     rdma.NewFabric(s, rdma.DefaultParams()),
+		DFS:        dfs.NewCluster(s, "cephfs", dfsParams),
+		AppNode:    s.NewNode("appserver"),
+		ClientNode: s.NewNode("client"),
+		Peers:      make(map[string]*peer.Peer),
+	}
+	if opts.WithLocalFS {
+		c.LocalFS = dfs.NewCluster(s, "local-ext4", dfs.LocalExt4Params())
+	}
+	c.AppNode.SetCores(opts.AppCores)
+	c.ClientNode.SetCores(16)
+	c.peerCfg = peer.DefaultConfig()
+	if opts.PeerConfig != nil {
+		c.peerCfg = *opts.PeerConfig
+	}
+	if opts.PeerMem != 0 {
+		c.peerCfg.LendableMem = opts.PeerMem
+	}
+	for i := 0; i < opts.NumPeers; i++ {
+		c.PeerNodes = append(c.PeerNodes, s.NewNode(fmt.Sprintf("peer%d", i)))
+	}
+	return c
+}
+
+// Boot waits out controller election and starts the peer daemons. Call it
+// from a proc before using NCL.
+func (c *Cluster) Boot(p *simnet.Proc) error {
+	p.Sleep(time.Second)
+	for _, n := range c.PeerNodes {
+		pr, err := peer.Start(p, c.Controller, c.Fabric, n, c.peerCfg)
+		if err != nil {
+			return fmt.Errorf("harness: start peer %s: %w", n.Name(), err)
+		}
+		c.Peers[n.Name()] = pr
+	}
+	return nil
+}
+
+// RestartPeer revives a crashed peer node and restarts its daemon.
+func (c *Cluster) RestartPeer(p *simnet.Proc, name string) error {
+	var node *simnet.Node
+	for _, n := range c.PeerNodes {
+		if n.Name() == name {
+			node = n
+		}
+	}
+	if node == nil {
+		return fmt.Errorf("harness: unknown peer %s", name)
+	}
+	node.Restart()
+	pr, err := peer.Start(p, c.Controller, c.Fabric, node, c.peerCfg)
+	if err != nil {
+		return err
+	}
+	c.Peers[name] = pr
+	return nil
+}
+
+// Run boots the cluster and executes fn in a detached proc, stopping the
+// simulation when fn returns. It returns the simulation error, if any.
+func (c *Cluster) Run(fn func(p *simnet.Proc) error) error {
+	var fnErr error
+	c.Sim.Go("harness-main", func(p *simnet.Proc) {
+		// Stop is deferred so the simulation halts promptly even if fn's
+		// goroutine exits abnormally (e.g. t.Fatal inside a test proc).
+		defer c.Sim.Stop()
+		if err := c.Boot(p); err != nil {
+			fnErr = err
+			return
+		}
+		fnErr = fn(p)
+	})
+	if err := c.Sim.RunUntil(24 * time.Hour); err != nil {
+		return err
+	}
+	return fnErr
+}
+
+// FSOptions builds core.FS options for an application on the app node.
+func (c *Cluster) FSOptions(appID string, fencing int64) core.Options {
+	return core.Options{
+		Controller: c.Controller,
+		Fabric:     c.Fabric,
+		DFS:        c.DFS,
+		Node:       c.AppNode,
+		AppID:      appID,
+		Fencing:    fencing,
+		NCL:        ncl.DefaultConfig(),
+	}
+}
+
+// NewFS creates a SplitFT FS for appID on the application node.
+func (c *Cluster) NewFS(p *simnet.Proc, appID string, fencing int64) (*core.FS, error) {
+	return core.NewFS(p, c.FSOptions(appID, fencing))
+}
+
+// CrashApp crashes the application server; RestartApp revives the node
+// (services must be re-created by the caller, as a restarted process would).
+func (c *Cluster) CrashApp()   { c.AppNode.Crash() }
+func (c *Cluster) RestartApp() { c.AppNode.Restart() }

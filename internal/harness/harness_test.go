@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"splitft/internal/core"
+	"splitft/internal/simnet"
+)
+
+func TestRunBootsEverything(t *testing.T) {
+	c := New(Options{Seed: 1, NumPeers: 3, WithLocalFS: true})
+	err := c.Run(func(p *simnet.Proc) error {
+		if len(c.Peers) != 3 {
+			t.Errorf("peers booted = %d", len(c.Peers))
+		}
+		if c.LocalFS == nil {
+			t.Error("local fs cluster missing")
+		}
+		fs, err := c.NewFS(p, "app", 0)
+		if err != nil {
+			return err
+		}
+		// NCL and dfs paths both usable out of the box.
+		nf, err := fs.OpenFile(p, "log", core.O_NCL|core.O_CREATE, 1<<20)
+		if err != nil {
+			return err
+		}
+		if _, err := nf.Write(p, []byte("x")); err != nil {
+			return err
+		}
+		df, err := fs.OpenFile(p, "/data", core.O_CREATE, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := df.Write(p, []byte("y")); err != nil {
+			return err
+		}
+		return df.Sync(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	c := New(Options{Seed: 2, NumPeers: 2})
+	sentinel := errors.New("sentinel")
+	if err := c.Run(func(p *simnet.Proc) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRestartPeerRejoins(t *testing.T) {
+	c := New(Options{Seed: 3, NumPeers: 3})
+	err := c.Run(func(p *simnet.Proc) error {
+		name := c.PeerNodes[0].Name()
+		c.PeerNodes[0].Crash()
+		p.Sleep(10 * time.Millisecond)
+		if err := c.RestartPeer(p, name); err != nil {
+			return err
+		}
+		if !c.PeerNodes[0].Alive() {
+			t.Error("peer node not alive after restart")
+		}
+		if err := c.RestartPeer(p, "nope"); err == nil {
+			t.Error("unknown peer restart succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := New(Options{Seed: 4})
+	if len(c.PeerNodes) != 4 {
+		t.Fatalf("default peers = %d", len(c.PeerNodes))
+	}
+	if c.Sim.Net().Latency(c.AppNode, c.ClientNode) != 5*time.Microsecond {
+		t.Fatalf("default latency = %v", c.Sim.Net().Latency(c.AppNode, c.ClientNode))
+	}
+}

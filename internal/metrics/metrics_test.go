@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != time.Microsecond || h.Max() != 100*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean != 50500*time.Nanosecond {
+		t.Fatalf("mean = %v, want 50.5us", mean)
+	}
+	p50 := h.Percentile(0.5)
+	if p50 < 45*time.Microsecond || p50 > 55*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~50us", p50)
+	}
+	p99 := h.Percentile(0.99)
+	if p99 < 90*time.Microsecond || p99 > 100*time.Microsecond {
+		t.Fatalf("p99 = %v, want ~99us", p99)
+	}
+}
+
+func TestHistogramBucketAccuracy(t *testing.T) {
+	// Every recorded duration's bucket lower bound must be within ~7% below
+	// the value (log-bucket resolution guarantee).
+	for _, d := range []time.Duration{1, 10, 100, 999, 4096, 1 << 20, 3 << 30, time.Hour} {
+		lo := bucketLow(bucketOf(d))
+		if lo > d {
+			t.Fatalf("bucketLow(%v) = %v > value", d, lo)
+		}
+		if float64(d-lo) > 0.07*float64(d)+1 {
+			t.Fatalf("bucket for %v too coarse: low=%v", d, lo)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 50; i++ {
+		a.Record(time.Millisecond)
+		b.Record(time.Second)
+	}
+	a.Merge(&b)
+	if a.Count() != 100 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.Max() != time.Second || a.Min() != time.Millisecond {
+		t.Fatalf("min/max after merge = %v/%v", a.Min(), a.Max())
+	}
+}
+
+// Property: percentile is monotonic in q and bracketed by min/max.
+func TestQuickHistogramPercentileMonotonic(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vals {
+			h.Record(time.Duration(v%1000000 + 1))
+		}
+		prev := time.Duration(0)
+		for q := 0.05; q <= 1.0; q += 0.05 {
+			p := h.Percentile(q)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return h.Percentile(1.0) <= h.Max() && h.Percentile(0.01) <= h.Percentile(0.99)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with many samples drawn from a uniform range, p50 lands near the
+// middle of the range.
+func TestHistogramP50Uniform(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Record(time.Duration(rng.Intn(1000000)) + 1)
+	}
+	p50 := float64(h.Percentile(0.5))
+	if p50 < 450000 || p50 > 550000 {
+		t.Fatalf("p50 = %v", p50)
+	}
+}
+
+func TestThroughputSampler(t *testing.T) {
+	ts := NewThroughputSampler(10 * time.Millisecond)
+	// 5 ops in [0,10ms), 10 ops in [20ms,30ms).
+	for i := 0; i < 5; i++ {
+		ts.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		ts.Observe(20*time.Millisecond + time.Duration(i)*time.Microsecond)
+	}
+	series := ts.Series()
+	if len(series) != 3 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	if series[0].OpsPerSec != 500 {
+		t.Fatalf("first interval = %v ops/s, want 500", series[0].OpsPerSec)
+	}
+	if series[1].OpsPerSec != 0 {
+		t.Fatalf("idle interval = %v ops/s", series[1].OpsPerSec)
+	}
+	if series[2].OpsPerSec != 1000 {
+		t.Fatalf("third interval = %v ops/s, want 1000", series[2].OpsPerSec)
+	}
+}
+
+func TestSizeCDF(t *testing.T) {
+	var c SizeCDF
+	for i := int64(1); i <= 1000; i++ {
+		c.Add(i)
+	}
+	if c.Quantile(0.5) != 500 {
+		t.Fatalf("q50 = %d", c.Quantile(0.5))
+	}
+	if c.Quantile(1.0) != 1000 {
+		t.Fatalf("q100 = %d", c.Quantile(1.0))
+	}
+	pts := c.Points(10)
+	if len(pts) != 10 || pts[9].Value != 1000 || pts[9].Fraction != 1.0 {
+		t.Fatalf("points = %+v", pts)
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].Value <= pts[j].Value }) {
+		t.Fatal("CDF points not monotone")
+	}
+}
+
+// Property: CDF quantiles are monotone for arbitrary inputs.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var c SizeCDF
+		for _, v := range vals {
+			c.Add(v)
+		}
+		prev := c.Quantile(0.01)
+		for q := 0.1; q <= 1.0; q += 0.1 {
+			p := c.Quantile(q)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{{"x", "1"}, {"yyyy", "2"}})
+	if out == "" {
+		t.Fatal("empty table")
+	}
+	lines := 0
+	for _, ch := range out {
+		if ch == '\n' {
+			lines++
+		}
+	}
+	if lines != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", lines, out)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:       "512B",
+		8192:      "8KB",
+		64 << 20:  "64MB",
+		3 << 30:   "3GB",
+		1536:      "1.5KB",
+		100 << 20: "100MB",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package modelcheck
+
+import (
+	"fmt"
+	"testing"
+)
+
+func cfgWith(m Mutation) Config {
+	cfg := DefaultConfig()
+	cfg.MaxAppCrashes = 2 // some seeded bugs need two recoveries to surface
+	cfg.Mutation = m
+	return cfg
+}
+
+func TestCorrectProtocolHasNoViolations(t *testing.T) {
+	res := Check(cfgWith(MutNone))
+	if res.Violation != nil {
+		t.Fatalf("correct protocol flagged: %s\ntrace: %v", res.Violation.Kind, res.Violation.Trace)
+	}
+	if res.States < 1000 {
+		t.Fatalf("explored only %d states; bounds too tight to mean anything", res.States)
+	}
+	t.Logf("explored %d states, no violations", res.States)
+}
+
+func TestSeqBeforeDataIsCaught(t *testing.T) {
+	res := Check(cfgWith(MutSeqBeforeData))
+	if res.Violation == nil {
+		t.Fatal("seq-before-data bug not caught")
+	}
+	t.Logf("caught after %d states: %s\ntrace: %v", res.States, res.Violation.Kind, res.Violation.Trace)
+}
+
+func TestSwapBeforeCatchupIsCaught(t *testing.T) {
+	res := Check(cfgWith(MutSwapBeforeCatchup))
+	if res.Violation == nil {
+		t.Fatal("ap-map-before-catch-up bug not caught")
+	}
+	t.Logf("caught after %d states: %s\ntrace: %v", res.States, res.Violation.Kind, res.Violation.Trace)
+}
+
+func TestNoRecoveryCatchupIsCaught(t *testing.T) {
+	res := Check(cfgWith(MutNoRecoveryCatchup))
+	if res.Violation == nil {
+		t.Fatal("no-recovery-catch-up bug not caught")
+	}
+	t.Logf("caught after %d states: %s\ntrace: %v", res.States, res.Violation.Kind, res.Violation.Trace)
+}
+
+func TestCorrectProtocolLargerBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	cfg := Config{F: 1, MaxWrites: 4, MaxPeerCrashes: 3, MaxAppCrashes: 2, MaxReplacements: 3}
+	res := Check(cfg)
+	if res.Violation != nil {
+		t.Fatalf("violation at larger bounds: %s\ntrace: %v", res.Violation.Kind, res.Violation.Trace)
+	}
+	t.Logf("explored %d states, no violations", res.States)
+}
+
+func TestSubsets(t *testing.T) {
+	got := subsets([]int{0, 1, 2}, 2)
+	if len(got) != 3 {
+		t.Fatalf("subsets = %v", got)
+	}
+	want := map[string]bool{"[0 1]": true, "[0 2]": true, "[1 2]": true}
+	for _, s := range got {
+		if !want[fmt.Sprint(s)] {
+			t.Fatalf("unexpected subset %v", s)
+		}
+	}
+}
+
+func TestEagerAckRequiresMajority(t *testing.T) {
+	s := &state{AppAlive: true, W: 2, Peers: []peerState{
+		{Alive: true, MrMap: true, Data: 2, Hdr: 2},
+		{Alive: true, MrMap: true, Data: 1, Hdr: 1},
+		{Alive: true, MrMap: true},
+	}}
+	s.eagerAck(1)
+	if s.A != 1 {
+		t.Fatalf("A = %d, want 1 (write 2 is on one peer only)", s.A)
+	}
+	s.Peers[1].Hdr = 2
+	s.Peers[1].Data = 2
+	s.eagerAck(1)
+	if s.A != 2 {
+		t.Fatalf("A = %d, want 2", s.A)
+	}
+}

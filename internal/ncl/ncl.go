@@ -1,0 +1,605 @@
+// Package ncl implements near-compute logs (NCL), the paper's core
+// abstraction (§4): it makes an application's small synchronous log writes
+// fault-tolerant by replicating them to the memory of 2f+1 log peers with
+// 1-sided RDMA writes, acknowledging once a majority holds every write in
+// application order.
+//
+// The package is the "ncl-lib" of Fig 2/3. Its operations map one-to-one to
+// the paper's: Open (initialize), Record, Release, and Recover, plus the
+// failure paths of §4.5 — peer replacement with catch-up before the ap-map
+// update, application recovery with a max-sequence-number quorum read and an
+// atomic region-switch catch-up, epoch-stamped allocations so peers can
+// garbage-collect leaked space, and graceful handling of peer memory
+// revocation.
+//
+// Region layout: every log region starts with a 16-byte header — the
+// sequence number and the byte length of the log — followed by the log's
+// physical content. Each application write becomes two RDMA writes per peer
+// (data, then header), ordered by the QP's send queue, so a peer whose
+// header shows sequence s is guaranteed to hold every write up to s (§4.4).
+package ncl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"splitft/internal/controller"
+	"splitft/internal/peer"
+	"splitft/internal/rdma"
+	"splitft/internal/simnet"
+)
+
+// HeaderSize is the per-region metadata prefix: sequence number (8 bytes)
+// and log length (8 bytes), both written as one header RDMA write ordered
+// after the data write.
+const HeaderSize = 16
+
+// Config tunes the library.
+type Config struct {
+	// F is the failure budget: each log gets 2F+1 peers and tolerates F
+	// simultaneous peer failures.
+	F int
+	// RecordCPU models ncl-lib's per-record client-side work (buffer copy,
+	// posting, completion bookkeeping).
+	RecordCPU time.Duration
+	// AckTimeout is how long Record waits without majority progress before
+	// kicking the repair path again.
+	AckTimeout time.Duration
+	// SetupRetries bounds how many candidate peers are tried per slot.
+	SetupRetries int
+	// CatchupCopyCPU is the client-side bandwidth for staging a bulk
+	// catch-up transfer (bytes/sec); it briefly occupies the writer and is
+	// the "small performance blip" of Fig 12.
+	CatchupCopyCPU float64
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation
+// (f=1, so three log peers — the paper's setup).
+func DefaultConfig() Config {
+	return Config{
+		F:              1,
+		RecordCPU:      900 * time.Nanosecond,
+		AckTimeout:     5 * time.Millisecond,
+		SetupRetries:   8,
+		CatchupCopyCPU: 10e9,
+	}
+}
+
+// Errors.
+var (
+	ErrReleased    = errors.New("ncl: log released")
+	ErrRegionFull  = errors.New("ncl: write beyond region capacity")
+	ErrNotFound    = errors.New("ncl: no such ncl file")
+	ErrUnavailable = errors.New("ncl: fewer than f+1 peers available")
+	ErrNoPeers     = errors.New("ncl: could not allocate enough log peers")
+)
+
+// Lib is one application's ncl-lib instance. It owns the RDMA NIC
+// connection state and the controller session for the application.
+type Lib struct {
+	sim     *simnet.Sim
+	node    *simnet.Node
+	svc     *controller.Service
+	fabric  *rdma.Fabric
+	nic     *rdma.NIC
+	ctrl    *controller.Client
+	appID   string
+	fencing int64
+	cfg     Config
+
+	logs map[string]*Log
+	dead bool
+
+	// suspects are peers that recently failed a data-path operation; they
+	// are excluded from allocation until the cooldown passes, since the
+	// controller's registry only drops them after session expiry.
+	suspects map[string]time.Duration
+}
+
+// suspectCooldown is how long a failed peer is avoided for new allocations.
+const suspectCooldown = 2 * time.Second
+
+func (l *Lib) markSuspect(name string, now time.Duration) {
+	l.suspects[name] = now + suspectCooldown
+}
+
+func (l *Lib) suspectNames(now time.Duration) []string {
+	var out []string
+	for name, until := range l.suspects {
+		if now < until {
+			out = append(out, name)
+		} else {
+			delete(l.suspects, name)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+// NewLib initializes ncl-lib for application appID running on node. fencing
+// is the application's incarnation (bump it on every restart).
+func NewLib(p *simnet.Proc, svc *controller.Service, fabric *rdma.Fabric, node *simnet.Node, appID string, fencing int64, cfg Config) (*Lib, error) {
+	l := &Lib{
+		sim:      node.Sim(),
+		node:     node,
+		svc:      svc,
+		fabric:   fabric,
+		nic:      fabric.AttachNIC(node),
+		appID:    appID,
+		fencing:  fencing,
+		cfg:      cfg,
+		logs:     make(map[string]*Log),
+		suspects: make(map[string]time.Duration),
+	}
+	l.ctrl = controller.NewClient(svc, node, appID, fencing)
+	node.OnCrash(func() { l.dead = true })
+	if err := l.ctrl.StartSession(p); err != nil {
+		return nil, fmt.Errorf("ncl: controller session: %w", err)
+	}
+	return l, nil
+}
+
+// AcquireInstanceLock claims the application's single-instance znode. Call
+// once at start-up; the paper requires that only one instance of the
+// application accesses its ncl files at a time (§4.7).
+func (l *Lib) AcquireInstanceLock(p *simnet.Proc) error {
+	return l.ctrl.AcquireServerLock(p, l.appID)
+}
+
+// Controller exposes the controller client (for the SplitFT layer).
+func (l *Lib) Controller() *controller.Client { return l.ctrl }
+
+// OpenLog returns the already-open log of the given name, if any. Callers
+// re-opening a file within the same instance get the live log rather than
+// going through recovery (which is only for fresh instances).
+func (l *Lib) OpenLog(name string) (*Log, bool) {
+	lg, ok := l.logs[name]
+	return lg, ok
+}
+
+// ListFiles returns the ncl files recorded for this application in the
+// ap-map — what a recovering instance must restore.
+func (l *Lib) ListFiles(p *simnet.Proc) ([]string, error) {
+	entries, err := l.ctrl.ListAppFiles(p, l.appID)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	return names, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// peerConn is the client-side state for one log peer of one log.
+type peerConn struct {
+	name string
+	qp   *rdma.QP
+	rkey uint64
+	// completedSeq: every record with seq <= completedSeq (data and header)
+	// is durably in this peer's region. Monotonic because the QP completes
+	// WRs in post order.
+	completedSeq uint64
+	failed       bool
+	// active: counted toward the ack majority. A replacement peer becomes
+	// active only after the ap-map names it (§4.5.2).
+	active bool
+}
+
+// Log is an open ncl file.
+type Log struct {
+	lib      *Lib
+	name     string
+	capacity int64
+
+	buf    []byte // local buffer: authoritative file content
+	length int64
+	seq    uint64
+
+	epoch     int64
+	apVersion int64
+
+	// appendOnly marks logs that only grow (RocksDB WALs, Redis AOFs);
+	// recovery may then catch lagging peers up by shipping the missing
+	// tail bytes into their existing regions instead of copying the whole
+	// region through staging (the §4.5.1 optimization). Circular logs
+	// (SQLite WALs) must leave this false.
+	appendOnly bool
+
+	peers []*peerConn
+	cq    *rdma.CQ
+
+	mu       simnet.Mutex
+	ackCond  *simnet.Cond
+	repairCh *simnet.Chan[struct{}]
+
+	released bool
+
+	// Stats.
+	Records      uint64
+	Replacements int
+	StallTime    time.Duration
+	// LastReplacement holds the latency breakdown of the most recent peer
+	// replacement (Table 3).
+	LastReplacement ReplacementStats
+}
+
+// ReplacementStats breaks down one peer replacement (§5.4.3, Table 3).
+type ReplacementStats struct {
+	GetPeer time.Duration // controller query for a new peer
+	Connect time.Duration // peer region setup + QP connect (MR registration)
+	CatchUp time.Duration // bulk transfer of the log to the new peer
+	ApMap   time.Duration // ap-map CAS on the controller
+}
+
+// Total sums the replacement steps.
+func (r ReplacementStats) Total() time.Duration {
+	return r.GetPeer + r.Connect + r.CatchUp + r.ApMap
+}
+
+// wrCtx tags record WRs so the poller can account completions.
+type recCtx struct {
+	pc     *peerConn
+	seq    uint64
+	header bool
+}
+
+// bulkCtx tags catch-up transfers; completions are forwarded to the waiter.
+type bulkCtx struct {
+	done *simnet.Chan[error]
+}
+
+func (l *Lib) n() int { return 2*l.cfg.F + 1 }
+
+// LogOptions tunes per-file behaviour.
+type LogOptions struct {
+	// AppendOnly enables the tail-shipping recovery catch-up (§4.5.1).
+	// Only set it for files that are never overwritten in place.
+	AppendOnly bool
+}
+
+// Open creates a new ncl file of the given capacity: it obtains 2f+1 peers
+// from the controller, sets up a memory region on each, and records the
+// allocation in the ap-map (§4.3, Fig 4). The returned Log is empty.
+func (l *Lib) Open(p *simnet.Proc, name string, capacity int64) (*Log, error) {
+	return l.OpenWithOptions(p, name, capacity, LogOptions{})
+}
+
+// OpenWithOptions is Open with per-file options.
+func (l *Lib) OpenWithOptions(p *simnet.Proc, name string, capacity int64, opts LogOptions) (*Log, error) {
+	lg := &Log{
+		lib:        l,
+		name:       name,
+		capacity:   capacity,
+		buf:        make([]byte, HeaderSize+capacity),
+		epoch:      1,
+		appendOnly: opts.AppendOnly,
+		cq:         rdma.NewCQ(l.sim),
+		repairCh:   simnet.NewChan[struct{}](l.sim),
+	}
+	lg.ackCond = simnet.NewCond(&lg.mu)
+
+	var exclude []string
+	for len(lg.peers) < l.n() {
+		pc, err := l.allocatePeer(p, lg, exclude, lg.epoch)
+		if err != nil {
+			return nil, err
+		}
+		exclude = append(exclude, pc.name)
+		pc.active = true
+		lg.peers = append(lg.peers, pc)
+	}
+	// Step 4b: record the allocation in the ap-map.
+	names := lg.peerNames()
+	ver, err := l.ctrl.SetAppFile(p, l.appID, name, controller.FileEntry{
+		Peers: names, Epoch: lg.epoch, RegionSize: lg.regionSize(), AppendOnly: lg.appendOnly,
+	}, -1)
+	if err != nil {
+		return nil, fmt.Errorf("ncl: ap-map update: %w", err)
+	}
+	lg.apVersion = ver
+	l.logs[name] = lg
+	lg.start(p)
+	return lg, nil
+}
+
+// allocatePeer picks a candidate from the controller, sets up a region and
+// connects a QP. The controller's answer is a hint; peers that reject (or
+// died) are skipped and another candidate is requested (§4.3).
+func (l *Lib) allocatePeer(p *simnet.Proc, lg *Log, exclude []string, epoch int64) (*peerConn, error) {
+	tried := append([]string(nil), exclude...)
+	tried = append(tried, l.suspectNames(p.Now())...)
+	for attempt := 0; attempt < l.cfg.SetupRetries; attempt++ {
+		cands, err := l.ctrl.PickPeers(p, 1, lg.regionSize(), tried)
+		if err != nil {
+			return nil, fmt.Errorf("ncl: pick peers: %w", err)
+		}
+		if len(cands) == 0 {
+			return nil, ErrNoPeers
+		}
+		cand := cands[0]
+		tried = append(tried, cand.Name)
+		pc, err := l.connectPeer(p, lg, cand, epoch)
+		if err != nil {
+			continue // rejected or dead: try the next candidate
+		}
+		return pc, nil
+	}
+	return nil, ErrNoPeers
+}
+
+// connectPeer asks one candidate to set up a region and connects a QP.
+// The setup timeout scales with the region size: registration pins memory
+// at roughly a GB/s, so large regions legitimately take hundreds of ms.
+func (l *Lib) connectPeer(p *simnet.Proc, lg *Log, cand controller.PeerInfo, epoch int64) (*peerConn, error) {
+	timeout := 200*time.Millisecond + time.Duration(float64(lg.regionSize())/0.5e9*float64(time.Second))
+	resp, err := l.sim.Net().CallTimeout(p, l.node, cand.Addr, peer.SetupReq{
+		App: l.appID, File: lg.name, Size: lg.regionSize(), Epoch: epoch,
+	}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	setup := resp.(peer.SetupResp)
+	qp, err := l.nic.Connect(p, cand.Name, lg.cq)
+	if err != nil {
+		return nil, err
+	}
+	return &peerConn{name: cand.Name, qp: qp, rkey: setup.RKey}, nil
+}
+
+func (lg *Log) regionSize() int64 { return HeaderSize + lg.capacity }
+
+func (lg *Log) peerNames() []string {
+	names := make([]string, len(lg.peers))
+	for i, pc := range lg.peers {
+		names[i] = pc.name
+	}
+	return names
+}
+
+// start spawns the completion poller and the repair proc. Both die with the
+// application node.
+func (lg *Log) start(p *simnet.Proc) {
+	p.GoOn(lg.lib.node, "ncl-poller:"+lg.name, lg.pollLoop)
+	p.GoOn(lg.lib.node, "ncl-repair:"+lg.name, lg.repairLoop)
+}
+
+// pollLoop drains the shared CQ, advancing per-peer completed sequence
+// numbers and routing bulk-transfer completions to their waiters.
+func (lg *Log) pollLoop(p *simnet.Proc) {
+	for {
+		c, ok := lg.cq.Poll(p)
+		if !ok {
+			return
+		}
+		switch ctx := c.Ctx.(type) {
+		case recCtx:
+			lg.mu.Lock(p)
+			if c.Err != nil {
+				if !ctx.pc.failed {
+					ctx.pc.failed = true
+					lg.lib.markSuspect(ctx.pc.name, p.Now())
+					lg.repairCh.Send(p, struct{}{})
+				}
+			} else if ctx.header && ctx.seq > ctx.pc.completedSeq {
+				ctx.pc.completedSeq = ctx.seq
+			}
+			lg.ackCond.Broadcast(p)
+			lg.mu.Unlock(p)
+		case bulkCtx:
+			ctx.done.Send(p, c.Err)
+		}
+	}
+}
+
+// header returns the 16-byte header for the current seq/length.
+func (lg *Log) header() []byte {
+	var h [HeaderSize]byte
+	binary.LittleEndian.PutUint64(h[0:8], lg.seq)
+	binary.LittleEndian.PutUint64(h[8:16], uint64(lg.length))
+	return h[:]
+}
+
+// Record replicates one application write at the given file offset (§4.4).
+// It assigns the next sequence number, posts a data write followed by a
+// header write to every active peer, and returns once at least f+1 active
+// peers have completed every record up to and including this one.
+//
+// Record supports overwrites at arbitrary offsets within the region, which
+// is how circular logs (SQLite-style, Fig 7ii) are replicated physically.
+func (lg *Log) Record(p *simnet.Proc, off int64, data []byte) error {
+	lg.mu.Lock(p)
+	defer lg.mu.Unlock(p)
+	if lg.released {
+		return ErrReleased
+	}
+	end := off + int64(len(data))
+	if off < 0 || end > lg.capacity {
+		return fmt.Errorf("%w: [%d,%d) cap %d", ErrRegionFull, off, end, lg.capacity)
+	}
+	if lg.appendOnly && off != lg.length {
+		return fmt.Errorf("ncl: overwrite at %d on append-only log %s (length %d)", off, lg.name, lg.length)
+	}
+	copy(lg.buf[HeaderSize+off:], data)
+	if end > lg.length {
+		lg.length = end
+	}
+	lg.seq++
+	seq := lg.seq
+	hdr := lg.header()
+	for _, pc := range lg.peers {
+		if pc.active && !pc.failed {
+			pc.qp.PostWrite(p, pc.rkey, HeaderSize+int(off), data, recCtx{pc: pc, seq: seq, header: false})
+			pc.qp.PostWrite(p, pc.rkey, 0, hdr, recCtx{pc: pc, seq: seq, header: true})
+		}
+	}
+	p.Sleep(lg.lib.cfg.RecordCPU)
+	lg.Records++
+	start := p.Now()
+	for lg.ackCount(seq) <= lg.lib.cfg.F {
+		if lg.released {
+			return ErrReleased
+		}
+		if timedOut := lg.ackCond.WaitTimeout(p, lg.lib.cfg.AckTimeout); timedOut {
+			// No majority progress: make sure repair is running (it may
+			// already be replacing failed peers).
+			lg.repairCh.Send(p, struct{}{})
+		}
+	}
+	if wait := p.Now() - start; wait > time.Millisecond {
+		lg.StallTime += wait
+	}
+	return nil
+}
+
+// ackCount returns how many active peers hold every record up to seq.
+func (lg *Log) ackCount(seq uint64) int {
+	n := 0
+	for _, pc := range lg.peers {
+		if pc.active && !pc.failed && pc.completedSeq >= seq {
+			n++
+		}
+	}
+	return n
+}
+
+// Append is Record at the current end of the log.
+func (lg *Log) Append(p *simnet.Proc, data []byte) (off int64, err error) {
+	off = lg.length
+	return off, lg.Record(p, off, data)
+}
+
+// Length returns the log's current byte length.
+func (lg *Log) Length() int64 { return lg.length }
+
+// Capacity returns the region capacity in bytes.
+func (lg *Log) Capacity() int64 { return lg.capacity }
+
+// Seq returns the last assigned sequence number (tests).
+func (lg *Log) Seq() uint64 { return lg.seq }
+
+// Epoch returns the log's current allocation epoch (tests).
+func (lg *Log) Epoch() int64 { return lg.epoch }
+
+// Bytes returns the local buffer content (the file view).
+func (lg *Log) Bytes() []byte { return lg.buf[HeaderSize : HeaderSize+lg.length] }
+
+// RemoteReadAt reads log content directly from a live peer's region with a
+// 1-sided RDMA read instead of the local buffer — the "NCL no prefetch"
+// variant of Fig 11(a). It exists to show why Recover prefetches.
+func (lg *Log) RemoteReadAt(p *simnet.Proc, buf []byte, off int64) (int, error) {
+	if off >= lg.length {
+		return 0, nil
+	}
+	n := int64(len(buf))
+	if off+n > lg.length {
+		n = lg.length - off
+	}
+	var target *peerConn
+	for _, pc := range lg.peers {
+		if pc.active && !pc.failed {
+			target = pc
+			break
+		}
+	}
+	if target == nil {
+		return 0, ErrUnavailable
+	}
+	p.Sleep(2 * time.Microsecond) // per-read library overhead (WR setup + poll)
+	if err := lg.readInto(p, target, HeaderSize+int(off), buf[:n]); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// ReadAt copies log content into buf from offset off.
+func (lg *Log) ReadAt(buf []byte, off int64) int {
+	if off >= lg.length {
+		return 0
+	}
+	n := int64(len(buf))
+	if off+n > lg.length {
+		n = lg.length - off
+	}
+	copy(buf[:n], lg.buf[HeaderSize+off:HeaderSize+off+n])
+	return int(n)
+}
+
+// Release frees the log's resources everywhere: the paper's `release` call,
+// invoked when the application deletes the ncl file after a checkpoint or
+// compaction (§4.3). Peer regions are released, the ap-map entry removed,
+// and the local state reset.
+func (lg *Log) Release(p *simnet.Proc) error {
+	lg.mu.Lock(p)
+	if lg.released {
+		lg.mu.Unlock(p)
+		return nil
+	}
+	lg.released = true
+	lg.ackCond.Broadcast(p)
+	peers := append([]*peerConn(nil), lg.peers...)
+	lg.mu.Unlock(p)
+
+	net := lg.lib.sim.Net()
+	for _, pc := range peers {
+		// Best-effort: dead peers' allocations are reclaimed by their GC.
+		net.CallTimeout(p, lg.lib.node, peer.Addr(pc.name), peer.ReleaseReq{ //nolint:errcheck
+			App: lg.lib.appID, File: lg.name,
+		}, 10*time.Millisecond)
+		pc.qp.Close(p)
+	}
+	if err := lg.lib.ctrl.DeleteAppFile(p, lg.lib.appID, lg.name); err != nil {
+		return fmt.Errorf("ncl: ap-map delete: %w", err)
+	}
+	delete(lg.lib.logs, lg.name)
+	// Tear down the poller and repair procs.
+	lg.cq.Close(p)
+	lg.repairCh.Close(p)
+	return nil
+}
+
+// ReleaseByName frees an ncl file that is not open (e.g. a log superseded
+// by a checkpoint that a recovering application deletes without replaying):
+// peers holding regions are told to release them and the ap-map entry is
+// removed. Unreachable peers reclaim their allocations via the space-leak
+// GC once the entry is gone.
+func (l *Lib) ReleaseByName(p *simnet.Proc, name string) error {
+	if lg, ok := l.logs[name]; ok {
+		return lg.Release(p)
+	}
+	entry, _, found, err := l.ctrl.GetAppFile(p, l.appID, name)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return nil
+	}
+	for _, pname := range entry.Peers {
+		l.sim.Net().CallTimeout(p, l.node, peer.Addr(pname), peer.ReleaseReq{ //nolint:errcheck
+			App: l.appID, File: name,
+		}, 10*time.Millisecond)
+	}
+	return l.ctrl.DeleteAppFile(p, l.appID, name)
+}
+
+// LivePeers returns the names of currently active, healthy peers (tests).
+func (lg *Log) LivePeers() []string {
+	var out []string
+	for _, pc := range lg.peers {
+		if pc.active && !pc.failed {
+			out = append(out, pc.name)
+		}
+	}
+	return out
+}

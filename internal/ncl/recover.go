@@ -1,0 +1,307 @@
+package ncl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"splitft/internal/controller"
+	"splitft/internal/peer"
+	"splitft/internal/rdma"
+	"splitft/internal/simnet"
+)
+
+// This file implements application recovery (§4.5.1): after a crash the
+// application (possibly on a different machine) reconstructs each ncl
+// file's most up-to-date content from the log peers recorded in the ap-map:
+//
+//  1. Fetch the ap-map entry from the controller ("get peer").
+//  2. Contact each peer; a peer that crashed since the allocation has lost
+//     its mr-map and rejects the lookup ("connect").
+//  3. Read the header sequence number from at least f+1 peers and pick the
+//     maximum: quorum intersection guarantees it covers every acknowledged
+//     write ("rdma read" of the headers).
+//  4. Prefetch the full region from the peer holding the maximum — the
+//     recovery peer ("rdma read").
+//  5. Catch every other responsive peer up to the recovered content by
+//     writing it to a fresh staging region and atomically switching the
+//     peer's mr-map entry — required even for equal sequence numbers, and
+//     the only safe option for circular logs (Fig 7 i/ii) ("sync peer").
+//  6. Replace unresponsive peers entirely, then publish the new membership
+//     under an incremented epoch.
+//
+// Only after (5)-(6) does Recover return data to the application: returning
+// earlier could externalize state that a subsequent failure un-recovers.
+
+// RecoveryStats breaks recovery time down as Fig 11(b) does.
+type RecoveryStats struct {
+	GetPeer  time.Duration // controller ap-map fetch
+	Connect  time.Duration // peer lookups + QP connects
+	RdmaRead time.Duration // header reads + region prefetch
+	SyncPeer time.Duration // catch-up of lagging peers + replacements
+}
+
+// Total returns the summed NCL-side recovery time.
+func (st RecoveryStats) Total() time.Duration {
+	return st.GetPeer + st.Connect + st.RdmaRead + st.SyncPeer
+}
+
+// Exists reports whether the application has an ncl file of this name
+// recorded in the ap-map.
+func (l *Lib) Exists(p *simnet.Proc, name string) (bool, error) {
+	_, _, found, err := l.ctrl.GetAppFile(p, l.appID, name)
+	return found, err
+}
+
+// Recover rebuilds the named ncl file from its log peers and returns the
+// open log with its recovered content, ready for further records.
+func (l *Lib) Recover(p *simnet.Proc, name string) (*Log, RecoveryStats, error) {
+	var st RecoveryStats
+
+	// (1) ap-map fetch.
+	t0 := p.Now()
+	entry, ver, found, err := l.ctrl.GetAppFile(p, l.appID, name)
+	if err != nil {
+		return nil, st, fmt.Errorf("ncl: recover %s: %w", name, err)
+	}
+	if !found {
+		return nil, st, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	st.GetPeer = p.Now() - t0
+
+	lg := &Log{
+		lib:        l,
+		name:       name,
+		capacity:   entry.RegionSize - HeaderSize,
+		buf:        make([]byte, entry.RegionSize),
+		epoch:      entry.Epoch,
+		apVersion:  ver,
+		appendOnly: entry.AppendOnly,
+		cq:         rdma.NewCQ(l.sim),
+		repairCh:   simnet.NewChan[struct{}](l.sim),
+	}
+	lg.ackCond = simnet.NewCond(&lg.mu)
+	// The poller runs from here so completion routing works during recovery.
+	lg.start(p)
+
+	// (2) Contact peers: mr-map lookup + QP connect.
+	t0 = p.Now()
+	var alive []*peerConn
+	var missing []int // slots in entry.Peers that need replacement
+	for i, pname := range entry.Peers {
+		resp, err := l.sim.Net().CallTimeout(p, l.node, peer.Addr(pname),
+			peer.LookupReq{App: l.appID, File: name}, 20*time.Millisecond)
+		if err != nil {
+			missing = append(missing, i)
+			continue
+		}
+		look := resp.(peer.LookupResp)
+		qp, err := l.nic.Connect(p, pname, lg.cq)
+		if err != nil {
+			missing = append(missing, i)
+			continue
+		}
+		pc := &peerConn{name: pname, qp: qp, rkey: look.RKey}
+		alive = append(alive, pc)
+		lg.peers = append(lg.peers, pc) // placed; reordered below
+	}
+	if len(alive) < l.cfg.F+1 {
+		return nil, st, fmt.Errorf("%w: %d of %d peers reachable", ErrUnavailable, len(alive), len(entry.Peers))
+	}
+	st.Connect = p.Now() - t0
+
+	// (3) Header reads: the maximum sequence number among >= f+1 responses
+	// is guaranteed to cover every acknowledged write.
+	t0 = p.Now()
+	type hdrInfo struct {
+		seq    uint64
+		length int64
+	}
+	hdrs := make(map[*peerConn]hdrInfo)
+	for _, pc := range alive {
+		hbuf := make([]byte, HeaderSize)
+		if err := lg.readInto(p, pc, 0, hbuf); err != nil {
+			continue
+		}
+		hdrs[pc] = hdrInfo{
+			seq:    binary.LittleEndian.Uint64(hbuf[0:8]),
+			length: int64(binary.LittleEndian.Uint64(hbuf[8:16])),
+		}
+	}
+	if len(hdrs) < l.cfg.F+1 {
+		return nil, st, fmt.Errorf("%w: %d header responses", ErrUnavailable, len(hdrs))
+	}
+	var recoveryPeer *peerConn
+	for _, pc := range alive { // deterministic order; first max wins
+		h, ok := hdrs[pc]
+		if !ok {
+			continue
+		}
+		if recoveryPeer == nil || h.seq > hdrs[recoveryPeer].seq {
+			recoveryPeer = pc
+		}
+	}
+	maxHdr := hdrs[recoveryPeer]
+
+	// (4) Prefetch the full region from the recovery peer.
+	if maxHdr.length > 0 {
+		if err := lg.readInto(p, recoveryPeer, HeaderSize, lg.buf[HeaderSize:HeaderSize+maxHdr.length]); err != nil {
+			return nil, st, fmt.Errorf("ncl: recovery read from %s: %w", recoveryPeer.name, err)
+		}
+	}
+	lg.seq = maxHdr.seq
+	lg.length = maxHdr.length
+	binary.LittleEndian.PutUint64(lg.buf[0:8], lg.seq)
+	binary.LittleEndian.PutUint64(lg.buf[8:16], uint64(lg.length))
+	st.RdmaRead = p.Now() - t0
+
+	// (5) Catch up every other responsive peer. Circular (and by-default
+	// all) logs get the whole region via staging + atomic switch; logs the
+	// application declared append-only get the cheaper tail shipping into
+	// their existing regions (§4.5.1's optimization).
+	t0 = p.Now()
+	for _, pc := range alive {
+		if pc == recoveryPeer {
+			pc.completedSeq = lg.seq
+			pc.active = true
+			continue
+		}
+		var err error
+		if lg.appendOnly {
+			err = lg.catchUpTail(p, pc, hdrs[pc].length)
+		} else {
+			err = lg.catchUpViaStaging(p, pc, entry.Epoch)
+		}
+		if err != nil {
+			// Treat as freshly failed: replace below.
+			pc.failed = true
+			continue
+		}
+		pc.completedSeq = lg.seq
+		pc.active = true
+	}
+	// (6) Replace unresponsive (or just-failed) peers so the fault-tolerance
+	// level is restored before the application externalizes anything.
+	needReplace := len(missing)
+	for _, pc := range alive {
+		if pc.failed {
+			needReplace++
+		}
+	}
+	if needReplace > 0 {
+		if err := lg.replaceAtRecovery(p, entry, needReplace); err != nil {
+			return nil, st, err
+		}
+	}
+	st.SyncPeer = p.Now() - t0
+
+	l.logs[name] = lg
+	return lg, st, nil
+}
+
+// readInto issues a 1-sided RDMA read from pc's region into buf and waits.
+func (lg *Log) readInto(p *simnet.Proc, pc *peerConn, off int, buf []byte) error {
+	done := simnet.NewChan[error](lg.lib.sim)
+	pc.qp.PostRead(p, pc.rkey, off, buf, bulkCtx{done: done})
+	err, ok := done.Recv(p)
+	if !ok {
+		return ErrReleased
+	}
+	return err
+}
+
+// catchUpViaStaging copies the recovered content to a fresh staging region
+// on pc and atomically switches the peer's mr-map to it (§4.5.1). The
+// switch also covers circular logs, where shipping a log tail would be
+// incorrect (Fig 7ii).
+func (lg *Log) catchUpViaStaging(p *simnet.Proc, pc *peerConn, epoch int64) error {
+	l := lg.lib
+	resp, err := l.sim.Net().Call(p, l.node, peer.Addr(pc.name), peer.AllocStagingReq{
+		App: l.appID, File: lg.name, Size: lg.regionSize(), Epoch: epoch,
+	})
+	if err != nil {
+		return err
+	}
+	stg := resp.(peer.AllocStagingResp)
+	if err := lg.bulkTransfer(p, pc.qp, stg.RKey, false); err != nil {
+		return err
+	}
+	if _, err := l.sim.Net().Call(p, l.node, peer.Addr(pc.name), peer.CommitSwitchReq{
+		App: l.appID, File: lg.name, StagingID: stg.StagingID, Epoch: epoch,
+	}); err != nil {
+		return err
+	}
+	pc.rkey = stg.RKey
+	return nil
+}
+
+// catchUpTail ships only the missing bytes at the end of an append-only
+// log into the lagging peer's EXISTING region, followed by a header write.
+// Safe because in-order replication makes a lagging peer's prefix (up to
+// its advertised length) identical to the recovered content; bytes beyond
+// it are at worst a torn, unacknowledged record that the new header caps.
+func (lg *Log) catchUpTail(p *simnet.Proc, pc *peerConn, peerLen int64) error {
+	if peerLen > lg.length {
+		// A peer cannot advertise more than the recovered maximum unless
+		// its header is corrupt; fall back to the full copy path.
+		return fmt.Errorf("ncl: peer %s advertises %d > recovered %d", pc.name, peerLen, lg.length)
+	}
+	done := simnet.NewChan[error](lg.lib.sim)
+	n := 1
+	if peerLen < lg.length {
+		pc.qp.PostWrite(p, pc.rkey, HeaderSize+int(peerLen),
+			lg.buf[HeaderSize+peerLen:HeaderSize+lg.length], bulkCtx{done: done})
+		n++
+	}
+	pc.qp.PostWrite(p, pc.rkey, 0, lg.header(), bulkCtx{done: done})
+	for i := 0; i < n; i++ {
+		err, ok := done.Recv(p)
+		if !ok {
+			return ErrReleased
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaceAtRecovery fills the missing peer slots with fresh, caught-up
+// peers and publishes the new membership under an incremented epoch.
+func (lg *Log) replaceAtRecovery(p *simnet.Proc, entry controller.FileEntry, need int) error {
+	l := lg.lib
+	newEpoch := lg.epoch + 1
+	exclude := append([]string(nil), entry.Peers...)
+	// Drop failed conns from the peer list.
+	kept := lg.peers[:0]
+	for _, pc := range lg.peers {
+		if pc.failed {
+			pc.qp.Close(p)
+			continue
+		}
+		kept = append(kept, pc)
+	}
+	lg.peers = kept
+	for i := 0; i < need; i++ {
+		pc, err := l.allocatePeer(p, lg, exclude, newEpoch)
+		if err != nil {
+			return fmt.Errorf("ncl: recovery replacement: %w", err)
+		}
+		exclude = append(exclude, pc.name)
+		if err := lg.bulkTransfer(p, pc.qp, pc.rkey, false); err != nil {
+			return fmt.Errorf("ncl: recovery catch-up of %s: %w", pc.name, err)
+		}
+		pc.completedSeq = lg.seq
+		pc.active = true
+		lg.peers = append(lg.peers, pc)
+	}
+	ver, err := l.ctrl.SetAppFile(p, l.appID, lg.name, controller.FileEntry{
+		Peers: lg.peerNames(), Epoch: newEpoch, RegionSize: lg.regionSize(),
+	}, lg.apVersion)
+	if err != nil {
+		return fmt.Errorf("ncl: recovery ap-map update: %w", err)
+	}
+	lg.apVersion = ver
+	lg.epoch = newEpoch
+	return nil
+}

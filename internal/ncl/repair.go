@@ -1,0 +1,181 @@
+package ncl
+
+import (
+	"time"
+
+	"splitft/internal/controller"
+	"splitft/internal/simnet"
+)
+
+// This file implements log-peer failure handling (§4.5.2): detecting failed
+// peers (the poller marks them on RDMA completion errors), allocating a
+// replacement, catching it up, and only then updating the ap-map — the
+// ordering Fig 7(iii) shows is required to avoid data loss. Replacement of
+// a single peer happens in the background while writes continue on the
+// remaining majority; when more than f peers are gone, Record blocks until
+// a replacement is caught up (the ~100 ms stall of Fig 12).
+
+// repairLoop waits for failure notifications and replaces failed peers one
+// at a time.
+func (lg *Log) repairLoop(p *simnet.Proc) {
+	for {
+		if _, ok := lg.repairCh.Recv(p); !ok {
+			return
+		}
+		for {
+			lg.mu.Lock(p)
+			if lg.released {
+				lg.mu.Unlock(p)
+				return
+			}
+			idx := -1
+			for i, pc := range lg.peers {
+				if pc.failed {
+					idx = i
+					break
+				}
+			}
+			lg.mu.Unlock(p)
+			if idx < 0 {
+				break
+			}
+			if !lg.replacePeer(p, idx) {
+				p.Sleep(20 * time.Millisecond) // no peer available yet; retry
+			}
+		}
+	}
+}
+
+// replacePeer substitutes the failed peer at idx with a fresh one. Order
+// matters for safety (§4.5.2): (1) allocate a region under a new epoch,
+// (2) bulk catch-up the new peer, (3) CAS the ap-map with the new
+// membership, (4) activate the peer and send it the delta. Only after (4)
+// does the peer count toward write majorities.
+func (lg *Log) replacePeer(p *simnet.Proc, idx int) bool {
+	l := lg.lib
+	lg.mu.Lock(p)
+	if lg.released || !lg.peers[idx].failed {
+		lg.mu.Unlock(p)
+		return true
+	}
+	oldPC := lg.peers[idx]
+	newEpoch := lg.epoch + 1
+	exclude := make([]string, 0, len(lg.peers))
+	for _, pc := range lg.peers {
+		exclude = append(exclude, pc.name)
+	}
+	lg.mu.Unlock(p)
+
+	// (1) Allocate and connect. (Timed for Table 3: the controller query,
+	// then region setup + MR registration + QP connect.)
+	var stats ReplacementStats
+	t0 := p.Now()
+	cands, err := l.ctrl.PickPeers(p, 1, lg.regionSize(), append(exclude, l.suspectNames(p.Now())...))
+	stats.GetPeer = p.Now() - t0
+	if err != nil || len(cands) == 0 {
+		return false
+	}
+	t0 = p.Now()
+	pc, err := l.connectPeer(p, lg, cands[0], newEpoch)
+	if err != nil {
+		// Fall back to the generic retry path for rejected hints.
+		pc, err = l.allocatePeer(p, lg, append(exclude, cands[0].Name), newEpoch)
+		if err != nil {
+			return false
+		}
+	}
+	stats.Connect = p.Now() - t0
+	// (2) Bulk catch-up from the local buffer (§4.5.2: "ncl-lib copies the
+	// contents of the ncl file from its local buffer").
+	t0 = p.Now()
+	if err := lg.bulkTransfer(p, pc.qp, pc.rkey, true); err != nil {
+		pc.qp.Close(p)
+		return false
+	}
+	stats.CatchUp = p.Now() - t0
+	// (3) ap-map switch under CAS; the epoch stamps the new membership.
+	lg.mu.Lock(p)
+	names := lg.peerNames()
+	names[idx] = pc.name
+	size := lg.regionSize()
+	apVersion := lg.apVersion
+	lg.mu.Unlock(p)
+	t0 = p.Now()
+	ver, err := l.ctrl.SetAppFile(p, l.appID, lg.name, controller.FileEntry{
+		Peers: names, Epoch: newEpoch, RegionSize: size, AppendOnly: lg.appendOnly,
+	}, apVersion)
+	stats.ApMap = p.Now() - t0
+	if err != nil {
+		// CAS failure should be impossible with a single instance; treat it
+		// as fatal for this replacement and retry from scratch.
+		pc.qp.Close(p)
+		return false
+	}
+	// (4) Activate: send the delta accumulated during (2)-(3) and include
+	// the peer in future replication. Its completedSeq only advances once
+	// the delta lands, so it joins majorities exactly when it is caught up.
+	lg.mu.Lock(p)
+	lg.apVersion = ver
+	lg.epoch = newEpoch
+	lg.postSnapshotLocked(p, pc)
+	pc.active = true
+	lg.peers[idx] = pc
+	lg.Replacements++
+	lg.LastReplacement = stats
+	lg.mu.Unlock(p)
+	oldPC.qp.Close(p)
+	return true
+}
+
+// postSnapshotLocked posts the current region content and header to pc as
+// ordinary record WRs, so the poller advances pc.completedSeq to the
+// current sequence number when they complete. Caller holds lg.mu. The
+// client-side copy briefly occupies the writer — the Fig 12 "blip".
+func (lg *Log) postSnapshotLocked(p *simnet.Proc, pc *peerConn) {
+	if lg.length > 0 {
+		p.Sleep(time.Duration(float64(lg.length) / lg.lib.cfg.CatchupCopyCPU * float64(time.Second)))
+		pc.qp.PostWrite(p, pc.rkey, HeaderSize, lg.buf[HeaderSize:HeaderSize+lg.length],
+			recCtx{pc: pc, seq: lg.seq, header: false})
+	}
+	pc.qp.PostWrite(p, pc.rkey, 0, lg.header(), recCtx{pc: pc, seq: lg.seq, header: true})
+}
+
+// bulkTransfer writes the current log snapshot (data then header) to a
+// remote region and waits for both completions. With lock=true the snapshot
+// is taken under lg.mu (consistent cut); the transfer itself proceeds
+// unlocked so writes continue meanwhile.
+func (lg *Log) bulkTransfer(p *simnet.Proc, qp qpLike, rkey uint64, lock bool) error {
+	if lock {
+		lg.mu.Lock(p)
+	}
+	var data []byte
+	if lg.length > 0 {
+		data = append([]byte(nil), lg.buf[HeaderSize:HeaderSize+lg.length]...)
+	}
+	hdr := lg.header()
+	if lock {
+		lg.mu.Unlock(p)
+	}
+	done := simnet.NewChan[error](lg.lib.sim)
+	n := 1
+	if len(data) > 0 {
+		qp.PostWrite(p, rkey, HeaderSize, data, bulkCtx{done: done})
+		n++
+	}
+	qp.PostWrite(p, rkey, 0, hdr, bulkCtx{done: done})
+	for i := 0; i < n; i++ {
+		err, ok := done.Recv(p)
+		if !ok {
+			return ErrReleased
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// qpLike lets bulkTransfer serve both live QPs and recovery-time QPs.
+type qpLike interface {
+	PostWrite(p *simnet.Proc, rkey uint64, offset int, data []byte, ctx any) uint64
+}

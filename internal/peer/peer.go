@@ -1,0 +1,426 @@
+// Package peer implements NCL log peers (§4.3, §4.5): compute nodes that
+// lend spare memory to hold replicated log regions. A peer's CPU is involved
+// only in the control plane — registration, region setup, release, recovery
+// lookup, and the atomic region switch used by catch-up. All data-plane
+// traffic reaches its memory through 1-sided RDMA without peer involvement.
+//
+// The peer enforces the paper's safety hooks:
+//
+//   - mr-map: (application, ncl file) -> memory region, consulted on
+//     recovery lookups; a peer that crashed and restarted has lost its
+//     mr-map and correctly rejects recovery requests.
+//   - Epoch validation: each region stores the epoch of the allocation; a
+//     setup request with a stale epoch is rejected.
+//   - Space-leak GC: regions whose application epoch moved on (or whose
+//     ap-map entry never appeared) are freed per the §4.5.1 rules.
+//   - Memory revocation: the peer can reclaim a region locally and
+//     instantly; subsequent RDMA writes fail and the application treats it
+//     as a peer failure.
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"splitft/internal/controller"
+	"splitft/internal/rdma"
+	"splitft/internal/simnet"
+)
+
+// Config tunes a peer daemon.
+type Config struct {
+	// LendableMem is how much memory the peer offers to the common pool.
+	LendableMem int64
+	// GCInterval is the cadence of the space-leak scan.
+	GCInterval time.Duration
+	// GCGrace is how long an allocation may exist without a matching ap-map
+	// entry before it is considered leaked (covers in-progress set-ups).
+	GCGrace time.Duration
+	// SetupCPU models the lightweight setup process work besides MR
+	// registration.
+	SetupCPU time.Duration
+}
+
+// DefaultConfig returns standard peer parameters (1 GiB lendable).
+func DefaultConfig() Config {
+	return Config{
+		LendableMem: 1 << 30,
+		GCInterval:  2 * time.Second,
+		GCGrace:     5 * time.Second,
+		SetupCPU:    200 * time.Microsecond,
+	}
+}
+
+// Errors returned to ncl-lib.
+var (
+	ErrNoMem      = errors.New("peer: insufficient lendable memory")
+	ErrNotFound   = errors.New("peer: no such region (mr-map miss)")
+	ErrStaleEpoch = errors.New("peer: allocation epoch is stale")
+	ErrDead       = errors.New("peer: daemon is down")
+)
+
+// RPC messages.
+type SetupReq struct {
+	App   string
+	File  string
+	Size  int64
+	Epoch int64
+}
+
+type SetupResp struct {
+	RKey uint64
+}
+
+type LookupReq struct {
+	App  string
+	File string
+}
+
+type LookupResp struct {
+	RKey  uint64
+	Size  int64
+	Epoch int64
+}
+
+type ReleaseReq struct {
+	App  string
+	File string
+}
+
+type AllocStagingReq struct {
+	App   string
+	File  string
+	Size  int64
+	Epoch int64
+}
+
+type AllocStagingResp struct {
+	StagingID int64
+	RKey      uint64
+}
+
+type CommitSwitchReq struct {
+	App       string
+	File      string
+	StagingID int64
+	Epoch     int64
+}
+
+type regionKey struct{ app, file string }
+
+type region struct {
+	mr        *rdma.MR
+	size      int64
+	epoch     int64
+	createdAt time.Duration
+}
+
+// Peer is a running log-peer daemon.
+type Peer struct {
+	sim  *simnet.Sim
+	node *simnet.Node
+	name string
+	nic  *rdma.NIC
+	ctrl *controller.Client
+	cfg  Config
+
+	avail     int64
+	regions   map[regionKey]*region // the mr-map
+	staging   map[int64]*region
+	nextStage int64
+	dead      bool
+
+	// recycled holds freed-but-still-registered regions by size (§4.3:
+	// released regions are recycled so the next allocation of the same
+	// size skips memory pinning).
+	recycled map[int64][]*rdma.MR
+
+	// Stats.
+	Recycles int64
+}
+
+// Addr returns the RPC address of the peer daemon named name.
+func Addr(name string) string { return name + "/peer" }
+
+// Start boots a peer daemon on node: it registers with the controller,
+// serves setup/lookup/release/switch RPCs, and runs the space-leak GC.
+// Call Start again (with a fresh NIC) after a node restart.
+func Start(p *simnet.Proc, svc *controller.Service, fabric *rdma.Fabric, node *simnet.Node, cfg Config) (*Peer, error) {
+	pr := &Peer{
+		sim:      node.Sim(),
+		node:     node,
+		name:     node.Name(),
+		nic:      fabric.AttachNIC(node),
+		cfg:      cfg,
+		avail:    cfg.LendableMem,
+		regions:  make(map[regionKey]*region),
+		staging:  make(map[int64]*region),
+		recycled: make(map[int64][]*rdma.MR),
+	}
+	pr.ctrl = controller.NewClient(svc, node, pr.name, int64(node.Incarnation()))
+	node.OnCrash(func() { pr.dead = true })
+	if err := pr.ctrl.StartSession(p); err != nil {
+		return nil, fmt.Errorf("peer %s: session: %w", pr.name, err)
+	}
+	if err := pr.ctrl.RegisterPeer(p, controller.PeerInfo{
+		Name: pr.name, Addr: Addr(pr.name), AvailMem: pr.avail,
+	}); err != nil {
+		return nil, fmt.Errorf("peer %s: register: %w", pr.name, err)
+	}
+	pr.sim.Net().Register(Addr(pr.name), node, pr.handleRPC)
+	node.Go("peer-gc:"+pr.name, pr.gcLoop)
+	return pr, nil
+}
+
+// Name returns the peer's identity.
+func (pr *Peer) Name() string { return pr.name }
+
+// Avail returns the currently unallocated lendable memory.
+func (pr *Peer) Avail() int64 { return pr.avail }
+
+// Regions returns the number of live regions in the mr-map (tests).
+func (pr *Peer) Regions() int { return len(pr.regions) }
+
+// RegionBytes exposes a region's memory for white-box tests.
+func (pr *Peer) RegionBytes(app, file string) ([]byte, bool) {
+	r, ok := pr.regions[regionKey{app, file}]
+	if !ok {
+		return nil, false
+	}
+	return r.mr.Bytes(), true
+}
+
+func (pr *Peer) handleRPC(p *simnet.Proc, req any) (any, error) {
+	if pr.dead {
+		return nil, ErrDead
+	}
+	switch r := req.(type) {
+	case SetupReq:
+		return pr.onSetup(p, r)
+	case LookupReq:
+		return pr.onLookup(p, r)
+	case ReleaseReq:
+		return nil, pr.onRelease(p, r)
+	case AllocStagingReq:
+		return pr.onAllocStaging(p, r)
+	case CommitSwitchReq:
+		return nil, pr.onCommitSwitch(p, r)
+	default:
+		return nil, fmt.Errorf("peer: unknown rpc %T", req)
+	}
+}
+
+// onSetup allocates and registers a region for an ncl file (paper step 3).
+// This is the only heavyweight peer-CPU involvement, and it happens once
+// per file (or per replacement).
+func (pr *Peer) onSetup(p *simnet.Proc, r SetupReq) (SetupResp, error) {
+	key := regionKey{r.App, r.File}
+	if old, ok := pr.regions[key]; ok {
+		if r.Epoch < old.epoch {
+			return SetupResp{}, ErrStaleEpoch
+		}
+		// Same or newer epoch re-setup (e.g. the application retried after
+		// an ambiguous failure): replace the old region.
+		pr.freeRegion(p, key, old)
+	}
+	if pr.avail < r.Size {
+		return SetupResp{}, ErrNoMem
+	}
+	pr.avail -= r.Size // reserve before the blocking registration
+	p.Sleep(pr.cfg.SetupCPU)
+	mr, err := pr.allocRegion(p, r.Size)
+	if err != nil {
+		pr.avail += r.Size
+		return SetupResp{}, err
+	}
+	pr.regions[key] = &region{mr: mr, size: r.Size, epoch: r.Epoch, createdAt: p.Now()}
+	pr.publishAvail(p)
+	return SetupResp{RKey: mr.RKey()}, nil
+}
+
+// allocRegion prefers a recycled, still-pinned region of the right size
+// (fresh rkey, no re-pinning); otherwise it registers new memory.
+func (pr *Peer) allocRegion(p *simnet.Proc, size int64) (*rdma.MR, error) {
+	if pool := pr.recycled[size]; len(pool) > 0 {
+		mr := pool[len(pool)-1]
+		pr.recycled[size] = pool[:len(pool)-1]
+		if err := pr.nic.RefreshMR(p, mr); err == nil {
+			clear := mr.Bytes()
+			for i := range clear {
+				clear[i] = 0
+			}
+			pr.Recycles++
+			return mr, nil
+		}
+		// NIC bounced since the region was pooled: fall through.
+	}
+	return pr.nic.RegisterMR(p, make([]byte, size))
+}
+
+// onLookup serves application recovery (§4.5.1): return the region key if
+// the mr-map has it, reject otherwise (e.g. this peer crashed and restarted
+// since the allocation).
+func (pr *Peer) onLookup(_ *simnet.Proc, r LookupReq) (LookupResp, error) {
+	reg, ok := pr.regions[regionKey{r.App, r.File}]
+	if !ok {
+		return LookupResp{}, ErrNotFound
+	}
+	return LookupResp{RKey: reg.mr.RKey(), Size: reg.size, Epoch: reg.epoch}, nil
+}
+
+// onRelease frees the region when the application deletes the ncl file.
+func (pr *Peer) onRelease(p *simnet.Proc, r ReleaseReq) error {
+	key := regionKey{r.App, r.File}
+	reg, ok := pr.regions[key]
+	if !ok {
+		return nil // idempotent
+	}
+	pr.freeRegion(p, key, reg)
+	pr.publishAvail(p)
+	return nil
+}
+
+// onAllocStaging allocates a staging region for the atomic catch-up switch
+// (§4.5.1): the recovering application RDMA-writes the recovered content
+// into staging, then commits the switch.
+func (pr *Peer) onAllocStaging(p *simnet.Proc, r AllocStagingReq) (AllocStagingResp, error) {
+	if pr.avail < r.Size {
+		return AllocStagingResp{}, ErrNoMem
+	}
+	pr.avail -= r.Size
+	p.Sleep(pr.cfg.SetupCPU)
+	mr, err := pr.allocRegion(p, r.Size)
+	if err != nil {
+		pr.avail += r.Size
+		return AllocStagingResp{}, err
+	}
+	pr.nextStage++
+	id := pr.nextStage
+	pr.staging[id] = &region{mr: mr, size: r.Size, epoch: r.Epoch, createdAt: p.Now()}
+	return AllocStagingResp{StagingID: id, RKey: mr.RKey()}, nil
+}
+
+// onCommitSwitch atomically repoints the mr-map entry to the staged region
+// and invalidates the old one. "Atomic" is trivial here — the handler body
+// runs without yielding between the two assignments.
+func (pr *Peer) onCommitSwitch(p *simnet.Proc, r CommitSwitchReq) error {
+	stage, ok := pr.staging[r.StagingID]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(pr.staging, r.StagingID)
+	key := regionKey{r.App, r.File}
+	if old, ok := pr.regions[key]; ok {
+		pr.freeRegion(p, key, old)
+	}
+	stage.epoch = r.Epoch
+	pr.regions[key] = stage
+	pr.publishAvail(p)
+	return nil
+}
+
+func (pr *Peer) freeRegion(_ *simnet.Proc, key regionKey, reg *region) {
+	reg.mr.Invalidate()
+	// Keep the memory pinned for reuse by a future same-size allocation.
+	pr.recycled[reg.size] = append(pr.recycled[reg.size], reg.mr)
+	pr.avail += reg.size
+	delete(pr.regions, key)
+}
+
+// publishAvail updates the controller's (hint) view of available memory in
+// the background so data-path RPCs don't wait on a Raft commit.
+func (pr *Peer) publishAvail(p *simnet.Proc) {
+	avail := pr.avail
+	p.GoOn(pr.node, "peer-avail:"+pr.name, func(up *simnet.Proc) {
+		pr.ctrl.UpdatePeerMem(up, pr.name, avail) //nolint:errcheck
+	})
+}
+
+// Revoke reclaims the memory of one region at the peer's will (memory
+// pressure, §4.5.2). Reclamation is local and instantaneous: the MR is
+// invalidated so subsequent RDMA writes fail and the application treats
+// this peer as failed. Background bookkeeping follows.
+func (pr *Peer) Revoke(p *simnet.Proc, app, file string) bool {
+	key := regionKey{app, file}
+	reg, ok := pr.regions[key]
+	if !ok {
+		return false
+	}
+	pr.freeRegion(p, key, reg)
+	pr.publishAvail(p)
+	return true
+}
+
+// gcLoop implements the §4.5.1 space-leak rules: for each region with epoch
+// e_r, fetch the application's current ap-map entry epoch e. If e > e_r the
+// application moved on — free. If e < e_r the allocation may still be in
+// progress — keep. If e == e_r, free only if this peer is not a member. A
+// region with no ap-map entry at all is freed once older than the grace
+// period (the application died between allocation and ap-map update).
+func (pr *Peer) gcLoop(p *simnet.Proc) {
+	for {
+		p.Sleep(pr.cfg.GCInterval)
+		// Snapshot keys in deterministic order.
+		keys := make([]regionKey, 0, len(pr.regions))
+		for k := range pr.regions {
+			keys = append(keys, k)
+		}
+		sortRegionKeys(keys)
+		freed := false
+		for _, k := range keys {
+			reg, ok := pr.regions[k]
+			if !ok {
+				continue // released while we slept
+			}
+			entry, _, found, err := pr.ctrl.GetAppFile(p, k.app, k.file)
+			if err != nil {
+				continue // controller unavailable; retry next round
+			}
+			if !found {
+				if p.Now()-reg.createdAt > pr.cfg.GCGrace {
+					pr.freeRegion(p, k, reg)
+					freed = true
+				}
+				continue
+			}
+			switch {
+			case entry.Epoch > reg.epoch:
+				pr.freeRegion(p, k, reg)
+				freed = true
+			case entry.Epoch < reg.epoch:
+				// Allocation newer than the ap-map: still in progress.
+			default:
+				member := false
+				for _, name := range entry.Peers {
+					if name == pr.name {
+						member = true
+						break
+					}
+				}
+				if !member {
+					pr.freeRegion(p, k, reg)
+					freed = true
+				}
+			}
+		}
+		if freed {
+			pr.publishAvail(p)
+		}
+	}
+}
+
+func sortRegionKeys(keys []regionKey) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && less(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+func less(a, b regionKey) bool {
+	if a.app != b.app {
+		return a.app < b.app
+	}
+	return a.file < b.file
+}

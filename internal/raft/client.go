@@ -1,0 +1,68 @@
+package raft
+
+import (
+	"errors"
+	"time"
+
+	"splitft/internal/simnet"
+)
+
+// Client submits commands to a Raft group from some node, following leader
+// hints and retrying around elections and failures.
+type Client struct {
+	cluster *Cluster
+	node    *simnet.Node
+	hint    int // index into cluster.ids of the believed leader
+	// Deadline bounds one Propose end to end (default 3s).
+	Deadline time.Duration
+	// CallTimeout bounds each RPC attempt (default 500ms). Lower it when
+	// the caller must fail over quickly, e.g. session keep-alives racing an
+	// expiry clock.
+	CallTimeout time.Duration
+}
+
+// NewClient creates a client that calls from node.
+func NewClient(cluster *Cluster, node *simnet.Node) *Client {
+	return &Client{cluster: cluster, node: node, Deadline: 3 * time.Second, CallTimeout: 500 * time.Millisecond}
+}
+
+// Propose submits cmd, blocking until the state machine applied it on the
+// leader, and returns the Apply result. Commands may be re-submitted after
+// ambiguous failures (timeouts), so state-machine operations should be
+// idempotent or versioned, as the controller's are.
+func (c *Client) Propose(p *simnet.Proc, cmd any) (any, error) {
+	net := c.cluster.sim.Net()
+	deadline := p.Now() + c.Deadline
+	var lastErr error = ErrTimeout
+	for p.Now() < deadline {
+		id := c.cluster.ids[c.hint%len(c.cluster.ids)]
+		resp, err := net.CallTimeout(p, c.node, c.cluster.Addr(id), proposeArgs{Cmd: cmd}, c.CallTimeout)
+		switch {
+		case err == nil:
+			return resp.(proposeReply).Result, nil
+		case errors.Is(err, ErrNotLeader):
+			var nle NotLeaderError
+			if errors.As(err, &nle) && nle.Hint != "" {
+				c.hint = c.indexOf(nle.Hint)
+			} else {
+				c.hint++
+				p.Sleep(10 * time.Millisecond) // election likely in progress
+			}
+			lastErr = err
+		default:
+			c.hint++
+			p.Sleep(20 * time.Millisecond)
+			lastErr = err
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) indexOf(id string) int {
+	for i, x := range c.cluster.ids {
+		if x == id {
+			return i
+		}
+	}
+	return 0
+}

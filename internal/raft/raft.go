@@ -1,0 +1,585 @@
+// Package raft implements a compact Raft consensus protocol over the
+// simulated network. It is the replication substrate for the NCL controller
+// (the paper uses a fault-tolerant ZooKeeper instance; a three-replica Raft
+// group provides the same guarantees — linearizable metadata operations that
+// survive controller-node failures — with a comparable few-millisecond
+// commit cost dominated by log fsyncs and quorum round trips).
+//
+// The implementation covers leader election with randomized timeouts, log
+// replication with conflict rollback, the commit rule restricted to
+// current-term entries, crash-restart with persistent term/vote/log, and
+// linearizable reads (as no-op commands through the log). Log compaction is
+// intentionally omitted: controller logs in every experiment stay far below
+// the point where snapshotting matters.
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"splitft/internal/simnet"
+)
+
+// Config holds protocol timing. Defaults suit the controller's deployment:
+// commit latency ~2 ms, failover within a few hundred milliseconds.
+type Config struct {
+	HeartbeatInterval  time.Duration
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+	// FsyncCost models persisting term/vote/log entries before answering.
+	FsyncCost time.Duration
+	// ProposeTimeout bounds how long a replica holds a client proposal
+	// while waiting for commit.
+	ProposeTimeout time.Duration
+}
+
+// DefaultConfig returns the standard timing parameters.
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatInterval:  20 * time.Millisecond,
+		ElectionTimeoutMin: 100 * time.Millisecond,
+		ElectionTimeoutMax: 200 * time.Millisecond,
+		FsyncCost:          800 * time.Microsecond,
+		ProposeTimeout:     2 * time.Second,
+	}
+}
+
+// StateMachine is the replicated application. Apply must be deterministic;
+// it runs on every replica in log order.
+type StateMachine interface {
+	Apply(cmd any) any
+}
+
+// Errors returned to clients.
+var (
+	// ErrNotLeader carries a leader hint in its message ("" if unknown).
+	ErrNotLeader = errors.New("raft: not leader")
+	ErrTimeout   = errors.New("raft: proposal timed out")
+)
+
+// NotLeaderError rejects a proposal sent to a non-leader, carrying a hint
+// to the current leader's id when known.
+type NotLeaderError struct{ Hint string }
+
+func (e NotLeaderError) Error() string        { return "raft: not leader; hint=" + e.Hint }
+func (e NotLeaderError) Is(target error) bool { return target == ErrNotLeader }
+
+type entry struct {
+	Term int
+	Cmd  any
+}
+
+// disk is the persistent state of one replica; it survives node crashes
+// (in the Cluster registry, standing in for the replica's local SSD).
+type disk struct {
+	term     int
+	votedFor string
+	log      []entry // 1-indexed semantically; log[0] unused sentinel
+}
+
+// Cluster owns the durable state of all replicas of one Raft group and the
+// naming needed to (re)start them.
+type Cluster struct {
+	sim    *simnet.Sim
+	name   string
+	cfg    Config
+	ids    []string
+	disks  map[string]*disk
+	smFact func() StateMachine
+}
+
+// NewCluster defines a Raft group with the given replica ids (which double
+// as RPC address suffixes). smFactory builds a fresh state machine for a
+// (re)starting replica; the log replay rebuilds its contents.
+func NewCluster(s *simnet.Sim, name string, cfg Config, ids []string, smFactory func() StateMachine) *Cluster {
+	c := &Cluster{sim: s, name: name, cfg: cfg, ids: ids, disks: make(map[string]*disk), smFact: smFactory}
+	for _, id := range ids {
+		c.disks[id] = &disk{log: make([]entry, 1)}
+	}
+	return c
+}
+
+// Addr returns the RPC address of replica id.
+func (c *Cluster) Addr(id string) string { return c.name + "/raft/" + id }
+
+// Addrs returns all replica addresses (for clients).
+func (c *Cluster) Addrs() []string {
+	out := make([]string, len(c.ids))
+	for i, id := range c.ids {
+		out[i] = c.Addr(id)
+	}
+	return out
+}
+
+type role int
+
+const (
+	follower role = iota
+	candidate
+	leader
+)
+
+// Replica is one running Raft participant. Start a replica per controller
+// node; restart it (StartReplica again) after the node recovers.
+type Replica struct {
+	cluster *Cluster
+	id      string
+	node    *simnet.Node
+	d       *disk
+
+	mu       simnet.Mutex
+	role     role
+	leaderID string
+
+	commitIndex int
+	lastApplied int
+	sm          StateMachine
+
+	// Leader volatile state.
+	nextIndex  map[string]int
+	matchIndex map[string]int
+
+	lastHeard   time.Duration
+	applyCond   *simnet.Cond // signalled when commitIndex advances
+	replWake    *simnet.Cond // kicks replicators on new entries
+	incarnation int
+
+	// applyResults holds state-machine results for entries this leader
+	// proposed, keyed by log index, until the proposer collects them.
+	applyResults map[int]any
+}
+
+// StartReplica boots (or reboots) replica id on node. Persistent state is
+// reloaded from the cluster's disk registry; volatile state starts fresh.
+func StartReplica(c *Cluster, node *simnet.Node, id string) *Replica {
+	r := &Replica{
+		cluster:     c,
+		id:          id,
+		node:        node,
+		d:           c.disks[id],
+		role:        follower,
+		sm:          c.smFact(),
+		incarnation: node.Incarnation(),
+	}
+	r.applyCond = simnet.NewCond(&r.mu)
+	r.replWake = simnet.NewCond(&r.mu)
+	if r.d == nil {
+		panic(fmt.Sprintf("raft: unknown replica id %q", id))
+	}
+	c.sim.Net().Register(c.Addr(id), node, r.handleRPC)
+	node.Go("raft-ticker:"+id, r.electionTicker)
+	node.Go("raft-apply:"+id, r.applyLoop)
+	return r
+}
+
+func (r *Replica) persist(p *simnet.Proc) {
+	p.Sleep(r.cluster.cfg.FsyncCost)
+}
+
+func (r *Replica) lastLogIndex() int { return len(r.d.log) - 1 }
+func (r *Replica) lastLogTerm() int  { return r.d.log[len(r.d.log)-1].Term }
+
+// Message types.
+type requestVoteArgs struct {
+	Term         int
+	CandidateID  string
+	LastLogIndex int
+	LastLogTerm  int
+}
+
+type requestVoteReply struct {
+	Term    int
+	Granted bool
+}
+
+type appendEntriesArgs struct {
+	Term         int
+	LeaderID     string
+	PrevLogIndex int
+	PrevLogTerm  int
+	Entries      []entry
+	LeaderCommit int
+}
+
+type appendEntriesReply struct {
+	Term          int
+	Success       bool
+	ConflictIndex int
+}
+
+type proposeArgs struct {
+	Cmd any
+}
+
+type proposeReply struct {
+	Result any
+}
+
+func (r *Replica) handleRPC(p *simnet.Proc, req any) (any, error) {
+	switch a := req.(type) {
+	case requestVoteArgs:
+		return r.onRequestVote(p, a), nil
+	case appendEntriesArgs:
+		return r.onAppendEntries(p, a), nil
+	case proposeArgs:
+		return r.onPropose(p, a)
+	default:
+		return nil, fmt.Errorf("raft: unknown rpc %T", req)
+	}
+}
+
+// stepDown transitions to follower in a newer term. Caller holds mu.
+func (r *Replica) stepDown(p *simnet.Proc, term int) {
+	r.d.term = term
+	r.d.votedFor = ""
+	r.role = follower
+	r.leaderID = ""
+	r.persist(p)
+}
+
+func (r *Replica) onRequestVote(p *simnet.Proc, a requestVoteArgs) requestVoteReply {
+	r.mu.Lock(p)
+	defer r.mu.Unlock(p)
+	if a.Term > r.d.term {
+		r.stepDown(p, a.Term)
+	}
+	reply := requestVoteReply{Term: r.d.term}
+	if a.Term < r.d.term {
+		return reply
+	}
+	upToDate := a.LastLogTerm > r.lastLogTerm() ||
+		(a.LastLogTerm == r.lastLogTerm() && a.LastLogIndex >= r.lastLogIndex())
+	if (r.d.votedFor == "" || r.d.votedFor == a.CandidateID) && upToDate {
+		r.d.votedFor = a.CandidateID
+		r.lastHeard = p.Now() // granting a vote resets the election timer
+		r.persist(p)
+		reply.Granted = true
+	}
+	return reply
+}
+
+func (r *Replica) onAppendEntries(p *simnet.Proc, a appendEntriesArgs) appendEntriesReply {
+	r.mu.Lock(p)
+	defer r.mu.Unlock(p)
+	if a.Term > r.d.term {
+		r.stepDown(p, a.Term)
+	}
+	reply := appendEntriesReply{Term: r.d.term}
+	if a.Term < r.d.term {
+		return reply
+	}
+	// Valid leader for our term.
+	r.lastHeard = p.Now()
+	r.leaderID = a.LeaderID
+	if r.role != follower {
+		r.role = follower
+	}
+	if a.PrevLogIndex > r.lastLogIndex() {
+		reply.ConflictIndex = r.lastLogIndex() + 1
+		return reply
+	}
+	if a.PrevLogIndex > 0 && r.d.log[a.PrevLogIndex].Term != a.PrevLogTerm {
+		// Roll back to the first entry of the conflicting term.
+		ct := r.d.log[a.PrevLogIndex].Term
+		ci := a.PrevLogIndex
+		for ci > 1 && r.d.log[ci-1].Term == ct {
+			ci--
+		}
+		reply.ConflictIndex = ci
+		return reply
+	}
+	// Append new entries, truncating on divergence.
+	changed := false
+	for i, e := range a.Entries {
+		idx := a.PrevLogIndex + 1 + i
+		if idx <= r.lastLogIndex() {
+			if r.d.log[idx].Term != e.Term {
+				r.d.log = r.d.log[:idx]
+				r.d.log = append(r.d.log, e)
+				changed = true
+			}
+		} else {
+			r.d.log = append(r.d.log, e)
+			changed = true
+		}
+	}
+	if changed {
+		r.persist(p)
+	}
+	if a.LeaderCommit > r.commitIndex {
+		ci := a.LeaderCommit
+		if ci > r.lastLogIndex() {
+			ci = r.lastLogIndex()
+		}
+		if ci > r.commitIndex {
+			r.commitIndex = ci
+			r.applyCond.Broadcast(p)
+		}
+	}
+	reply.Success = true
+	return reply
+}
+
+// onPropose appends the command (if leader) and waits for it to commit and
+// apply, returning the state machine's result.
+func (r *Replica) onPropose(p *simnet.Proc, a proposeArgs) (any, error) {
+	r.mu.Lock(p)
+	if r.role != leader {
+		hint := r.leaderID
+		r.mu.Unlock(p)
+		return nil, NotLeaderError{Hint: hint}
+	}
+	r.d.log = append(r.d.log, entry{Term: r.d.term, Cmd: a.Cmd})
+	idx := r.lastLogIndex()
+	term := r.d.term
+	r.persist(p)
+	r.matchIndex[r.id] = idx
+	r.replWake.Broadcast(p)
+	deadline := p.Now() + r.cluster.cfg.ProposeTimeout
+	for r.lastApplied < idx {
+		if r.d.term != term || r.role != leader {
+			r.mu.Unlock(p)
+			return nil, NotLeaderError{Hint: r.leaderID}
+		}
+		if p.Now() >= deadline {
+			r.mu.Unlock(p)
+			return nil, ErrTimeout
+		}
+		r.applyCond.WaitTimeout(p, 10*time.Millisecond)
+	}
+	// Verify the entry at idx is still ours (no truncation by a new leader).
+	if r.d.log[idx].Term != term {
+		r.mu.Unlock(p)
+		return nil, NotLeaderError{Hint: r.leaderID}
+	}
+	res := r.applyResults[idx]
+	delete(r.applyResults, idx)
+	r.mu.Unlock(p)
+	return proposeReply{Result: res}, nil
+}
+
+func (r *Replica) electionTicker(p *simnet.Proc) {
+	cfg := r.cluster.cfg
+	for {
+		span := cfg.ElectionTimeoutMax - cfg.ElectionTimeoutMin
+		timeout := cfg.ElectionTimeoutMin + time.Duration(p.Rand().Int63n(int64(span)))
+		p.Sleep(timeout / 4)
+		r.mu.Lock(p)
+		if r.role != leader && p.Now()-r.lastHeard >= timeout {
+			r.startElection(p)
+		}
+		r.mu.Unlock(p)
+	}
+}
+
+// startElection runs a candidate round. Caller holds mu; it is released
+// while votes are in flight and reacquired before returning.
+func (r *Replica) startElection(p *simnet.Proc) {
+	r.role = candidate
+	r.d.term++
+	r.d.votedFor = r.id
+	r.leaderID = ""
+	r.lastHeard = p.Now()
+	term := r.d.term
+	r.persist(p)
+	args := requestVoteArgs{
+		Term:         term,
+		CandidateID:  r.id,
+		LastLogIndex: r.lastLogIndex(),
+		LastLogTerm:  r.lastLogTerm(),
+	}
+	votes := 1
+	responses := 1
+	total := len(r.cluster.ids)
+	done := simnet.NewChan[bool](r.cluster.sim)
+	for _, peer := range r.cluster.ids {
+		if peer == r.id {
+			continue
+		}
+		addr := r.cluster.Addr(peer)
+		p.Go("raft-vote-req:"+peer, func(vp *simnet.Proc) {
+			resp, err := r.cluster.sim.Net().CallTimeout(vp, r.node, addr, args, r.cluster.cfg.ElectionTimeoutMin)
+			granted := false
+			if err == nil {
+				rep := resp.(requestVoteReply)
+				r.mu.Lock(vp)
+				if rep.Term > r.d.term {
+					r.stepDown(vp, rep.Term)
+				}
+				r.mu.Unlock(vp)
+				granted = rep.Granted
+			}
+			done.Send(vp, granted)
+		})
+	}
+	r.mu.Unlock(p)
+	for responses < total {
+		g, ok := done.Recv(p)
+		if !ok {
+			break
+		}
+		responses++
+		if g {
+			votes++
+		}
+		if votes > total/2 {
+			break
+		}
+	}
+	r.mu.Lock(p)
+	if r.role == candidate && r.d.term == term && votes > total/2 {
+		r.becomeLeader(p)
+	}
+}
+
+// becomeLeader initializes leader state and starts replicators. Holds mu.
+func (r *Replica) becomeLeader(p *simnet.Proc) {
+	r.role = leader
+	r.leaderID = r.id
+	r.nextIndex = make(map[string]int)
+	r.matchIndex = make(map[string]int)
+	for _, id := range r.cluster.ids {
+		r.nextIndex[id] = r.lastLogIndex() + 1
+		r.matchIndex[id] = 0
+	}
+	r.matchIndex[r.id] = r.lastLogIndex()
+	term := r.d.term
+	for _, peer := range r.cluster.ids {
+		if peer == r.id {
+			continue
+		}
+		peer := peer
+		p.GoOn(r.node, "raft-repl:"+peer, func(rp *simnet.Proc) { r.replicate(rp, peer, term) })
+	}
+	// Commit a no-op to establish commitment in the new term promptly.
+	r.d.log = append(r.d.log, entry{Term: term, Cmd: nopCommand{}})
+	r.matchIndex[r.id] = r.lastLogIndex()
+	r.persist(p)
+	r.replWake.Broadcast(p)
+}
+
+// nopCommand is the entry a new leader commits to finalize its term.
+type nopCommand struct{}
+
+// replicate drives one follower while r leads in `term`.
+func (r *Replica) replicate(p *simnet.Proc, peer string, term int) {
+	addr := r.cluster.Addr(peer)
+	cfg := r.cluster.cfg
+	for {
+		r.mu.Lock(p)
+		if r.role != leader || r.d.term != term {
+			r.mu.Unlock(p)
+			return
+		}
+		ni := r.nextIndex[peer]
+		if ni < 1 {
+			ni = 1
+		}
+		args := appendEntriesArgs{
+			Term:         term,
+			LeaderID:     r.id,
+			PrevLogIndex: ni - 1,
+			PrevLogTerm:  r.d.log[ni-1].Term,
+			LeaderCommit: r.commitIndex,
+		}
+		if r.lastLogIndex() >= ni {
+			args.Entries = append([]entry(nil), r.d.log[ni:]...)
+		}
+		r.mu.Unlock(p)
+		resp, err := r.cluster.sim.Net().CallTimeout(p, r.node, addr, args, cfg.HeartbeatInterval*2)
+		r.mu.Lock(p)
+		if r.role != leader || r.d.term != term {
+			r.mu.Unlock(p)
+			return
+		}
+		idle := true
+		if err == nil {
+			rep := resp.(appendEntriesReply)
+			switch {
+			case rep.Term > r.d.term:
+				r.stepDown(p, rep.Term)
+				r.mu.Unlock(p)
+				return
+			case rep.Success:
+				r.nextIndex[peer] = ni + len(args.Entries)
+				if m := ni + len(args.Entries) - 1; m > r.matchIndex[peer] {
+					r.matchIndex[peer] = m
+					r.advanceCommit(p)
+				}
+			default:
+				ci := rep.ConflictIndex
+				if ci < 1 {
+					ci = 1
+				}
+				r.nextIndex[peer] = ci
+				idle = false // retry immediately
+			}
+		}
+		if idle && r.lastLogIndex() >= r.nextIndex[peer] {
+			idle = false
+		}
+		if idle {
+			r.replWake.WaitTimeout(p, cfg.HeartbeatInterval)
+		}
+		r.mu.Unlock(p)
+	}
+}
+
+// advanceCommit applies the Raft commit rule. Caller holds mu.
+func (r *Replica) advanceCommit(p *simnet.Proc) {
+	for n := r.lastLogIndex(); n > r.commitIndex; n-- {
+		if r.d.log[n].Term != r.d.term {
+			continue // only current-term entries commit by counting
+		}
+		count := 0
+		for _, id := range r.cluster.ids {
+			if r.matchIndex[id] >= n {
+				count++
+			}
+		}
+		if count > len(r.cluster.ids)/2 {
+			r.commitIndex = n
+			r.applyCond.Broadcast(p)
+			break
+		}
+	}
+}
+
+// applyLoop applies committed entries in order on this replica.
+func (r *Replica) applyLoop(p *simnet.Proc) {
+	for {
+		r.mu.Lock(p)
+		for r.lastApplied >= r.commitIndex {
+			r.applyCond.Wait(p)
+		}
+		for r.lastApplied < r.commitIndex {
+			r.lastApplied++
+			e := r.d.log[r.lastApplied]
+			if _, nop := e.Cmd.(nopCommand); !nop {
+				res := r.sm.Apply(e.Cmd)
+				if r.role == leader {
+					if r.applyResults == nil {
+						r.applyResults = make(map[int]any)
+					}
+					r.applyResults[r.lastApplied] = res
+				}
+			}
+		}
+		r.applyCond.Broadcast(p)
+		r.mu.Unlock(p)
+	}
+}
+
+// IsLeader reports whether this replica currently believes it leads.
+func (r *Replica) IsLeader() bool { return r.role == leader }
+
+// Term returns the replica's current term (for tests).
+func (r *Replica) Term() int { return r.d.term }
+
+// CommitIndex returns the replica's commit index (for tests).
+func (r *Replica) CommitIndex() int { return r.commitIndex }
+
+// SM returns the replica's state machine (for tests and local reads that
+// tolerate staleness).
+func (r *Replica) SM() StateMachine { return r.sm }

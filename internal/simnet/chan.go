@@ -1,0 +1,148 @@
+package simnet
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Chan is a simulated message channel with per-message delivery delay and an
+// unbounded buffer. It is the building block for NIC queues, RPC transports
+// and mailboxes. Messages become visible to receivers only once their
+// delivery time arrives; among ready messages, delivery order is
+// (readyAt, send sequence), so a zero-delay Chan is FIFO.
+type Chan[T any] struct {
+	sim     *Sim
+	items   chanItemHeap[T]
+	seq     uint64
+	waiters []*waiter
+	closed  bool
+}
+
+type chanItem[T any] struct {
+	readyAt time.Duration
+	seq     uint64
+	v       T
+}
+
+type chanItemHeap[T any] []chanItem[T]
+
+func (h chanItemHeap[T]) Len() int { return len(h) }
+func (h chanItemHeap[T]) Less(i, j int) bool {
+	if h[i].readyAt != h[j].readyAt {
+		return h[i].readyAt < h[j].readyAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h chanItemHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *chanItemHeap[T]) Push(x any)   { *h = append(*h, x.(chanItem[T])) }
+func (h *chanItemHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewChan returns an empty channel on s.
+func NewChan[T any](s *Sim) *Chan[T] { return &Chan[T]{sim: s} }
+
+// Len returns the number of buffered messages (ready or in flight).
+func (c *Chan[T]) Len() int { return len(c.items) }
+
+// Send enqueues v for immediate delivery.
+func (c *Chan[T]) Send(p *Proc, v T) { c.SendAfter(p, v, 0) }
+
+// SendAfter enqueues v for delivery after delay d of virtual time. Sends on
+// a closed channel are silently dropped (a message to a torn-down mailbox
+// vanishes, as on a real network).
+func (c *Chan[T]) SendAfter(p *Proc, v T, d time.Duration) {
+	if c.closed {
+		return
+	}
+	c.seq++
+	readyAt := p.sim.now + d
+	heap.Push(&c.items, chanItem[T]{readyAt: readyAt, seq: c.seq, v: v})
+	c.wakeAll(p.sim, readyAt)
+}
+
+// Close closes the channel. Buffered messages remain receivable; further
+// receives on an empty closed channel return ok=false.
+func (c *Chan[T]) Close(p *Proc) {
+	c.closed = true
+	c.wakeAll(p.sim, p.sim.now)
+}
+
+func (c *Chan[T]) wakeAll(s *Sim, at time.Duration) {
+	q := c.waiters
+	c.waiters = nil
+	for _, w := range q {
+		if w.state == wCancelled {
+			continue
+		}
+		w.state = wCancelled
+		wakeWaiter(s, w, at)
+	}
+}
+
+// Recv blocks until a message is deliverable and returns it. ok is false if
+// the channel is closed and drained.
+func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
+	v, ok, _ = c.recv(p, -1)
+	return v, ok
+}
+
+// RecvTimeout is Recv with a deadline: timedOut is true when d elapsed with
+// no deliverable message.
+func (c *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (v T, ok bool, timedOut bool) {
+	return c.recv(p, d)
+}
+
+// TryRecv returns a deliverable message without blocking.
+func (c *Chan[T]) TryRecv(p *Proc) (v T, ok bool) {
+	if len(c.items) > 0 && c.items[0].readyAt <= p.sim.now {
+		it := heap.Pop(&c.items).(chanItem[T])
+		return it.v, true
+	}
+	var zero T
+	return zero, false
+}
+
+func (c *Chan[T]) recv(p *Proc, timeout time.Duration) (v T, ok bool, timedOut bool) {
+	var deadline time.Duration
+	hasDeadline := timeout >= 0
+	if hasDeadline {
+		deadline = p.sim.now + timeout
+	}
+	for {
+		if len(c.items) > 0 && c.items[0].readyAt <= p.sim.now {
+			it := heap.Pop(&c.items).(chanItem[T])
+			return it.v, true, false
+		}
+		if c.closed && len(c.items) == 0 {
+			var zero T
+			return zero, false, false
+		}
+		if hasDeadline && p.sim.now >= deadline {
+			var zero T
+			return zero, false, true
+		}
+		// Wait for a sender (or for an in-flight message to become ready,
+		// or for the deadline — whichever is earliest).
+		w := &waiter{p: p}
+		c.waiters = append(c.waiters, w)
+		p.waiter = w
+		wakeAt := time.Duration(-1)
+		if len(c.items) > 0 {
+			wakeAt = c.items[0].readyAt
+		}
+		if hasDeadline && (wakeAt < 0 || deadline < wakeAt) {
+			wakeAt = deadline
+		}
+		if wakeAt >= 0 {
+			p.sim.schedule(wakeAt, p, p.gen)
+		}
+		p.park()
+		p.waiter = nil
+		w.state = wCancelled
+	}
+}

@@ -1,0 +1,160 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Net models the datacenter network: per-pair one-way latency, partitions,
+// and an RPC layer. RDMA traffic (internal/rdma) shares the same latency
+// matrix and partition state so control-plane and data-plane failures are
+// consistent.
+type Net struct {
+	sim        *Sim
+	defaultLat time.Duration
+	latency    map[pairKey]time.Duration
+	parts      map[pairKey]bool
+	servers    map[string]*rpcServer
+}
+
+type pairKey struct{ a, b string }
+
+func pk(a, b string) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+func newNet(s *Sim) *Net {
+	return &Net{
+		sim:        s,
+		defaultLat: 25 * time.Microsecond, // kernel TCP-ish datacenter RTT/2
+		latency:    make(map[pairKey]time.Duration),
+		parts:      make(map[pairKey]bool),
+		servers:    make(map[string]*rpcServer),
+	}
+}
+
+// SetDefaultLatency sets the one-way latency used between node pairs with
+// no explicit override.
+func (nt *Net) SetDefaultLatency(d time.Duration) { nt.defaultLat = d }
+
+// SetLatency overrides the one-way latency between two nodes.
+func (nt *Net) SetLatency(a, b *Node, d time.Duration) {
+	nt.latency[pk(a.name, b.name)] = d
+}
+
+// Latency returns the current one-way latency between two nodes. Messages
+// within a node are instantaneous.
+func (nt *Net) Latency(a, b *Node) time.Duration {
+	if a == b {
+		return 0
+	}
+	if d, ok := nt.latency[pk(a.name, b.name)]; ok {
+		return d
+	}
+	return nt.defaultLat
+}
+
+// Partition cuts connectivity between two nodes (both directions).
+func (nt *Net) Partition(a, b *Node) { nt.parts[pk(a.name, b.name)] = true }
+
+// Heal restores connectivity between two nodes.
+func (nt *Net) Heal(a, b *Node) { delete(nt.parts, pk(a.name, b.name)) }
+
+// Partitioned reports whether a and b cannot communicate.
+func (nt *Net) Partitioned(a, b *Node) bool { return a != b && nt.parts[pk(a.name, b.name)] }
+
+// Reachable reports whether a message from a would currently arrive at b.
+func (nt *Net) Reachable(a, b *Node) bool {
+	return a.alive && b.alive && !nt.Partitioned(a, b)
+}
+
+// Handler processes one RPC request. It runs as a proc on the server node
+// (so it dies with the machine) and must treat req as immutable.
+type Handler func(p *Proc, req any) (any, error)
+
+type rpcServer struct {
+	node        *Node
+	inbox       *Chan[rpcReq]
+	incarnation int
+}
+
+type rpcReq struct {
+	from  *Node
+	req   any
+	reply *Chan[rpcResp]
+}
+
+type rpcResp struct {
+	resp any
+	err  error
+}
+
+// RPC errors. ErrTimeout covers dead servers, partitions and lost replies —
+// indistinguishable to a client, exactly as in a real network.
+var (
+	ErrTimeout   = errors.New("simnet: rpc timeout")
+	ErrNoService = errors.New("simnet: no such rpc service")
+)
+
+// Register installs an RPC service at addr, served from node. A dispatcher
+// proc on the node receives requests and spawns one handler proc each.
+// Re-registering an address (after a node restart) replaces the service;
+// requests sent to the old incarnation are dropped.
+func (nt *Net) Register(addr string, node *Node, h Handler) {
+	srv := &rpcServer{node: node, inbox: NewChan[rpcReq](nt.sim), incarnation: node.incarnation}
+	nt.servers[addr] = srv
+	node.Go("rpc-dispatch:"+addr, func(p *Proc) {
+		for {
+			r, ok := srv.inbox.Recv(p)
+			if !ok {
+				return
+			}
+			req := r
+			p.Go("rpc-handler:"+addr, func(hp *Proc) {
+				resp, err := h(hp, req.req)
+				if !nt.Reachable(node, req.from) {
+					return // reply lost
+				}
+				// Error values cross the wire intact (everything is
+				// in-process); handlers must return immutable errors.
+				req.reply.SendAfter(hp, rpcResp{resp: resp, err: err}, nt.Latency(node, req.from))
+			})
+		}
+	})
+}
+
+// DefaultRPCTimeout is used by Call.
+const DefaultRPCTimeout = 200 * time.Millisecond
+
+// Call performs a synchronous RPC from node `from` to service addr with the
+// default timeout.
+func (nt *Net) Call(p *Proc, from *Node, addr string, req any) (any, error) {
+	return nt.CallTimeout(p, from, addr, req, DefaultRPCTimeout)
+}
+
+// CallTimeout performs a synchronous RPC with an explicit timeout. Requests
+// to dead or partitioned servers are silently dropped and surface as
+// ErrTimeout; application errors returned by the handler come back as-is
+// (by message).
+func (nt *Net) CallTimeout(p *Proc, from *Node, addr string, req any, timeout time.Duration) (any, error) {
+	srv, ok := nt.servers[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoService, addr)
+	}
+	reply := NewChan[rpcResp](nt.sim)
+	if nt.Reachable(from, srv.node) && srv.node.incarnation == srv.incarnation {
+		srv.inbox.SendAfter(p, rpcReq{from: from, req: req, reply: reply}, nt.Latency(from, srv.node))
+	}
+	resp, ok, timedOut := reply.RecvTimeout(p, timeout)
+	if timedOut || !ok {
+		return nil, ErrTimeout
+	}
+	if resp.err != nil {
+		return nil, resp.err
+	}
+	return resp.resp, nil
+}

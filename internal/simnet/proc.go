@@ -1,0 +1,129 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Proc is a cooperative task in the simulation. All blocking operations
+// (Sleep, channel receives, mutex acquisition, RPC) go through the Proc so
+// the scheduler can interleave tasks deterministically on the virtual clock.
+//
+// A Proc bound to a Node is killed when the node crashes: its next blocking
+// call unwinds the goroutine. Procs must therefore not hold external
+// resources across blocking calls without a recovery story — exactly the
+// discipline crash-safe systems code needs anyway.
+type Proc struct {
+	sim  *Sim
+	node *Node
+	name string
+	id   uint64
+
+	wake chan struct{}
+	gen  uint64
+
+	killed bool
+	done   bool
+
+	// waiter is the wait-queue record for the blocking operation currently
+	// in progress, if any. Kill cancels it so queues never hand work to a
+	// dead proc.
+	waiter *waiter
+}
+
+// Name returns the proc's debug name.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulator this proc belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Node returns the node this proc runs on, or nil for detached procs.
+func (p *Proc) Node() *Node { return p.node }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.sim.now }
+
+// Rand returns the simulation's deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.sim.rng }
+
+// park yields the execution token to the driver and blocks until woken.
+// On resume it bumps the generation (invalidating stale wake events) and
+// unwinds if the proc was killed in the meantime.
+func (p *Proc) park() {
+	p.sim.parked <- struct{}{}
+	<-p.wake
+	p.gen++
+	if p.killed {
+		if w := p.waiter; w != nil {
+			w.state = wCancelled
+			p.waiter = nil
+		}
+		panic(killedPanic{})
+	}
+}
+
+// Sleep suspends the proc for d of virtual time. Sleep is also how
+// simulated code "spends" modelled latency or CPU cost.
+func (p *Proc) Sleep(d time.Duration) {
+	if p.killed {
+		panic(killedPanic{})
+	}
+	if d <= 0 {
+		// Even a zero-length sleep yields, giving other runnable procs at
+		// the same timestamp a chance to interleave.
+		d = 0
+	}
+	p.sim.schedule(p.sim.now+d, p, p.gen)
+	p.park()
+}
+
+// Yield lets other procs scheduled at the current instant run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Go spawns a proc on the same node as p (or detached if p is detached).
+func (p *Proc) Go(name string, fn func(*Proc)) *Proc {
+	return p.sim.spawn(p.node, name, fn)
+}
+
+// GoOn spawns a proc bound to node n.
+func (p *Proc) GoOn(n *Node, name string, fn func(*Proc)) *Proc {
+	return p.sim.spawn(n, name, fn)
+}
+
+// Killed reports whether the proc has been marked for death (its node
+// crashed). Long-running loops that never block can poll this, though in
+// practice every loop blocks on simulated time.
+func (p *Proc) Killed() bool { return p.killed }
+
+// kill marks the proc dead and wakes it so its next (or current) park
+// unwinds. Safe to call from any simulation context.
+func (p *Proc) kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	if w := p.waiter; w != nil {
+		w.state = wCancelled
+		p.waiter = nil
+	}
+	p.sim.schedule(p.sim.now, p, p.gen)
+}
+
+// Waiter states. Wait queues (Mutex, Cond, Chan, CPU) hold *waiter records;
+// a record is cancelled when its proc times out of the wait or is killed,
+// so wake-ups are never wasted on procs that already left.
+const (
+	wWaiting = iota
+	wCancelled
+)
+
+type waiter struct {
+	p     *Proc
+	state int
+}
+
+// wakeWaiter schedules a wake-up for w's proc at virtual time `at`,
+// capturing the proc's current generation.
+func wakeWaiter(s *Sim, w *waiter, at time.Duration) {
+	s.schedule(at, w.p, w.p.gen)
+}

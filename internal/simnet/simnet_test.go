@@ -1,0 +1,594 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func run(t *testing.T, s *Sim) {
+	t.Helper()
+	if err := s.Run(); err != nil {
+		t.Fatalf("sim run: %v", err)
+	}
+}
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.Go("a", func(p *Proc) {
+		p.Sleep(3 * time.Millisecond)
+		at = p.Now()
+	})
+	run(t, s)
+	if at != 3*time.Millisecond {
+		t.Fatalf("now = %v, want 3ms", at)
+	}
+}
+
+func TestSleepOrdering(t *testing.T) {
+	s := New(1)
+	var order []string
+	for _, tc := range []struct {
+		name string
+		d    time.Duration
+	}{{"c", 3 * time.Millisecond}, {"a", 1 * time.Millisecond}, {"b", 2 * time.Millisecond}} {
+		tc := tc
+		s.Go(tc.name, func(p *Proc) {
+			p.Sleep(tc.d)
+			order = append(order, tc.name)
+		})
+	}
+	run(t, s)
+	if got := fmt.Sprint(order); got != "[a b c]" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	// Events at the same timestamp run in scheduling order (deterministic).
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Go(fmt.Sprint(i), func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	run(t, s)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (full: %v)", i, v, i, order)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	trace := func(seed int64) string {
+		s := New(seed)
+		out := ""
+		ch := NewChan[int](s)
+		for i := 0; i < 5; i++ {
+			i := i
+			s.Go(fmt.Sprint(i), func(p *Proc) {
+				d := time.Duration(p.Rand().Intn(1000)) * time.Microsecond
+				p.Sleep(d)
+				ch.Send(p, i)
+			})
+		}
+		s.Go("recv", func(p *Proc) {
+			for j := 0; j < 5; j++ {
+				v, _ := ch.Recv(p)
+				out += fmt.Sprintf("%d@%v;", v, p.Now())
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if a != b {
+		t.Fatalf("nondeterministic: %q vs %q", a, b)
+	}
+	if c := trace(43); c == a {
+		t.Fatalf("different seed produced identical trace %q", c)
+	}
+}
+
+func TestChanDeliveryDelay(t *testing.T) {
+	s := New(1)
+	ch := NewChan[string](s)
+	var at time.Duration
+	s.Go("send", func(p *Proc) {
+		ch.SendAfter(p, "hi", 5*time.Millisecond)
+	})
+	s.Go("recv", func(p *Proc) {
+		v, ok := ch.Recv(p)
+		if !ok || v != "hi" {
+			t.Errorf("recv = %q, %v", v, ok)
+		}
+		at = p.Now()
+	})
+	run(t, s)
+	if at != 5*time.Millisecond {
+		t.Fatalf("delivered at %v, want 5ms", at)
+	}
+}
+
+func TestChanOutOfOrderReadiness(t *testing.T) {
+	// A later send with a shorter delay is delivered first.
+	s := New(1)
+	ch := NewChan[int](s)
+	var got []int
+	s.Go("send", func(p *Proc) {
+		ch.SendAfter(p, 1, 10*time.Millisecond)
+		ch.SendAfter(p, 2, 1*time.Millisecond)
+	})
+	s.Go("recv", func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			v, _ := ch.Recv(p)
+			got = append(got, v)
+		}
+	})
+	run(t, s)
+	if fmt.Sprint(got) != "[2 1]" {
+		t.Fatalf("got %v, want [2 1]", got)
+	}
+}
+
+func TestChanTimeout(t *testing.T) {
+	s := New(1)
+	ch := NewChan[int](s)
+	s.Go("recv", func(p *Proc) {
+		_, ok, timedOut := ch.RecvTimeout(p, 2*time.Millisecond)
+		if ok || !timedOut {
+			t.Errorf("ok=%v timedOut=%v, want timeout", ok, timedOut)
+		}
+		if p.Now() != 2*time.Millisecond {
+			t.Errorf("timed out at %v", p.Now())
+		}
+		// A message arriving before a second deadline is received.
+		ch.SendAfter(p, 7, time.Millisecond)
+		v, ok, timedOut := ch.RecvTimeout(p, 5*time.Millisecond)
+		if !ok || timedOut || v != 7 {
+			t.Errorf("second recv = %v %v %v", v, ok, timedOut)
+		}
+	})
+	run(t, s)
+}
+
+func TestChanClose(t *testing.T) {
+	s := New(1)
+	ch := NewChan[int](s)
+	var got []int
+	var closedOK bool
+	s.Go("send", func(p *Proc) {
+		ch.Send(p, 1)
+		ch.Send(p, 2)
+		ch.Close(p)
+	})
+	s.Go("recv", func(p *Proc) {
+		for {
+			v, ok := ch.Recv(p)
+			if !ok {
+				closedOK = true
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	run(t, s)
+	if !closedOK || fmt.Sprint(got) != "[1 2]" {
+		t.Fatalf("got %v closed=%v", got, closedOK)
+	}
+}
+
+func TestMutexExclusionAndFIFO(t *testing.T) {
+	s := New(1)
+	var mu Mutex
+	inCS := 0
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Go(fmt.Sprint(i), func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Microsecond) // stagger arrival
+			mu.Lock(p)
+			inCS++
+			if inCS != 1 {
+				t.Errorf("mutual exclusion violated: %d in CS", inCS)
+			}
+			order = append(order, i)
+			p.Sleep(time.Millisecond)
+			inCS--
+			mu.Unlock(p)
+		})
+	}
+	run(t, s)
+	if fmt.Sprint(order) != "[0 1 2 3 4]" {
+		t.Fatalf("order %v, want FIFO", order)
+	}
+}
+
+func TestCondSignalBroadcast(t *testing.T) {
+	s := New(1)
+	var mu Mutex
+	cond := NewCond(&mu)
+	ready := 0
+	awoken := 0
+	for i := 0; i < 3; i++ {
+		s.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			mu.Lock(p)
+			for ready == 0 {
+				cond.Wait(p)
+			}
+			awoken++
+			mu.Unlock(p)
+		})
+	}
+	s.Go("sig", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		mu.Lock(p)
+		ready = 1
+		cond.Broadcast(p)
+		mu.Unlock(p)
+	})
+	run(t, s)
+	if awoken != 3 {
+		t.Fatalf("awoken = %d, want 3", awoken)
+	}
+}
+
+func TestCondWaitTimeout(t *testing.T) {
+	s := New(1)
+	var mu Mutex
+	cond := NewCond(&mu)
+	s.Go("w", func(p *Proc) {
+		mu.Lock(p)
+		timedOut := cond.WaitTimeout(p, 3*time.Millisecond)
+		if !timedOut {
+			t.Error("expected timeout")
+		}
+		if p.Now() != 3*time.Millisecond {
+			t.Errorf("woke at %v", p.Now())
+		}
+		mu.Unlock(p)
+	})
+	run(t, s)
+}
+
+func TestWaitGroup(t *testing.T) {
+	s := New(1)
+	var wg WaitGroup
+	wg.Add(3)
+	doneAt := time.Duration(0)
+	for i := 1; i <= 3; i++ {
+		i := i
+		s.Go(fmt.Sprint(i), func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			wg.Done(p)
+		})
+	}
+	s.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	run(t, s)
+	if doneAt != 3*time.Millisecond {
+		t.Fatalf("wait finished at %v, want 3ms", doneAt)
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	s := New(1)
+	sem := NewSemaphore(2)
+	active, peak := 0, 0
+	for i := 0; i < 6; i++ {
+		s.Go(fmt.Sprint(i), func(p *Proc) {
+			sem.Acquire(p)
+			active++
+			if active > peak {
+				peak = active
+			}
+			p.Sleep(time.Millisecond)
+			active--
+			sem.Release(p)
+		})
+	}
+	run(t, s)
+	if peak != 2 {
+		t.Fatalf("peak concurrency = %d, want 2", peak)
+	}
+}
+
+func TestNodeCrashKillsProcs(t *testing.T) {
+	s := New(1)
+	n := s.NewNode("victim")
+	progressed := false
+	hookRan := false
+	n.OnCrash(func() { hookRan = true })
+	n.Go("loop", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		progressed = true // must never run
+	})
+	s.Go("injector", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		n.Crash()
+	})
+	run(t, s)
+	if progressed {
+		t.Fatal("proc survived node crash")
+	}
+	if !hookRan {
+		t.Fatal("crash hook did not run")
+	}
+	if n.Alive() {
+		t.Fatal("node still alive")
+	}
+}
+
+func TestNodeCrashSelf(t *testing.T) {
+	s := New(1)
+	n := s.NewNode("n")
+	after := false
+	n.Go("suicidal", func(p *Proc) {
+		n.Crash()
+		p.Sleep(time.Microsecond) // unwinds here
+		after = true
+	})
+	run(t, s)
+	if after {
+		t.Fatal("proc continued after crashing its own node")
+	}
+}
+
+func TestNodeRestart(t *testing.T) {
+	s := New(1)
+	n := s.NewNode("n")
+	var boots []int
+	s.Go("op", func(p *Proc) {
+		n.Go("svc", func(p *Proc) { boots = append(boots, n.Incarnation()); p.Sleep(time.Hour) })
+		p.Sleep(time.Millisecond)
+		n.Crash()
+		p.Sleep(time.Millisecond)
+		n.Restart()
+		n.Go("svc", func(p *Proc) { boots = append(boots, n.Incarnation()) })
+	})
+	run(t, s)
+	if fmt.Sprint(boots) != "[0 1]" {
+		t.Fatalf("boots = %v", boots)
+	}
+}
+
+func TestCPUSaturation(t *testing.T) {
+	// 2 cores, 4 procs each needing 1ms of CPU: finish at 1ms and 2ms.
+	s := New(1)
+	n := s.NewNode("srv")
+	n.SetCores(2)
+	var finish []time.Duration
+	for i := 0; i < 4; i++ {
+		n.Go(fmt.Sprint(i), func(p *Proc) {
+			n.CPU().Use(p, time.Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	run(t, s)
+	want := []time.Duration{time.Millisecond, time.Millisecond, 2 * time.Millisecond, 2 * time.Millisecond}
+	if fmt.Sprint(finish) != fmt.Sprint(want) {
+		t.Fatalf("finish = %v, want %v", finish, want)
+	}
+}
+
+func TestRPCRoundtrip(t *testing.T) {
+	s := New(1)
+	srv := s.NewNode("srv")
+	cli := s.NewNode("cli")
+	s.Net().SetLatency(srv, cli, 100*time.Microsecond)
+	s.Net().Register("echo", srv, func(p *Proc, req any) (any, error) {
+		return "echo:" + req.(string), nil
+	})
+	var resp any
+	var rtt time.Duration
+	s.Go("caller", func(p *Proc) {
+		start := p.Now()
+		var err error
+		resp, err = s.Net().Call(p, cli, "echo", "hi")
+		if err != nil {
+			t.Errorf("call: %v", err)
+		}
+		rtt = p.Now() - start
+	})
+	run(t, s)
+	if resp != "echo:hi" {
+		t.Fatalf("resp = %v", resp)
+	}
+	if rtt != 200*time.Microsecond {
+		t.Fatalf("rtt = %v, want 200us", rtt)
+	}
+}
+
+func TestRPCHandlerError(t *testing.T) {
+	s := New(1)
+	srv := s.NewNode("srv")
+	cli := s.NewNode("cli")
+	s.Net().Register("fail", srv, func(p *Proc, req any) (any, error) {
+		return nil, errors.New("boom")
+	})
+	s.Go("caller", func(p *Proc) {
+		_, err := s.Net().Call(p, cli, "fail", 1)
+		if err == nil || err.Error() != "boom" {
+			t.Errorf("err = %v, want boom", err)
+		}
+	})
+	run(t, s)
+}
+
+func TestRPCTimeoutOnDeadServer(t *testing.T) {
+	s := New(1)
+	srv := s.NewNode("srv")
+	cli := s.NewNode("cli")
+	s.Net().Register("svc", srv, func(p *Proc, req any) (any, error) { return req, nil })
+	s.Go("test", func(p *Proc) {
+		srv.Crash()
+		start := p.Now()
+		_, err := s.Net().CallTimeout(p, cli, "svc", 1, 10*time.Millisecond)
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want timeout", err)
+		}
+		if p.Now()-start != 10*time.Millisecond {
+			t.Errorf("timeout took %v", p.Now()-start)
+		}
+	})
+	run(t, s)
+}
+
+func TestRPCPartition(t *testing.T) {
+	s := New(1)
+	srv := s.NewNode("srv")
+	cli := s.NewNode("cli")
+	s.Net().Register("svc", srv, func(p *Proc, req any) (any, error) { return req, nil })
+	s.Go("test", func(p *Proc) {
+		s.Net().Partition(cli, srv)
+		if _, err := s.Net().CallTimeout(p, cli, "svc", 1, 5*time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Errorf("partitioned call err = %v", err)
+		}
+		s.Net().Heal(cli, srv)
+		if _, err := s.Net().Call(p, cli, "svc", 1); err != nil {
+			t.Errorf("healed call err = %v", err)
+		}
+	})
+	run(t, s)
+}
+
+func TestRPCServerRestartDropsOldIncarnation(t *testing.T) {
+	s := New(1)
+	srv := s.NewNode("srv")
+	cli := s.NewNode("cli")
+	hits := 0
+	register := func() {
+		s.Net().Register("svc", srv, func(p *Proc, req any) (any, error) {
+			hits++
+			return "ok", nil
+		})
+	}
+	register()
+	s.Go("test", func(p *Proc) {
+		if _, err := s.Net().Call(p, cli, "svc", 1); err != nil {
+			t.Errorf("first call: %v", err)
+		}
+		srv.Crash()
+		if _, err := s.Net().CallTimeout(p, cli, "svc", 1, 5*time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Errorf("call to crashed server: %v", err)
+		}
+		srv.Restart()
+		register()
+		if _, err := s.Net().Call(p, cli, "svc", 1); err != nil {
+			t.Errorf("call after restart: %v", err)
+		}
+	})
+	run(t, s)
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	s.Go("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+			ticks++
+		}
+	})
+	if err := s.RunUntil(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestProcPanicSurfacesAsError(t *testing.T) {
+	s := New(1)
+	s.Go("bad", func(p *Proc) { panic("kaboom") })
+	if err := s.Run(); err == nil {
+		t.Fatal("expected error from panicking proc")
+	}
+}
+
+// Property: for any set of sleep durations, procs finish in sorted order of
+// duration (stable for ties by spawn order).
+func TestQuickSleepOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 50 {
+			return true
+		}
+		s := New(7)
+		var finished []int
+		for i, r := range raw {
+			i, d := i, time.Duration(r)*time.Microsecond
+			s.Go(fmt.Sprint(i), func(p *Proc) {
+				p.Sleep(d)
+				finished = append(finished, i)
+			})
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		for k := 1; k < len(finished); k++ {
+			a, b := finished[k-1], finished[k]
+			if raw[a] > raw[b] || (raw[a] == raw[b] && a > b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Chan delivers every message exactly once regardless of the
+// mix of delays, and never before its delivery time.
+func TestQuickChanDelivery(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 || len(delays) > 64 {
+			return true
+		}
+		s := New(11)
+		ch := NewChan[int](s)
+		sentAt := make([]time.Duration, len(delays))
+		okAll := true
+		s.Go("send", func(p *Proc) {
+			for i, d := range delays {
+				sentAt[i] = p.Now() + time.Duration(d)*time.Microsecond
+				ch.SendAfter(p, i, time.Duration(d)*time.Microsecond)
+			}
+		})
+		seen := make(map[int]bool)
+		s.Go("recv", func(p *Proc) {
+			for range delays {
+				v, ok := ch.Recv(p)
+				if !ok || seen[v] || p.Now() < sentAt[v] {
+					okAll = false
+					return
+				}
+				seen[v] = true
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return okAll && len(seen) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+package simnet
+
+import "time"
+
+// Mutex is a simulated mutual-exclusion lock with FIFO handoff: Unlock
+// passes ownership directly to the longest-waiting live proc, so lock
+// acquisition order is deterministic. Because only one proc runs at a time
+// there are no data races; the Mutex models *logical* exclusion (e.g. a
+// store's single-writer critical section).
+//
+// A Mutex must not be shared across nodes: node crashes kill the lock
+// holder without unlocking, which is only meaningful when every waiter dies
+// with it.
+type Mutex struct {
+	held bool
+	q    []*waiter
+}
+
+// Lock acquires m, blocking p until it is available.
+func (m *Mutex) Lock(p *Proc) {
+	if !m.held {
+		m.held = true
+		return
+	}
+	w := &waiter{p: p}
+	m.q = append(m.q, w)
+	p.waiter = w
+	p.park()
+	p.waiter = nil
+	// Ownership was handed to us by Unlock; m.held is still true.
+}
+
+// TryLock acquires m if it is free and reports whether it did.
+func (m *Mutex) TryLock(p *Proc) bool {
+	if m.held {
+		return false
+	}
+	m.held = true
+	return true
+}
+
+// Unlock releases m, handing it to the next live waiter if any.
+func (m *Mutex) Unlock(p *Proc) {
+	if !m.held {
+		panic("simnet: unlock of unlocked Mutex")
+	}
+	for len(m.q) > 0 {
+		w := m.q[0]
+		m.q = m.q[1:]
+		if w.state == wCancelled {
+			continue
+		}
+		// Direct handoff: the lock stays held and w's proc resumes as owner.
+		wakeWaiter(p.sim, w, p.sim.now)
+		return
+	}
+	m.held = false
+}
+
+// Cond is a simulated condition variable associated with a Mutex.
+type Cond struct {
+	L *Mutex
+	q []*waiter
+}
+
+// NewCond returns a condition variable using lock l.
+func NewCond(l *Mutex) *Cond { return &Cond{L: l} }
+
+// Wait atomically releases c.L and suspends p until Signal or Broadcast
+// wakes it, then reacquires c.L. As with sync.Cond, callers must re-check
+// their predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	w := &waiter{p: p}
+	c.q = append(c.q, w)
+	c.L.Unlock(p)
+	p.waiter = w
+	p.park()
+	p.waiter = nil
+	w.state = wCancelled // defensive: record is spent either way
+	c.L.Lock(p)
+}
+
+// WaitTimeout is Wait with a deadline. It reports whether the wait timed
+// out (as opposed to being signalled). The lock is reacquired either way.
+func (c *Cond) WaitTimeout(p *Proc, d time.Duration) (timedOut bool) {
+	w := &waiter{p: p}
+	c.q = append(c.q, w)
+	c.L.Unlock(p)
+	p.waiter = w
+	p.sim.schedule(p.sim.now+d, p, p.gen)
+	p.park()
+	p.waiter = nil
+	timedOut = w.state == wWaiting // nobody claimed the record: timer fired first
+	w.state = wCancelled
+	c.L.Lock(p)
+	return timedOut
+}
+
+// Signal wakes one waiting proc, if any.
+func (c *Cond) Signal(p *Proc) {
+	for len(c.q) > 0 {
+		w := c.q[0]
+		c.q = c.q[1:]
+		if w.state == wCancelled {
+			continue
+		}
+		w.state = wCancelled // claim
+		wakeWaiter(p.sim, w, p.sim.now)
+		return
+	}
+}
+
+// Broadcast wakes every waiting proc.
+func (c *Cond) Broadcast(p *Proc) {
+	q := c.q
+	c.q = nil
+	for _, w := range q {
+		if w.state == wCancelled {
+			continue
+		}
+		w.state = wCancelled
+		wakeWaiter(p.sim, w, p.sim.now)
+	}
+}
+
+// WaitGroup mirrors sync.WaitGroup on the virtual clock.
+type WaitGroup struct {
+	n int
+	q []*waiter
+}
+
+// Add adds delta to the counter.
+func (g *WaitGroup) Add(delta int) {
+	g.n += delta
+	if g.n < 0 {
+		panic("simnet: negative WaitGroup counter")
+	}
+}
+
+// Done decrements the counter, waking waiters when it reaches zero.
+func (g *WaitGroup) Done(p *Proc) {
+	g.n--
+	if g.n < 0 {
+		panic("simnet: negative WaitGroup counter")
+	}
+	if g.n == 0 {
+		q := g.q
+		g.q = nil
+		for _, w := range q {
+			if w.state == wCancelled {
+				continue
+			}
+			w.state = wCancelled
+			wakeWaiter(p.sim, w, p.sim.now)
+		}
+	}
+}
+
+// Wait blocks p until the counter reaches zero.
+func (g *WaitGroup) Wait(p *Proc) {
+	for g.n > 0 {
+		w := &waiter{p: p}
+		g.q = append(g.q, w)
+		p.waiter = w
+		p.park()
+		p.waiter = nil
+		w.state = wCancelled
+	}
+}
+
+// Semaphore is a counting semaphore with FIFO wake-up.
+type Semaphore struct {
+	avail int
+	q     []*waiter
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{avail: n} }
+
+// Acquire takes one permit, blocking until available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.avail == 0 {
+		w := &waiter{p: p}
+		s.q = append(s.q, w)
+		p.waiter = w
+		p.park()
+		p.waiter = nil
+		w.state = wCancelled
+	}
+	s.avail--
+}
+
+// Release returns one permit and wakes a waiter if any.
+func (s *Semaphore) Release(p *Proc) {
+	s.avail++
+	for len(s.q) > 0 {
+		w := s.q[0]
+		s.q = s.q[1:]
+		if w.state == wCancelled {
+			continue
+		}
+		w.state = wCancelled
+		wakeWaiter(p.sim, w, p.sim.now)
+		return
+	}
+}

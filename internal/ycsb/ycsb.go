@@ -1,0 +1,217 @@
+// Package ycsb generates YCSB workloads (Cooper et al., SoCC'10) for the
+// application benchmarks, matching the paper's setup (§5): 24-byte keys,
+// 100-byte values, workloads A/B/C/D/F, zipfian request distribution with
+// the standard 0.99 constant (scrambled, as in the reference
+// implementation), and a "latest" distribution for workload D.
+package ycsb
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// OpType is a YCSB operation.
+type OpType int
+
+const (
+	Read OpType = iota
+	Update
+	Insert
+	ReadModifyWrite
+)
+
+func (o OpType) String() string {
+	switch o {
+	case Read:
+		return "read"
+	case Update:
+		return "update"
+	case Insert:
+		return "insert"
+	default:
+		return "rmw"
+	}
+}
+
+// Distribution selects how keys are drawn.
+type Distribution int
+
+const (
+	Zipfian Distribution = iota
+	Latest
+	Uniform
+)
+
+// Spec describes one workload's operation mix.
+type Spec struct {
+	Name       string
+	ReadProp   float64
+	UpdateProp float64
+	InsertProp float64
+	RMWProp    float64
+	Dist       Distribution
+}
+
+// The standard workloads the paper evaluates (A, B, C, D, F; E needs scans,
+// which the paper also omits).
+var (
+	WorkloadA = Spec{Name: "a", ReadProp: 0.5, UpdateProp: 0.5, Dist: Zipfian}
+	WorkloadB = Spec{Name: "b", ReadProp: 0.95, UpdateProp: 0.05, Dist: Zipfian}
+	WorkloadC = Spec{Name: "c", ReadProp: 1.0, Dist: Zipfian}
+	WorkloadD = Spec{Name: "d", ReadProp: 0.95, InsertProp: 0.05, Dist: Latest}
+	WorkloadF = Spec{Name: "f", ReadProp: 0.5, RMWProp: 0.5, Dist: Zipfian}
+)
+
+// Workloads indexes the standard specs by name.
+var Workloads = map[string]Spec{
+	"a": WorkloadA, "b": WorkloadB, "c": WorkloadC, "d": WorkloadD, "f": WorkloadF,
+}
+
+// Paper-standard record shape (§5): 24-byte keys, 100-byte values.
+const (
+	KeySize   = 24
+	ValueSize = 100
+)
+
+// Key renders record number i as a fixed-width 24-byte key.
+func Key(i int64) string { return fmt.Sprintf("user%020d", i) }
+
+// Op is one generated operation.
+type Op struct {
+	Type OpType
+	Key  string
+}
+
+// Generator produces a deterministic operation stream for one client.
+type Generator struct {
+	spec    Spec
+	rng     *rand.Rand
+	records int64
+	zip     *zipfGen
+	value   []byte
+}
+
+// NewGenerator creates a generator over an initial keyspace of records
+// loaded rows. Inserts grow the keyspace.
+func NewGenerator(spec Spec, records int64, seed int64) *Generator {
+	g := &Generator{
+		spec:    spec,
+		rng:     rand.New(rand.NewSource(seed)),
+		records: records,
+		value:   make([]byte, ValueSize),
+	}
+	if spec.Dist != Uniform {
+		g.zip = newZipf(records)
+	}
+	for i := range g.value {
+		g.value[i] = byte('a' + i%26)
+	}
+	return g
+}
+
+// Value returns a fresh 100-byte value (contents vary per call).
+func (g *Generator) Value() []byte {
+	v := make([]byte, ValueSize)
+	copy(v, g.value)
+	// Cheap per-call variation so stores can't dedupe.
+	n := g.rng.Uint64()
+	for i := 0; i < 8; i++ {
+		v[i] = byte(n >> (8 * i))
+	}
+	return v
+}
+
+// Next draws the next operation.
+func (g *Generator) Next() Op {
+	r := g.rng.Float64()
+	switch {
+	case r < g.spec.ReadProp:
+		return Op{Type: Read, Key: g.chooseKey()}
+	case r < g.spec.ReadProp+g.spec.UpdateProp:
+		return Op{Type: Update, Key: g.chooseKey()}
+	case r < g.spec.ReadProp+g.spec.UpdateProp+g.spec.RMWProp:
+		return Op{Type: ReadModifyWrite, Key: g.chooseKey()}
+	default:
+		g.records++
+		return Op{Type: Insert, Key: Key(g.records - 1)}
+	}
+}
+
+func (g *Generator) chooseKey() string {
+	switch g.spec.Dist {
+	case Uniform:
+		return Key(g.rng.Int63n(g.records))
+	case Latest:
+		// Most traffic to the most recent records.
+		off := g.zip.next(g.rng, g.records)
+		return Key(g.records - 1 - off)
+	default:
+		// Scrambled zipfian: hot ranks scattered across the keyspace.
+		rank := g.zip.next(g.rng, g.records)
+		h := fnv.New64a()
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(rank >> (8 * i))
+		}
+		h.Write(b[:])
+		return Key(int64(h.Sum64() % uint64(g.records)))
+	}
+}
+
+// zipfGen is the YCSB incremental zipfian generator (theta = 0.99) with
+// support for a growing item count.
+type zipfGen struct {
+	items        int64
+	theta        float64
+	zetan, zeta2 float64
+	alpha, eta   float64
+	countForZeta int64
+}
+
+const zipfTheta = 0.99
+
+func newZipf(items int64) *zipfGen {
+	z := &zipfGen{items: items, theta: zipfTheta}
+	z.zeta2 = zetaStatic(2, zipfTheta)
+	z.zetan = zetaStatic(items, zipfTheta)
+	z.countForZeta = items
+	z.computeParams()
+	return z
+}
+
+func zetaStatic(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfGen) computeParams() {
+	z.alpha = 1 / (1 - z.theta)
+	z.eta = (1 - math.Pow(2/float64(z.items), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+}
+
+// next draws a rank in [0, items). If items grew, zeta is extended
+// incrementally (the standard YCSB trick).
+func (z *zipfGen) next(rng *rand.Rand, items int64) int64 {
+	if items > z.countForZeta {
+		for i := z.countForZeta + 1; i <= items; i++ {
+			z.zetan += 1 / math.Pow(float64(i), z.theta)
+		}
+		z.countForZeta = items
+		z.items = items
+		z.computeParams()
+	}
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

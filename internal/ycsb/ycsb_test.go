@@ -1,0 +1,170 @@
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyShape(t *testing.T) {
+	k := Key(42)
+	if len(k) != KeySize {
+		t.Fatalf("key %q has length %d, want %d", k, len(k), KeySize)
+	}
+	if Key(1) == Key(2) {
+		t.Fatal("keys collide")
+	}
+}
+
+func TestValueShape(t *testing.T) {
+	g := NewGenerator(WorkloadA, 1000, 1)
+	v1, v2 := g.Value(), g.Value()
+	if len(v1) != ValueSize || len(v2) != ValueSize {
+		t.Fatalf("value sizes %d/%d", len(v1), len(v2))
+	}
+	if string(v1) == string(v2) {
+		t.Fatal("values identical")
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	for name, spec := range Workloads {
+		g := NewGenerator(spec, 10000, 7)
+		counts := map[OpType]int{}
+		const n = 50000
+		for i := 0; i < n; i++ {
+			counts[g.Next().Type]++
+		}
+		check := func(op OpType, want float64) {
+			got := float64(counts[op]) / n
+			if math.Abs(got-want) > 0.02 {
+				t.Errorf("workload %s: %v fraction = %.3f, want %.2f", name, op, got, want)
+			}
+		}
+		check(Read, spec.ReadProp)
+		check(Update, spec.UpdateProp)
+		check(Insert, spec.InsertProp)
+		check(ReadModifyWrite, spec.RMWProp)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := NewGenerator(WorkloadC, 100000, 3)
+	counts := map[string]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	// Hottest 1% of touched keys should absorb a large share of traffic.
+	var freqs []int
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sortDesc(freqs)
+	hot := 0
+	for i := 0; i < len(freqs)/100+1; i++ {
+		hot += freqs[i]
+	}
+	if share := float64(hot) / n; share < 0.2 {
+		t.Errorf("top-1%% share = %.3f, want zipfian skew (> 0.2)", share)
+	}
+	// And a uniform workload should NOT be this skewed.
+	u := NewGenerator(Spec{Name: "u", ReadProp: 1, Dist: Uniform}, 100000, 3)
+	ucounts := map[string]int{}
+	for i := 0; i < n; i++ {
+		ucounts[u.Next().Key]++
+	}
+	var ufreqs []int
+	for _, c := range ucounts {
+		ufreqs = append(ufreqs, c)
+	}
+	sortDesc(ufreqs)
+	uhot := 0
+	for i := 0; i < len(ufreqs)/100+1; i++ {
+		uhot += ufreqs[i]
+	}
+	if ushare := float64(uhot) / n; ushare > 0.1 {
+		t.Errorf("uniform top-1%% share = %.3f, too skewed", ushare)
+	}
+}
+
+func TestLatestFavorsRecentKeys(t *testing.T) {
+	g := NewGenerator(WorkloadD, 10000, 5)
+	recent := 0
+	total := 0
+	for i := 0; i < 20000; i++ {
+		op := g.Next()
+		if op.Type != Read {
+			continue
+		}
+		var idx int64
+		fmt.Sscanf(op.Key, "user%d", &idx)
+		total++
+		if idx >= g.records-g.records/10 {
+			recent++
+		}
+	}
+	if share := float64(recent) / float64(total); share < 0.5 {
+		t.Errorf("latest: newest-10%% share = %.3f, want > 0.5", share)
+	}
+}
+
+func TestInsertsGrowKeyspace(t *testing.T) {
+	g := NewGenerator(WorkloadD, 1000, 9)
+	before := g.records
+	inserts := 0
+	for i := 0; i < 5000; i++ {
+		if g.Next().Type == Insert {
+			inserts++
+		}
+	}
+	if g.records != before+int64(inserts) {
+		t.Fatalf("records = %d, want %d", g.records, before+int64(inserts))
+	}
+	if inserts == 0 {
+		t.Fatal("no inserts in workload D")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(WorkloadA, 5000, 42)
+	b := NewGenerator(WorkloadA, 5000, 42)
+	for i := 0; i < 1000; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa != ob {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, oa, ob)
+		}
+	}
+}
+
+// Property: every generated key is within the (current) keyspace and well
+// formed.
+func TestQuickKeysInRange(t *testing.T) {
+	f := func(seed int64, recs uint16) bool {
+		records := int64(recs)%5000 + 10
+		g := NewGenerator(WorkloadA, records, seed)
+		for i := 0; i < 200; i++ {
+			op := g.Next()
+			var idx int64
+			if _, err := fmt.Sscanf(op.Key, "user%d", &idx); err != nil {
+				return false
+			}
+			if idx < 0 || idx >= g.records {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortDesc(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] > v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
