@@ -52,7 +52,7 @@ func BenchmarkFig1(b *testing.B) {
 // BenchmarkFig1d — dfs sequential sync-write throughput vs IO size.
 func BenchmarkFig1d(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := bench.Fig1d(1)
+		res, err := bench.Fig1d(quick(), 1)
 		if err != nil {
 			b.Fatal(err)
 		}

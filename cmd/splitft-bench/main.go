@@ -6,9 +6,17 @@
 //
 //	splitft-bench [flags] <experiment> [<experiment>...]
 //	splitft-bench all
+//	splitft-bench calibrate            # calibration gate for the selected profile
+//	splitft-bench sweep                # fig8-style micro across all named profiles
+//	splitft-bench -profile CX6RoCE100 fig8
+//	splitft-bench -profile my-hw.json fig8
 //
 // Experiments: table1 table2 fig1 fig1d fig8 fig9 fig10 fig11a fig11b
-// table3 fig12 ablate-repl ablate-split ablate-nolog
+// table3 fig12 ablate-repl ablate-split ablate-nolog calibrate sweep
+//
+// The -profile flag selects the hardware cost model: a built-in name (see
+// internal/model: CX4RoCE25 is the paper-faithful baseline, CX6RoCE100 a
+// faster fabric, FastDFS NVMe-class storage) or a path to a JSON profile.
 package main
 
 import (
@@ -18,11 +26,22 @@ import (
 	"time"
 
 	"splitft/internal/bench"
+	"splitft/internal/model"
 )
 
 var experimentOrder = []string{
 	"table1", "table2", "fig1", "fig1d", "fig8", "fig9", "fig10",
 	"fig11a", "fig11b", "table3", "fig12", "ablate-repl", "ablate-split", "ablate-nolog",
+	"calibrate", "sweep",
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: splitft-bench [flags] <experiment...|all>\n")
+	fmt.Fprintf(os.Stderr, "experiments: %v\n", experimentOrder)
+	fmt.Fprintf(os.Stderr, "  calibrate  runs the cost-model calibration gate for the selected profile\n")
+	fmt.Fprintf(os.Stderr, "  sweep      reruns the fig8 micro across all named profiles\n")
+	fmt.Fprintf(os.Stderr, "profiles (-profile): %v, or a path to a JSON profile file\n", model.Names())
+	flag.PrintDefaults()
 }
 
 func main() {
@@ -34,10 +53,12 @@ func main() {
 		logMB   = flag.Int("logmb", 0, "override recovery-log size in MiB (paper: 60)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		apps    = flag.String("apps", "kvstore,redstore,litedb", "comma-separated app list for fig1/fig9/fig10")
+		profile = flag.String("profile", "", "hardware profile: a built-in name or a JSON file path (default: CX4RoCE25)")
 	)
+	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintf(os.Stderr, "usage: splitft-bench [flags] <experiment...|all>\nexperiments: %v\n", experimentOrder)
+		usage()
 		os.Exit(2)
 	}
 
@@ -57,12 +78,23 @@ func main() {
 	if *logMB > 0 {
 		sc.LogSizeMB = *logMB
 	}
-
-	var appList []string
-	for _, a := range splitComma(*apps) {
-		appList = append(appList, a)
+	if *profile != "" {
+		prof, err := model.Resolve(*profile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitft-bench: %v\n", err)
+			os.Exit(2)
+		}
+		sc.Profile = prof
 	}
 
+	appList := splitComma(*apps)
+
+	// Validate experiment names up front so a typo fails before hours of
+	// simulation, not after.
+	known := map[string]bool{}
+	for _, e := range experimentOrder {
+		known[e] = true
+	}
 	want := map[string]bool{}
 	for _, arg := range flag.Args() {
 		if arg == "all" {
@@ -70,6 +102,10 @@ func main() {
 				want[e] = true
 			}
 			continue
+		}
+		if !known[arg] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %v)\n", arg, experimentOrder)
+			os.Exit(2)
 		}
 		want[arg] = true
 	}
@@ -79,15 +115,10 @@ func main() {
 		if !want[exp] {
 			continue
 		}
-		delete(want, exp)
 		if err := run(exp, sc, *seed, appList); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", exp, err)
 			os.Exit(1)
 		}
-	}
-	for exp := range want {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %v)\n", exp, experimentOrder)
-		os.Exit(2)
 	}
 	fmt.Printf("\n[done in %v wall-clock]\n", time.Since(start).Round(time.Second))
 }
@@ -112,7 +143,7 @@ func run(exp string, sc bench.Scale, seed int64, apps []string) error {
 			fmt.Println(res.Render())
 		}
 	case "fig1d":
-		res, err := bench.Fig1d(seed)
+		res, err := bench.Fig1d(sc, seed)
 		if err != nil {
 			return err
 		}
@@ -177,6 +208,21 @@ func run(exp string, sc bench.Scale, seed int64, apps []string) error {
 		fmt.Println(res.Render())
 	case "ablate-nolog":
 		res, err := bench.AblateNoLog(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "calibrate":
+		rep, err := bench.Calibrate(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		if !rep.Pass() {
+			return fmt.Errorf("calibration failed")
+		}
+	case "sweep":
+		res, err := bench.Sweep(sc, seed)
 		if err != nil {
 			return err
 		}

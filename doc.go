@@ -19,6 +19,13 @@
 // checker (internal/modelcheck), and the benchmark harness regenerating
 // every table and figure of the paper (internal/bench, cmd/splitft-bench).
 //
+// All calibrated hardware constants live in internal/model as named
+// Profiles (CX4RoCE25 — the paper's testbed and the baseline —
+// CX6RoCE100 and FastDFS); pick one with `splitft-bench -profile
+// CX6RoCE100 fig8`, check a profile against live micro-probes with
+// `splitft-bench calibrate`, and compare all profiles with
+// `splitft-bench sweep`.
+//
 // See README.md for a walkthrough, DESIGN.md for the system inventory and
 // simulation-substitution rationale, and EXPERIMENTS.md for paper-vs-
 // measured results.

@@ -17,12 +17,14 @@ import (
 
 	"splitft/internal/apps/litedb"
 	"splitft/internal/harness"
+	"splitft/internal/model"
 	"splitft/internal/simnet"
 )
 
 func main() {
-	cluster := harness.New(harness.Options{Seed: 23, NumPeers: 4})
+	cluster := harness.New(harness.Options{Seed: 23, NumPeers: 4, Profile: model.Baseline()})
 	cfg := litedb.DefaultConfig()
+	cfg.LiteDBCosts = cluster.Profile.Apps.LiteDB
 	cfg.Durability = litedb.SplitFT
 	cfg.NPages = 256
 	cfg.WALBytes = 256 << 10 // ~62 frames: wraps quickly

@@ -13,6 +13,7 @@ import (
 
 	"splitft/internal/apps/kvstore"
 	"splitft/internal/harness"
+	"splitft/internal/model"
 	"splitft/internal/simnet"
 	"splitft/internal/ycsb"
 )
@@ -37,7 +38,7 @@ func main() {
 }
 
 func runConfig(d kvstore.Durability) (kops float64, acked, survived int, err error) {
-	c := harness.New(harness.Options{Seed: 7, NumPeers: 4})
+	c := harness.New(harness.Options{Seed: 7, NumPeers: 4, Profile: model.Baseline()})
 	err = c.Run(func(p *simnet.Proc) error {
 		var db *kvstore.DB
 		booted := make(chan struct{}, 1)
@@ -47,6 +48,7 @@ func runConfig(d kvstore.Durability) (kops float64, acked, survived int, err err
 				return
 			}
 			cfg := kvstore.DefaultConfig()
+			cfg.KVStoreCosts = c.Profile.Apps.KVStore
 			cfg.Durability = d
 			cfg.MemtableBytes = 1 << 20
 			cfg.WALRegion = 3 << 20
@@ -103,6 +105,7 @@ func runConfig(d kvstore.Durability) (kops float64, acked, survived int, err err
 			return err
 		}
 		cfg := kvstore.DefaultConfig()
+		cfg.KVStoreCosts = c.Profile.Apps.KVStore
 		cfg.Durability = d
 		cfg.MemtableBytes = 1 << 20
 		cfg.WALRegion = 3 << 20

@@ -13,12 +13,13 @@ import (
 
 	"splitft/internal/core"
 	"splitft/internal/harness"
+	"splitft/internal/model"
 	"splitft/internal/ncl"
 	"splitft/internal/simnet"
 )
 
 func main() {
-	cluster := harness.New(harness.Options{Seed: 11, NumPeers: 6})
+	cluster := harness.New(harness.Options{Seed: 11, NumPeers: 6, Profile: model.Baseline()})
 	err := cluster.Run(func(p *simnet.Proc) error {
 		fs, err := cluster.NewFS(p, "peer-demo", 0)
 		if err != nil {

@@ -14,11 +14,14 @@ import (
 
 	"splitft/internal/core"
 	"splitft/internal/harness"
+	"splitft/internal/model"
 	"splitft/internal/simnet"
 )
 
 func main() {
-	cluster := harness.New(harness.Options{Seed: 42, NumPeers: 4})
+	// The hardware cost model comes from a named profile; model.Baseline()
+	// is the paper-faithful CX4RoCE25 testbed (try model.CX6RoCE100()).
+	cluster := harness.New(harness.Options{Seed: 42, NumPeers: 4, Profile: model.Baseline()})
 
 	err := cluster.Run(func(p *simnet.Proc) error {
 		// --- first application instance ---

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"splitft/internal/core"
+	"splitft/internal/model"
 	"splitft/internal/simnet"
 )
 
@@ -66,20 +67,20 @@ type Config struct {
 	JournalBytes int64
 	// JournalRegion is the NCL region capacity.
 	JournalRegion int64
-	// PutCPU/GetCPU model per-op work.
-	PutCPU time.Duration
-	GetCPU time.Duration
+	// KVellCosts is the per-op CPU cost model; the constants live in
+	// internal/model and the fields promote (cfg.PutCPU etc.).
+	model.KVellCosts
 }
 
-// DefaultConfig returns simulation-scaled settings.
+// DefaultConfig returns simulation-scaled settings; CPU costs come from the
+// baseline profile.
 func DefaultConfig() Config {
 	return Config{
 		Dir:           "/kvell",
 		Mode:          NCLTier,
 		JournalBytes:  4 << 20,
 		JournalRegion: 10 << 20,
-		PutCPU:        2 * time.Microsecond,
-		GetCPU:        1500 * time.Nanosecond,
+		KVellCosts:    model.Baseline().Apps.KVell,
 	}
 }
 

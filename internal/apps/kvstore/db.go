@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"splitft/internal/core"
+	"splitft/internal/model"
 	"splitft/internal/simnet"
 )
 
@@ -64,17 +65,13 @@ type Config struct {
 	L0CompactTrigger  int
 	// MaxImmutables stalls writers when this many unflushed memtables pile up.
 	MaxImmutables int
-	// CPU cost model (per operation).
-	EncodeCPU time.Duration // batch serialization, per op
-	ApplyCPU  time.Duration // memtable insert, per op
-	GetCPU    time.Duration // read-path lookup work
-	// SlowdownDelay is the per-batch delay applied when L0 is past the
-	// slowdown trigger (RocksDB's delayed-write-rate mechanism).
-	SlowdownDelay time.Duration
+	// KVStoreCosts is the per-operation CPU cost model; the constants live
+	// in internal/model and the fields promote (cfg.EncodeCPU etc.).
+	model.KVStoreCosts
 }
 
 // DefaultConfig returns the configuration used by the benchmarks, scaled to
-// simulation-sized datasets.
+// simulation-sized datasets; CPU costs come from the baseline profile.
 func DefaultConfig() Config {
 	return Config{
 		Dir:               "/kv",
@@ -84,10 +81,7 @@ func DefaultConfig() Config {
 		L0SlowdownTrigger: 8,
 		L0CompactTrigger:  4,
 		MaxImmutables:     4,
-		EncodeCPU:         600 * time.Nanosecond,
-		ApplyCPU:          2500 * time.Nanosecond,
-		GetCPU:            1800 * time.Nanosecond,
-		SlowdownDelay:     200 * time.Microsecond,
+		KVStoreCosts:      model.Baseline().Apps.KVStore,
 	}
 }
 
@@ -505,7 +499,7 @@ func (db *DB) mergeTables(p *simnet.Proc, inputsL0, inputsL1 []*ssTable) ([]entr
 			return nil, err
 		}
 		// Charge merge CPU coarsely per table.
-		p.Sleep(time.Duration(len(ents)) * 200 * time.Nanosecond)
+		p.Sleep(time.Duration(len(ents)) * db.cfg.MergeCPU)
 		for _, e := range ents {
 			result[e.key] = e
 		}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"splitft/internal/core"
+	"splitft/internal/model"
 	"splitft/internal/simnet"
 )
 
@@ -61,22 +62,21 @@ type Config struct {
 	NPages     int
 	// WALBytes is the circular WAL capacity (and ncl region size).
 	WALBytes int64
-	// TxnCPU is the per-update-transaction processing cost (SQL parse,
-	// B-tree work); ReadCPU the read-transaction cost.
-	TxnCPU  time.Duration
-	ReadCPU time.Duration
+	// LiteDBCosts is the per-transaction CPU cost model; the constants live
+	// in internal/model and the fields promote (cfg.TxnCPU etc.).
+	model.LiteDBCosts
 }
 
-// DefaultConfig returns simulation-scaled settings.
+// DefaultConfig returns simulation-scaled settings; CPU costs come from the
+// baseline profile.
 func DefaultConfig() Config {
 	return Config{
-		Path:       "/lite/data.db",
-		Durability: SplitFT,
-		PageSize:   4096,
-		NPages:     2048,
-		WALBytes:   4 << 20,
-		TxnCPU:     170 * time.Microsecond,
-		ReadCPU:    70 * time.Microsecond,
+		Path:        "/lite/data.db",
+		Durability:  SplitFT,
+		PageSize:    4096,
+		NPages:      2048,
+		WALBytes:    4 << 20,
+		LiteDBCosts: model.Baseline().Apps.LiteDB,
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"splitft/internal/core"
+	"splitft/internal/model"
 	"splitft/internal/simnet"
 )
 
@@ -56,25 +57,23 @@ type Config struct {
 	AOFRewriteBytes int64
 	// AOFRegion is the ncl region capacity for the AOF.
 	AOFRegion int64
-	// OpCPU is the single-threaded per-command processing cost.
-	OpCPU time.Duration
 	// BatchMax bounds how many pipelined commands one loop iteration takes.
 	BatchMax int
-	// SnapshotCopyBW models the copy-on-write fork cost charged to the loop
-	// when a snapshot starts (bytes/sec).
-	SnapshotCopyBW float64
+	// RedStoreCosts is the CPU/copy cost model; the constants live in
+	// internal/model and the fields promote (cfg.OpCPU etc.).
+	model.RedStoreCosts
 }
 
-// DefaultConfig returns simulation-scaled settings.
+// DefaultConfig returns simulation-scaled settings; CPU costs come from the
+// baseline profile.
 func DefaultConfig() Config {
 	return Config{
 		Dir:             "/redis",
 		Durability:      SplitFT,
 		AOFRewriteBytes: 8 << 20,
 		AOFRegion:       16 << 20,
-		OpCPU:           8600 * time.Nanosecond,
 		BatchMax:        32,
-		SnapshotCopyBW:  8e9,
+		RedStoreCosts:   model.Baseline().Apps.RedStore,
 	}
 }
 

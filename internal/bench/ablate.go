@@ -53,7 +53,7 @@ func AblateReplication(sc Scale, seed int64) (AblateReplResult, error) {
 	window := sc.RunDur
 
 	// NCL side.
-	c := newCluster(seed)
+	c := newCluster(sc, seed)
 	err := c.Run(func(p *simnet.Proc) error {
 		fs, err := c.NewFS(p, "ablate-ncl", 0)
 		if err != nil {
@@ -92,14 +92,14 @@ func AblateReplication(sc Scale, seed int64) (AblateReplResult, error) {
 	}
 
 	// Consensus side: a 3-replica Raft group logging the same records.
-	c2 := newCluster(seed + 1)
+	c2 := newCluster(sc, seed+1)
 	err = c2.Run(func(p *simnet.Proc) error {
 		ids := []string{"r0", "r1", "r2"}
 		nodes := make([]*simnet.Node, len(ids))
 		for i, id := range ids {
 			nodes[i] = c2.Sim.NewNode(id)
 		}
-		cl := raft.NewCluster(c2.Sim, "repl-log", raft.DefaultConfig(), ids,
+		cl := raft.NewCluster(c2.Sim, "repl-log", c2.Profile.Controller.Raft, ids,
 			func() raft.StateMachine { return &appendSM{} })
 		for i, id := range ids {
 			raft.StartReplica(cl, nodes[i], id)
@@ -175,7 +175,7 @@ func AblateSplit(sc Scale, seed int64) (AblateSplitResult, error) {
 
 	run := func(strategy string, write func(p *simnet.Proc, data []byte, off int64) error,
 		setup func(p *simnet.Proc, fs *core.FS) (func(p *simnet.Proc, data []byte, off int64) error, error)) error {
-		c := newCluster(seed)
+		c := newCluster(sc, seed)
 		return c.Run(func(p *simnet.Proc) error {
 			fs, err := c.NewFS(p, "ablate-split", 0)
 			if err != nil {
@@ -303,13 +303,14 @@ func AblateNoLog(sc Scale, seed int64) (AblateNoLogResult, error) {
 	}
 	for _, m := range NoLogModes {
 		m := m
-		c := newCluster(seed)
+		c := newCluster(sc, seed)
 		err := c.Run(func(p *simnet.Proc) error {
 			fs, err := c.NewFS(p, "kvell-bench", 0)
 			if err != nil {
 				return err
 			}
 			cfg := kvell.DefaultConfig()
+			cfg.KVellCosts = c.Profile.Apps.KVell
 			cfg.Mode = m
 			s, err := kvell.Open(p, fs, cfg)
 			if err != nil {

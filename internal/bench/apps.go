@@ -41,6 +41,7 @@ func newKVApp(c *harness.Cluster, p *simnet.Proc, cfg string, keys, fencing int6
 		return nil, err
 	}
 	dbCfg := kvstore.DefaultConfig()
+	dbCfg.KVStoreCosts = c.Profile.Apps.KVStore
 	dbCfg.Durability = kvDurability(cfg)
 	if keys > 0 {
 		// Keep the memtable well below the dataset so reads exercise the
@@ -109,6 +110,7 @@ func newRedApp(c *harness.Cluster, p *simnet.Proc, cfg string, keys, fencing int
 		return nil, err
 	}
 	sCfg := redstore.DefaultConfig()
+	sCfg.RedStoreCosts = c.Profile.Apps.RedStore
 	sCfg.Durability = redDurability(cfg)
 	if keys > 0 {
 		// Scale the AOF-rewrite trigger with the dataset so background
@@ -177,6 +179,7 @@ func newLiteApp(c *harness.Cluster, p *simnet.Proc, cfg string, keys int64, fenc
 		return nil, err
 	}
 	dbCfg := litedb.DefaultConfig()
+	dbCfg.LiteDBCosts = c.Profile.Apps.LiteDB
 	dbCfg.Durability = liteDurability(cfg)
 	// Size the page table for ~2KB average occupancy per 4KB page.
 	dbCfg.NPages = int(keys*int64(ycsb.KeySize+ycsb.ValueSize+4)/2048 + 64)
@@ -277,7 +280,7 @@ func Fig9(appName string, sc Scale, seed int64) (Fig9Result, error) {
 	for _, cfg := range AllConfigs {
 		for _, nc := range clientCounts {
 			keys := appLoadKeys(appName, sc) / 2
-			c := newClusterSized(seed, datasetBytes(keys))
+			c := newClusterSized(sc, seed, datasetBytes(keys))
 			var pt *point
 			err := c.Run(func(p *simnet.Proc) error {
 				a, err := newApp(c, p, appName, cfg, keys)
@@ -340,7 +343,7 @@ func Fig10(appName string, sc Scale, seed int64) (Fig10Result, error) {
 		for _, w := range workloads {
 			w := w
 			keys := appLoadKeys(appName, sc)
-			c := newClusterSized(seed, datasetBytes(keys))
+			c := newClusterSized(sc, seed, datasetBytes(keys))
 			err := c.Run(func(p *simnet.Proc) error {
 				a, err := newApp(c, p, appName, cfg, keys)
 				if err != nil {
@@ -424,7 +427,7 @@ func (r Fig12Result) MeanDuring(from, to time.Duration) float64 {
 // impact), sampling real-time throughput every 10ms.
 func Fig12(sc Scale, seed int64) (Fig12Result, error) {
 	res := Fig12Result{}
-	c := newCluster(seed)
+	c := newCluster(sc, seed)
 	sampler := metrics.NewThroughputSampler(10 * time.Millisecond)
 	total := sc.Warmup + sc.RunDur*3
 	err := c.Run(func(p *simnet.Proc) error {

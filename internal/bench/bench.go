@@ -15,9 +15,9 @@ import (
 	"fmt"
 	"time"
 
-	"splitft/internal/dfs"
 	"splitft/internal/harness"
 	"splitft/internal/metrics"
+	"splitft/internal/model"
 	"splitft/internal/simnet"
 	"splitft/internal/ycsb"
 )
@@ -31,6 +31,17 @@ type Scale struct {
 	Warmup    time.Duration
 	Clients   int // client threads for throughput experiments
 	LogSizeMB int // recovery-experiment log size (paper: 60MB)
+	// Profile is the hardware cost model every experiment cluster is built
+	// with. Nil means model.Baseline().
+	Profile *model.Profile
+}
+
+// profile resolves the scale's cost model.
+func (sc Scale) profile() *model.Profile {
+	if sc.Profile != nil {
+		return sc.Profile
+	}
+	return model.Baseline()
 }
 
 // DefaultScale suits the CLI harness (minutes for the full suite).
@@ -53,22 +64,25 @@ const (
 // AllConfigs in presentation order.
 var AllConfigs = []string{CfgStrong, CfgWeak, CfgSplitFT}
 
-// newCluster builds the standard testbed for one experiment run.
-func newCluster(seed int64) *harness.Cluster { return newClusterSized(seed, 0) }
+// newCluster builds the standard testbed for one experiment run under the
+// scale's cost-model profile.
+func newCluster(sc Scale, seed int64) *harness.Cluster { return newClusterSized(sc, seed, 0) }
 
 // newClusterSized additionally sizes the application server's block cache
 // to 30% of the dataset, the paper's cache configuration for the key-value
 // stores and the database (§5 "Application Configuration").
-func newClusterSized(seed int64, dataset int64) *harness.Cluster {
+func newClusterSized(sc Scale, seed int64, dataset int64) *harness.Cluster {
+	prof := sc.profile()
 	opts := harness.Options{
 		Seed:        seed,
 		NumPeers:    6,
 		PeerMem:     1 << 30,
 		AppCores:    10,
 		WithLocalFS: true,
+		Profile:     prof,
 	}
 	if dataset > 0 {
-		params := dfs.DefaultParams()
+		params := prof.DFS
 		params.CacheCapacity = dataset * 30 / 100
 		if params.CacheCapacity < 1<<20 {
 			params.CacheCapacity = 1 << 20
@@ -245,7 +259,7 @@ func Table1(sc Scale, seed int64) (Table1Result, error) {
 	var res Table1Result
 	for _, cfgName := range []string{CfgWeak, CfgStrong} {
 		cfgName := cfgName
-		c := newClusterSized(seed, datasetBytes(sc.LoadKeys/4))
+		c := newClusterSized(sc, seed, datasetBytes(sc.LoadKeys/4))
 		err := c.Run(func(p *simnet.Proc) error {
 			a, err := newKVApp(c, p, cfgName, sc.LoadKeys/4, 0)
 			if err != nil {

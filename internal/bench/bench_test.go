@@ -40,7 +40,7 @@ func TestTable2Renders(t *testing.T) {
 }
 
 func TestFig1dShape(t *testing.T) {
-	res, err := Fig1d(2)
+	res, err := Fig1d(QuickScale(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"splitft/internal/controller"
+	"splitft/internal/core"
+	"splitft/internal/model"
+	"splitft/internal/simnet"
+)
+
+// This file runs the calibration micro-probes on the full simulated stack.
+// The probes measure the four paper-anchored costs (a 128 B NCL record, a
+// small dfs sync write, a 60 MB MR registration, a controller metadata op);
+// model.Calibrate judges them against targets derived from the profile, so
+// a change that silently shifts the cost model fails the gate loudly.
+
+// Probes runs the calibration micro-benchmarks under the scale's profile
+// and returns the raw measurements (in probe-name order).
+func Probes(sc Scale, seed int64) ([]model.Measurement, error) {
+	var meas []model.Measurement
+	c := newCluster(sc, seed)
+	err := c.Run(func(p *simnet.Proc) error {
+		fs, err := c.NewFS(p, "calibrate", 0)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 128)
+
+		// NCL record: synchronous replicated append of 128 B.
+		const nclWrites = 400
+		nf, err := fs.OpenFile(p, "calib-ncl", core.O_NCL|core.O_CREATE,
+			int64(len(buf)*nclWrites+1024))
+		if err != nil {
+			return err
+		}
+		start := p.Now()
+		for i := 0; i < nclWrites; i++ {
+			if _, err := nf.Write(p, buf); err != nil {
+				return err
+			}
+		}
+		meas = append(meas, model.Measurement{
+			Probe: model.ProbeNCLRecord128,
+			Value: (p.Now() - start) / nclWrites,
+		})
+
+		// dfs sync write: 128 B write + fdatasync on the disaggregated fs.
+		const dfsWrites = 50
+		df, err := fs.OpenFile(p, "/calib-dfs", core.O_CREATE, 0)
+		if err != nil {
+			return err
+		}
+		start = p.Now()
+		for i := 0; i < dfsWrites; i++ {
+			if _, err := df.Write(p, buf); err != nil {
+				return err
+			}
+			if err := df.Sync(p); err != nil {
+				return err
+			}
+		}
+		meas = append(meas, model.Measurement{
+			Probe: model.ProbeDFSSyncWrite128,
+			Value: (p.Now() - start) / dfsWrites,
+		})
+
+		// MR registration: one 60 MB region on the client node's NIC (the
+		// recovery-log size of Table 3).
+		nic := c.Fabric.NIC(c.ClientNode.Name())
+		if nic == nil {
+			nic = c.Fabric.AttachNIC(c.ClientNode)
+		}
+		region := make([]byte, 60<<20)
+		start = p.Now()
+		if _, err := nic.RegisterMR(p, region); err != nil {
+			return err
+		}
+		meas = append(meas, model.Measurement{
+			Probe: model.ProbeMRRegister60MB,
+			Value: p.Now() - start,
+		})
+
+		// Controller op: a linearizable metadata read (one quorum commit),
+		// the "get peer" step of Table 3.
+		const ctrlOps = 50
+		cc := controller.NewClient(c.Controller, c.ClientNode, "calibrate", 0)
+		peerName := c.PeerNodes[0].Name()
+		start = p.Now()
+		for i := 0; i < ctrlOps; i++ {
+			if _, _, err := cc.GetPeer(p, peerName); err != nil {
+				return err
+			}
+		}
+		meas = append(meas, model.Measurement{
+			Probe: model.ProbeControllerOp,
+			Value: (p.Now() - start) / ctrlOps,
+		})
+		return nil
+	})
+	return meas, err
+}
+
+// Calibrate runs the probes and judges them against the profile's targets.
+func Calibrate(sc Scale, seed int64) (model.Report, error) {
+	prof := sc.profile()
+	meas, err := Probes(sc, seed)
+	if err != nil {
+		return model.Report{Profile: prof.Name}, err
+	}
+	return model.Calibrate(prof, meas), nil
+}

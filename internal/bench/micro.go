@@ -59,7 +59,7 @@ var Fig8Sizes = []int{128, 256, 512, 1024, 2048, 4096, 8192}
 // by NCL.
 func Fig8(sc Scale, seed int64) (Fig8Result, error) {
 	var res Fig8Result
-	c := newCluster(seed)
+	c := newCluster(sc, seed)
 	const perSize = 400
 	err := c.Run(func(p *simnet.Proc) error {
 		fs, err := c.NewFS(p, "microbench", 0)
@@ -141,12 +141,12 @@ func (r Fig1dResult) Render() string {
 
 // Fig1d measures sequential write+fsync throughput on the dfs at the
 // paper's block sizes.
-func Fig1d(seed int64) (Fig1dResult, error) {
+func Fig1d(sc Scale, seed int64) (Fig1dResult, error) {
 	var res Fig1dResult
 	sizes := []int64{512, 8 << 10, 1 << 20, 64 << 20}
 	for _, bs := range sizes {
 		bs := bs
-		c := newCluster(seed)
+		c := newCluster(sc, seed)
 		err := c.Run(func(p *simnet.Proc) error {
 			fs, err := c.NewFS(p, "fig1d", 0)
 			if err != nil {
@@ -229,7 +229,7 @@ func Fig11a(sc Scale, seed int64) (Fig11aResult, error) {
 	var res Fig11aResult
 	fileSize := int64(sc.LogSizeMB) << 20 / 4 // reads are slow; scale down
 	sizes := []int{128, 512, 2048, 8192}
-	c := newCluster(seed)
+	c := newCluster(sc, seed)
 	err := c.Run(func(p *simnet.Proc) error {
 		// Build the log content on NCL and on the dfs, then crash the app so
 		// the NCL open below takes the recovery path.

@@ -76,7 +76,7 @@ func Fig11b(sc Scale, seed int64) (Fig11bResult, error) {
 // recovery.
 func recoverOnce(sc Scale, seed int64, appName, variant string) (Fig11bRow, error) {
 	row := Fig11bRow{App: appName, Variant: variant}
-	c := newCluster(seed)
+	c := newCluster(sc, seed)
 	logBytes := int64(sc.LogSizeMB) << 20
 
 	// Map the variant to a configuration + backing store.
@@ -99,7 +99,7 @@ func recoverOnce(sc Scale, seed int64, appName, variant string) (Fig11bRow, erro
 			if err != nil {
 				return
 			}
-			if err := fillLog(wp, fs, appName, cfg, logBytes); err != nil {
+			if err := fillLog(wp, c, fs, appName, cfg, logBytes); err != nil {
 				return
 			}
 			written <- struct{}{}
@@ -118,7 +118,7 @@ func recoverOnce(sc Scale, seed int64, appName, variant string) (Fig11bRow, erro
 			return err
 		}
 		start := p.Now()
-		if err := recoverApp(p, fs2, appName, cfg); err != nil {
+		if err := recoverApp(p, c, fs2, appName, cfg); err != nil {
 			return err
 		}
 		row.Total = p.Now() - start
@@ -138,11 +138,12 @@ func localClusterFor(c *harness.Cluster) *dfs.Cluster { return c.LocalFS }
 
 // fillLog writes application data until the active log reaches target
 // bytes, with settings that prevent rotation/checkpointing first.
-func fillLog(p *simnet.Proc, fs *core.FS, appName, cfg string, target int64) error {
+func fillLog(p *simnet.Proc, c *harness.Cluster, fs *core.FS, appName, cfg string, target int64) error {
 	val := make([]byte, ycsb.ValueSize)
 	switch appName {
 	case "kvstore":
 		dbCfg := kvstore.DefaultConfig()
+		dbCfg.KVStoreCosts = c.Profile.Apps.KVStore
 		dbCfg.Durability = kvDurability(cfg)
 		dbCfg.MemtableBytes = target * 2 // never rotate
 		dbCfg.WALRegion = target + target/4
@@ -157,6 +158,7 @@ func fillLog(p *simnet.Proc, fs *core.FS, appName, cfg string, target int64) err
 		}
 	case "redstore":
 		sCfg := redstore.DefaultConfig()
+		sCfg.RedStoreCosts = c.Profile.Apps.RedStore
 		sCfg.Durability = redDurability(cfg)
 		sCfg.AOFRewriteBytes = target * 2
 		sCfg.AOFRegion = target + target/4
@@ -171,6 +173,7 @@ func fillLog(p *simnet.Proc, fs *core.FS, appName, cfg string, target int64) err
 		}
 	case "litedb":
 		dbCfg := litedb.DefaultConfig()
+		dbCfg.LiteDBCosts = c.Profile.Apps.LiteDB
 		dbCfg.Durability = liteDurability(cfg)
 		dbCfg.WALBytes = target + target/8 // one generation fills the target
 		dbCfg.NPages = int(target / 4096 * 2)
@@ -191,10 +194,11 @@ func fillLog(p *simnet.Proc, fs *core.FS, appName, cfg string, target int64) err
 }
 
 // recoverApp runs the application's recovery path.
-func recoverApp(p *simnet.Proc, fs *core.FS, appName, cfg string) error {
+func recoverApp(p *simnet.Proc, c *harness.Cluster, fs *core.FS, appName, cfg string) error {
 	switch appName {
 	case "kvstore":
 		dbCfg := kvstore.DefaultConfig()
+		dbCfg.KVStoreCosts = c.Profile.Apps.KVStore
 		dbCfg.Durability = kvDurability(cfg)
 		dbCfg.MemtableBytes = 1 << 40 // recovery only; avoid rotation
 		dbCfg.WALRegion = 64 << 20    // fresh active WAL after replay
@@ -202,12 +206,14 @@ func recoverApp(p *simnet.Proc, fs *core.FS, appName, cfg string) error {
 		return err
 	case "redstore":
 		sCfg := redstore.DefaultConfig()
+		sCfg.RedStoreCosts = c.Profile.Apps.RedStore
 		sCfg.Durability = redDurability(cfg)
 		sCfg.AOFRegion = 64 << 20
 		_, err := redstore.Recover(p, fs, sCfg)
 		return err
 	case "litedb":
 		dbCfg := litedb.DefaultConfig()
+		dbCfg.LiteDBCosts = c.Profile.Apps.LiteDB
 		dbCfg.Durability = liteDurability(cfg)
 		dbCfg.WALBytes = 64 << 20
 		dbCfg.NPages = 1 << 15
@@ -242,7 +248,7 @@ func (r Table3Result) Render() string {
 // and reports the replacement breakdown.
 func Table3(sc Scale, seed int64) (Table3Result, error) {
 	var res Table3Result
-	c := newCluster(seed)
+	c := newCluster(sc, seed)
 	logBytes := int64(sc.LogSizeMB) << 20
 	err := c.Run(func(p *simnet.Proc) error {
 		fs, err := c.NewFS(p, "table3", 0)
@@ -303,7 +309,7 @@ func (r Fig1Result) Render() string {
 // write-only workload, classifying by file name (the paper's Fig 1a-c).
 func Fig1(appName string, sc Scale, seed int64) (Fig1Result, error) {
 	res := Fig1Result{App: appName, LogCDF: &metrics.SizeCDF{}, BgCDF: &metrics.SizeCDF{}}
-	c := newCluster(seed)
+	c := newCluster(sc, seed)
 	err := c.Run(func(p *simnet.Proc) error {
 		keys := appLoadKeys(appName, sc) / 2
 		a, err := newApp(c, p, appName, CfgStrong, keys)

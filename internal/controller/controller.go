@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"splitft/internal/model"
 	"splitft/internal/raft"
 	"splitft/internal/simnet"
 )
@@ -238,25 +239,15 @@ func (t *tree) dropEphemerals(sess string) {
 
 // ---- Service ----
 
-// Config holds controller timing.
-type Config struct {
-	Raft           raft.Config
-	SessionTimeout time.Duration
-	KeepAlive      time.Duration
-	ExpiryScan     time.Duration
-	OpTimeout      time.Duration
-}
+// Config holds controller timing. The constants live in internal/model
+// (the unified hardware cost-model layer); this alias keeps the controller
+// API self-contained. Its Raft field aliases raft.Config the same way.
+type Config = model.ControllerConfig
 
-// DefaultConfig returns standard controller timing: sessions expire ~600 ms
-// after a client dies, scanned every 200 ms.
+// DefaultConfig returns the baseline profile's controller timing: sessions
+// expire ~600 ms after a client dies, scanned every 200 ms.
 func DefaultConfig() Config {
-	return Config{
-		Raft:           raft.DefaultConfig(),
-		SessionTimeout: 600 * time.Millisecond,
-		KeepAlive:      150 * time.Millisecond,
-		ExpiryScan:     200 * time.Millisecond,
-		OpTimeout:      3 * time.Second,
-	}
+	return model.Baseline().Controller
 }
 
 // Service is a running controller ensemble.

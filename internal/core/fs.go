@@ -18,7 +18,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"time"
 
 	"splitft/internal/controller"
 	"splitft/internal/dfs"
@@ -93,9 +92,10 @@ type Options struct {
 
 // FS is one application's SplitFT file system instance.
 type FS struct {
-	node *simnet.Node
-	dfs  *dfs.Client
-	lib  *ncl.Lib
+	node   *simnet.Node
+	dfs    *dfs.Client
+	lib    *ncl.Lib
+	nclCfg ncl.Config
 
 	appID             string
 	defaultRegionSize int64
@@ -123,6 +123,7 @@ func NewFS(p *simnet.Proc, opts Options) (*FS, error) {
 		node:              opts.Node,
 		dfs:               opts.DFS.Mount(opts.Node),
 		lib:               lib,
+		nclCfg:            opts.NCL,
 		appID:             opts.AppID,
 		defaultRegionSize: opts.DefaultRegionSize,
 		nclOpen:           make(map[string]*nclFile),
@@ -318,7 +319,7 @@ func (f *nclFile) Pread(p *simnet.Proc, buf []byte, off int64) (int, error) {
 	// Reads come from the local buffer; after recovery the content was
 	// prefetched from the recovery peer (Fig 11a). ncl-lib serves them in
 	// user space — no syscall — so the fixed cost undercuts a dfs read.
-	p.Sleep(300 * time.Nanosecond)
+	p.Sleep(f.fs.nclCfg.LocalReadCPU)
 	return f.lg.ReadAt(buf, off), nil
 }
 
@@ -326,7 +327,7 @@ func (f *nclFile) Pread(p *simnet.Proc, buf []byte, off int64) (int, error) {
 // majority of log peers before returning. This is precisely SplitFT's
 // performance win — the fsync disappears from the critical path.
 func (f *nclFile) Sync(p *simnet.Proc) error {
-	p.Sleep(200 * time.Nanosecond)
+	p.Sleep(f.fs.nclCfg.SyncCPU)
 	return nil
 }
 

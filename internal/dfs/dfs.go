@@ -32,78 +32,27 @@ import (
 	"strings"
 	"time"
 
+	"splitft/internal/model"
 	"splitft/internal/simnet"
 )
 
-// Params is the storage cost model.
-type Params struct {
-	// SyncFixed is the fixed cost of an fsync round trip (client -> primary
-	// -> replicas -> ack), paid even for tiny payloads.
-	SyncFixed time.Duration
-	// SyncCleanFixed is the cost of an fsync with nothing dirty.
-	SyncCleanFixed time.Duration
-	// WriteBandwidth is the shared durable-write bandwidth (bytes/sec).
-	WriteBandwidth float64
-	// ReadFixed is the fixed cost of one storage fetch (cache miss).
-	ReadFixed time.Duration
-	// ReadBandwidth is the shared fetch bandwidth (bytes/sec).
-	ReadBandwidth float64
-	// MetaFixed is the cost of a metadata op (create/unlink/rename/open).
-	MetaFixed time.Duration
-	// SyscallFixed is the client-local cost of a buffered read/write call.
-	SyscallFixed time.Duration
-	// MemBandwidth is the client-local copy bandwidth for buffered IO and
-	// cache hits (bytes/sec).
-	MemBandwidth float64
-	// ReadaheadWindow is the sequential prefetch size; 0 disables readahead.
-	ReadaheadWindow int
-	// CacheBlock is the cache block size.
-	CacheBlock int
-	// CacheCapacity is the client block-cache capacity in bytes.
-	CacheCapacity int64
-	// DirtyHighWater stalls writers until writeback drains below it.
-	DirtyHighWater int64
-	// WritebackInterval is the periodic background flush cadence.
-	WritebackInterval time.Duration
-	// WritebackThrottleMax is the maximum per-write throttling delay as
-	// dirty data approaches the high watermark (the balance_dirty_pages
-	// effect: fsync-less "weak" log writes still pay for the writeback
-	// they defer; applications whose logs bypass the dfs do not).
-	WritebackThrottleMax time.Duration
-}
+// Params is the storage cost model. The constants live in internal/model
+// (the unified hardware cost-model layer); this alias keeps the dfs API
+// self-contained.
+type Params = model.DFSParams
 
-// DefaultParams models the paper's CephFS deployment (3 replicas on SATA
-// SSDs behind a 25 Gb network).
+// DefaultParams returns the baseline profile's dfs cost model, which
+// models the paper's CephFS deployment (3 replicas on SATA SSDs behind a
+// 25 Gb network).
 func DefaultParams() Params {
-	return Params{
-		SyncFixed:            2300 * time.Microsecond,
-		SyncCleanFixed:       250 * time.Microsecond,
-		WriteBandwidth:       500e6,
-		ReadFixed:            550 * time.Microsecond,
-		ReadBandwidth:        1e9,
-		MetaFixed:            500 * time.Microsecond,
-		SyscallFixed:         800 * time.Nanosecond,
-		MemBandwidth:         10e9,
-		ReadaheadWindow:      4 << 20,
-		CacheBlock:           64 << 10,
-		CacheCapacity:        256 << 20,
-		DirtyHighWater:       64 << 20,
-		WritebackInterval:    500 * time.Millisecond,
-		WritebackThrottleMax: 2500 * time.Nanosecond,
-	}
+	return model.Baseline().DFS
 }
 
-// LocalExt4Params models a local ext4 partition on a SATA SSD (the
-// comparison point in Fig 11b; "not realistic" for DFT but fast).
+// LocalExt4Params returns the baseline profile's local-ext4 cost model — a
+// local partition on a SATA SSD (the comparison point in Fig 11b; "not
+// realistic" for DFT but fast).
 func LocalExt4Params() Params {
-	p := DefaultParams()
-	p.SyncFixed = 900 * time.Microsecond
-	p.SyncCleanFixed = 60 * time.Microsecond
-	p.WriteBandwidth = 450e6
-	p.ReadFixed = 90 * time.Microsecond
-	p.ReadBandwidth = 520e6
-	p.MetaFixed = 60 * time.Microsecond
-	return p
+	return model.Baseline().LocalFS
 }
 
 // Errors.

@@ -12,7 +12,7 @@ import (
 	"splitft/internal/controller"
 	"splitft/internal/core"
 	"splitft/internal/dfs"
-	"splitft/internal/ncl"
+	"splitft/internal/model"
 	"splitft/internal/peer"
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
@@ -22,16 +22,20 @@ import (
 type Options struct {
 	Seed     int64
 	NumPeers int
-	// PeerMem is each peer's lendable memory (default 1 GiB).
+	// Profile is the hardware cost model for the whole testbed (fabric,
+	// dfs, controller, peers, net latency). Nil means model.Baseline().
+	// The fine-grained overrides below layer on top of it.
+	Profile *model.Profile
+	// PeerMem is each peer's lendable memory (default from profile: 1 GiB).
 	PeerMem int64
 	// AppCores is the application server's core count (default 10, the
 	// paper's E5-2640v4).
 	AppCores int
-	// DFSParams overrides the dfs cost model (zero value: defaults).
+	// DFSParams overrides the profile's dfs cost model.
 	DFSParams *dfs.Params
 	// WithLocalFS adds a local-ext4 cluster (Fig 11b baseline).
 	WithLocalFS bool
-	// NetLatency is the default one-way latency (default 5us: RDMA-class).
+	// NetLatency overrides the profile's default one-way latency.
 	NetLatency time.Duration
 	// PeerConfig overrides peer daemon settings (LendableMem is still
 	// taken from PeerMem when set).
@@ -49,6 +53,9 @@ type Cluster struct {
 	ClientNode *simnet.Node
 	PeerNodes  []*simnet.Node
 	Peers      map[string]*peer.Peer
+	// Profile is the resolved hardware cost model the testbed was built
+	// with; application builders read their CPU costs from it.
+	Profile *model.Profile
 
 	peerCfg peer.Config
 }
@@ -62,31 +69,36 @@ func New(opts Options) *Cluster {
 	if opts.AppCores == 0 {
 		opts.AppCores = 10
 	}
+	prof := opts.Profile
+	if prof == nil {
+		prof = model.Baseline()
+	}
 	if opts.NetLatency == 0 {
-		opts.NetLatency = 5 * time.Microsecond
+		opts.NetLatency = prof.NetLatency
 	}
 	s := simnet.New(opts.Seed)
 	s.Net().SetDefaultLatency(opts.NetLatency)
 	ctrlNodes := []*simnet.Node{s.NewNode("ctrl0"), s.NewNode("ctrl1"), s.NewNode("ctrl2")}
-	dfsParams := dfs.DefaultParams()
+	dfsParams := prof.DFS
 	if opts.DFSParams != nil {
 		dfsParams = *opts.DFSParams
 	}
 	c := &Cluster{
 		Sim:        s,
-		Controller: controller.Start(s, ctrlNodes, controller.DefaultConfig()),
-		Fabric:     rdma.NewFabric(s, rdma.DefaultParams()),
+		Controller: controller.Start(s, ctrlNodes, prof.Controller),
+		Fabric:     rdma.NewFabric(s, prof.RDMA),
 		DFS:        dfs.NewCluster(s, "cephfs", dfsParams),
 		AppNode:    s.NewNode("appserver"),
 		ClientNode: s.NewNode("client"),
 		Peers:      make(map[string]*peer.Peer),
+		Profile:    prof,
 	}
 	if opts.WithLocalFS {
-		c.LocalFS = dfs.NewCluster(s, "local-ext4", dfs.LocalExt4Params())
+		c.LocalFS = dfs.NewCluster(s, "local-ext4", prof.LocalFS)
 	}
 	c.AppNode.SetCores(opts.AppCores)
 	c.ClientNode.SetCores(16)
-	c.peerCfg = peer.DefaultConfig()
+	c.peerCfg = prof.Peer
 	if opts.PeerConfig != nil {
 		c.peerCfg = *opts.PeerConfig
 	}
@@ -119,6 +131,7 @@ func (c *Cluster) RestartPeer(p *simnet.Proc, name string) error {
 	for _, n := range c.PeerNodes {
 		if n.Name() == name {
 			node = n
+			break
 		}
 	}
 	if node == nil {
@@ -162,7 +175,7 @@ func (c *Cluster) FSOptions(appID string, fencing int64) core.Options {
 		Node:       c.AppNode,
 		AppID:      appID,
 		Fencing:    fencing,
-		NCL:        ncl.DefaultConfig(),
+		NCL:        c.Profile.NCL,
 	}
 }
 

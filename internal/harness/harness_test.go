@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"splitft/internal/core"
+	"splitft/internal/model"
 	"splitft/internal/simnet"
 )
 
@@ -81,5 +82,54 @@ func TestDefaultsApplied(t *testing.T) {
 	}
 	if c.Sim.Net().Latency(c.AppNode, c.ClientNode) != 5*time.Microsecond {
 		t.Fatalf("default latency = %v", c.Sim.Net().Latency(c.AppNode, c.ClientNode))
+	}
+	if c.Profile == nil || c.Profile.Name != model.Baseline().Name {
+		t.Fatalf("nil Options.Profile should resolve to the baseline, got %+v", c.Profile)
+	}
+}
+
+func TestProfileOverridePlumbing(t *testing.T) {
+	prof := model.CX6RoCE100()
+	prof.DFS.SyncFixed = 1750 * time.Microsecond
+	prof.NCL.F = 2
+	c := New(Options{Seed: 5, Profile: prof})
+	// The fabric, dfs and network must be built from the custom profile,
+	// not the baseline.
+	if got := c.Fabric.Params().WRBase; got != prof.RDMA.WRBase {
+		t.Errorf("fabric WRBase = %v, want %v", got, prof.RDMA.WRBase)
+	}
+	if got := c.DFS.Params().SyncFixed; got != 1750*time.Microsecond {
+		t.Errorf("dfs SyncFixed = %v, want the override", got)
+	}
+	if got := c.Sim.Net().Latency(c.AppNode, c.ClientNode); got != prof.NetLatency {
+		t.Errorf("net latency = %v, want %v", got, prof.NetLatency)
+	}
+	if got := c.FSOptions("app", 0).NCL.F; got != 2 {
+		t.Errorf("FSOptions NCL.F = %d, want the profile's 2", got)
+	}
+	if c.peerCfg != prof.Peer {
+		t.Errorf("peer config = %+v, want the profile's", c.peerCfg)
+	}
+}
+
+func TestExplicitOverridesBeatProfile(t *testing.T) {
+	prof := model.Baseline()
+	dfsParams := prof.DFS
+	dfsParams.SyncFixed = 42 * time.Microsecond
+	c := New(Options{
+		Seed:       6,
+		Profile:    prof,
+		DFSParams:  &dfsParams,
+		NetLatency: 9 * time.Microsecond,
+		PeerMem:    64 << 20,
+	})
+	if got := c.DFS.Params().SyncFixed; got != 42*time.Microsecond {
+		t.Errorf("DFSParams override lost: %v", got)
+	}
+	if got := c.Sim.Net().Latency(c.AppNode, c.ClientNode); got != 9*time.Microsecond {
+		t.Errorf("NetLatency override lost: %v", got)
+	}
+	if c.peerCfg.LendableMem != 64<<20 {
+		t.Errorf("PeerMem override lost: %v", c.peerCfg.LendableMem)
 	}
 }

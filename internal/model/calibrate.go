@@ -1,0 +1,191 @@
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// The calibration gate: internal/bench runs micro-probes on the full
+// simulated stack (bench.Calibrate) and this file judges the measurements
+// against targets derived from the profile, so a change that silently
+// shifts the cost model fails loudly. For the baseline profile the derived
+// targets land on the paper's §4-of-DESIGN.md numbers: a 128 B NCL record
+// in the low microseconds (paper end-to-end: 4.6 µs), a small dfs sync
+// write ≈ 2.3 ms, a 60 MB MR registration ≈ 52-55 ms, and a controller
+// metadata op of a couple of milliseconds (paper's ZooKeeper: 2-4 ms).
+
+// Probe names shared between bench's probes and the targets here.
+const (
+	// ProbeNCLRecord128 is the average latency of a 128 B synchronous NCL
+	// record (data WR + 16 B header WR per peer, majority-acked).
+	ProbeNCLRecord128 = "ncl-record-128B"
+	// ProbeDFSSyncWrite128 is the average latency of a 128 B write+fsync on
+	// the disaggregated file system.
+	ProbeDFSSyncWrite128 = "dfs-sync-write-128B"
+	// ProbeMRRegister60MB is the cost of registering a 60 MB memory region.
+	ProbeMRRegister60MB = "mr-register-60MB"
+	// ProbeControllerOp is the average latency of a quorum-committed
+	// controller metadata operation.
+	ProbeControllerOp = "controller-op"
+)
+
+// mrProbeBytes is the region size of the MR-registration probe (the
+// paper's 60 MB recovery log, Table 3).
+const mrProbeBytes = 60 << 20
+
+// Target is a probe's expected value band under a given profile.
+type Target struct {
+	Probe string
+	// Expect is the analytically derived expectation; Lo/Hi is the accepted
+	// band around it (probes include real scheduling and protocol overhead
+	// the closed-form expectation omits).
+	Expect time.Duration
+	Lo, Hi time.Duration
+	// Formula documents how Expect derives from the profile.
+	Formula string
+}
+
+func durOf(bytes int, bw float64) time.Duration {
+	return time.Duration(float64(bytes) / bw * float64(time.Second))
+}
+
+// Targets derives the calibration targets from a profile. The formulas
+// mirror what the simulation charges, so the gate works for any profile,
+// not just the baseline.
+func Targets(p *Profile) []Target {
+	band := func(probe string, expect time.Duration, lo, hi float64, formula string) Target {
+		return Target{
+			Probe:   probe,
+			Expect:  expect,
+			Lo:      time.Duration(float64(expect) * lo),
+			Hi:      time.Duration(float64(expect) * hi),
+			Formula: formula,
+		}
+	}
+	// One NCL record is a data WR and a 16 B header WR, SQ-ordered on each
+	// peer's QP in parallel; the QP engine charges WRBase/2 + size/BW per
+	// transfer plus WRBase/2 for the ack, so the record completes after
+	// 2*WRBase + (128+16)/BW of fabric time (client CPU overlaps).
+	ncl := 2*p.RDMA.WRBase + durOf(128+16, p.RDMA.Bandwidth)
+	// A foreground sync of a small write pays the write syscall, the fixed
+	// replication round trip and the payload's slice of the storage pipe.
+	dfs := p.DFS.SyscallFixed + p.DFS.SyncFixed + durOf(128, p.DFS.WriteBandwidth)
+	// MR registration is a pure cost-model charge: fixed + size/bandwidth.
+	mr := p.RDMA.RegFixed + durOf(mrProbeBytes, p.RDMA.RegBandwidth)
+	// A controller op is a Raft quorum commit: leader and follower each
+	// fsync before acking, plus a few network hops.
+	ctrl := 2*p.Controller.Raft.FsyncCost + 8*p.NetLatency
+	return []Target{
+		band(ProbeNCLRecord128, ncl, 0.65, 1.7,
+			"2*RDMA.WRBase + 144B/RDMA.Bandwidth"),
+		band(ProbeDFSSyncWrite128, dfs, 0.8, 1.3,
+			"DFS.SyscallFixed + DFS.SyncFixed + 128B/DFS.WriteBandwidth"),
+		band(ProbeMRRegister60MB, mr, 0.9, 1.2,
+			"RDMA.RegFixed + 60MB/RDMA.RegBandwidth"),
+		band(ProbeControllerOp, ctrl, 0.5, 2.5,
+			"2*Controller.Raft.FsyncCost + 8*NetLatency"),
+	}
+}
+
+// Measurement is one probe's measured value.
+type Measurement struct {
+	Probe string
+	Value time.Duration
+}
+
+// CalibrationResult is one probe's verdict.
+type CalibrationResult struct {
+	Probe    string
+	Measured time.Duration
+	Target   Target
+	Pass     bool
+	// Missing marks a target no probe reported a measurement for.
+	Missing bool
+}
+
+// Report is a full calibration run.
+type Report struct {
+	Profile string
+	Results []CalibrationResult
+}
+
+// Pass reports whether every target was measured inside its band.
+func (r Report) Pass() bool {
+	if len(r.Results) == 0 {
+		return false
+	}
+	for _, res := range r.Results {
+		if !res.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Measured returns the probe's measured value, or 0 if absent.
+func (r Report) Measured(probe string) time.Duration {
+	for _, res := range r.Results {
+		if res.Probe == probe {
+			return res.Measured
+		}
+	}
+	return 0
+}
+
+// Render formats the report as an aligned table with a verdict line.
+func (r Report) Render() string {
+	out := fmt.Sprintf("Calibration: profile %s\n", r.Profile)
+	out += fmt.Sprintf("%-22s %12s %12s %26s  %s\n",
+		"probe", "measured", "expected", "band", "verdict")
+	for _, res := range r.Results {
+		verdict := "ok"
+		if res.Missing {
+			verdict = "MISSING"
+		} else if !res.Pass {
+			verdict = "FAIL"
+		}
+		out += fmt.Sprintf("%-22s %12s %12s %26s  %s\n",
+			res.Probe, fmtDur(res.Measured), fmtDur(res.Target.Expect),
+			fmt.Sprintf("[%s, %s]", fmtDur(res.Target.Lo), fmtDur(res.Target.Hi)),
+			verdict)
+	}
+	if r.Pass() {
+		out += "PASS: all probes within tolerance\n"
+	} else {
+		out += "FAIL: cost model drifted from calibration targets\n"
+	}
+	return out
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fus", float64(d.Nanoseconds())/1e3)
+	default:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	}
+}
+
+// Calibrate judges probe measurements against the profile's targets. Every
+// target must have a measurement inside its band for the report to pass;
+// measurements without a matching target are ignored.
+func Calibrate(p *Profile, meas []Measurement) Report {
+	byProbe := make(map[string]time.Duration, len(meas))
+	for _, m := range meas {
+		byProbe[m.Probe] = m.Value
+	}
+	rep := Report{Profile: p.Name}
+	for _, t := range Targets(p) {
+		got, ok := byProbe[t.Probe]
+		res := CalibrationResult{Probe: t.Probe, Measured: got, Target: t}
+		if !ok {
+			res.Missing = true
+		} else {
+			res.Pass = got >= t.Lo && got <= t.Hi
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}

@@ -1,0 +1,34 @@
+package model_test
+
+import (
+	"testing"
+
+	"splitft/internal/bench"
+	"splitft/internal/model"
+)
+
+// TestCalibrationGate is the regression gate: it runs the real micro-probes
+// on the full simulated stack and fails if any lands outside its profile-
+// derived band. A change that shifts the cost model (deliberately or not)
+// must update internal/model, not slip through.
+func TestCalibrationGate(t *testing.T) {
+	for _, name := range model.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prof, ok := model.ByName(name)
+			if !ok {
+				t.Fatalf("unknown profile %q", name)
+			}
+			sc := bench.QuickScale()
+			sc.Profile = prof
+			rep, err := bench.Calibrate(sc, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log("\n" + rep.Render())
+			if !rep.Pass() {
+				t.Errorf("calibration failed for %s", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,247 @@
+// Package model is the single home of the hardware cost model. Every
+// calibrated constant the simulation runs on — RDMA verbs timing, dfs
+// disk/replication timing, controller/Raft quorum latencies, peer daemon
+// timing, per-application CPU costs, and the default network latency —
+// lives in a Profile, and the rest of the stack only ever receives those
+// constants through one:
+//
+//   - harness.Options takes a *Profile and wires it into every substrate;
+//   - internal/bench cluster builders route Scale.Profile the same way;
+//   - the per-package Default*() functions (rdma.DefaultParams,
+//     dfs.DefaultParams, raft.DefaultConfig, controller.DefaultConfig,
+//     peer.DefaultConfig, ncl.DefaultConfig, the app DefaultConfigs) are
+//     thin wrappers over Baseline();
+//   - cmd/splitft-bench selects a profile with -profile <name|file.json>.
+//
+// The substrate packages do not duplicate the parameter types: rdma.Params
+// is an alias for RDMAParams, dfs.Params for DFSParams, and so on. That
+// makes this package the one auditable parameter surface — changing a
+// constant anywhere else is a compile error, not a review hazard.
+//
+// Named profiles (CX4RoCE25 — the paper-faithful baseline — plus the
+// CX6RoCE100 faster-fabric and FastDFS NVMe-class variants) are defined in
+// profiles.go with their provenance; custom profiles round-trip through
+// JSON (Load/Save). Calibrate checks probe measurements against targets
+// derived from a profile (calibrate.go), giving every future performance
+// change a regression gate.
+package model
+
+import "time"
+
+// RDMAParams is the fabric cost model (rdma.Params is an alias of this
+// type). Calibrated so a 128 B application write (data WR + 16 B sequence
+// WR, SQ-ordered) completes in ~3 us of fabric time, matching the paper's
+// 4.6 us end-to-end NCL record latency once library overhead is added; a
+// 60 MB region registers in ~54 ms (Table 3's "connect to new peer" step).
+type RDMAParams struct {
+	// WRBase is the fixed per-work-request latency (post to completion) for
+	// a zero-byte transfer; half is the request path, half the ack path.
+	WRBase time.Duration
+	// Bandwidth is the per-QP transfer bandwidth in bytes/second.
+	Bandwidth float64
+	// RegFixed and RegBandwidth model memory-region registration (pinning
+	// pages and programming the NIC): RegFixed + size/RegBandwidth.
+	RegFixed     time.Duration
+	RegBandwidth float64
+	// ConnectBase is the fixed QP handshake cost in addition to 3 network
+	// round trips.
+	ConnectBase time.Duration
+	// RetryTimeout is how long the NIC retries before reporting a transport
+	// error on an unreachable remote.
+	RetryTimeout time.Duration
+}
+
+// DFSParams is the storage cost model (dfs.Params is an alias of this
+// type). The baseline instance models the paper's CephFS deployment
+// (3 replicas on SATA SSDs behind a 25 Gb network); a second instance
+// models the local-ext4 recovery baseline of Fig 11b.
+type DFSParams struct {
+	// SyncFixed is the fixed cost of an fsync round trip (client -> primary
+	// -> replicas -> ack), paid even for tiny payloads.
+	SyncFixed time.Duration
+	// SyncCleanFixed is the cost of an fsync with nothing dirty.
+	SyncCleanFixed time.Duration
+	// WriteBandwidth is the shared durable-write bandwidth (bytes/sec).
+	WriteBandwidth float64
+	// ReadFixed is the fixed cost of one storage fetch (cache miss).
+	ReadFixed time.Duration
+	// ReadBandwidth is the shared fetch bandwidth (bytes/sec).
+	ReadBandwidth float64
+	// MetaFixed is the cost of a metadata op (create/unlink/rename/open).
+	MetaFixed time.Duration
+	// SyscallFixed is the client-local cost of a buffered read/write call.
+	SyscallFixed time.Duration
+	// MemBandwidth is the client-local copy bandwidth for buffered IO and
+	// cache hits (bytes/sec).
+	MemBandwidth float64
+	// ReadaheadWindow is the sequential prefetch size; 0 disables readahead.
+	ReadaheadWindow int
+	// CacheBlock is the cache block size.
+	CacheBlock int
+	// CacheCapacity is the client block-cache capacity in bytes.
+	CacheCapacity int64
+	// DirtyHighWater stalls writers until writeback drains below it.
+	DirtyHighWater int64
+	// WritebackInterval is the periodic background flush cadence.
+	WritebackInterval time.Duration
+	// WritebackThrottleMax is the maximum per-write throttling delay as
+	// dirty data approaches the high watermark (the balance_dirty_pages
+	// effect: fsync-less "weak" log writes still pay for the writeback
+	// they defer; applications whose logs bypass the dfs do not).
+	WritebackThrottleMax time.Duration
+}
+
+// RaftConfig holds the consensus protocol timing (raft.Config is an alias
+// of this type). The baseline suits the controller's deployment: commit
+// latency ~2 ms, failover within a few hundred milliseconds.
+type RaftConfig struct {
+	HeartbeatInterval  time.Duration
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+	// FsyncCost models persisting term/vote/log entries before answering.
+	FsyncCost time.Duration
+	// ProposeTimeout bounds how long a replica holds a client proposal
+	// while waiting for commit.
+	ProposeTimeout time.Duration
+}
+
+// ControllerConfig holds controller timing (controller.Config is an alias
+// of this type): sessions expire ~600 ms after a client dies, scanned
+// every 200 ms.
+type ControllerConfig struct {
+	Raft           RaftConfig
+	SessionTimeout time.Duration
+	KeepAlive      time.Duration
+	ExpiryScan     time.Duration
+	OpTimeout      time.Duration
+}
+
+// PeerConfig tunes a log-peer daemon (peer.Config is an alias of this
+// type).
+type PeerConfig struct {
+	// LendableMem is how much memory the peer offers to the common pool.
+	LendableMem int64
+	// GCInterval is the cadence of the space-leak scan.
+	GCInterval time.Duration
+	// GCGrace is how long an allocation may exist without a matching ap-map
+	// entry before it is considered leaked (covers in-progress set-ups).
+	GCGrace time.Duration
+	// SetupCPU models the lightweight setup process work besides MR
+	// registration.
+	SetupCPU time.Duration
+}
+
+// NCLConfig tunes ncl-lib (ncl.Config is an alias of this type).
+type NCLConfig struct {
+	// F is the failure budget: each log gets 2F+1 peers and tolerates F
+	// simultaneous peer failures.
+	F int
+	// RecordCPU models ncl-lib's per-record client-side work (buffer copy,
+	// posting, completion bookkeeping).
+	RecordCPU time.Duration
+	// AckTimeout is how long Record waits without majority progress before
+	// kicking the repair path again.
+	AckTimeout time.Duration
+	// SetupRetries bounds how many candidate peers are tried per slot.
+	SetupRetries int
+	// CatchupCopyCPU is the client-side bandwidth for staging a bulk
+	// catch-up transfer (bytes/sec); it briefly occupies the writer and is
+	// the "small performance blip" of Fig 12.
+	CatchupCopyCPU float64
+	// SuspectCooldown is how long a peer that failed a data-path operation
+	// is excluded from new allocations (the controller's registry only
+	// drops it after session expiry).
+	SuspectCooldown time.Duration
+	// ReadOverhead is ncl-lib's per-call cost of a remote read from a peer
+	// region (WR setup + completion poll) on the recovery/verification path.
+	ReadOverhead time.Duration
+	// LocalReadCPU is the fixed user-space cost of serving a read from the
+	// log's local buffer — no syscall, which is why it undercuts a dfs read.
+	LocalReadCPU time.Duration
+	// SyncCPU is the cost of Sync on an ncl file: the fsync has left the
+	// critical path, so only the library call itself remains.
+	SyncCPU time.Duration
+}
+
+// KVStoreCosts is the RocksDB-style store's per-operation CPU model
+// (embedded in kvstore.Config).
+type KVStoreCosts struct {
+	EncodeCPU time.Duration // batch serialization, per op
+	ApplyCPU  time.Duration // memtable insert, per op
+	GetCPU    time.Duration // read-path lookup work
+	MergeCPU  time.Duration // compaction merge work, per entry
+	// SlowdownDelay is the per-batch delay applied when L0 is past the
+	// slowdown trigger (RocksDB's delayed-write-rate mechanism).
+	SlowdownDelay time.Duration
+}
+
+// RedStoreCosts is the Redis-style store's CPU model (embedded in
+// redstore.Config).
+type RedStoreCosts struct {
+	// OpCPU is the single-threaded per-command processing cost.
+	OpCPU time.Duration
+	// SnapshotCopyBW models the copy-on-write fork cost charged to the loop
+	// when a snapshot starts (bytes/sec).
+	SnapshotCopyBW float64
+}
+
+// LiteDBCosts is the SQLite-style store's CPU model (embedded in
+// litedb.Config).
+type LiteDBCosts struct {
+	// TxnCPU is the per-update-transaction processing cost (SQL parse,
+	// B-tree work); ReadCPU the read-transaction cost.
+	TxnCPU  time.Duration
+	ReadCPU time.Duration
+}
+
+// KVellCosts is the KVell-style no-log store's CPU model (embedded in
+// kvell.Config).
+type KVellCosts struct {
+	// PutCPU/GetCPU model per-op work.
+	PutCPU time.Duration
+	GetCPU time.Duration
+}
+
+// AppCosts bundles the four ported applications' CPU cost models.
+type AppCosts struct {
+	KVStore  KVStoreCosts
+	RedStore RedStoreCosts
+	LiteDB   LiteDBCosts
+	KVell    KVellCosts
+}
+
+// Profile is one coherent set of hardware assumptions: everything the
+// simulated testbed needs to price an operation. Callers get a fresh copy
+// from the named constructors (profiles.go) or Load, and may mutate it
+// freely before handing it to harness.Options / bench.Scale.
+type Profile struct {
+	// Name identifies the profile in reports and the -profile flag.
+	Name string
+	// Provenance records where the constants come from (paper section,
+	// hardware datasheet, scaling rule).
+	Provenance string
+
+	// RDMA is the fabric cost model.
+	RDMA RDMAParams
+	// DFS is the disaggregated file system cost model.
+	DFS DFSParams
+	// LocalFS is the local-ext4 comparison cluster (Fig 11b baseline).
+	LocalFS DFSParams
+	// Controller holds controller + Raft quorum timing.
+	Controller ControllerConfig
+	// Peer tunes the log-peer daemons.
+	Peer PeerConfig
+	// NCL tunes ncl-lib.
+	NCL NCLConfig
+	// Apps holds the per-application CPU cost models.
+	Apps AppCosts
+	// NetLatency is the default one-way network latency between nodes
+	// (RDMA-class for the baseline).
+	NetLatency time.Duration
+}
+
+// clone returns an independent copy.
+func (p *Profile) clone() *Profile {
+	q := *p
+	return &q
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"splitft/internal/controller"
+	"splitft/internal/model"
 	"splitft/internal/peer"
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
@@ -36,35 +37,15 @@ import (
 // after the data write.
 const HeaderSize = 16
 
-// Config tunes the library.
-type Config struct {
-	// F is the failure budget: each log gets 2F+1 peers and tolerates F
-	// simultaneous peer failures.
-	F int
-	// RecordCPU models ncl-lib's per-record client-side work (buffer copy,
-	// posting, completion bookkeeping).
-	RecordCPU time.Duration
-	// AckTimeout is how long Record waits without majority progress before
-	// kicking the repair path again.
-	AckTimeout time.Duration
-	// SetupRetries bounds how many candidate peers are tried per slot.
-	SetupRetries int
-	// CatchupCopyCPU is the client-side bandwidth for staging a bulk
-	// catch-up transfer (bytes/sec); it briefly occupies the writer and is
-	// the "small performance blip" of Fig 12.
-	CatchupCopyCPU float64
-}
+// Config tunes the library. The constants live in internal/model (the
+// unified hardware cost-model layer); this alias keeps the ncl API
+// self-contained.
+type Config = model.NCLConfig
 
-// DefaultConfig returns the configuration used throughout the evaluation
-// (f=1, so three log peers — the paper's setup).
+// DefaultConfig returns the baseline profile's configuration, used
+// throughout the evaluation (f=1, so three log peers — the paper's setup).
 func DefaultConfig() Config {
-	return Config{
-		F:              1,
-		RecordCPU:      900 * time.Nanosecond,
-		AckTimeout:     5 * time.Millisecond,
-		SetupRetries:   8,
-		CatchupCopyCPU: 10e9,
-	}
+	return model.Baseline().NCL
 }
 
 // Errors.
@@ -98,11 +79,8 @@ type Lib struct {
 	suspects map[string]time.Duration
 }
 
-// suspectCooldown is how long a failed peer is avoided for new allocations.
-const suspectCooldown = 2 * time.Second
-
 func (l *Lib) markSuspect(name string, now time.Duration) {
-	l.suspects[name] = now + suspectCooldown
+	l.suspects[name] = now + l.cfg.SuspectCooldown
 }
 
 func (l *Lib) suspectNames(now time.Duration) []string {
@@ -341,9 +319,12 @@ func (l *Lib) allocatePeer(p *simnet.Proc, lg *Log, exclude []string, epoch int6
 
 // connectPeer asks one candidate to set up a region and connects a QP.
 // The setup timeout scales with the region size: registration pins memory
-// at roughly a GB/s, so large regions legitimately take hundreds of ms.
+// at the fabric's registration bandwidth, so large regions legitimately
+// take hundreds of ms — allow 2x the modelled cost plus an RPC base.
 func (l *Lib) connectPeer(p *simnet.Proc, lg *Log, cand controller.PeerInfo, epoch int64) (*peerConn, error) {
-	timeout := 200*time.Millisecond + time.Duration(float64(lg.regionSize())/0.5e9*float64(time.Second))
+	rp := l.fabric.Params()
+	reg := rp.RegFixed + time.Duration(float64(lg.regionSize())/rp.RegBandwidth*float64(time.Second))
+	timeout := 200*time.Millisecond + 2*reg
 	resp, err := l.sim.Net().CallTimeout(p, l.node, cand.Addr, peer.SetupReq{
 		App: l.appID, File: lg.name, Size: lg.regionSize(), Epoch: epoch,
 	}, timeout)
@@ -516,7 +497,7 @@ func (lg *Log) RemoteReadAt(p *simnet.Proc, buf []byte, off int64) (int, error) 
 	if target == nil {
 		return 0, ErrUnavailable
 	}
-	p.Sleep(2 * time.Microsecond) // per-read library overhead (WR setup + poll)
+	p.Sleep(lg.lib.cfg.ReadOverhead) // per-read library overhead (WR setup + poll)
 	if err := lg.readInto(p, target, HeaderSize+int(off), buf[:n]); err != nil {
 		return 0, err
 	}

@@ -24,32 +24,20 @@ import (
 	"time"
 
 	"splitft/internal/controller"
+	"splitft/internal/model"
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
 )
 
-// Config tunes a peer daemon.
-type Config struct {
-	// LendableMem is how much memory the peer offers to the common pool.
-	LendableMem int64
-	// GCInterval is the cadence of the space-leak scan.
-	GCInterval time.Duration
-	// GCGrace is how long an allocation may exist without a matching ap-map
-	// entry before it is considered leaked (covers in-progress set-ups).
-	GCGrace time.Duration
-	// SetupCPU models the lightweight setup process work besides MR
-	// registration.
-	SetupCPU time.Duration
-}
+// Config tunes a peer daemon. The constants live in internal/model (the
+// unified hardware cost-model layer); this alias keeps the peer API
+// self-contained.
+type Config = model.PeerConfig
 
-// DefaultConfig returns standard peer parameters (1 GiB lendable).
+// DefaultConfig returns the baseline profile's peer parameters (1 GiB
+// lendable).
 func DefaultConfig() Config {
-	return Config{
-		LendableMem: 1 << 30,
-		GCInterval:  2 * time.Second,
-		GCGrace:     5 * time.Second,
-		SetupCPU:    200 * time.Microsecond,
-	}
+	return model.Baseline().Peer
 }
 
 // Errors returned to ncl-lib.

@@ -18,31 +18,19 @@ import (
 	"fmt"
 	"time"
 
+	"splitft/internal/model"
 	"splitft/internal/simnet"
 )
 
-// Config holds protocol timing. Defaults suit the controller's deployment:
-// commit latency ~2 ms, failover within a few hundred milliseconds.
-type Config struct {
-	HeartbeatInterval  time.Duration
-	ElectionTimeoutMin time.Duration
-	ElectionTimeoutMax time.Duration
-	// FsyncCost models persisting term/vote/log entries before answering.
-	FsyncCost time.Duration
-	// ProposeTimeout bounds how long a replica holds a client proposal
-	// while waiting for commit.
-	ProposeTimeout time.Duration
-}
+// Config holds protocol timing. The constants live in internal/model (the
+// unified hardware cost-model layer); this alias keeps the raft API
+// self-contained. Defaults suit the controller's deployment: commit latency
+// ~2 ms, failover within a few hundred milliseconds.
+type Config = model.RaftConfig
 
-// DefaultConfig returns the standard timing parameters.
+// DefaultConfig returns the baseline profile's Raft timing parameters.
 func DefaultConfig() Config {
-	return Config{
-		HeartbeatInterval:  20 * time.Millisecond,
-		ElectionTimeoutMin: 100 * time.Millisecond,
-		ElectionTimeoutMax: 200 * time.Millisecond,
-		FsyncCost:          800 * time.Microsecond,
-		ProposeTimeout:     2 * time.Second,
-	}
+	return model.Baseline().Controller.Raft
 }
 
 // StateMachine is the replicated application. Apply must be deterministic;

@@ -25,42 +25,22 @@ import (
 	"fmt"
 	"time"
 
+	"splitft/internal/model"
 	"splitft/internal/simnet"
 )
 
-// Params is the fabric cost model.
-type Params struct {
-	// WRBase is the fixed per-work-request latency (post to completion) for
-	// a zero-byte transfer; half is the request path, half the ack path.
-	WRBase time.Duration
-	// Bandwidth is the per-QP transfer bandwidth in bytes/second.
-	Bandwidth float64
-	// RegFixed and RegBandwidth model memory-region registration (pinning
-	// pages and programming the NIC): RegFixed + size/RegBandwidth.
-	RegFixed     time.Duration
-	RegBandwidth float64
-	// ConnectBase is the fixed QP handshake cost in addition to 3 network
-	// round trips.
-	ConnectBase time.Duration
-	// RetryTimeout is how long the NIC retries before reporting a transport
-	// error on an unreachable remote.
-	RetryTimeout time.Duration
-}
+// Params is the fabric cost model. The constants live in internal/model
+// (the unified hardware cost-model layer); this alias keeps the fabric API
+// self-contained.
+type Params = model.RDMAParams
 
-// DefaultParams is calibrated so a 128 B application write (data WR + 16 B
-// sequence WR, SQ-ordered) completes in ~3 us of fabric time, matching the
-// paper's 4.6 us end-to-end NCL record latency once library overhead is
-// added; a 60 MB region registers in ~52 ms (Table 3's "connect to new
-// peer" step) and a 60 MB catch-up transfer takes ~20 ms.
+// DefaultParams returns the baseline profile's fabric cost model,
+// calibrated so a 128 B application write (data WR + 16 B sequence WR,
+// SQ-ordered) completes in ~3 us of fabric time, matching the paper's
+// 4.6 us end-to-end NCL record latency once library overhead is added; a
+// 60 MB region registers in ~54 ms (Table 3's "connect to new peer" step).
 func DefaultParams() Params {
-	return Params{
-		WRBase:       1500 * time.Nanosecond,
-		Bandwidth:    3e9, // ~25 Gb/s RoCE
-		RegFixed:     2 * time.Millisecond,
-		RegBandwidth: 1.2e9,
-		ConnectBase:  30 * time.Microsecond,
-		RetryTimeout: 1 * time.Millisecond,
-	}
+	return model.Baseline().RDMA
 }
 
 // Errors surfaced in completions or from Connect.
