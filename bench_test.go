@@ -147,8 +147,8 @@ func BenchmarkTable3(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(res.Stats.Total().Seconds()*1000, "total-ms")
-		b.ReportMetric(res.Stats.Connect.Seconds()*1000, "connect-ms")
+		b.ReportMetric(res.Total().Seconds()*1000, "total-ms")
+		b.ReportMetric(res.Connect.Seconds()*1000, "connect-ms")
 	}
 }
 

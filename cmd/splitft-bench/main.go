@@ -8,6 +8,8 @@
 //	splitft-bench all
 //	splitft-bench calibrate            # calibration gate for the selected profile
 //	splitft-bench sweep                # fig8-style micro across all named profiles
+//	splitft-bench trace <experiment>   # run + print the per-phase span aggregation
+//	splitft-bench -trace out.json fig8 # also write a Chrome trace-event JSON
 //	splitft-bench -profile CX6RoCE100 fig8
 //	splitft-bench -profile my-hw.json fig8
 //
@@ -17,6 +19,14 @@
 // The -profile flag selects the hardware cost model: a built-in name (see
 // internal/model: CX4RoCE25 is the paper-faithful baseline, CX6RoCE100 a
 // faster fabric, FastDFS NVMe-class storage) or a path to a JSON profile.
+//
+// Tracing: -trace FILE records every layer's spans (rpc, rdma, dfs, raft,
+// controller, peer, ncl, core, app) on the virtual clock and writes them as
+// Chrome trace-event JSON (load in chrome://tracing or https://ui.perfetto.dev).
+// The trace subcommand runs the named experiments with tracing on and prints
+// the per-(layer, op) aggregation table instead of writing a file. Traces are
+// deterministic: same profile, seed and experiment produce byte-identical
+// output.
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 
 	"splitft/internal/bench"
 	"splitft/internal/model"
+	"splitft/internal/trace"
 )
 
 var experimentOrder = []string{
@@ -36,30 +47,42 @@ var experimentOrder = []string{
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: splitft-bench [flags] <experiment...|all>\n")
+	fmt.Fprintf(os.Stderr, "usage: splitft-bench [flags] [trace] <experiment...|all>\n")
 	fmt.Fprintf(os.Stderr, "experiments: %v\n", experimentOrder)
 	fmt.Fprintf(os.Stderr, "  calibrate  runs the cost-model calibration gate for the selected profile\n")
 	fmt.Fprintf(os.Stderr, "  sweep      reruns the fig8 micro across all named profiles\n")
+	fmt.Fprintf(os.Stderr, "  trace      runs the experiments with tracing on and prints the span aggregation\n")
 	fmt.Fprintf(os.Stderr, "profiles (-profile): %v, or a path to a JSON profile file\n", model.Names())
 	flag.PrintDefaults()
 }
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "use the reduced QuickScale (seconds per experiment)")
-		keys    = flag.Int64("keys", 0, "override row count for kvstore/redstore loads")
-		dur     = flag.Duration("dur", 0, "override measured window per data point")
-		clients = flag.Int("clients", 0, "override client count for fixed-client experiments")
-		logMB   = flag.Int("logmb", 0, "override recovery-log size in MiB (paper: 60)")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		apps    = flag.String("apps", "kvstore,redstore,litedb", "comma-separated app list for fig1/fig9/fig10")
-		profile = flag.String("profile", "", "hardware profile: a built-in name or a JSON file path (default: CX4RoCE25)")
+		quick    = flag.Bool("quick", false, "use the reduced QuickScale (seconds per experiment)")
+		keys     = flag.Int64("keys", 0, "override row count for kvstore/redstore loads")
+		dur      = flag.Duration("dur", 0, "override measured window per data point")
+		clients  = flag.Int("clients", 0, "override client count for fixed-client experiments")
+		logMB    = flag.Int("logmb", 0, "override recovery-log size in MiB (paper: 60)")
+		seed     = flag.Int64("seed", 1, "simulation seed (also seeds the YCSB workload generators)")
+		apps     = flag.String("apps", "kvstore,redstore,litedb", "comma-separated app list for fig1/fig9/fig10")
+		profile  = flag.String("profile", "", "hardware profile: a built-in name or a JSON file path (default: CX4RoCE25)")
+		traceOut = flag.String("trace", "", "record spans and write a Chrome trace-event JSON to this file")
 	)
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
 		usage()
 		os.Exit(2)
+	}
+	args := flag.Args()
+	aggregate := false
+	if args[0] == "trace" {
+		aggregate = true
+		args = args[1:]
+		if len(args) == 0 {
+			usage()
+			os.Exit(2)
+		}
 	}
 
 	sc := bench.DefaultScale()
@@ -87,6 +110,12 @@ func main() {
 		sc.Profile = prof
 	}
 
+	var col *trace.Collector
+	if aggregate || *traceOut != "" {
+		col = trace.New()
+		sc.Trace = col
+	}
+
 	appList := splitComma(*apps)
 
 	// Validate experiment names up front so a typo fails before hours of
@@ -96,7 +125,7 @@ func main() {
 		known[e] = true
 	}
 	want := map[string]bool{}
-	for _, arg := range flag.Args() {
+	for _, arg := range args {
 		if arg == "all" {
 			for _, e := range experimentOrder {
 				want[e] = true
@@ -119,6 +148,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", exp, err)
 			os.Exit(1)
 		}
+	}
+	if aggregate {
+		banner("trace aggregation")
+		fmt.Print(trace.RenderAggregate(trace.Aggregate(col.Spans())))
+	}
+	if *traceOut != "" {
+		if err := trace.WriteChromeFile(*traceOut, col.Spans()); err != nil {
+			fmt.Fprintf(os.Stderr, "splitft-bench: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[trace: %d spans written to %s]\n", col.Len(), *traceOut)
 	}
 	fmt.Printf("\n[done in %v wall-clock]\n", time.Since(start).Round(time.Second))
 }

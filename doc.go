@@ -19,6 +19,12 @@
 // checker (internal/modelcheck), and the benchmark harness regenerating
 // every table and figure of the paper (internal/bench, cmd/splitft-bench).
 //
+// Every layer emits deterministic spans on the virtual clock into
+// internal/trace; the figures' breakdowns (Fig 1, Fig 11b, Table 3) are
+// span queries over one collector. `splitft-bench -trace out.json <exp>`
+// (and the examples' -trace flags) export Chrome trace-event JSON, and
+// `splitft-bench trace <exp>` prints a per-(layer, op) aggregation table.
+//
 // All calibrated hardware constants live in internal/model as named
 // Profiles (CX4RoCE25 — the paper's testbed and the baseline —
 // CX6RoCE100 and FastDFS); pick one with `splitft-bench -profile

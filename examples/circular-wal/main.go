@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -19,10 +20,14 @@ import (
 	"splitft/internal/harness"
 	"splitft/internal/model"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 func main() {
-	cluster := harness.New(harness.Options{Seed: 23, NumPeers: 4, Profile: model.Baseline()})
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	flag.Parse()
+	col := trace.New()
+	cluster := harness.New(harness.Options{Seed: 23, NumPeers: 4, Profile: model.Baseline(), Trace: col})
 	cfg := litedb.DefaultConfig()
 	cfg.LiteDBCosts = cluster.Profile.Apps.LiteDB
 	cfg.Durability = litedb.SplitFT
@@ -102,5 +107,11 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		if err := trace.WriteChromeFile(*traceOut, col.Spans()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d spans)\n", *traceOut, col.Len())
 	}
 }

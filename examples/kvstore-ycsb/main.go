@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"splitft/internal/harness"
 	"splitft/internal/model"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 	"splitft/internal/ycsb"
 )
 
@@ -25,9 +27,15 @@ const (
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of all three runs to this file")
+	flag.Parse()
+	var col *trace.Collector
+	if *traceOut != "" {
+		col = trace.New()
+	}
 	fmt.Printf("%-10s %12s %16s %16s\n", "config", "YCSB-A KOps/s", "acked pre-crash", "survived crash")
 	for _, d := range []kvstore.Durability{kvstore.Weak, kvstore.Strong, kvstore.SplitFT} {
-		kops, acked, survived, err := runConfig(d)
+		kops, acked, survived, err := runConfig(d, col)
 		if err != nil {
 			log.Fatalf("%s: %v", d, err)
 		}
@@ -35,10 +43,16 @@ func main() {
 	}
 	fmt.Println("\nweak is fast but loses acknowledged data; strong loses nothing but is slow;")
 	fmt.Println("SplitFT keeps weak-mode speed with strong-mode guarantees.")
+	if *traceOut != "" {
+		if err := trace.WriteChromeFile(*traceOut, col.Spans()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d spans; one pid per configuration)\n", *traceOut, col.Len())
+	}
 }
 
-func runConfig(d kvstore.Durability) (kops float64, acked, survived int, err error) {
-	c := harness.New(harness.Options{Seed: 7, NumPeers: 4, Profile: model.Baseline()})
+func runConfig(d kvstore.Durability, col *trace.Collector) (kops float64, acked, survived int, err error) {
+	c := harness.New(harness.Options{Seed: 7, NumPeers: 4, Profile: model.Baseline(), Trace: col})
 	err = c.Run(func(p *simnet.Proc) error {
 		var db *kvstore.DB
 		booted := make(chan struct{}, 1)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -16,10 +17,14 @@ import (
 	"splitft/internal/model"
 	"splitft/internal/ncl"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 func main() {
-	cluster := harness.New(harness.Options{Seed: 11, NumPeers: 6, Profile: model.Baseline()})
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	flag.Parse()
+	col := trace.New()
+	cluster := harness.New(harness.Options{Seed: 11, NumPeers: 6, Profile: model.Baseline(), Trace: col})
 	err := cluster.Run(func(p *simnet.Proc) error {
 		fs, err := cluster.NewFS(p, "peer-demo", 0)
 		if err != nil {
@@ -48,15 +53,18 @@ func main() {
 		// the remaining majority while the repair proc swaps in a new peer.
 		victim := lg.LivePeers()[0]
 		fmt.Printf("*** crashing log peer %s (1 <= f) ***\n", victim)
+		mark := col.Len()
 		cluster.Sim.Node(victim).Crash()
 		lat := write(2000)
 		p.Sleep(200 * time.Millisecond) // let the background replacement finish
 		fmt.Printf("writes continued at %v each; members now: %v (replacements: %d)\n",
 			lat, lg.LivePeers(), lg.Replacements)
-		st := lg.LastReplacement
+		spans := col.Since(mark)
 		fmt.Printf("replacement breakdown: get peer %v, connect %v, catch up %v, ap-map %v\n\n",
-			st.GetPeer.Round(time.Microsecond), st.Connect.Round(time.Microsecond),
-			st.CatchUp.Round(time.Microsecond), st.ApMap.Round(time.Microsecond))
+			trace.Sum(spans, "ncl", "replace.getpeer").Round(time.Microsecond),
+			trace.Sum(spans, "ncl", "replace.connect").Round(time.Microsecond),
+			trace.Sum(spans, "ncl", "replace.catchup").Round(time.Microsecond),
+			trace.Sum(spans, "ncl", "replace.apmap").Round(time.Microsecond))
 
 		// Two simultaneous crashes: beyond the budget — writes stall until a
 		// replacement catches up, then resume. No data is lost either way.
@@ -98,5 +106,11 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		if err := trace.WriteChromeFile(*traceOut, col.Spans()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d spans)\n", *traceOut, col.Len())
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,12 +17,17 @@ import (
 	"splitft/internal/harness"
 	"splitft/internal/model"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	flag.Parse()
 	// The hardware cost model comes from a named profile; model.Baseline()
 	// is the paper-faithful CX4RoCE25 testbed (try model.CX6RoCE100()).
-	cluster := harness.New(harness.Options{Seed: 42, NumPeers: 4, Profile: model.Baseline()})
+	// The collector records every layer's spans on the virtual clock.
+	col := trace.New()
+	cluster := harness.New(harness.Options{Seed: 42, NumPeers: 4, Profile: model.Baseline(), Trace: col})
 
 	err := cluster.Run(func(p *simnet.Proc) error {
 		// --- first application instance ---
@@ -72,16 +78,19 @@ func main() {
 		names, _ := fs2.ListNCL(p)
 		fmt.Printf("ncl files recorded in the ap-map: %v\n", names)
 
+		mark := col.Len()
 		wal2, err := fs2.OpenFile(p, "app.wal", core.O_NCL, 0) // recovery path
 		if err != nil {
 			return err
 		}
-		stats := fs2.LastRecovery["app.wal"]
+		spans := col.Since(mark)
 		fmt.Printf("recovered %d bytes from log peers in %v "+
 			"(get peer %v, connect %v, rdma read %v, sync peer %v)\n",
-			wal2.Size(), stats.Total().Round(1e5),
-			stats.GetPeer.Round(1e5), stats.Connect.Round(1e5),
-			stats.RdmaRead.Round(1e5), stats.SyncPeer.Round(1e5))
+			wal2.Size(), trace.First(spans, "ncl", "recover").Dur().Round(1e5),
+			trace.Sum(spans, "ncl", "recover.getpeer").Round(1e5),
+			trace.Sum(spans, "ncl", "recover.connect").Round(1e5),
+			trace.Sum(spans, "ncl", "recover.rdmaread").Round(1e5),
+			trace.Sum(spans, "ncl", "recover.syncpeer").Round(1e5))
 
 		buf := make([]byte, wal2.Size())
 		wal2.Pread(p, buf, 0)
@@ -98,5 +107,11 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		if err := trace.WriteChromeFile(*traceOut, col.Spans()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d spans)\n", *traceOut, col.Len())
 	}
 }

@@ -195,11 +195,11 @@ func TestFig11bShape(t *testing.T) {
 		if sp.Total > 4*dft.Total {
 			t.Errorf("%s: splitft recovery %v vs dft %v, want comparable", app, sp.Total, dft.Total)
 		}
-		if sp.NCL.Total() == 0 {
+		if sp.GetPeer+sp.Connect+sp.RdmaRead+sp.SyncPeer == 0 {
 			t.Errorf("%s: no NCL breakdown recorded", app)
 		}
-		if sp.NCL.Connect <= 0 || sp.NCL.RdmaRead <= 0 {
-			t.Errorf("%s: breakdown incomplete: %+v", app, sp.NCL)
+		if sp.Connect <= 0 || sp.RdmaRead <= 0 {
+			t.Errorf("%s: breakdown incomplete: %+v", app, sp)
 		}
 	}
 }
@@ -210,7 +210,7 @@ func TestTable3Shape(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Log("\n" + res.Render())
-	s := res.Stats
+	s := res
 	if s.Total() <= 0 {
 		t.Fatal("no replacement recorded")
 	}

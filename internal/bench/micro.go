@@ -8,6 +8,7 @@ import (
 	"splitft/internal/metrics"
 	"splitft/internal/ncl"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 // ---- Fig 8: write latency microbenchmark (embedded mode) ----
@@ -229,6 +230,10 @@ func Fig11a(sc Scale, seed int64) (Fig11aResult, error) {
 	var res Fig11aResult
 	fileSize := int64(sc.LogSizeMB) << 20 / 4 // reads are slow; scale down
 	sizes := []int{128, 512, 2048, 8192}
+	if sc.Trace == nil {
+		sc.Trace = trace.New() // prefetch amortization needs spans
+	}
+	col := sc.Trace
 	c := newCluster(sc, seed)
 	err := c.Run(func(p *simnet.Proc) error {
 		// Build the log content on NCL and on the dfs, then crash the app so
@@ -265,6 +270,7 @@ func Fig11a(sc Scale, seed int64) (Fig11aResult, error) {
 		if err != nil {
 			return err
 		}
+		mark := col.Len()
 		nf, err := fs2.OpenFile(p, "reclog", core.O_NCL, 0)
 		if err != nil {
 			return err
@@ -273,7 +279,7 @@ func Fig11a(sc Scale, seed int64) (Fig11aResult, error) {
 		// (the bulk RDMA read of the region), as in the paper; the rest of
 		// recovery (controller, connects, peer sync) happens regardless of
 		// how reads are served afterwards.
-		prefetch := fs2.LastRecovery["reclog"].RdmaRead
+		prefetch := trace.Sum(col.Since(mark), "ncl", "recover.rdmaread")
 		type hasLog interface{ Log() *ncl.Log }
 		lg := nf.(hasLog).Log()
 

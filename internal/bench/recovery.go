@@ -13,19 +13,25 @@ import (
 	"splitft/internal/metrics"
 	"splitft/internal/ncl"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 	"splitft/internal/ycsb"
 )
 
 // ---- Fig 11(b): application recovery time ----
 
-// Fig11bRow is one (app, variant) recovery measurement with the NCL
-// breakdown (zero for the DFT and local-ext4 variants).
+// Fig11bRow is one (app, variant) recovery measurement with the NCL phase
+// breakdown (zero for the DFT and local-ext4 variants). The phases come from
+// the "ncl"/"recover.*" trace spans emitted during the recovering open.
 type Fig11bRow struct {
 	App     string
 	Variant string // "SplitFT", "DFT", "local ext4"
 	Total   time.Duration
-	NCL     ncl.RecoveryStats // SplitFT only
-	Parse   time.Duration     // application-level read + parse + rebuild
+	// SplitFT only: time in each NCL recovery phase (Fig 11b's stacking).
+	GetPeer  time.Duration // controller ap-map fetch
+	Connect  time.Duration // peer lookups + QP connects
+	RdmaRead time.Duration // header quorum reads + region prefetch
+	SyncPeer time.Duration // catch-up of lagging peers + replacements
+	Parse    time.Duration // application-level read + parse + rebuild
 }
 
 // Fig11bResult holds all rows.
@@ -40,8 +46,8 @@ func (r Fig11bResult) Render() string {
 		breakdown := "-"
 		if row.Variant == "SplitFT" {
 			breakdown = fmt.Sprintf("get peer %.1fms, connect %.1fms, rdma read %.1fms, sync peer %.1fms",
-				row.NCL.GetPeer.Seconds()*1000, row.NCL.Connect.Seconds()*1000,
-				row.NCL.RdmaRead.Seconds()*1000, row.NCL.SyncPeer.Seconds()*1000)
+				row.GetPeer.Seconds()*1000, row.Connect.Seconds()*1000,
+				row.RdmaRead.Seconds()*1000, row.SyncPeer.Seconds()*1000)
 		}
 		rows = append(rows, []string{row.App, row.Variant,
 			fmt.Sprintf("%.0fms", row.Total.Seconds()*1000),
@@ -73,9 +79,13 @@ func Fig11b(sc Scale, seed int64) (Fig11bResult, error) {
 }
 
 // recoverOnce builds a log of the target size, crashes the app, and times
-// recovery.
+// recovery. The NCL phase breakdown is a span query over the recovery window.
 func recoverOnce(sc Scale, seed int64, appName, variant string) (Fig11bRow, error) {
 	row := Fig11bRow{App: appName, Variant: variant}
+	if sc.Trace == nil {
+		sc.Trace = trace.New() // breakdown needs spans even without -trace
+	}
+	col := sc.Trace
 	c := newCluster(sc, seed)
 	logBytes := int64(sc.LogSizeMB) << 20
 
@@ -117,17 +127,18 @@ func recoverOnce(sc Scale, seed int64, appName, variant string) (Fig11bRow, erro
 		if err != nil {
 			return err
 		}
+		mark := col.Len()
 		start := p.Now()
 		if err := recoverApp(p, c, fs2, appName, cfg); err != nil {
 			return err
 		}
 		row.Total = p.Now() - start
-		var nclTotal time.Duration
-		for _, st := range fs2.LastRecovery {
-			row.NCL = st
-			nclTotal = st.Total()
-		}
-		row.Parse = row.Total - nclTotal
+		spans := col.Since(mark)
+		row.GetPeer = trace.Sum(spans, "ncl", "recover.getpeer")
+		row.Connect = trace.Sum(spans, "ncl", "recover.connect")
+		row.RdmaRead = trace.Sum(spans, "ncl", "recover.rdmaread")
+		row.SyncPeer = trace.Sum(spans, "ncl", "recover.syncpeer")
+		row.Parse = row.Total - trace.Sum(spans, "ncl", "recover.")
 		return nil
 	})
 	return row, err
@@ -226,19 +237,28 @@ func recoverApp(p *simnet.Proc, c *harness.Cluster, fs *core.FS, appName, cfg st
 // ---- Table 3: peer replacement latency breakdown ----
 
 // Table3Result is the breakdown of replacing a failed peer that held a
-// sc.LogSizeMB region.
+// sc.LogSizeMB region, queried from the "ncl"/"replace.*" trace spans of one
+// replacement.
 type Table3Result struct {
-	Stats ncl.ReplacementStats
+	GetPeer time.Duration // controller peer query
+	Connect time.Duration // region setup + MR registration + QP connect
+	CatchUp time.Duration // bulk transfer from the writer's local buffer
+	ApMap   time.Duration // ap-map CAS on the controller
+}
+
+// Total sums the replacement steps.
+func (r Table3Result) Total() time.Duration {
+	return r.GetPeer + r.Connect + r.CatchUp + r.ApMap
 }
 
 // Render formats the paper-style step table.
 func (r Table3Result) Render() string {
 	rows := [][]string{
-		{"Get new peer from controller", fmtUS(r.Stats.GetPeer)},
-		{"Connect to new peer and set up MR", fmtUS(r.Stats.Connect)},
-		{"Catch up new peer", fmtUS(r.Stats.CatchUp)},
-		{"Update ap-map on controller", fmtUS(r.Stats.ApMap)},
-		{"Total", fmtUS(r.Stats.Total())},
+		{"Get new peer from controller", fmtUS(r.GetPeer)},
+		{"Connect to new peer and set up MR", fmtUS(r.Connect)},
+		{"Catch up new peer", fmtUS(r.CatchUp)},
+		{"Update ap-map on controller", fmtUS(r.ApMap)},
+		{"Total", fmtUS(r.Total())},
 	}
 	return "Table 3. Peer recovery latency breakdown\n" +
 		metrics.Table([]string{"Step", "Time (us)"}, rows)
@@ -248,6 +268,10 @@ func (r Table3Result) Render() string {
 // and reports the replacement breakdown.
 func Table3(sc Scale, seed int64) (Table3Result, error) {
 	var res Table3Result
+	if sc.Trace == nil {
+		sc.Trace = trace.New()
+	}
+	col := sc.Trace
 	c := newCluster(sc, seed)
 	logBytes := int64(sc.LogSizeMB) << 20
 	err := c.Run(func(p *simnet.Proc) error {
@@ -268,6 +292,7 @@ func Table3(sc Scale, seed int64) (Table3Result, error) {
 		type hasLog interface{ Log() *ncl.Log }
 		lg := nf.(hasLog).Log()
 		victim := lg.LivePeers()[0]
+		mark := col.Len()
 		c.Sim.Node(victim).Crash()
 		// Trigger detection and wait for the replacement.
 		for lg.Replacements == 0 {
@@ -276,7 +301,11 @@ func Table3(sc Scale, seed int64) (Table3Result, error) {
 			}
 			p.Sleep(5 * time.Millisecond)
 		}
-		res.Stats = lg.LastReplacement
+		spans := col.Since(mark)
+		res.GetPeer = trace.Sum(spans, "ncl", "replace.getpeer")
+		res.Connect = trace.Sum(spans, "ncl", "replace.connect")
+		res.CatchUp = trace.Sum(spans, "ncl", "replace.catchup")
+		res.ApMap = trace.Sum(spans, "ncl", "replace.apmap")
 		return nil
 	})
 	return res, err
@@ -306,9 +335,14 @@ func (r Fig1Result) Render() string {
 }
 
 // Fig1 traces durable write sizes for one application under a strong-mode
-// write-only workload, classifying by file name (the paper's Fig 1a-c).
+// write-only workload, classifying the "core"/"write.*" spans by file name
+// (the paper's Fig 1a-c).
 func Fig1(appName string, sc Scale, seed int64) (Fig1Result, error) {
 	res := Fig1Result{App: appName, LogCDF: &metrics.SizeCDF{}, BgCDF: &metrics.SizeCDF{}}
+	if sc.Trace == nil {
+		sc.Trace = trace.New()
+	}
+	col := sc.Trace
 	c := newCluster(sc, seed)
 	err := c.Run(func(p *simnet.Proc) error {
 		keys := appLoadKeys(appName, sc) / 2
@@ -316,26 +350,11 @@ func Fig1(appName string, sc Scale, seed int64) (Fig1Result, error) {
 		if err != nil {
 			return err
 		}
-		// Attach the trace after load so only workload IO is counted.
+		// Mark after load so only workload IO is counted.
 		if err := loadApp(c, p, a, keys); err != nil {
 			return err
 		}
-		var fs *core.FS
-		switch aa := a.(type) {
-		case *kvApp:
-			fs = aa.fs
-		case *redApp:
-			fs = aa.fs
-		case *liteApp:
-			fs = aa.fs
-		}
-		fs.Trace = func(e core.TraceEvent) {
-			if isLogPath(e.Path) {
-				res.LogCDF.Add(e.Bytes)
-			} else {
-				res.BgCDF.Add(e.Bytes)
-			}
-		}
+		mark := col.Len()
 		startServer(c, "app", a)
 		clients := sc.Clients
 		if appName == "litedb" {
@@ -343,6 +362,17 @@ func Fig1(appName string, sc Scale, seed int64) (Fig1Result, error) {
 		}
 		spec := ycsb.Spec{Name: "write-only", UpdateProp: 1.0, Dist: ycsb.Zipfian}
 		runWorkload(c, p, "app", spec, keys, clients, sc, nil)
+		for _, sp := range trace.Filter(col.Since(mark), "core", "write.") {
+			n := sp.IntAttr("bytes")
+			if n == 0 {
+				continue // clean dfs sync: nothing hit storage
+			}
+			if isLogPath(sp.StrAttr("path")) {
+				res.LogCDF.Add(n)
+			} else {
+				res.BgCDF.Add(n)
+			}
+		}
 		return nil
 	})
 	return res, err

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"splitft/internal/model"
+	"splitft/internal/trace"
+)
+
+// Acceptance tests for the span-based instrumentation: traces must be
+// deterministic, must not perturb the simulation, and the breakdowns the
+// figures now derive from spans must stay inside the same calibration bands
+// the cost model is gated on.
+
+// Two runs with the same profile and seed must produce byte-identical
+// Chrome trace JSON.
+func TestTraceDeterministic(t *testing.T) {
+	export := func() []byte {
+		sc := QuickScale()
+		col := trace.New()
+		sc.Trace = col
+		if _, err := Fig8(sc, 1); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, col.Spans()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if len(a) == 0 {
+		t.Fatal("empty trace export")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace export not deterministic: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// Attaching a collector must not change what the simulation computes: spans
+// record virtual time, they never advance it.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	bare := QuickScale()
+	traced := QuickScale()
+	traced.Trace = trace.New()
+	r1, err := Fig8(bare, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Fig8(traced, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Points) != len(r2.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(r1.Points), len(r2.Points))
+	}
+	for i := range r1.Points {
+		if r1.Points[i] != r2.Points[i] {
+			t.Fatalf("point %d differs with tracing on: %+v vs %+v", i, r1.Points[i], r2.Points[i])
+		}
+	}
+	if traced.Trace.Len() == 0 {
+		t.Fatal("traced run collected no spans")
+	}
+}
+
+// The Table 3 breakdown is now computed from "ncl"/"replace.*" spans; for
+// every named hardware profile the controller-bound steps and the
+// MR-registration-bound step must land inside the same bands the
+// calibration gate derives from the profile (the replacement region is the
+// paper's 60 MB log, matching the MR probe size).
+func TestTable3WithinCalibrationBands(t *testing.T) {
+	for _, name := range model.Names() {
+		prof, err := model.Resolve(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sc := QuickScale()
+		sc.LogSizeMB = 60
+		sc.Profile = prof
+		res, err := Table3(sc, 1)
+		if err != nil {
+			t.Fatalf("%s: table3: %v", name, err)
+		}
+		targets := map[string]model.Target{}
+		for _, tg := range model.Targets(prof) {
+			targets[tg.Probe] = tg
+		}
+		check := func(step string, got time.Duration, tg model.Target) {
+			if got < tg.Lo || got > tg.Hi {
+				t.Errorf("%s: %s = %v outside band [%v, %v] (%s)",
+					name, step, got, tg.Lo, tg.Hi, tg.Formula)
+			}
+		}
+		ctrl := targets[model.ProbeControllerOp]
+		check("get-peer", res.GetPeer, ctrl)
+		check("ap-map", res.ApMap, ctrl)
+		check("connect", res.Connect, targets[model.ProbeMRRegister60MB])
+		if res.CatchUp <= 0 {
+			t.Errorf("%s: catch-up phase span missing", name)
+		}
+	}
+}

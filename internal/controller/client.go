@@ -36,8 +36,32 @@ func NewClient(svc *Service, node *simnet.Node, name string, fencing int64) *Cli
 	return &Client{svc: svc, rc: rc, node: node, session: session, fencing: fencing}
 }
 
+// cmdOp names a znode command for span attribution.
+func cmdOp(cmd any) string {
+	switch cmd.(type) {
+	case cmdNewSession:
+		return "new-session"
+	case cmdKeepAlive:
+		return "keep-alive"
+	case cmdCreate:
+		return "create"
+	case cmdSet:
+		return "set"
+	case cmdDelete:
+		return "delete"
+	case cmdGet:
+		return "get"
+	case cmdList:
+		return "list"
+	default:
+		return fmt.Sprintf("%T", cmd)
+	}
+}
+
 // propose runs one command and unwraps the opResult.
 func (c *Client) propose(p *simnet.Proc, cmd any) (opResult, error) {
+	sp := p.StartSpan("controller", cmdOp(cmd))
+	defer p.EndSpan(sp)
 	res, err := c.rc.Propose(p, cmd)
 	if err != nil {
 		return opResult{}, err

@@ -24,6 +24,7 @@ import (
 	"splitft/internal/ncl"
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 // Open flags.
@@ -64,13 +65,6 @@ type File interface {
 	Path() string
 }
 
-// TraceEvent records one durable write for the Fig 1 IO-size analysis.
-type TraceEvent struct {
-	Path  string
-	Class string // "ncl" or "dfs"
-	Bytes int64
-}
-
 // Options configures an FS instance.
 type Options struct {
 	Controller *controller.Service
@@ -101,14 +95,13 @@ type FS struct {
 	defaultRegionSize int64
 
 	nclOpen map[string]*nclFile
-
-	// Trace, when set, observes durable writes (ncl records and dfs
-	// flushes) for the IO-size characterization.
-	Trace func(TraceEvent)
-
-	// LastRecovery records NCL recovery statistics per path (Fig 11b).
-	LastRecovery map[string]ncl.RecoveryStats
 }
+
+// Durable writes are observable as trace spans: the core layer emits
+// "core"/"write.ncl" for each replicated record and "core"/"write.dfs" for
+// each dfs fsync (with a "bytes" attribute carrying the flushed size), which
+// is what the Fig 1 IO-size characterization queries. NCL recovery emits the
+// "ncl"/"recover.*" phase spans Fig 11(b) is built from.
 
 // NewFS mounts the dfs and initializes ncl-lib for the application.
 func NewFS(p *simnet.Proc, opts Options) (*FS, error) {
@@ -127,7 +120,6 @@ func NewFS(p *simnet.Proc, opts Options) (*FS, error) {
 		appID:             opts.AppID,
 		defaultRegionSize: opts.DefaultRegionSize,
 		nclOpen:           make(map[string]*nclFile),
-		LastRecovery:      make(map[string]ncl.RecoveryStats),
 	}
 	if opts.AcquireLock {
 		if err := lib.AcquireInstanceLock(p); err != nil {
@@ -202,11 +194,10 @@ func (fs *FS) openNCL(p *simnet.Proc, path string, flags OpenFlag, regionSize in
 		fs.nclOpen[path] = f
 		return f, nil
 	default:
-		lg, stats, err := fs.lib.Recover(p, path)
+		lg, err := fs.lib.Recover(p, path)
 		if err != nil {
 			return nil, err
 		}
-		fs.LastRecovery[path] = stats
 		f := &nclFile{fs: fs, lg: lg, path: path, cursor: 0}
 		fs.nclOpen[path] = f
 		return f, nil
@@ -272,11 +263,10 @@ func (f *dfsFile) Pread(p *simnet.Proc, buf []byte, off int64) (int, error) {
 
 func (f *dfsFile) Sync(p *simnet.Proc) error {
 	dirty := f.inner.DirtyBytes()
-	err := f.inner.Sync(p)
-	if err == nil && dirty > 0 && f.fs.Trace != nil {
-		f.fs.Trace(TraceEvent{Path: f.inner.Path(), Class: "dfs", Bytes: dirty})
-	}
-	return err
+	sp := p.StartSpan("core", "write.dfs",
+		trace.Str("path", f.inner.Path()), trace.Int("bytes", dirty))
+	defer p.EndSpan(sp)
+	return f.inner.Sync(p)
 }
 
 func (f *dfsFile) Close(p *simnet.Proc) error { return f.inner.Close(p) }
@@ -300,11 +290,11 @@ func (f *nclFile) Write(p *simnet.Proc, data []byte) (int, error) {
 }
 
 func (f *nclFile) Pwrite(p *simnet.Proc, data []byte, off int64) (int, error) {
+	sp := p.StartSpan("core", "write.ncl",
+		trace.Str("path", f.path), trace.Int("bytes", int64(len(data))))
+	defer p.EndSpan(sp)
 	if err := f.lg.Record(p, off, data); err != nil {
 		return 0, err
-	}
-	if f.fs.Trace != nil {
-		f.fs.Trace(TraceEvent{Path: f.path, Class: "ncl", Bytes: int64(len(data))})
 	}
 	return len(data), nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 // Additional core-layer coverage: cursor semantics, truncation, append-only
@@ -42,7 +43,11 @@ func TestNCLFileCursorSemantics(t *testing.T) {
 		// Closing and reopening within the same instance yields a fresh
 		// handle over the SAME live log (no recovery), offset zero.
 		f.Close(p)
+		col := trace.New()
+		tb.sim.SetTracer(col)
+		mark := col.Len()
 		f2, err := fs.OpenFile(p, "log", O_NCL, 0)
+		tb.sim.SetTracer(nil)
 		if err != nil {
 			t.Fatalf("reopen: %v", err)
 		}
@@ -54,7 +59,7 @@ func TestNCLFileCursorSemantics(t *testing.T) {
 		if n != 4 || string(r) != "efgh" {
 			t.Fatalf("second read = %q", r[:n])
 		}
-		if _, ok := fs.LastRecovery["log"]; ok {
+		if n := trace.Count(col.Since(mark), "ncl", "recover"); n != 0 {
 			t.Fatal("same-instance reopen went through recovery")
 		}
 	})
@@ -105,15 +110,20 @@ func TestTraceClassification(t *testing.T) {
 	tb := newTestbed(23, 3)
 	tb.run(t, func(p *simnet.Proc) {
 		fs, _ := NewFS(p, tb.opts(0))
-		classes := map[string]int64{}
-		fs.Trace = func(e TraceEvent) { classes[e.Class] += e.Bytes }
+		col := trace.New()
+		tb.sim.SetTracer(col)
+		mark := col.Len()
 		nf, _ := fs.OpenFile(p, "wal", O_NCL|O_CREATE, 1<<20)
 		nf.Write(p, make([]byte, 100))
 		df, _ := fs.OpenFile(p, "/sst", O_CREATE, 0)
 		df.Write(p, make([]byte, 5000))
 		df.Sync(p)
-		df.Sync(p) // clean sync: no extra trace
-		if classes["ncl"] != 100 || classes["dfs"] != 5000 {
+		df.Sync(p) // clean sync: zero dirty bytes
+		classes := map[string]int64{}
+		for _, sp := range trace.Filter(col.Since(mark), "core", "write.") {
+			classes[sp.Op] += sp.IntAttr("bytes")
+		}
+		if classes["write.ncl"] != 100 || classes["write.dfs"] != 5000 {
 			t.Fatalf("traced = %v", classes)
 		}
 	})

@@ -14,6 +14,7 @@ import (
 	"splitft/internal/peer"
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 // testbed assembles the full SplitFT deployment: controller ensemble, dfs
@@ -81,16 +82,17 @@ func (tb *testbed) opts(fencing int64) Options {
 func TestDFSRouting(t *testing.T) {
 	tb := newTestbed(1, 3)
 	tb.run(t, func(p *simnet.Proc) {
-		var traced []TraceEvent
+		col := trace.New()
+		tb.sim.SetTracer(col)
 		fs, err := NewFS(p, tb.opts(0))
 		if err != nil {
 			t.Fatalf("fs: %v", err)
 		}
-		fs.Trace = func(e TraceEvent) { traced = append(traced, e) }
 		f, err := fs.OpenFile(p, "/sst/000001.sst", O_CREATE, 0)
 		if err != nil {
 			t.Fatalf("open: %v", err)
 		}
+		mark := col.Len()
 		f.Write(p, bytes.Repeat([]byte("S"), 4096))
 		if err := f.Sync(p); err != nil {
 			t.Fatalf("sync: %v", err)
@@ -98,8 +100,15 @@ func TestDFSRouting(t *testing.T) {
 		if got, _ := tb.dcl.DurableBytes("/sst/000001.sst"); len(got) != 4096 {
 			t.Errorf("durable = %d bytes", len(got))
 		}
-		if len(traced) != 1 || traced[0].Class != "dfs" || traced[0].Bytes != 4096 {
-			t.Errorf("trace = %+v", traced)
+		spans := col.Since(mark)
+		if n := trace.Count(spans, "core", "write.dfs"); n != 1 {
+			t.Errorf("write.dfs spans = %d, want 1", n)
+		}
+		if sp := trace.First(spans, "core", "write.dfs"); sp == nil || sp.IntAttr("bytes") != 4096 || !sp.Done() {
+			t.Errorf("write.dfs span = %+v", sp)
+		}
+		if n := trace.Count(spans, "core", "write.ncl"); n != 0 {
+			t.Errorf("dfs-routed write produced %d write.ncl spans", n)
 		}
 		buf := make([]byte, 10)
 		if n, _ := f.Pread(p, buf, 0); n != 10 || buf[0] != 'S' {
@@ -122,12 +131,13 @@ func TestNCLRoutingAndFastSync(t *testing.T) {
 		if err != nil {
 			t.Fatalf("fs: %v", err)
 		}
-		var traced []TraceEvent
-		fs.Trace = func(e TraceEvent) { traced = append(traced, e) }
+		col := trace.New()
+		tb.sim.SetTracer(col)
 		f, err := fs.OpenFile(p, "/wal/000003.log", O_NCL|O_CREATE, 1<<20)
 		if err != nil {
 			t.Fatalf("open ncl: %v", err)
 		}
+		mark := col.Len()
 		start := p.Now()
 		f.Write(p, make([]byte, 128))
 		writeLat := p.Now() - start
@@ -143,8 +153,15 @@ func TestNCLRoutingAndFastSync(t *testing.T) {
 		if syncLat > time.Microsecond {
 			t.Errorf("ncl sync = %v, want ~0", syncLat)
 		}
-		if len(traced) != 1 || traced[0].Class != "ncl" {
-			t.Errorf("trace = %+v", traced)
+		spans := col.Since(mark)
+		if n := trace.Count(spans, "core", "write.ncl"); n != 1 {
+			t.Errorf("write.ncl spans = %d, want 1", n)
+		}
+		if sp := trace.First(spans, "core", "write.ncl"); sp == nil || sp.IntAttr("bytes") != 128 {
+			t.Errorf("write.ncl span = %+v", sp)
+		}
+		if n := trace.Count(spans, "core", "write.dfs"); n != 0 {
+			t.Errorf("ncl-routed write produced %d write.dfs spans", n)
 		}
 		// The dfs knows nothing about this file.
 		if _, ok := tb.dcl.DurableBytes("/wal/000003.log"); ok {
@@ -191,7 +208,11 @@ func TestCrashRecoveryThroughFS(t *testing.T) {
 		if err != nil || len(files) != 1 {
 			t.Fatalf("ncl files = %v, %v", files, err)
 		}
+		col := trace.New()
+		tb.sim.SetTracer(col)
+		mark := col.Len()
 		f2, err := fs2.OpenFile(p, "wal-7", O_NCL, 0)
+		tb.sim.SetTracer(nil)
 		if err != nil {
 			t.Fatalf("recovering open: %v", err)
 		}
@@ -200,8 +221,11 @@ func TestCrashRecoveryThroughFS(t *testing.T) {
 		if n < len(want) || !bytes.Equal(buf[:len(want)], want) {
 			t.Fatalf("recovered %d bytes, mismatch", n)
 		}
-		if _, ok := fs2.LastRecovery["wal-7"]; !ok {
-			t.Error("recovery stats not recorded")
+		spans := col.Since(mark)
+		if rec := trace.First(spans, "ncl", "recover"); rec == nil || !rec.Done() {
+			t.Error("recovery span not recorded")
+		} else if trace.Sum(spans, "ncl", "recover.") <= 0 {
+			t.Error("recovery phase spans missing")
 		}
 	})
 }

@@ -34,6 +34,7 @@ import (
 
 	"splitft/internal/model"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 // Params is the storage cost model. The constants live in internal/model
@@ -395,6 +396,8 @@ func (f *File) Pwrite(p *simnet.Proc, data []byte, off int64) (int, error) {
 	if err := cl.checkAlive(); err != nil {
 		return 0, err
 	}
+	tsp := p.StartSpan("dfs", "pwrite", trace.Str("path", f.path), trace.Int("bytes", int64(len(data))))
+	defer p.EndSpan(tsp)
 	pm := cl.cluster.params
 	// Stall if writeback can't keep up (the weak-mode penalty).
 	for cl.dirty > pm.DirtyHighWater {
@@ -438,6 +441,12 @@ func (f *File) flush(p *simnet.Proc, foreground bool) error {
 	if err := cl.checkAlive(); err != nil {
 		return err
 	}
+	op := "writeback"
+	if foreground {
+		op = "fsync"
+	}
+	tsp := p.StartSpan("dfs", op, trace.Str("path", f.path))
+	defer p.EndSpan(tsp)
 	pm := cl.cluster.params
 	// An fsync must not return before earlier in-flight writeback of this
 	// file has landed durably.
@@ -450,6 +459,7 @@ func (f *File) flush(p *simnet.Proc, foreground bool) error {
 	f.flushing = true
 	defer func() { f.flushing = false }()
 	n := f.dirtyBytes()
+	tsp.SetAttr(trace.Int("bytes", n))
 	if n == 0 {
 		if foreground {
 			p.Sleep(pm.SyncCleanFixed)
@@ -519,6 +529,8 @@ func (f *File) Pread(p *simnet.Proc, buf []byte, off int64) (int, error) {
 	if off >= int64(len(f.view)) {
 		return 0, nil
 	}
+	tsp := p.StartSpan("dfs", "pread", trace.Str("path", f.path), trace.Int("bytes", int64(len(buf))))
+	defer p.EndSpan(tsp)
 	n := int64(len(buf))
 	if off+n > int64(len(f.view)) {
 		n = int64(len(f.view)) - off

@@ -16,12 +16,16 @@ import (
 	"splitft/internal/peer"
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 // Options configures a testbed.
 type Options struct {
 	Seed     int64
 	NumPeers int
+	// Trace, when non-nil, is attached to the simulation so every layer
+	// records spans into it (see internal/trace). Nil disables tracing.
+	Trace *trace.Collector
 	// Profile is the hardware cost model for the whole testbed (fabric,
 	// dfs, controller, peers, net latency). Nil means model.Baseline().
 	// The fine-grained overrides below layer on top of it.
@@ -56,6 +60,9 @@ type Cluster struct {
 	// Profile is the resolved hardware cost model the testbed was built
 	// with; application builders read their CPU costs from it.
 	Profile *model.Profile
+	// Seed is the simulation seed the testbed was built with; workload
+	// drivers derive per-client generator seeds from it.
+	Seed int64
 
 	peerCfg peer.Config
 }
@@ -77,6 +84,9 @@ func New(opts Options) *Cluster {
 		opts.NetLatency = prof.NetLatency
 	}
 	s := simnet.New(opts.Seed)
+	if opts.Trace != nil {
+		s.SetTracer(opts.Trace)
+	}
 	s.Net().SetDefaultLatency(opts.NetLatency)
 	ctrlNodes := []*simnet.Node{s.NewNode("ctrl0"), s.NewNode("ctrl1"), s.NewNode("ctrl2")}
 	dfsParams := prof.DFS
@@ -92,6 +102,7 @@ func New(opts Options) *Cluster {
 		ClientNode: s.NewNode("client"),
 		Peers:      make(map[string]*peer.Peer),
 		Profile:    prof,
+		Seed:       opts.Seed,
 	}
 	if opts.WithLocalFS {
 		c.LocalFS = dfs.NewCluster(s, "local-ext4", prof.LocalFS)

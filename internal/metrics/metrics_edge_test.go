@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// Edge-case coverage for the histogram, sampler and CDF primitives: empty
+// and single-sample inputs, merges across buckets, and boundary samples.
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(42 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 42*time.Microsecond || h.Min() != 42*time.Microsecond || h.Max() != 42*time.Microsecond {
+		t.Fatalf("mean/min/max = %v/%v/%v", h.Mean(), h.Min(), h.Max())
+	}
+	// Every quantile of a one-sample distribution is that sample (at bucket
+	// resolution: its bucket's lower bound, never above the sample).
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		p := h.Percentile(q)
+		if p > 42*time.Microsecond || p < 39*time.Microsecond {
+			t.Fatalf("p%.0f = %v, want ~42us", q*100, p)
+		}
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+
+	// Merging an empty histogram is a no-op.
+	before := a
+	a.Merge(&b)
+	if a != before {
+		t.Fatal("merging an empty histogram changed the receiver")
+	}
+
+	// Merging into an empty histogram adopts the other's extremes (min must
+	// not stay at the zero value).
+	var c Histogram
+	c.Merge(&a)
+	if c.Count() != 1 || c.Min() != time.Millisecond || c.Max() != time.Millisecond {
+		t.Fatalf("after merge into empty: n=%d min=%v max=%v", c.Count(), c.Min(), c.Max())
+	}
+
+	// Merging two empties stays empty.
+	var d, e Histogram
+	d.Merge(&e)
+	if d.Count() != 0 || d.Percentile(0.5) != 0 {
+		t.Fatal("empty+empty is not empty")
+	}
+}
+
+func TestHistogramCrossBucketMerge(t *testing.T) {
+	// Samples many powers of two apart land in different log buckets; the
+	// merged histogram must report quantiles from both populations.
+	var lo, hi Histogram
+	for i := 0; i < 100; i++ {
+		lo.Record(time.Microsecond)
+		hi.Record(time.Second)
+	}
+	lo.Merge(&hi)
+	if lo.Count() != 200 {
+		t.Fatalf("count = %d", lo.Count())
+	}
+	p25, p75 := lo.Percentile(0.25), lo.Percentile(0.75)
+	if p25 > 2*time.Microsecond {
+		t.Fatalf("p25 = %v, want ~1us (low population)", p25)
+	}
+	if p75 < 900*time.Millisecond {
+		t.Fatalf("p75 = %v, want ~1s (high population)", p75)
+	}
+	wantMean := (100*time.Microsecond + 100*time.Second) / 200
+	if lo.Mean() != wantMean {
+		t.Fatalf("mean = %v, want %v", lo.Mean(), wantMean)
+	}
+}
+
+func TestThroughputSamplerBoundaries(t *testing.T) {
+	ts := NewThroughputSampler(10 * time.Millisecond)
+	if len(ts.Series()) != 0 {
+		t.Fatal("empty sampler should have an empty series")
+	}
+	// A sample exactly on an interval boundary belongs to the interval it
+	// starts: t = k*interval goes into bucket k, not k-1.
+	ts.Observe(0)
+	ts.Observe(10 * time.Millisecond)
+	ts.Observe(10 * time.Millisecond)
+	series := ts.Series()
+	if len(series) != 2 {
+		t.Fatalf("series length = %d, want 2", len(series))
+	}
+	if series[0].OpsPerSec != 100 || series[1].OpsPerSec != 200 {
+		t.Fatalf("series = %v", series)
+	}
+	if series[0].At != 0 || series[1].At != 10*time.Millisecond {
+		t.Fatalf("interval starts = %v, %v", series[0].At, series[1].At)
+	}
+}
+
+func TestSizeCDFEdgeCases(t *testing.T) {
+	var empty SizeCDF
+	if empty.Quantile(0.5) != 0 || empty.Count() != 0 {
+		t.Fatal("empty CDF should report zeros")
+	}
+	if empty.Points(5) != nil {
+		t.Fatal("empty CDF should have no points")
+	}
+
+	var one SizeCDF
+	one.Add(7)
+	for _, q := range []float64{0.0, 0.001, 0.5, 1.0} {
+		if got := one.Quantile(q); got != 7 {
+			t.Fatalf("single-sample q%.3f = %d, want 7", q, got)
+		}
+	}
+	if one.Points(0) != nil {
+		t.Fatal("Points(0) should be nil")
+	}
+
+	// Duplicates and unsorted insertion order.
+	var c SizeCDF
+	for _, v := range []int64{5, 1, 5, 3, 5} {
+		c.Add(v)
+	}
+	if c.Quantile(0.2) != 1 || c.Quantile(0.5) != 5 || c.Quantile(1.0) != 5 {
+		t.Fatalf("quantiles = %d/%d/%d", c.Quantile(0.2), c.Quantile(0.5), c.Quantile(1.0))
+	}
+	// Adding after a quantile query (which sorts) must keep results correct.
+	c.Add(0)
+	if c.Quantile(0.001) != 0 {
+		t.Fatalf("post-sort add: q0 = %d, want 0", c.Quantile(0.001))
+	}
+}

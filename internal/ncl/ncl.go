@@ -30,6 +30,7 @@ import (
 	"splitft/internal/peer"
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 // HeaderSize is the per-region metadata prefix: sequence number (8 bytes)
@@ -204,26 +205,13 @@ type Log struct {
 
 	released bool
 
-	// Stats.
+	// Stats. Latency breakdowns (Fig 11b recovery phases, Table 3
+	// replacement steps) are trace spans, not struct fields: attach a
+	// trace.Collector to the Sim and query the "ncl" layer's "recover.*"
+	// and "replace.*" ops.
 	Records      uint64
 	Replacements int
 	StallTime    time.Duration
-	// LastReplacement holds the latency breakdown of the most recent peer
-	// replacement (Table 3).
-	LastReplacement ReplacementStats
-}
-
-// ReplacementStats breaks down one peer replacement (§5.4.3, Table 3).
-type ReplacementStats struct {
-	GetPeer time.Duration // controller query for a new peer
-	Connect time.Duration // peer region setup + QP connect (MR registration)
-	CatchUp time.Duration // bulk transfer of the log to the new peer
-	ApMap   time.Duration // ap-map CAS on the controller
-}
-
-// Total sums the replacement steps.
-func (r ReplacementStats) Total() time.Duration {
-	return r.GetPeer + r.Connect + r.CatchUp + r.ApMap
 }
 
 // wrCtx tags record WRs so the poller can account completions.
@@ -256,6 +244,8 @@ func (l *Lib) Open(p *simnet.Proc, name string, capacity int64) (*Log, error) {
 
 // OpenWithOptions is Open with per-file options.
 func (l *Lib) OpenWithOptions(p *simnet.Proc, name string, capacity int64, opts LogOptions) (*Log, error) {
+	sp := p.StartSpan("ncl", "open", trace.Str("file", name), trace.Int("bytes", capacity))
+	defer p.EndSpan(sp)
 	lg := &Log{
 		lib:        l,
 		name:       name,
@@ -400,6 +390,8 @@ func (lg *Log) header() []byte {
 // Record supports overwrites at arbitrary offsets within the region, which
 // is how circular logs (SQLite-style, Fig 7ii) are replicated physically.
 func (lg *Log) Record(p *simnet.Proc, off int64, data []byte) error {
+	sp := p.StartSpan("ncl", "record", trace.Str("file", lg.name), trace.Int("bytes", int64(len(data))))
+	defer p.EndSpan(sp)
 	lg.mu.Lock(p)
 	defer lg.mu.Unlock(p)
 	if lg.released {
@@ -497,6 +489,8 @@ func (lg *Log) RemoteReadAt(p *simnet.Proc, buf []byte, off int64) (int, error) 
 	if target == nil {
 		return 0, ErrUnavailable
 	}
+	sp := p.StartSpan("ncl", "remoteread", trace.Str("file", lg.name), trace.Int("bytes", n))
+	defer p.EndSpan(sp)
 	p.Sleep(lg.lib.cfg.ReadOverhead) // per-read library overhead (WR setup + poll)
 	if err := lg.readInto(p, target, HeaderSize+int(off), buf[:n]); err != nil {
 		return 0, err
@@ -522,6 +516,8 @@ func (lg *Log) ReadAt(buf []byte, off int64) int {
 // compaction (§4.3). Peer regions are released, the ap-map entry removed,
 // and the local state reset.
 func (lg *Log) Release(p *simnet.Proc) error {
+	sp := p.StartSpan("ncl", "release", trace.Str("file", lg.name))
+	defer p.EndSpan(sp)
 	lg.mu.Lock(p)
 	if lg.released {
 		lg.mu.Unlock(p)

@@ -9,6 +9,7 @@ import (
 
 	"splitft/internal/peer"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 // Additional failure-mode coverage: partitions, capacity limits, multiple
@@ -108,7 +109,7 @@ func TestMultipleLogsIndependentPeersAndRecovery(t *testing.T) {
 			t.Fatalf("files = %v, %v", files, err)
 		}
 		for i := 0; i < 3; i++ {
-			lg, _, err := l2.Recover(p, fmt.Sprintf("wal-%d", i))
+			lg, err := l2.Recover(p, fmt.Sprintf("wal-%d", i))
 			if err != nil {
 				t.Fatalf("recover wal-%d: %v", i, err)
 			}
@@ -143,7 +144,7 @@ func TestRecoverThenCrashThenRecoverAgain(t *testing.T) {
 		var afterFirst []byte
 		c.appNode.Go("app-v2", func(ap *simnet.Proc) {
 			l2, _ := NewLib(ap, c.svc, c.fabric, c.appNode, "app1", 1, DefaultConfig())
-			lg2, _, err := l2.Recover(ap, "wal")
+			lg2, err := l2.Recover(ap, "wal")
 			if err != nil {
 				return
 			}
@@ -159,7 +160,7 @@ func TestRecoverThenCrashThenRecoverAgain(t *testing.T) {
 		c.appNode.Restart()
 
 		l3, _ := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 2, DefaultConfig())
-		lg3, _, err := l3.Recover(p, "wal")
+		lg3, err := l3.Recover(p, "wal")
 		if err != nil {
 			t.Fatalf("second recovery: %v", err)
 		}
@@ -193,7 +194,11 @@ func TestPeerCrashDuringRecoveryHeaderRead(t *testing.T) {
 		p.Sleep(10 * time.Millisecond)
 		c.appNode.Restart()
 		l2, _ := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 1, DefaultConfig())
-		lg2, st, err := l2.Recover(p, "wal")
+		col := trace.New()
+		c.sim.SetTracer(col)
+		mark := col.Len()
+		lg2, err := l2.Recover(p, "wal")
+		c.sim.SetTracer(nil)
 		if err != nil {
 			t.Fatalf("recover with one dead member: %v", err)
 		}
@@ -204,8 +209,8 @@ func TestPeerCrashDuringRecoveryHeaderRead(t *testing.T) {
 		if len(lg2.LivePeers()) != 3 {
 			t.Fatalf("live peers after recovery = %v", lg2.LivePeers())
 		}
-		if st.SyncPeer <= 0 {
-			t.Errorf("sync-peer phase missing from stats: %+v", st)
+		if trace.Sum(col.Since(mark), "ncl", "recover.syncpeer") <= 0 {
+			t.Errorf("sync-peer phase span missing from recovery trace")
 		}
 		// And the restored membership keeps accepting writes.
 		if _, err := lg2.Append(p, []byte("more")); err != nil {
@@ -295,7 +300,7 @@ func TestAppendOnlyTailCatchup(t *testing.T) {
 		laggingKeyBefore = resp.(peer.LookupResp).RKey
 
 		l2, _ := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 1, DefaultConfig())
-		lg2, _, err := l2.Recover(p, "wal")
+		lg2, err := l2.Recover(p, "wal")
 		if err != nil {
 			t.Fatalf("recover: %v", err)
 		}

@@ -13,6 +13,7 @@ import (
 	"splitft/internal/peer"
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 // cluster is the standard NCL testbed: 3 controller nodes, a configurable
@@ -258,7 +259,12 @@ func TestRecoverAfterAppCrash(t *testing.T) {
 		if err != nil || len(files) != 1 || files[0] != "wal" {
 			t.Fatalf("list files = %v, %v", files, err)
 		}
-		lg2, st, err := l2.Recover(p, "wal")
+		// Recovery latency breakdown is trace spans now; attach a collector
+		// mid-run to observe this recovery only.
+		col := trace.New()
+		c.sim.SetTracer(col)
+		mark := col.Len()
+		lg2, err := l2.Recover(p, "wal")
 		if err != nil {
 			t.Fatalf("recover: %v", err)
 		}
@@ -268,9 +274,14 @@ func TestRecoverAfterAppCrash(t *testing.T) {
 		if !bytes.Equal(lg2.Bytes()[:len(want)], want) {
 			t.Fatal("recovered content does not match acked writes")
 		}
-		if st.Total() <= 0 {
-			t.Errorf("recovery stats empty: %+v", st)
+		spans := col.Since(mark)
+		if trace.Sum(spans, "ncl", "recover.") <= 0 {
+			t.Errorf("no recover phase spans recorded")
 		}
+		if rec := trace.First(spans, "ncl", "recover"); rec == nil || !rec.Done() || rec.Dur() <= 0 {
+			t.Errorf("recover parent span missing or unfinished: %+v", rec)
+		}
+		c.sim.SetTracer(nil)
 		// The recovered log accepts further records.
 		if _, err := lg2.Append(p, []byte("post-recovery")); err != nil {
 			t.Errorf("append after recovery: %v", err)
@@ -306,7 +317,7 @@ func TestRecoverySyncsLaggingPeer(t *testing.T) {
 		c.appNode.Restart()
 
 		l2, _ := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 1, DefaultConfig())
-		lg2, _, err := l2.Recover(p, "wal")
+		lg2, err := l2.Recover(p, "wal")
 		if err != nil {
 			t.Fatalf("recover: %v", err)
 		}
@@ -352,7 +363,7 @@ func TestCircularOverwriteRecovery(t *testing.T) {
 		p.Sleep(10 * time.Millisecond)
 		c.appNode.Restart()
 		l2, _ := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 1, DefaultConfig())
-		lg2, _, err := l2.Recover(p, "db-wal")
+		lg2, err := l2.Recover(p, "db-wal")
 		if err != nil {
 			t.Fatalf("recover: %v", err)
 		}
@@ -506,7 +517,7 @@ func TestRecoveryUnavailableBeyondBudget(t *testing.T) {
 		p.Sleep(10 * time.Millisecond)
 		c.appNode.Restart()
 		l2, _ := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 1, DefaultConfig())
-		if _, _, err := l2.Recover(p, "wal"); !errors.Is(err, ErrUnavailable) {
+		if _, err := l2.Recover(p, "wal"); !errors.Is(err, ErrUnavailable) {
 			t.Fatalf("recover with all peers dead: %v, want unavailable", err)
 		}
 	})
@@ -542,7 +553,7 @@ func TestRestartedPeerRejectsRecoveryLookup(t *testing.T) {
 		c.restartPeer(p, t, member)
 		c.appNode.Restart()
 		l2, _ := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 1, DefaultConfig())
-		lg2, _, err := l2.Recover(p, "wal")
+		lg2, err := l2.Recover(p, "wal")
 		if err != nil {
 			t.Fatalf("recover: %v", err)
 		}
@@ -665,7 +676,7 @@ func TestQuickCrashRecoveryPrefix(t *testing.T) {
 				okResult = acked == 0
 				return
 			}
-			lg2, _, err := l2.Recover(p, "wal")
+			lg2, err := l2.Recover(p, "wal")
 			if err != nil {
 				okResult = false
 				return

@@ -9,6 +9,7 @@ import (
 	"splitft/internal/peer"
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 // This file implements application recovery (§4.5.1): after a crash the
@@ -33,18 +34,12 @@ import (
 // Only after (5)-(6) does Recover return data to the application: returning
 // earlier could externalize state that a subsequent failure un-recovers.
 
-// RecoveryStats breaks recovery time down as Fig 11(b) does.
-type RecoveryStats struct {
-	GetPeer  time.Duration // controller ap-map fetch
-	Connect  time.Duration // peer lookups + QP connects
-	RdmaRead time.Duration // header reads + region prefetch
-	SyncPeer time.Duration // catch-up of lagging peers + replacements
-}
-
-// Total returns the summed NCL-side recovery time.
-func (st RecoveryStats) Total() time.Duration {
-	return st.GetPeer + st.Connect + st.RdmaRead + st.SyncPeer
-}
+// Recovery time breaks down as Fig 11(b) does via trace spans: Recover emits
+// an "ncl"/"recover" span with child spans "recover.getpeer" (controller
+// ap-map fetch), "recover.connect" (peer lookups + QP connects),
+// "recover.rdmaread" (header reads + region prefetch) and "recover.syncpeer"
+// (catch-up of lagging peers + replacements). Attach a trace.Collector to
+// the Sim to observe them.
 
 // Exists reports whether the application has an ncl file of this name
 // recorded in the ap-map.
@@ -55,19 +50,20 @@ func (l *Lib) Exists(p *simnet.Proc, name string) (bool, error) {
 
 // Recover rebuilds the named ncl file from its log peers and returns the
 // open log with its recovered content, ready for further records.
-func (l *Lib) Recover(p *simnet.Proc, name string) (*Log, RecoveryStats, error) {
-	var st RecoveryStats
+func (l *Lib) Recover(p *simnet.Proc, name string) (*Log, error) {
+	rsp := p.StartSpan("ncl", "recover", trace.Str("file", name))
+	defer p.EndSpan(rsp)
 
 	// (1) ap-map fetch.
-	t0 := p.Now()
+	sp := p.StartSpan("ncl", "recover.getpeer")
 	entry, ver, found, err := l.ctrl.GetAppFile(p, l.appID, name)
+	p.EndSpan(sp)
 	if err != nil {
-		return nil, st, fmt.Errorf("ncl: recover %s: %w", name, err)
+		return nil, fmt.Errorf("ncl: recover %s: %w", name, err)
 	}
 	if !found {
-		return nil, st, fmt.Errorf("%w: %s", ErrNotFound, name)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	st.GetPeer = p.Now() - t0
 
 	lg := &Log{
 		lib:        l,
@@ -85,7 +81,7 @@ func (l *Lib) Recover(p *simnet.Proc, name string) (*Log, RecoveryStats, error) 
 	lg.start(p)
 
 	// (2) Contact peers: mr-map lookup + QP connect.
-	t0 = p.Now()
+	sp = p.StartSpan("ncl", "recover.connect")
 	var alive []*peerConn
 	var missing []int // slots in entry.Peers that need replacement
 	for i, pname := range entry.Peers {
@@ -105,14 +101,14 @@ func (l *Lib) Recover(p *simnet.Proc, name string) (*Log, RecoveryStats, error) 
 		alive = append(alive, pc)
 		lg.peers = append(lg.peers, pc) // placed; reordered below
 	}
+	p.EndSpan(sp)
 	if len(alive) < l.cfg.F+1 {
-		return nil, st, fmt.Errorf("%w: %d of %d peers reachable", ErrUnavailable, len(alive), len(entry.Peers))
+		return nil, fmt.Errorf("%w: %d of %d peers reachable", ErrUnavailable, len(alive), len(entry.Peers))
 	}
-	st.Connect = p.Now() - t0
 
 	// (3) Header reads: the maximum sequence number among >= f+1 responses
 	// is guaranteed to cover every acknowledged write.
-	t0 = p.Now()
+	sp = p.StartSpan("ncl", "recover.rdmaread")
 	type hdrInfo struct {
 		seq    uint64
 		length int64
@@ -129,7 +125,8 @@ func (l *Lib) Recover(p *simnet.Proc, name string) (*Log, RecoveryStats, error) 
 		}
 	}
 	if len(hdrs) < l.cfg.F+1 {
-		return nil, st, fmt.Errorf("%w: %d header responses", ErrUnavailable, len(hdrs))
+		p.EndSpan(sp)
+		return nil, fmt.Errorf("%w: %d header responses", ErrUnavailable, len(hdrs))
 	}
 	var recoveryPeer *peerConn
 	for _, pc := range alive { // deterministic order; first max wins
@@ -146,20 +143,21 @@ func (l *Lib) Recover(p *simnet.Proc, name string) (*Log, RecoveryStats, error) 
 	// (4) Prefetch the full region from the recovery peer.
 	if maxHdr.length > 0 {
 		if err := lg.readInto(p, recoveryPeer, HeaderSize, lg.buf[HeaderSize:HeaderSize+maxHdr.length]); err != nil {
-			return nil, st, fmt.Errorf("ncl: recovery read from %s: %w", recoveryPeer.name, err)
+			p.EndSpan(sp)
+			return nil, fmt.Errorf("ncl: recovery read from %s: %w", recoveryPeer.name, err)
 		}
 	}
 	lg.seq = maxHdr.seq
 	lg.length = maxHdr.length
 	binary.LittleEndian.PutUint64(lg.buf[0:8], lg.seq)
 	binary.LittleEndian.PutUint64(lg.buf[8:16], uint64(lg.length))
-	st.RdmaRead = p.Now() - t0
+	p.EndSpan(sp)
 
 	// (5) Catch up every other responsive peer. Circular (and by-default
 	// all) logs get the whole region via staging + atomic switch; logs the
 	// application declared append-only get the cheaper tail shipping into
 	// their existing regions (§4.5.1's optimization).
-	t0 = p.Now()
+	sp = p.StartSpan("ncl", "recover.syncpeer")
 	for _, pc := range alive {
 		if pc == recoveryPeer {
 			pc.completedSeq = lg.seq
@@ -190,13 +188,14 @@ func (l *Lib) Recover(p *simnet.Proc, name string) (*Log, RecoveryStats, error) 
 	}
 	if needReplace > 0 {
 		if err := lg.replaceAtRecovery(p, entry, needReplace); err != nil {
-			return nil, st, err
+			p.EndSpan(sp)
+			return nil, err
 		}
 	}
-	st.SyncPeer = p.Now() - t0
+	p.EndSpan(sp)
 
 	l.logs[name] = lg
-	return lg, st, nil
+	return lg, nil
 }
 
 // readInto issues a 1-sided RDMA read from pc's region into buf and waits.

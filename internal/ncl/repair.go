@@ -5,6 +5,7 @@ import (
 
 	"splitft/internal/controller"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 // This file implements log-peer failure handling (§4.5.2): detecting failed
@@ -51,6 +52,10 @@ func (lg *Log) repairLoop(p *simnet.Proc) {
 // (2) bulk catch-up the new peer, (3) CAS the ap-map with the new
 // membership, (4) activate the peer and send it the delta. Only after (4)
 // does the peer count toward write majorities.
+//
+// Each step is a trace span ("ncl"/"replace.getpeer", ".connect",
+// ".catchup", ".apmap" under an "ncl"/"replace" parent) — Table 3's latency
+// breakdown is a span query over one replacement.
 func (lg *Log) replacePeer(p *simnet.Proc, idx int) bool {
 	l := lg.lib
 	lg.mu.Lock(p)
@@ -66,33 +71,36 @@ func (lg *Log) replacePeer(p *simnet.Proc, idx int) bool {
 	}
 	lg.mu.Unlock(p)
 
-	// (1) Allocate and connect. (Timed for Table 3: the controller query,
-	// then region setup + MR registration + QP connect.)
-	var stats ReplacementStats
-	t0 := p.Now()
+	rsp := p.StartSpan("ncl", "replace", trace.Str("file", lg.name))
+	defer p.EndSpan(rsp)
+	// (1) Allocate and connect: the controller query, then region setup +
+	// MR registration + QP connect.
+	sp := p.StartSpan("ncl", "replace.getpeer")
 	cands, err := l.ctrl.PickPeers(p, 1, lg.regionSize(), append(exclude, l.suspectNames(p.Now())...))
-	stats.GetPeer = p.Now() - t0
+	p.EndSpan(sp)
 	if err != nil || len(cands) == 0 {
 		return false
 	}
-	t0 = p.Now()
+	sp = p.StartSpan("ncl", "replace.connect")
 	pc, err := l.connectPeer(p, lg, cands[0], newEpoch)
 	if err != nil {
 		// Fall back to the generic retry path for rejected hints.
 		pc, err = l.allocatePeer(p, lg, append(exclude, cands[0].Name), newEpoch)
 		if err != nil {
+			p.EndSpan(sp)
 			return false
 		}
 	}
-	stats.Connect = p.Now() - t0
+	p.EndSpan(sp)
 	// (2) Bulk catch-up from the local buffer (§4.5.2: "ncl-lib copies the
 	// contents of the ncl file from its local buffer").
-	t0 = p.Now()
+	sp = p.StartSpan("ncl", "replace.catchup")
 	if err := lg.bulkTransfer(p, pc.qp, pc.rkey, true); err != nil {
+		p.EndSpan(sp)
 		pc.qp.Close(p)
 		return false
 	}
-	stats.CatchUp = p.Now() - t0
+	p.EndSpan(sp)
 	// (3) ap-map switch under CAS; the epoch stamps the new membership.
 	lg.mu.Lock(p)
 	names := lg.peerNames()
@@ -100,11 +108,11 @@ func (lg *Log) replacePeer(p *simnet.Proc, idx int) bool {
 	size := lg.regionSize()
 	apVersion := lg.apVersion
 	lg.mu.Unlock(p)
-	t0 = p.Now()
+	sp = p.StartSpan("ncl", "replace.apmap")
 	ver, err := l.ctrl.SetAppFile(p, l.appID, lg.name, controller.FileEntry{
 		Peers: names, Epoch: newEpoch, RegionSize: size, AppendOnly: lg.appendOnly,
 	}, apVersion)
-	stats.ApMap = p.Now() - t0
+	p.EndSpan(sp)
 	if err != nil {
 		// CAS failure should be impossible with a single instance; treat it
 		// as fatal for this replacement and retry from scratch.
@@ -121,7 +129,6 @@ func (lg *Log) replacePeer(p *simnet.Proc, idx int) bool {
 	pc.active = true
 	lg.peers[idx] = pc
 	lg.Replacements++
-	lg.LastReplacement = stats
 	lg.mu.Unlock(p)
 	oldPC.qp.Close(p)
 	return true

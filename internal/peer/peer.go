@@ -27,6 +27,7 @@ import (
 	"splitft/internal/model"
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 // Config tunes a peer daemon. The constants live in internal/model (the
@@ -185,14 +186,24 @@ func (pr *Peer) handleRPC(p *simnet.Proc, req any) (any, error) {
 	}
 	switch r := req.(type) {
 	case SetupReq:
+		sp := p.StartSpan("peer", "setup", trace.Str("file", r.App+"/"+r.File), trace.Int("bytes", r.Size))
+		defer p.EndSpan(sp)
 		return pr.onSetup(p, r)
 	case LookupReq:
+		sp := p.StartSpan("peer", "lookup", trace.Str("file", r.App+"/"+r.File))
+		defer p.EndSpan(sp)
 		return pr.onLookup(p, r)
 	case ReleaseReq:
+		sp := p.StartSpan("peer", "release", trace.Str("file", r.App+"/"+r.File))
+		defer p.EndSpan(sp)
 		return nil, pr.onRelease(p, r)
 	case AllocStagingReq:
+		sp := p.StartSpan("peer", "staging", trace.Str("file", r.App+"/"+r.File), trace.Int("bytes", r.Size))
+		defer p.EndSpan(sp)
 		return pr.onAllocStaging(p, r)
 	case CommitSwitchReq:
+		sp := p.StartSpan("peer", "switch", trace.Str("file", r.App+"/"+r.File))
+		defer p.EndSpan(sp)
 		return nil, pr.onCommitSwitch(p, r)
 	default:
 		return nil, fmt.Errorf("peer: unknown rpc %T", req)

@@ -31,6 +31,8 @@ func NewClient(cluster *Cluster, node *simnet.Node) *Client {
 // ambiguous failures (timeouts), so state-machine operations should be
 // idempotent or versioned, as the controller's are.
 func (c *Client) Propose(p *simnet.Proc, cmd any) (any, error) {
+	sp := p.StartSpan("raft", "propose")
+	defer p.EndSpan(sp)
 	net := c.cluster.sim.Net()
 	deadline := p.Now() + c.Deadline
 	var lastErr error = ErrTimeout

@@ -27,6 +27,7 @@ import (
 
 	"splitft/internal/model"
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
 )
 
 // Params is the fabric cost model. The constants live in internal/model
@@ -114,6 +115,8 @@ func (n *NIC) RegisterMR(p *simnet.Proc, buf []byte) (*MR, error) {
 	if !n.up {
 		return nil, ErrNICDown
 	}
+	sp := p.StartSpan("rdma", "register", trace.Int("bytes", int64(len(buf))))
+	defer p.EndSpan(sp)
 	pm := n.fabric.params
 	p.Sleep(pm.RegFixed + time.Duration(float64(len(buf))/pm.RegBandwidth*float64(time.Second)))
 	if !n.up {
@@ -153,6 +156,8 @@ func (n *NIC) RefreshMR(p *simnet.Proc, mr *MR) error {
 	if mr.nic != n {
 		return ErrRemoteAccess
 	}
+	sp := p.StartSpan("rdma", "refresh", trace.Int("bytes", int64(len(mr.buf))))
+	defer p.EndSpan(sp)
 	p.Sleep(n.fabric.params.RegFixed / 10)
 	if !n.up {
 		return ErrNICDown
@@ -211,6 +216,7 @@ type workRequest struct {
 	data   []byte // write payload
 	into   []byte // read destination
 	ctx    any
+	span   *trace.Span // post→completion async span, finished by the engine
 }
 
 // QP is a reliable-connected queue pair. One engine proc per QP drains the
@@ -240,6 +246,8 @@ func (n *NIC) Connect(p *simnet.Proc, remote string, cq *CQ) (*QP, error) {
 	if rn == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoNIC, remote)
 	}
+	sp := p.StartSpan("rdma", "connect", trace.Str("remote", remote))
+	defer p.EndSpan(sp)
 	net := n.fabric.sim.Net()
 	p.Sleep(n.fabric.params.ConnectBase + 6*net.Latency(n.node, rn.node))
 	if !n.up {
@@ -297,6 +305,17 @@ func (qp *QP) post(p *simnet.Proc, wr workRequest) uint64 {
 	if qp.closed {
 		return wr.id
 	}
+	op := "write"
+	size := len(wr.data)
+	if wr.kind == wrRead {
+		op = "read"
+		size = len(wr.into)
+	}
+	// A WR's lifetime crosses procs: posted here, completed by the QP
+	// engine. Detached async span, finished when the completion is
+	// delivered.
+	wr.span = p.StartDetachedSpan("rdma", op,
+		trace.Str("remote", qp.remoteName), trace.Int("bytes", int64(size)))
 	qp.sq.Send(p, wr)
 	return wr.id
 }
@@ -312,6 +331,8 @@ func (qp *QP) engine(p *simnet.Proc) {
 			return
 		}
 		if qp.errState {
+			wr.span.SetAttr(trace.Str("err", "flushed"))
+			p.FinishSpan(wr.span)
 			qp.cq.ch.Send(p, Completion{QP: qp, WRID: wr.id, Ctx: wr.ctx, Err: ErrQPError})
 			continue
 		}
@@ -346,7 +367,9 @@ func (qp *QP) engine(p *simnet.Proc) {
 		}
 		if err != nil {
 			qp.errState = true
+			wr.span.SetAttr(trace.Str("err", err.Error()))
 		}
+		p.FinishSpan(wr.span)
 		qp.cq.ch.Send(p, Completion{QP: qp, WRID: wr.id, Ctx: wr.ctx, Err: err})
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"splitft/internal/trace"
 )
 
 // Net models the datacenter network: per-pair one-way latency, partitions,
@@ -86,6 +88,7 @@ type rpcReq struct {
 	from  *Node
 	req   any
 	reply *Chan[rpcResp]
+	span  *trace.Span // caller's call span; the handler's serve span nests under it
 }
 
 type rpcResp struct {
@@ -115,7 +118,10 @@ func (nt *Net) Register(addr string, node *Node, h Handler) {
 			}
 			req := r
 			p.Go("rpc-handler:"+addr, func(hp *Proc) {
+				hp.AdoptSpan(req.span)
+				hsp := hp.StartSpan("rpc", "serve:"+addr, trace.Str("from", req.from.name))
 				resp, err := h(hp, req.req)
+				hp.EndSpan(hsp)
 				if !nt.Reachable(node, req.from) {
 					return // reply lost
 				}
@@ -145,14 +151,18 @@ func (nt *Net) CallTimeout(p *Proc, from *Node, addr string, req any, timeout ti
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoService, addr)
 	}
+	sp := p.StartSpan("rpc", "call:"+addr, trace.Str("from", from.name))
 	reply := NewChan[rpcResp](nt.sim)
 	if nt.Reachable(from, srv.node) && srv.node.incarnation == srv.incarnation {
-		srv.inbox.SendAfter(p, rpcReq{from: from, req: req, reply: reply}, nt.Latency(from, srv.node))
+		srv.inbox.SendAfter(p, rpcReq{from: from, req: req, reply: reply, span: sp}, nt.Latency(from, srv.node))
 	}
 	resp, ok, timedOut := reply.RecvTimeout(p, timeout)
 	if timedOut || !ok {
+		sp.SetAttr(trace.Str("err", "timeout"))
+		p.EndSpan(sp)
 		return nil, ErrTimeout
 	}
+	p.EndSpan(sp)
 	if resp.err != nil {
 		return nil, resp.err
 	}

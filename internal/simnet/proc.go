@@ -3,6 +3,8 @@ package simnet
 import (
 	"math/rand"
 	"time"
+
+	"splitft/internal/trace"
 )
 
 // Proc is a cooperative task in the simulation. All blocking operations
@@ -29,6 +31,11 @@ type Proc struct {
 	// in progress, if any. Kill cancels it so queues never hand work to a
 	// dead proc.
 	waiter *waiter
+
+	// span is the proc's current trace span. Child procs inherit the
+	// spawner's span at Go/GoOn time; RPC handler procs adopt the caller's
+	// call span so traces nest across nodes.
+	span *trace.Span
 }
 
 // Name returns the proc's debug name.
@@ -81,14 +88,83 @@ func (p *Proc) Sleep(d time.Duration) {
 func (p *Proc) Yield() { p.Sleep(0) }
 
 // Go spawns a proc on the same node as p (or detached if p is detached).
+// The child inherits p's current span so its work nests under it.
 func (p *Proc) Go(name string, fn func(*Proc)) *Proc {
-	return p.sim.spawn(p.node, name, fn)
+	c := p.sim.spawn(p.node, name, fn)
+	c.span = p.span
+	return c
 }
 
-// GoOn spawns a proc bound to node n.
+// GoOn spawns a proc bound to node n, inheriting p's current span.
 func (p *Proc) GoOn(n *Node, name string, fn func(*Proc)) *Proc {
-	return p.sim.spawn(n, name, fn)
+	c := p.sim.spawn(n, name, fn)
+	c.span = p.span
+	return c
 }
+
+// nodeName is the span Node attribution ("" for detached procs).
+func (p *Proc) nodeName() string {
+	if p.node == nil {
+		return ""
+	}
+	return p.node.name
+}
+
+// StartSpan opens a trace span as a child of the proc's current span and
+// makes it the new current span. Returns nil when no collector is attached
+// to the Sim, so disabled tracing costs one pointer check.
+func (p *Proc) StartSpan(layer, op string, attrs ...trace.Attr) *trace.Span {
+	t := p.sim.tracer
+	if t == nil {
+		return nil
+	}
+	sp := t.Start(p.sim.now, p.sim.traceRun, p.id, layer, op, p.nodeName(), p.span, attrs...)
+	p.span = sp
+	return sp
+}
+
+// EndSpan finishes sp at the current virtual time and restores the proc's
+// previous span context. Safe on nil spans, so call sites need no
+// tracing-enabled check.
+func (p *Proc) EndSpan(sp *trace.Span) {
+	if sp == nil {
+		return
+	}
+	p.sim.tracer.End(sp, p.sim.now)
+	if p.span == sp {
+		p.span = sp.Prev()
+	}
+}
+
+// StartDetachedSpan opens an async span that is NOT pushed onto the proc's
+// span stack: its lifetime may cross procs (e.g. an RDMA work request posted
+// here but completed by the NIC engine). It still parents under the current
+// span. Finish it with FinishSpan from whichever proc observes completion.
+func (p *Proc) StartDetachedSpan(layer, op string, attrs ...trace.Attr) *trace.Span {
+	t := p.sim.tracer
+	if t == nil {
+		return nil
+	}
+	sp := t.Start(p.sim.now, p.sim.traceRun, p.id, layer, op, p.nodeName(), p.span, attrs...)
+	sp.Async = true
+	return sp
+}
+
+// FinishSpan ends a detached span without touching the span stack. Nil-safe.
+func (p *Proc) FinishSpan(sp *trace.Span) {
+	if sp == nil {
+		return
+	}
+	p.sim.tracer.End(sp, p.sim.now)
+}
+
+// Span returns the proc's current span (nil when tracing is disabled or no
+// span is open).
+func (p *Proc) Span() *trace.Span { return p.span }
+
+// AdoptSpan makes sp the proc's current span. RPC handler procs use it to
+// nest their work under the remote caller's span.
+func (p *Proc) AdoptSpan(sp *trace.Span) { p.span = sp }
 
 // Killed reports whether the proc has been marked for death (its node
 // crashed). Long-running loops that never block can poll this, though in

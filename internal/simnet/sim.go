@@ -25,6 +25,8 @@ import (
 	"math/rand"
 	"runtime/debug"
 	"time"
+
+	"splitft/internal/trace"
 )
 
 // Sim is a discrete-event simulation instance. Create one with New, add
@@ -54,6 +56,12 @@ type Sim struct {
 	// Debug tracing. When non-nil, Logf writes lines prefixed with the
 	// virtual timestamp.
 	TraceFn func(string)
+
+	// Span tracing. When non-nil, Proc.StartSpan records deterministic
+	// spans on the virtual clock; when nil, tracing costs one pointer
+	// check per call site.
+	tracer   *trace.Collector
+	traceRun int
 }
 
 // event wakes a proc at a virtual time. gen guards against stale wake-ups:
@@ -116,6 +124,21 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // Net returns the simulated network.
 func (s *Sim) Net() *Net { return s.net }
+
+// SetTracer attaches a span collector; pass nil to disable tracing. A
+// collector may be shared across several Sims (e.g. a bench sweep over many
+// clusters); each attachment gets its own run number so exported traces keep
+// the runs apart.
+func (s *Sim) SetTracer(c *trace.Collector) {
+	s.tracer = c
+	if c != nil {
+		s.traceRun = c.AddRun()
+	}
+}
+
+// Tracer returns the attached span collector, or nil when tracing is
+// disabled.
+func (s *Sim) Tracer() *trace.Collector { return s.tracer }
 
 // Logf emits a trace line when tracing is enabled.
 func (s *Sim) Logf(format string, args ...any) {

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// WriteChrome writes spans in the Chrome trace-event JSON format (the
+// chrome://tracing / Perfetto "JSON Array" flavour). Regular spans become
+// complete ("X") events; async spans (RDMA work requests, whose lifetime
+// crosses procs) become begin/end ("b"/"e") pairs so the viewer draws them in
+// their own async lanes.
+//
+// Timestamps are the span's virtual-clock offsets in microseconds (floats, so
+// sub-microsecond events stay visible), pid is the run number and tid is the
+// proc that opened the span. Output is fully deterministic: spans are emitted
+// in creation order with no wall-clock or map-iteration dependence.
+func WriteChrome(w io.Writer, spans []*Span) error {
+	bw := &errWriter{w: w}
+	bw.str("[\n")
+	first := true
+	for _, s := range spans {
+		if !s.Done() {
+			continue
+		}
+		if !first {
+			bw.str(",\n")
+		}
+		first = false
+		writeChromeEvent(bw, s)
+	}
+	bw.str("\n]\n")
+	return bw.err
+}
+
+// WriteChromeFile writes the trace to path, creating or truncating it.
+func WriteChromeFile(path string, spans []*Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChrome(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeChromeEvent(w *errWriter, s *Span) {
+	name := s.Op
+	if s.Node != "" {
+		name = s.Op + "@" + s.Node
+	}
+	args := chromeArgs(s)
+	if s.Async {
+		// Async begin/end pair sharing one id; cat is required for matching.
+		w.str(`{"name":`)
+		w.jstr(name)
+		w.str(`,"cat":`)
+		w.jstr(s.Layer)
+		w.str(fmt.Sprintf(`,"ph":"b","id":%d,"pid":%d,"tid":%d,"ts":%s,"args":%s}`,
+			s.ID, s.Run, s.TID, usec(s.Start), args))
+		w.str(",\n")
+		w.str(`{"name":`)
+		w.jstr(name)
+		w.str(`,"cat":`)
+		w.jstr(s.Layer)
+		w.str(fmt.Sprintf(`,"ph":"e","id":%d,"pid":%d,"tid":%d,"ts":%s}`,
+			s.ID, s.Run, s.TID, usec(s.End)))
+		return
+	}
+	w.str(`{"name":`)
+	w.jstr(name)
+	w.str(`,"cat":`)
+	w.jstr(s.Layer)
+	w.str(fmt.Sprintf(`,"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":%s}`,
+		s.Run, s.TID, usec(s.Start), usec(s.End-s.Start), args))
+}
+
+func chromeArgs(s *Span) string {
+	var b strings.Builder
+	b.WriteString("{")
+	fmt.Fprintf(&b, `"span":%d`, s.ID)
+	if s.Parent != 0 {
+		fmt.Fprintf(&b, `,"parent":%d`, s.Parent)
+	}
+	for _, a := range s.Attrs {
+		b.WriteString(",")
+		b.WriteString(quoteJSON(a.Key))
+		b.WriteString(":")
+		if a.IsInt {
+			fmt.Fprintf(&b, "%d", a.Int)
+		} else {
+			b.WriteString(quoteJSON(a.Str))
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// usec renders a virtual duration as microseconds with nanosecond precision,
+// trimming trailing zeros so output is compact and stable.
+func usec(d time.Duration) string {
+	ns := d.Nanoseconds()
+	if ns%1000 == 0 {
+		return fmt.Sprintf("%d", ns/1000)
+	}
+	s := fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+	return strings.TrimRight(s, "0")
+}
+
+func quoteJSON(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (w *errWriter) str(s string) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = io.WriteString(w.w, s)
+}
+
+func (w *errWriter) jstr(s string) { w.str(quoteJSON(s)) }
