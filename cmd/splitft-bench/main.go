@@ -12,9 +12,11 @@
 //	splitft-bench -trace out.json fig8 # also write a Chrome trace-event JSON
 //	splitft-bench -profile CX6RoCE100 fig8
 //	splitft-bench -profile my-hw.json fig8
+//	splitft-bench perf                 # simulator wall-clock suite -> BENCH_simnet.json
+//	splitft-bench -cpuprofile cpu.pb.gz perf
 //
 // Experiments: table1 table2 fig1 fig1d fig8 fig9 fig10 fig11a fig11b
-// table3 fig12 ablate-repl ablate-split ablate-nolog calibrate sweep
+// table3 fig12 ablate-repl ablate-split ablate-nolog calibrate sweep perf
 //
 // The -profile flag selects the hardware cost model: a built-in name (see
 // internal/model: CX4RoCE25 is the paper-faithful baseline, CX6RoCE100 a
@@ -27,12 +29,19 @@
 // the per-(layer, op) aggregation table instead of writing a file. Traces are
 // deterministic: same profile, seed and experiment produce byte-identical
 // output.
+//
+// Profiling: -cpuprofile FILE and -memprofile FILE write runtime/pprof
+// profiles of the host process (CPU sampled over the whole run; heap at
+// exit). Combine with perf or any experiment to see where simulation
+// wall-clock goes: `go tool pprof cpu.pb.gz`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"splitft/internal/bench"
@@ -43,7 +52,7 @@ import (
 var experimentOrder = []string{
 	"table1", "table2", "fig1", "fig1d", "fig8", "fig9", "fig10",
 	"fig11a", "fig11b", "table3", "fig12", "ablate-repl", "ablate-split", "ablate-nolog",
-	"calibrate", "sweep",
+	"calibrate", "sweep", "perf",
 }
 
 func usage() {
@@ -51,28 +60,36 @@ func usage() {
 	fmt.Fprintf(os.Stderr, "experiments: %v\n", experimentOrder)
 	fmt.Fprintf(os.Stderr, "  calibrate  runs the cost-model calibration gate for the selected profile\n")
 	fmt.Fprintf(os.Stderr, "  sweep      reruns the fig8 micro across all named profiles\n")
+	fmt.Fprintf(os.Stderr, "  perf       runs the simulator wall-clock suite and writes -perfout\n")
 	fmt.Fprintf(os.Stderr, "  trace      runs the experiments with tracing on and prints the span aggregation\n")
 	fmt.Fprintf(os.Stderr, "profiles (-profile): %v, or a path to a JSON profile file\n", model.Names())
 	flag.PrintDefaults()
 }
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain carries the exit code back through a normal return so deferred
+// cleanups (CPU profile flush) run before the process exits.
+func realMain() int {
 	var (
-		quick    = flag.Bool("quick", false, "use the reduced QuickScale (seconds per experiment)")
-		keys     = flag.Int64("keys", 0, "override row count for kvstore/redstore loads")
-		dur      = flag.Duration("dur", 0, "override measured window per data point")
-		clients  = flag.Int("clients", 0, "override client count for fixed-client experiments")
-		logMB    = flag.Int("logmb", 0, "override recovery-log size in MiB (paper: 60)")
-		seed     = flag.Int64("seed", 1, "simulation seed (also seeds the YCSB workload generators)")
-		apps     = flag.String("apps", "kvstore,redstore,litedb", "comma-separated app list for fig1/fig9/fig10")
-		profile  = flag.String("profile", "", "hardware profile: a built-in name or a JSON file path (default: CX4RoCE25)")
-		traceOut = flag.String("trace", "", "record spans and write a Chrome trace-event JSON to this file")
+		quick      = flag.Bool("quick", false, "use the reduced QuickScale (seconds per experiment)")
+		keys       = flag.Int64("keys", 0, "override row count for kvstore/redstore loads")
+		dur        = flag.Duration("dur", 0, "override measured window per data point")
+		clients    = flag.Int("clients", 0, "override client count for fixed-client experiments")
+		logMB      = flag.Int("logmb", 0, "override recovery-log size in MiB (paper: 60)")
+		seed       = flag.Int64("seed", 1, "simulation seed (also seeds the YCSB workload generators)")
+		apps       = flag.String("apps", "kvstore,redstore,litedb", "comma-separated app list for fig1/fig9/fig10")
+		profile    = flag.String("profile", "", "hardware profile: a built-in name or a JSON file path (default: CX4RoCE25)")
+		traceOut   = flag.String("trace", "", "record spans and write a Chrome trace-event JSON to this file")
+		perfOut    = flag.String("perfout", "BENCH_simnet.json", "output path for the perf subcommand's JSON report")
+		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a runtime/pprof heap profile at exit to this file")
 	)
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	args := flag.Args()
 	aggregate := false
@@ -81,7 +98,7 @@ func main() {
 		args = args[1:]
 		if len(args) == 0 {
 			usage()
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -105,7 +122,7 @@ func main() {
 		prof, err := model.Resolve(*profile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "splitft-bench: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		sc.Profile = prof
 	}
@@ -134,9 +151,42 @@ func main() {
 		}
 		if !known[arg] {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %v)\n", arg, experimentOrder)
-			os.Exit(2)
+			return 2
 		}
 		want[arg] = true
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitft-bench: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "splitft-bench: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("[cpu profile written to %s]\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "splitft-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "splitft-bench: %v\n", err)
+				return
+			}
+			fmt.Printf("[heap profile written to %s]\n", *memprofile)
+		}()
 	}
 
 	start := time.Now()
@@ -144,9 +194,9 @@ func main() {
 		if !want[exp] {
 			continue
 		}
-		if err := run(exp, sc, *seed, appList); err != nil {
+		if err := run(exp, sc, *seed, appList, *perfOut); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", exp, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if aggregate {
@@ -156,14 +206,15 @@ func main() {
 	if *traceOut != "" {
 		if err := trace.WriteChromeFile(*traceOut, col.Spans()); err != nil {
 			fmt.Fprintf(os.Stderr, "splitft-bench: write trace: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("\n[trace: %d spans written to %s]\n", col.Len(), *traceOut)
 	}
 	fmt.Printf("\n[done in %v wall-clock]\n", time.Since(start).Round(time.Second))
+	return 0
 }
 
-func run(exp string, sc bench.Scale, seed int64, apps []string) error {
+func run(exp string, sc bench.Scale, seed int64, apps []string, perfOut string) error {
 	banner(exp)
 	switch exp {
 	case "table1":
@@ -267,6 +318,18 @@ func run(exp string, sc bench.Scale, seed int64, apps []string) error {
 			return err
 		}
 		fmt.Println(res.Render())
+	case "perf":
+		rep, err := bench.Perf(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		if perfOut != "" {
+			if err := rep.WriteJSON(perfOut); err != nil {
+				return err
+			}
+			fmt.Printf("[perf report written to %s]\n", perfOut)
+		}
 	default:
 		return fmt.Errorf("unknown experiment")
 	}

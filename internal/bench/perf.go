@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"splitft/internal/metrics"
+	"splitft/internal/simnet"
+	"splitft/internal/ycsb"
+)
+
+// Perf is the simulator wall-clock performance suite behind
+// `splitft-bench perf`. It mirrors the internal/simnet testing.B benchmarks
+// (event churn, yield and chan ping-pong, mutex convoy, RPC echo) and adds a
+// 12-client YCSB-A slice on the full SplitFT stack, reporting events
+// dispatched, wall-clock time, ns/event, events/sec and heap allocations per
+// event. The numbers are host-dependent — they gate nothing by themselves —
+// but BENCH_simnet.json keeps the trajectory visible in CI artifacts, and
+// the allocation columns should stay near zero for the pure scheduler rows.
+
+// PerfRow is one workload's measurement.
+type PerfRow struct {
+	Name           string  `json:"name"`
+	Events         uint64  `json:"events"`
+	WallNS         int64   `json:"wall_ns"`
+	NSPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Allocs         uint64  `json:"allocs"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// PerfReport is the whole suite's result, JSON-shaped for BENCH_simnet.json.
+type PerfReport struct {
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	CPUs      int       `json:"cpus"`
+	Profile   string    `json:"profile"`
+	Rows      []PerfRow `json:"rows"`
+}
+
+// Render formats the report as a table.
+func (r PerfReport) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name,
+			fmt.Sprintf("%d", row.Events),
+			fmt.Sprintf("%.1f", float64(row.WallNS)/1e6),
+			fmt.Sprintf("%.1f", row.NSPerEvent),
+			fmt.Sprintf("%.2f", row.EventsPerSec/1e6),
+			fmt.Sprintf("%.4f", row.AllocsPerEvent),
+		})
+	}
+	return fmt.Sprintf("Simulator performance (%s %s/%s, %d CPUs, profile %s)\n",
+		r.GoVersion, r.GOOS, r.GOARCH, r.CPUs, r.Profile) +
+		metrics.Table([]string{"Workload", "Events", "Wall (ms)", "ns/event", "Mevents/s", "allocs/event"}, rows)
+}
+
+// WriteJSON writes the report to path (BENCH_simnet.json).
+func (r PerfReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// perfWorkload builds and runs one measured simulation. The returned Sim is
+// only read for its event counter.
+type perfWorkload struct {
+	name string
+	run  func() (*simnet.Sim, error)
+}
+
+// measure runs one workload with the allocation counters bracketing the
+// whole run (construction included: it is amortised over millions of events
+// and hiding it would overstate the steady state).
+func measure(w perfWorkload) (PerfRow, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	s, err := w.run()
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return PerfRow{}, fmt.Errorf("%s: %w", w.name, err)
+	}
+	row := PerfRow{
+		Name:   w.name,
+		Events: s.Events(),
+		WallNS: wall.Nanoseconds(),
+		Allocs: m1.Mallocs - m0.Mallocs,
+	}
+	if row.Events > 0 {
+		row.NSPerEvent = float64(row.WallNS) / float64(row.Events)
+		row.AllocsPerEvent = float64(row.Allocs) / float64(row.Events)
+	}
+	if wall > 0 {
+		row.EventsPerSec = float64(row.Events) / wall.Seconds()
+	}
+	return row, nil
+}
+
+// Suite sizes: large enough that per-event costs dominate setup, small
+// enough that the whole suite stays under ~10s of wall clock.
+const (
+	perfChurnEvents = 2_000_000
+	perfFanoutProcs = 64
+	perfFanoutPer   = 16_384
+	perfYields      = 1_000_000
+	perfChanRounds  = 300_000
+	perfMutexProcs  = 8
+	perfMutexRounds = 50_000
+	perfRPCCalls    = 100_000
+	perfYCSBClients = 12
+)
+
+// perfScale shrinks the caller's scale to a slice-sized YCSB run while
+// keeping its hardware profile and tracing settings.
+func perfScale(sc Scale) Scale {
+	out := sc
+	if out.LoadKeys > 30000 || out.LoadKeys == 0 {
+		out.LoadKeys = 30000
+	}
+	if out.RunDur > 250*time.Millisecond || out.RunDur == 0 {
+		out.RunDur = 250 * time.Millisecond
+	}
+	if out.Warmup > 100*time.Millisecond || out.Warmup == 0 {
+		out.Warmup = 100 * time.Millisecond
+	}
+	out.Clients = perfYCSBClients
+	return out
+}
+
+// Perf runs the suite and returns the report.
+func Perf(sc Scale, seed int64) (PerfReport, error) {
+	rep := PerfReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Profile:   sc.profile().Name,
+	}
+	ysc := perfScale(sc)
+	workloads := []perfWorkload{
+		{"event-churn", func() (*simnet.Sim, error) { return perfEventChurn(seed) }},
+		{"event-churn-fanout", func() (*simnet.Sim, error) { return perfEventChurnFanout(seed) }},
+		{"yield-pingpong", func() (*simnet.Sim, error) { return perfYieldPingPong(seed) }},
+		{"chan-pingpong", func() (*simnet.Sim, error) { return perfChanPingPong(seed) }},
+		{"mutex-convoy", func() (*simnet.Sim, error) { return perfMutexConvoy(seed) }},
+		{"rpc-echo", func() (*simnet.Sim, error) { return perfRPCEcho(seed) }},
+		{"ycsb-a-12c", func() (*simnet.Sim, error) { return perfYCSBSlice(ysc, seed) }},
+	}
+	for _, w := range workloads {
+		row, err := measure(w)
+		if err != nil {
+			return rep, err
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+func perfEventChurn(seed int64) (*simnet.Sim, error) {
+	s := simnet.New(seed)
+	s.Go("churn", func(p *simnet.Proc) {
+		for i := 0; i < perfChurnEvents; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	return s, s.Run()
+}
+
+func perfEventChurnFanout(seed int64) (*simnet.Sim, error) {
+	s := simnet.New(seed)
+	for i := 0; i < perfFanoutProcs; i++ {
+		i := i
+		s.Go(fmt.Sprintf("churn%d", i), func(p *simnet.Proc) {
+			p.Sleep(time.Duration(i) * time.Nanosecond)
+			for j := 0; j < perfFanoutPer; j++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+	}
+	return s, s.Run()
+}
+
+func perfYieldPingPong(seed int64) (*simnet.Sim, error) {
+	s := simnet.New(seed)
+	for i := 0; i < 2; i++ {
+		s.Go(fmt.Sprintf("y%d", i), func(p *simnet.Proc) {
+			for j := 0; j < perfYields/2; j++ {
+				p.Yield()
+			}
+		})
+	}
+	return s, s.Run()
+}
+
+func perfChanPingPong(seed int64) (*simnet.Sim, error) {
+	s := simnet.New(seed)
+	ping := simnet.NewChan[int](s)
+	pong := simnet.NewChan[int](s)
+	s.Go("ping", func(p *simnet.Proc) {
+		for i := 0; i < perfChanRounds; i++ {
+			ping.Send(p, i)
+			pong.Recv(p)
+		}
+	})
+	s.Go("pong", func(p *simnet.Proc) {
+		for i := 0; i < perfChanRounds; i++ {
+			ping.Recv(p)
+			pong.Send(p, i)
+		}
+	})
+	return s, s.Run()
+}
+
+func perfMutexConvoy(seed int64) (*simnet.Sim, error) {
+	s := simnet.New(seed)
+	var mu simnet.Mutex
+	for i := 0; i < perfMutexProcs; i++ {
+		s.Go(fmt.Sprintf("m%d", i), func(p *simnet.Proc) {
+			for j := 0; j < perfMutexRounds; j++ {
+				mu.Lock(p)
+				p.Yield()
+				mu.Unlock(p)
+			}
+		})
+	}
+	return s, s.Run()
+}
+
+func perfRPCEcho(seed int64) (*simnet.Sim, error) {
+	s := simnet.New(seed)
+	srv := s.NewNode("srv")
+	cli := s.NewNode("cli")
+	s.Net().Register("echo", srv, func(p *simnet.Proc, req any) (any, error) { return req, nil })
+	var callErr error
+	s.Go("caller", func(p *simnet.Proc) {
+		for i := 0; i < perfRPCCalls; i++ {
+			if _, err := s.Net().Call(p, cli, "echo", i); err != nil {
+				callErr = err
+				return
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		return s, err
+	}
+	return s, callErr
+}
+
+// perfYCSBSlice is the end-to-end row: the full SplitFT stack (controllers,
+// peers, dfs, kvstore) under 12 closed-loop YCSB-A clients for a short
+// measured window. It exercises every layer the other rows skip.
+func perfYCSBSlice(sc Scale, seed int64) (*simnet.Sim, error) {
+	c := newClusterSized(sc, seed, datasetBytes(sc.LoadKeys))
+	err := c.Run(func(p *simnet.Proc) error {
+		a, err := newApp(c, p, "kvstore", CfgSplitFT, sc.LoadKeys)
+		if err != nil {
+			return err
+		}
+		if err := loadApp(c, p, a, sc.LoadKeys); err != nil {
+			return err
+		}
+		startServer(c, "kv", a)
+		runWorkload(c, p, "kv", ycsb.WorkloadA, sc.LoadKeys, sc.Clients, sc, nil)
+		return nil
+	})
+	return c.Sim, err
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The perf suite must produce a row per workload with live counters and a
+// JSON file that round-trips. Run at a reduced slice so `go test` stays
+// fast; absolute numbers are irrelevant here.
+func TestPerfSuiteSanity(t *testing.T) {
+	sc := QuickScale()
+	sc.LoadKeys = 5000
+	sc.RunDur = 50 * time.Millisecond
+	sc.Warmup = 20 * time.Millisecond
+	rep, err := Perf(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 7 {
+		t.Fatalf("got %d rows, want 7", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Events == 0 {
+			t.Errorf("%s: zero events dispatched", row.Name)
+		}
+		if row.EventsPerSec <= 0 || row.NSPerEvent <= 0 {
+			t.Errorf("%s: dead rate counters: %+v", row.Name, row)
+		}
+		// The pure scheduler rows must stay allocation-free per event up to
+		// their fixed setup; one alloc every ~100 events would already mean
+		// a hot-path regression.
+		switch row.Name {
+		case "event-churn", "event-churn-fanout", "yield-pingpong", "chan-pingpong", "mutex-convoy":
+			if row.AllocsPerEvent > 0.01 {
+				t.Errorf("%s: %.4f allocs/event, want setup-only", row.Name, row.AllocsPerEvent)
+			}
+		}
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_simnet.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PerfReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(rep.Rows) || back.Rows[0].Name != rep.Rows[0].Name {
+		t.Fatalf("JSON round-trip mismatch: %+v", back)
+	}
+	if rep.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// BenchmarkYCSBA12Clients is the end-to-end slice as a testing.B benchmark:
+// one op is one full slice run (boot, load, 12-client YCSB-A window);
+// ReportMetric surfaces the simulator event rate.
+func BenchmarkYCSBA12Clients(b *testing.B) {
+	sc := QuickScale()
+	sc.Clients = 12
+	var events uint64
+	var wall time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		s, err := perfYCSBSlice(perfScale(sc), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wall += time.Since(t0)
+		events += s.Events()
+	}
+	b.ReportAllocs()
+	if wall > 0 {
+		b.ReportMetric(float64(events)/wall.Seconds(), "events/s")
+		b.ReportMetric(float64(wall.Nanoseconds())/float64(events), "ns/event")
+	}
+}

@@ -1,9 +1,6 @@
 package simnet
 
-import (
-	"container/heap"
-	"time"
-)
+import "time"
 
 // Chan is a simulated message channel with per-message delivery delay and an
 // unbounded buffer. It is the building block for NIC queues, RPC transports
@@ -14,7 +11,7 @@ type Chan[T any] struct {
 	sim     *Sim
 	items   chanItemHeap[T]
 	seq     uint64
-	waiters []*waiter
+	waiters waitQ
 	closed  bool
 }
 
@@ -24,23 +21,57 @@ type chanItem[T any] struct {
 	v       T
 }
 
+// chanItemHeap is an inlined binary min-heap ordered by (readyAt, seq).
+// Inlined (rather than container/heap) so pushes and pops neither box items
+// into interfaces nor allocate in steady state.
 type chanItemHeap[T any] []chanItem[T]
 
-func (h chanItemHeap[T]) Len() int { return len(h) }
-func (h chanItemHeap[T]) Less(i, j int) bool {
+func (h chanItemHeap[T]) less(i, j int) bool {
 	if h[i].readyAt != h[j].readyAt {
 		return h[i].readyAt < h[j].readyAt
 	}
 	return h[i].seq < h[j].seq
 }
-func (h chanItemHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *chanItemHeap[T]) Push(x any)   { *h = append(*h, x.(chanItem[T])) }
-func (h *chanItemHeap[T]) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *chanItemHeap[T]) push(it chanItem[T]) {
+	a := append(*h, it)
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+	*h = a
+}
+
+func (h *chanItemHeap[T]) pop() chanItem[T] {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a[last] = chanItem[T]{} // release the payload to the GC
+	a = a[:last]
+	*h = a
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(a) {
+			break
+		}
+		min := l
+		if r := l + 1; r < len(a) && a.less(r, l) {
+			min = r
+		}
+		if !a.less(min, i) {
+			break
+		}
+		a[i], a[min] = a[min], a[i]
+		i = min
+	}
+	return top
 }
 
 // NewChan returns an empty channel on s.
@@ -61,7 +92,7 @@ func (c *Chan[T]) SendAfter(p *Proc, v T, d time.Duration) {
 	}
 	c.seq++
 	readyAt := p.sim.now + d
-	heap.Push(&c.items, chanItem[T]{readyAt: readyAt, seq: c.seq, v: v})
+	c.items.push(chanItem[T]{readyAt: readyAt, seq: c.seq, v: v})
 	c.wakeAll(p.sim, readyAt)
 }
 
@@ -73,11 +104,10 @@ func (c *Chan[T]) Close(p *Proc) {
 }
 
 func (c *Chan[T]) wakeAll(s *Sim, at time.Duration) {
-	q := c.waiters
-	c.waiters = nil
-	for _, w := range q {
-		if w.state == wCancelled {
-			continue
+	for {
+		w := c.waiters.popLive(s)
+		if w == nil {
+			return
 		}
 		w.state = wCancelled
 		wakeWaiter(s, w, at)
@@ -100,8 +130,7 @@ func (c *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (v T, ok bool, timedOut 
 // TryRecv returns a deliverable message without blocking.
 func (c *Chan[T]) TryRecv(p *Proc) (v T, ok bool) {
 	if len(c.items) > 0 && c.items[0].readyAt <= p.sim.now {
-		it := heap.Pop(&c.items).(chanItem[T])
-		return it.v, true
+		return c.items.pop().v, true
 	}
 	var zero T
 	return zero, false
@@ -115,8 +144,7 @@ func (c *Chan[T]) recv(p *Proc, timeout time.Duration) (v T, ok bool, timedOut b
 	}
 	for {
 		if len(c.items) > 0 && c.items[0].readyAt <= p.sim.now {
-			it := heap.Pop(&c.items).(chanItem[T])
-			return it.v, true, false
+			return c.items.pop().v, true, false
 		}
 		if c.closed && len(c.items) == 0 {
 			var zero T
@@ -128,9 +156,8 @@ func (c *Chan[T]) recv(p *Proc, timeout time.Duration) (v T, ok bool, timedOut b
 		}
 		// Wait for a sender (or for an in-flight message to become ready,
 		// or for the deadline — whichever is earliest).
-		w := &waiter{p: p}
-		c.waiters = append(c.waiters, w)
-		p.waiter = w
+		w := p.newWaiter()
+		c.waiters.push(w)
 		wakeAt := time.Duration(-1)
 		if len(c.items) > 0 {
 			wakeAt = c.items[0].readyAt
@@ -142,7 +169,6 @@ func (c *Chan[T]) recv(p *Proc, timeout time.Duration) (v T, ok bool, timedOut b
 			p.sim.schedule(wakeAt, p, p.gen)
 		}
 		p.park()
-		p.waiter = nil
-		w.state = wCancelled
+		p.releaseWaiter(w)
 	}
 }

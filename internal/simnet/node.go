@@ -17,10 +17,37 @@ type Node struct {
 	// can be detected by subsystems that care.
 	incarnation int
 
-	procs   map[*Proc]struct{}
-	onCrash []func()
+	// Intrusive list of live procs bound to this node, in spawn order, so
+	// a crash kills them deterministically.
+	procsHead, procsTail *Proc
+	onCrash              []func()
 
 	cpu *CPU
+}
+
+// addProc / removeProc maintain the node's intrusive proc list.
+func (n *Node) addProc(p *Proc) {
+	p.prevNode = n.procsTail
+	if n.procsTail != nil {
+		n.procsTail.nextNode = p
+	} else {
+		n.procsHead = p
+	}
+	n.procsTail = p
+}
+
+func (n *Node) removeProc(p *Proc) {
+	if p.prevNode != nil {
+		p.prevNode.nextNode = p.nextNode
+	} else {
+		n.procsHead = p.nextNode
+	}
+	if p.nextNode != nil {
+		p.nextNode.prevNode = p.prevNode
+	} else {
+		n.procsTail = p.prevNode
+	}
+	p.prevNode, p.nextNode = nil, nil
 }
 
 // NewNode adds a machine to the simulation.
@@ -28,7 +55,7 @@ func (s *Sim) NewNode(name string) *Node {
 	if _, dup := s.nodes[name]; dup {
 		panic(fmt.Sprintf("simnet: duplicate node %q", name))
 	}
-	n := &Node{sim: s, name: name, alive: true, procs: make(map[*Proc]struct{})}
+	n := &Node{sim: s, name: name, alive: true}
 	n.cpu = &CPU{node: n, cores: 1}
 	s.nodes[name] = n
 	return n
@@ -75,7 +102,7 @@ func (n *Node) Crash() {
 	for _, fn := range hooks {
 		fn()
 	}
-	for p := range n.procs {
+	for p := n.procsHead; p != nil; p = p.nextNode {
 		p.kill()
 	}
 	n.cpu.reset()
@@ -112,35 +139,27 @@ type CPU struct {
 	node  *Node
 	cores int
 	busy  int
-	q     []*waiter
+	q     waitQ
 }
 
 // Use occupies one core for d of virtual time, queueing if none is free.
 func (c *CPU) Use(p *Proc, d time.Duration) {
 	for c.busy >= c.cores {
-		w := &waiter{p: p}
-		c.q = append(c.q, w)
-		p.waiter = w
+		w := p.newWaiter()
+		c.q.push(w)
 		p.park()
-		p.waiter = nil
-		w.state = wCancelled
+		p.releaseWaiter(w)
 	}
 	c.busy++
 	p.Sleep(d)
 	c.busy--
-	for len(c.q) > 0 {
-		w := c.q[0]
-		c.q = c.q[1:]
-		if w.state == wCancelled {
-			continue
-		}
+	if w := c.q.popLive(p.sim); w != nil {
 		w.state = wCancelled
 		wakeWaiter(p.sim, w, p.sim.now)
-		break
 	}
 }
 
 func (c *CPU) reset() {
 	c.busy = 0
-	c.q = nil
+	c.q = waitQ{}
 }

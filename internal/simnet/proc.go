@@ -27,6 +27,13 @@ type Proc struct {
 	killed bool
 	done   bool
 
+	// Intrusive list links: prevAll/nextAll chain all live procs of the Sim
+	// (drain order), prevNode/nextNode chain the procs of p's node (crash
+	// kill order). Both are spawn-ordered and deterministic, unlike the
+	// map-based bookkeeping they replaced.
+	prevAll, nextAll   *Proc
+	prevNode, nextNode *Proc
+
 	// waiter is the wait-queue record for the blocking operation currently
 	// in progress, if any. Kill cancels it so queues never hand work to a
 	// dead proc.
@@ -53,33 +60,54 @@ func (p *Proc) Now() time.Duration { return p.sim.now }
 // Rand returns the simulation's deterministic random source.
 func (p *Proc) Rand() *rand.Rand { return p.sim.rng }
 
-// park yields the execution token to the driver and blocks until woken.
-// On resume it bumps the generation (invalidating stale wake events) and
-// unwinds if the proc was killed in the meantime.
+// park yields the execution token and blocks until woken. The parking proc
+// dispatches the next event itself: if that event is its own wake-up the
+// token never moves (no channel operation at all — the dominant case for
+// Yield and zero-length sleeps); if it targets another proc the token is
+// handed over directly; only when nothing is dispatchable does the driver
+// get involved. On resume the proc bumps its generation (invalidating stale
+// wake events) and unwinds if it was killed in the meantime.
 func (p *Proc) park() {
-	p.sim.parked <- struct{}{}
+	s := p.sim
+	if ev, ok := s.nextLive(); ok {
+		if s.dispatch(ev, p) {
+			p.resume() // self-continuation
+			return
+		}
+	} else {
+		s.parked <- struct{}{} // quiescent / stopped / horizon: driver decides
+	}
 	<-p.wake
+	p.resume()
+}
+
+// resume is the post-wake bookkeeping shared by every way a proc regains
+// the token.
+func (p *Proc) resume() {
 	p.gen++
 	if p.killed {
 		if w := p.waiter; w != nil {
-			w.state = wCancelled
 			p.waiter = nil
+			p.sim.releaseWaiter(w)
 		}
 		panic(killedPanic{})
 	}
 }
 
 // Sleep suspends the proc for d of virtual time. Sleep is also how
-// simulated code "spends" modelled latency or CPU cost.
+// simulated code "spends" modelled latency or CPU cost. A negative d is
+// clamped to zero: virtual time cannot run backwards, so Sleep(-x) behaves
+// exactly like Yield — the proc reschedules at the current instant, after
+// everything already queued there.
 func (p *Proc) Sleep(d time.Duration) {
 	if p.killed {
 		panic(killedPanic{})
 	}
-	if d <= 0 {
-		// Even a zero-length sleep yields, giving other runnable procs at
-		// the same timestamp a chance to interleave.
+	if d < 0 {
 		d = 0
 	}
+	// Even a zero-length sleep yields, giving other runnable procs at the
+	// same timestamp a chance to interleave.
 	p.sim.schedule(p.sim.now+d, p, p.gen)
 	p.park()
 }
@@ -179,8 +207,8 @@ func (p *Proc) kill() {
 	}
 	p.killed = true
 	if w := p.waiter; w != nil {
-		w.state = wCancelled
 		p.waiter = nil
+		p.sim.releaseWaiter(w)
 	}
 	p.sim.schedule(p.sim.now, p, p.gen)
 }
@@ -193,9 +221,114 @@ const (
 	wCancelled
 )
 
+// waiter is one proc's registration in a wait queue. Records are recycled
+// through the Sim's freelist; the lifecycle is:
+//
+//  1. newWaiter allocates (or reuses) a record and makes it p.waiter.
+//  2. waitQ.push/pop track queue membership via inQueue.
+//  3. When the blocking episode ends, the owner calls Proc.releaseWaiter:
+//     a record no queue holds returns to the freelist immediately; one
+//     still queued (a timed-out wait, a killed proc) is marked cancelled
+//     and freed by whichever queue operation eventually dequeues it.
+//
+// Only the owning proc reads a record after release, and only before
+// releasing it, so reuse can never alias a live wait.
 type waiter struct {
-	p     *Proc
-	state int
+	p        *Proc
+	state    int
+	inQueue  bool
+	nextFree *waiter
+}
+
+// newWaiter returns a fresh wait record for p and registers it as the
+// proc's in-progress blocking operation.
+func (p *Proc) newWaiter() *waiter {
+	s := p.sim
+	w := s.freeWaiters
+	if w != nil {
+		s.freeWaiters = w.nextFree
+		w.nextFree = nil
+	} else {
+		w = &waiter{}
+	}
+	w.p = p
+	w.state = wWaiting
+	w.inQueue = false
+	p.waiter = w
+	return w
+}
+
+// releaseWaiter ends p's blocking episode on w. Read w.state (timed out vs
+// claimed) before calling: after release the record may be reused.
+func (p *Proc) releaseWaiter(w *waiter) {
+	p.waiter = nil
+	p.sim.releaseWaiter(w)
+}
+
+// releaseWaiter recycles w unless a wait queue still holds it (then the
+// dequeue frees it).
+func (s *Sim) releaseWaiter(w *waiter) {
+	if w.inQueue {
+		w.state = wCancelled
+		return
+	}
+	s.freeWaiter(w)
+}
+
+func (s *Sim) freeWaiter(w *waiter) {
+	w.p = nil
+	w.nextFree = s.freeWaiters
+	s.freeWaiters = w
+}
+
+// waitQ is a FIFO of waiter records with O(1) amortized push/pop and a
+// recycled backing array, so steady-state queueing allocates nothing.
+type waitQ struct {
+	q    []*waiter
+	head int
+}
+
+func (q *waitQ) empty() bool { return q.head == len(q.q) }
+
+func (q *waitQ) push(w *waiter) {
+	if q.head == len(q.q) {
+		q.q = q.q[:0]
+		q.head = 0
+	} else if q.head > 32 && 2*q.head >= len(q.q) {
+		// Compact so a queue that never fully drains cannot grow without
+		// bound behind its own head.
+		n := copy(q.q, q.q[q.head:])
+		for i := n; i < len(q.q); i++ {
+			q.q[i] = nil
+		}
+		q.q = q.q[:n]
+		q.head = 0
+	}
+	w.inQueue = true
+	q.q = append(q.q, w)
+}
+
+func (q *waitQ) pop() *waiter {
+	w := q.q[q.head]
+	q.q[q.head] = nil
+	q.head++
+	w.inQueue = false
+	return w
+}
+
+// popLive dequeues until it finds a non-cancelled record, recycling the
+// cancelled ones (their owners left long ago). Returns nil when the queue
+// is exhausted.
+func (q *waitQ) popLive(s *Sim) *waiter {
+	for !q.empty() {
+		w := q.pop()
+		if w.state == wCancelled {
+			s.freeWaiter(w)
+			continue
+		}
+		return w
+	}
+	return nil
 }
 
 // wakeWaiter schedules a wake-up for w's proc at virtual time `at`,

@@ -1,0 +1,8 @@
+//go:build !race
+
+package simnet
+
+// raceEnabled reports whether the race detector is compiled in. The strict
+// zero-allocation gates skip under -race, whose instrumentation perturbs
+// allocation counts; CI runs them in a separate non-race job.
+const raceEnabled = false

@@ -12,15 +12,17 @@
 // clock: latencies come from calibrated cost models and the protocol code
 // runs unchanged on top.
 //
-// Concurrency model: exactly one proc runs at a time. The driver (Sim.Run)
-// and the proc goroutines hand a single execution token back and forth over
-// channels. Because there is no true parallelism, simulated state needs no
-// locking, every run is deterministic for a given seed, and failure
-// schedules are exactly reproducible.
+// Concurrency model: exactly one proc runs at a time. A single execution
+// token moves between the driver (Sim.Run) and the proc goroutines. On the
+// hot path the token is handed directly from the parking proc to the next
+// event's proc — or kept, when the next event is the parking proc's own
+// wake-up — so the driver is only involved when the simulation quiesces,
+// stops, hits the horizon, or a proc finishes. Because there is no true
+// parallelism, simulated state needs no locking, every run is deterministic
+// for a given seed, and failure schedules are exactly reproducible.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"runtime/debug"
@@ -35,19 +37,27 @@ import (
 // external use.
 type Sim struct {
 	now     time.Duration
-	eq      eventQueue
+	heap    eventHeap // future events, ordered by (at, seq)
+	runq    runQueue  // same-instant events, FIFO (== (at, seq) order)
 	seq     uint64
 	procSeq uint64
+	events  uint64 // dispatched events, for perf accounting
 
-	// parked is signalled by the currently running proc when it yields the
-	// execution token back to the driver.
+	// parked is signalled when the execution token returns to the driver:
+	// a proc finished, or a parking proc found nothing dispatchable.
 	parked chan struct{}
 
 	rng   *rand.Rand
 	nodes map[string]*Node
 	net   *Net
 
-	procs map[*Proc]struct{} // live (not finished) procs, for shutdown drain
+	// Live (not finished) procs as an intrusive doubly-linked list in spawn
+	// order, so shutdown drain tears procs down deterministically.
+	procsHead, procsTail *Proc
+
+	// freeWaiters recycles wait-queue records (see proc.go) so blocking
+	// primitives allocate nothing in steady state.
+	freeWaiters *waiter
 
 	stopped bool
 	horizon time.Duration // 0 = run to quiescence
@@ -64,44 +74,6 @@ type Sim struct {
 	traceRun int
 }
 
-// event wakes a proc at a virtual time. gen guards against stale wake-ups:
-// each time a proc resumes it bumps its generation, so events scheduled for
-// an earlier blocking episode are skipped.
-type event struct {
-	at  time.Duration
-	seq uint64
-	p   *Proc
-	gen uint64
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
-func (q eventQueue) peek() *event { return q[0] }
-func (s *Sim) schedule(at time.Duration, p *Proc, gen uint64) {
-	if at < s.now {
-		at = s.now
-	}
-	s.seq++
-	heap.Push(&s.eq, &event{at: at, seq: s.seq, p: p, gen: gen})
-}
-
 // New returns a simulator whose random source is seeded with seed.
 // Identical programs with identical seeds produce identical executions.
 func New(seed int64) *Sim {
@@ -109,7 +81,6 @@ func New(seed int64) *Sim {
 		parked: make(chan struct{}),
 		rng:    rand.New(rand.NewSource(seed)),
 		nodes:  make(map[string]*Node),
-		procs:  make(map[*Proc]struct{}),
 	}
 	s.net = newNet(s)
 	return s
@@ -117,6 +88,11 @@ func New(seed int64) *Sim {
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Duration { return s.now }
+
+// Events returns the number of events dispatched so far. One event is one
+// proc wake-up: a sleep expiring, a yield, a queue hand-off. splitft-bench
+// perf divides wall-clock time by this to report ns/event.
+func (s *Sim) Events() uint64 { return s.events }
 
 // Rand returns the simulation's deterministic random source. Only use it
 // from simulation context (setup code or running procs).
@@ -156,22 +132,22 @@ type killedPanic struct{}
 // Run drives the simulation until no events remain, Stop is called, or the
 // horizon set by RunUntil is reached. It returns the first proc panic, if
 // any (proc panics abort the simulation and are reported with a stack).
+//
+// The loop body looks per-event but is not: each dispatch starts a hand-off
+// chain in which parking procs dispatch each other directly, and the driver
+// regains the token only when the chain cannot continue (quiescence, stop,
+// horizon, or a finished proc).
 func (s *Sim) Run() error {
 	defer s.drain()
-	for len(s.eq) > 0 {
-		if s.stopped || s.fatal != nil {
+	for {
+		ev, ok := s.nextLive()
+		if !ok {
+			if !s.stopped && s.fatal == nil && s.horizon > 0 && s.pending() {
+				s.now = s.horizon // next event lies past the horizon
+			}
 			break
 		}
-		if s.horizon > 0 && s.eq.peek().at > s.horizon {
-			s.now = s.horizon
-			break
-		}
-		ev := heap.Pop(&s.eq).(*event)
-		if ev.p.done || ev.gen != ev.p.gen {
-			continue // stale wake-up
-		}
-		s.now = ev.at
-		ev.p.wake <- struct{}{}
+		s.dispatch(ev, nil)
 		<-s.parked
 	}
 	return s.fatal
@@ -186,19 +162,41 @@ func (s *Sim) RunUntil(t time.Duration) error {
 }
 
 // drain unwinds every remaining proc goroutine so a finished Sim leaks
-// nothing. Procs are woken with the killed flag set and panic out through
-// their recover wrapper.
+// nothing. Procs are woken in spawn order with the killed flag set and panic
+// out through their recover wrapper (which unlinks them from the list), so
+// teardown order is deterministic.
 func (s *Sim) drain() {
-	for p := range s.procs {
-		if p.done {
-			delete(s.procs, p)
-			continue
-		}
+	for s.procsHead != nil {
+		p := s.procsHead
 		p.killed = true
 		p.wake <- struct{}{}
 		<-s.parked
-		delete(s.procs, p)
 	}
+}
+
+// addProc / removeProc maintain the sim-wide intrusive proc list.
+func (s *Sim) addProc(p *Proc) {
+	p.prevAll = s.procsTail
+	if s.procsTail != nil {
+		s.procsTail.nextAll = p
+	} else {
+		s.procsHead = p
+	}
+	s.procsTail = p
+}
+
+func (s *Sim) removeProc(p *Proc) {
+	if p.prevAll != nil {
+		p.prevAll.nextAll = p.nextAll
+	} else {
+		s.procsHead = p.nextAll
+	}
+	if p.nextAll != nil {
+		p.nextAll.prevAll = p.prevAll
+	} else {
+		s.procsTail = p.prevAll
+	}
+	p.prevAll, p.nextAll = nil, nil
 }
 
 // spawn creates a proc goroutine parked at its start and schedules its first
@@ -212,9 +210,9 @@ func (s *Sim) spawn(n *Node, name string, fn func(*Proc)) *Proc {
 		id:   s.procSeq,
 		wake: make(chan struct{}, 1),
 	}
-	s.procs[p] = struct{}{}
+	s.addProc(p)
 	if n != nil {
-		n.procs[p] = struct{}{}
+		n.addProc(p)
 	}
 	go func() {
 		<-p.wake
@@ -222,8 +220,9 @@ func (s *Sim) spawn(n *Node, name string, fn func(*Proc)) *Proc {
 		defer func() {
 			p.done = true
 			if p.node != nil {
-				delete(p.node.procs, p)
+				p.node.removeProc(p)
 			}
+			s.removeProc(p)
 			if r := recover(); r != nil {
 				if _, ok := r.(killedPanic); !ok && s.fatal == nil {
 					s.fatal = fmt.Errorf("simnet: proc %q panicked: %v\n%s", p.name, r, debug.Stack())

@@ -13,7 +13,7 @@ import "time"
 // with it.
 type Mutex struct {
 	held bool
-	q    []*waiter
+	q    waitQ
 }
 
 // Lock acquires m, blocking p until it is available.
@@ -22,11 +22,10 @@ func (m *Mutex) Lock(p *Proc) {
 		m.held = true
 		return
 	}
-	w := &waiter{p: p}
-	m.q = append(m.q, w)
-	p.waiter = w
+	w := p.newWaiter()
+	m.q.push(w)
 	p.park()
-	p.waiter = nil
+	p.releaseWaiter(w)
 	// Ownership was handed to us by Unlock; m.held is still true.
 }
 
@@ -44,12 +43,7 @@ func (m *Mutex) Unlock(p *Proc) {
 	if !m.held {
 		panic("simnet: unlock of unlocked Mutex")
 	}
-	for len(m.q) > 0 {
-		w := m.q[0]
-		m.q = m.q[1:]
-		if w.state == wCancelled {
-			continue
-		}
+	if w := m.q.popLive(p.sim); w != nil {
 		// Direct handoff: the lock stays held and w's proc resumes as owner.
 		wakeWaiter(p.sim, w, p.sim.now)
 		return
@@ -60,7 +54,7 @@ func (m *Mutex) Unlock(p *Proc) {
 // Cond is a simulated condition variable associated with a Mutex.
 type Cond struct {
 	L *Mutex
-	q []*waiter
+	q waitQ
 }
 
 // NewCond returns a condition variable using lock l.
@@ -70,53 +64,42 @@ func NewCond(l *Mutex) *Cond { return &Cond{L: l} }
 // wakes it, then reacquires c.L. As with sync.Cond, callers must re-check
 // their predicate in a loop.
 func (c *Cond) Wait(p *Proc) {
-	w := &waiter{p: p}
-	c.q = append(c.q, w)
+	w := p.newWaiter()
+	c.q.push(w)
 	c.L.Unlock(p)
-	p.waiter = w
 	p.park()
-	p.waiter = nil
-	w.state = wCancelled // defensive: record is spent either way
+	p.releaseWaiter(w)
 	c.L.Lock(p)
 }
 
 // WaitTimeout is Wait with a deadline. It reports whether the wait timed
 // out (as opposed to being signalled). The lock is reacquired either way.
 func (c *Cond) WaitTimeout(p *Proc, d time.Duration) (timedOut bool) {
-	w := &waiter{p: p}
-	c.q = append(c.q, w)
+	w := p.newWaiter()
+	c.q.push(w)
 	c.L.Unlock(p)
-	p.waiter = w
 	p.sim.schedule(p.sim.now+d, p, p.gen)
 	p.park()
-	p.waiter = nil
 	timedOut = w.state == wWaiting // nobody claimed the record: timer fired first
-	w.state = wCancelled
+	p.releaseWaiter(w)
 	c.L.Lock(p)
 	return timedOut
 }
 
 // Signal wakes one waiting proc, if any.
 func (c *Cond) Signal(p *Proc) {
-	for len(c.q) > 0 {
-		w := c.q[0]
-		c.q = c.q[1:]
-		if w.state == wCancelled {
-			continue
-		}
+	if w := c.q.popLive(p.sim); w != nil {
 		w.state = wCancelled // claim
 		wakeWaiter(p.sim, w, p.sim.now)
-		return
 	}
 }
 
 // Broadcast wakes every waiting proc.
 func (c *Cond) Broadcast(p *Proc) {
-	q := c.q
-	c.q = nil
-	for _, w := range q {
-		if w.state == wCancelled {
-			continue
+	for {
+		w := c.q.popLive(p.sim)
+		if w == nil {
+			return
 		}
 		w.state = wCancelled
 		wakeWaiter(p.sim, w, p.sim.now)
@@ -126,7 +109,7 @@ func (c *Cond) Broadcast(p *Proc) {
 // WaitGroup mirrors sync.WaitGroup on the virtual clock.
 type WaitGroup struct {
 	n int
-	q []*waiter
+	q waitQ
 }
 
 // Add adds delta to the counter.
@@ -144,11 +127,10 @@ func (g *WaitGroup) Done(p *Proc) {
 		panic("simnet: negative WaitGroup counter")
 	}
 	if g.n == 0 {
-		q := g.q
-		g.q = nil
-		for _, w := range q {
-			if w.state == wCancelled {
-				continue
+		for {
+			w := g.q.popLive(p.sim)
+			if w == nil {
+				return
 			}
 			w.state = wCancelled
 			wakeWaiter(p.sim, w, p.sim.now)
@@ -159,19 +141,17 @@ func (g *WaitGroup) Done(p *Proc) {
 // Wait blocks p until the counter reaches zero.
 func (g *WaitGroup) Wait(p *Proc) {
 	for g.n > 0 {
-		w := &waiter{p: p}
-		g.q = append(g.q, w)
-		p.waiter = w
+		w := p.newWaiter()
+		g.q.push(w)
 		p.park()
-		p.waiter = nil
-		w.state = wCancelled
+		p.releaseWaiter(w)
 	}
 }
 
 // Semaphore is a counting semaphore with FIFO wake-up.
 type Semaphore struct {
 	avail int
-	q     []*waiter
+	q     waitQ
 }
 
 // NewSemaphore returns a semaphore with n initial permits.
@@ -180,12 +160,10 @@ func NewSemaphore(n int) *Semaphore { return &Semaphore{avail: n} }
 // Acquire takes one permit, blocking until available.
 func (s *Semaphore) Acquire(p *Proc) {
 	for s.avail == 0 {
-		w := &waiter{p: p}
-		s.q = append(s.q, w)
-		p.waiter = w
+		w := p.newWaiter()
+		s.q.push(w)
 		p.park()
-		p.waiter = nil
-		w.state = wCancelled
+		p.releaseWaiter(w)
 	}
 	s.avail--
 }
@@ -193,14 +171,8 @@ func (s *Semaphore) Acquire(p *Proc) {
 // Release returns one permit and wakes a waiter if any.
 func (s *Semaphore) Release(p *Proc) {
 	s.avail++
-	for len(s.q) > 0 {
-		w := s.q[0]
-		s.q = s.q[1:]
-		if w.state == wCancelled {
-			continue
-		}
+	if w := s.q.popLive(p.sim); w != nil {
 		w.state = wCancelled
 		wakeWaiter(p.sim, w, p.sim.now)
-		return
 	}
 }
