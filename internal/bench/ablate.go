@@ -9,6 +9,7 @@ import (
 	"splitft/internal/metrics"
 	"splitft/internal/raft"
 	"splitft/internal/simnet"
+	"splitft/internal/wire"
 	"splitft/internal/ycsb"
 )
 
@@ -106,7 +107,7 @@ func AblateReplication(sc Scale, seed int64) (AblateReplResult, error) {
 		}
 		p.Sleep(time.Second) // election
 		client := raft.NewClient(cl, c2.AppNode)
-		client.Propose(p, "warm") //nolint:errcheck
+		client.Propose(p, wire.Msg{Code: codeRaftRec}) //nolint:errcheck
 
 		var hist metrics.Histogram
 		count := int64(0)
@@ -116,7 +117,7 @@ func AblateReplication(sc Scale, seed int64) (AblateReplResult, error) {
 		for i := 0; i < writers; i++ {
 			p.GoOn(c2.AppNode, fmt.Sprintf("w%d", i), func(wp *simnet.Proc) {
 				defer wg.Done(wp)
-				rec := string(make([]byte, 128))
+				rec := wire.Msg{Code: codeRaftRec, B: make([]byte, 128)}
 				for wp.Now() < end {
 					t0 := wp.Now()
 					if _, err := client.Propose(wp, rec); err != nil {
@@ -138,7 +139,12 @@ func AblateReplication(sc Scale, seed int64) (AblateReplResult, error) {
 // appendSM is the trivial replicated log used by the consensus baseline.
 type appendSM struct{ n int }
 
-func (m *appendSM) Apply(cmd any) any { m.n++; return m.n }
+func (m *appendSM) Apply(cmd wire.Msg) wire.Msg {
+	m.n++
+	r := wire.Msg{Code: wire.CodeAck}
+	r.SetInt(0, int64(m.n))
+	return r
+}
 
 // AblateSplitResult compares strategies for a mixed small/large write file.
 type AblateSplitResult struct {

@@ -20,6 +20,7 @@ import (
 	"splitft/internal/model"
 	"splitft/internal/simnet"
 	"splitft/internal/trace"
+	"splitft/internal/wire"
 	"splitft/internal/ycsb"
 )
 
@@ -116,10 +117,17 @@ func (pt *point) kops() float64 {
 	return float64(pt.count) / pt.dur.Seconds() / 1000
 }
 
-// opReq is the client->server request envelope.
-type opReq struct {
-	Op  ycsb.Op
-	Val []byte
+// Bench wire codes (0x40–0x4f, see internal/wire).
+const (
+	codeOp      wire.Code = 0x40 // client->server YCSB operation
+	codeRaftRec wire.Code = 0x41 // consensus-baseline log record
+)
+
+// opMsg encodes one client->server YCSB operation.
+func opMsg(op ycsb.Op, val []byte) simnet.Msg {
+	m := simnet.Msg{Code: codeOp, S: [3]string{op.Key}, B: val}
+	m.U[0] = uint64(op.Type)
+	return m
 }
 
 // server wraps an application behind the simulated network with a bounded
@@ -127,6 +135,9 @@ type opReq struct {
 type server struct {
 	app app
 	sem *simnet.Semaphore
+	// ops holds precomputed "<app>.<optype>" span names so the per-request
+	// path does no string concatenation.
+	ops [4]string
 }
 
 // app is the minimal surface the harness drives.
@@ -140,13 +151,16 @@ const serverThreads = 20
 
 func startServer(c *harness.Cluster, addr string, a app) *server {
 	srv := &server{app: a, sem: simnet.NewSemaphore(serverThreads)}
-	c.Sim.Net().Register(addr, c.AppNode, func(p *simnet.Proc, req any) (any, error) {
-		r := req.(opReq)
+	for _, t := range []ycsb.OpType{ycsb.Read, ycsb.Update, ycsb.Insert, ycsb.ReadModifyWrite} {
+		srv.ops[t] = a.Name() + "." + t.String()
+	}
+	c.Sim.Net().Register(addr, c.AppNode, func(p *simnet.Proc, req simnet.Msg) (simnet.Msg, error) {
+		op := ycsb.Op{Type: ycsb.OpType(req.U[0]), Key: req.S[0]}
 		srv.sem.Acquire(p)
 		defer srv.sem.Release(p)
-		sp := p.StartSpan("app", srv.app.Name()+"."+r.Op.Type.String())
+		sp := p.StartSpan("app", srv.ops[op.Type])
 		defer p.EndSpan(sp)
-		return nil, srv.app.Do(p, r.Op, r.Val)
+		return simnet.Msg{Code: wire.CodeAck}, srv.app.Do(p, op, req.B)
 	})
 	return srv
 }
@@ -178,7 +192,7 @@ func runWorkload(c *harness.Cluster, p *simnet.Proc, addr string, spec ycsb.Spec
 					val = g.Value()
 				}
 				t0 := cp.Now()
-				_, err := c.Sim.Net().CallTimeout(cp, c.ClientNode, addr, opReq{Op: op, Val: val}, 10*time.Second)
+				_, err := c.Sim.Net().CallTimeout(cp, c.ClientNode, addr, opMsg(op, val), 10*time.Second)
 				if err != nil {
 					continue
 				}

@@ -240,11 +240,11 @@ func perfRPCEcho(seed int64) (*simnet.Sim, error) {
 	s := simnet.New(seed)
 	srv := s.NewNode("srv")
 	cli := s.NewNode("cli")
-	s.Net().Register("echo", srv, func(p *simnet.Proc, req any) (any, error) { return req, nil })
+	s.Net().Register("echo", srv, func(p *simnet.Proc, req simnet.Msg) (simnet.Msg, error) { return req, nil })
 	var callErr error
 	s.Go("caller", func(p *simnet.Proc) {
 		for i := 0; i < perfRPCCalls; i++ {
-			if _, err := s.Net().Call(p, cli, "echo", i); err != nil {
+			if _, err := s.Net().Call(p, cli, "echo", simnet.Msg{U: [4]uint64{uint64(i)}}); err != nil {
 				callErr = err
 				return
 			}

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"splitft/internal/simnet"
 )
 
 // The perf suite must produce a row per workload with live counters and a
@@ -58,6 +60,73 @@ func TestPerfSuiteSanity(t *testing.T) {
 	if rep.Render() == "" {
 		t.Fatal("empty render")
 	}
+}
+
+// TestPerfAllocGateZeroAllocRPC gates the two RPC-heavy perf rows on their
+// allocation budget. With the typed wire layer the transport itself is
+// allocation-free, so whole-run allocations — cluster construction, the
+// YCSB generator's per-op key/value strings and the applications' own
+// data structures included — must stay at or below 0.5 per simulator event.
+// On top of the absolute budget, each row is diffed against the committed
+// BENCH_simnet.json so a regression shows up even while still under budget.
+// (The name matches the CI non-race gate's 'ZeroAlloc|AllocsPerRun' filter.)
+func TestPerfAllocGateZeroAllocRPC(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is meaningless under -race")
+	}
+	if testing.Short() {
+		t.Skip("runs full perf workloads")
+	}
+	const budget = 0.5 // allocs per simulator event, whole run
+	baseline := loadBaselineRows(t)
+	ysc := perfScale(QuickScale())
+	for _, w := range []perfWorkload{
+		{"rpc-echo", func() (*simnet.Sim, error) { return perfRPCEcho(1) }},
+		{"ycsb-a-12c", func() (*simnet.Sim, error) { return perfYCSBSlice(ysc, 1) }},
+	} {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			row, err := measure(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d events, %d allocs, %.4f allocs/event",
+				row.Name, row.Events, row.Allocs, row.AllocsPerEvent)
+			if row.AllocsPerEvent > budget {
+				t.Errorf("%.4f allocs/event exceeds the %.2f budget", row.AllocsPerEvent, budget)
+			}
+			if base, ok := baseline[w.name]; ok {
+				// Generous slack: alloc counts vary a little with Go version
+				// and GC timing, and the gate should catch regressions, not
+				// noise.
+				if limit := base.AllocsPerEvent*1.5 + 0.05; row.AllocsPerEvent > limit {
+					t.Errorf("%.4f allocs/event regressed past committed baseline %.4f (limit %.4f)",
+						row.AllocsPerEvent, base.AllocsPerEvent, limit)
+				}
+			}
+		})
+	}
+}
+
+// loadBaselineRows reads the committed BENCH_simnet.json, keyed by row name.
+// A missing file is not an error (fresh checkouts of a stripped tree); the
+// absolute budget still applies.
+func loadBaselineRows(t *testing.T) map[string]PerfRow {
+	t.Helper()
+	data, err := os.ReadFile("../../BENCH_simnet.json")
+	if err != nil {
+		t.Logf("no committed baseline: %v", err)
+		return nil
+	}
+	var rep PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_simnet.json: %v", err)
+	}
+	out := make(map[string]PerfRow, len(rep.Rows))
+	for _, row := range rep.Rows {
+		out[row.Name] = row
+	}
+	return out
 }
 
 // BenchmarkYCSBA12Clients is the end-to-end slice as a testing.B benchmark:

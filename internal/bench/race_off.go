@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. The perf
+// allocation gates skip under -race, whose instrumentation perturbs
+// allocation counts; CI runs them in a separate non-race step.
+const raceEnabled = false

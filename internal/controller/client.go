@@ -6,6 +6,7 @@ import (
 
 	"splitft/internal/raft"
 	"splitft/internal/simnet"
+	"splitft/internal/wire"
 )
 
 // Client is a typed controller client used by ncl-lib and by log peers.
@@ -37,36 +38,39 @@ func NewClient(svc *Service, node *simnet.Node, name string, fencing int64) *Cli
 }
 
 // cmdOp names a znode command for span attribution.
-func cmdOp(cmd any) string {
-	switch cmd.(type) {
-	case cmdNewSession:
+func cmdOp(code wire.Code) string {
+	switch code {
+	case codeNewSession:
 		return "new-session"
-	case cmdKeepAlive:
+	case codeKeepAlive:
 		return "keep-alive"
-	case cmdCreate:
+	case codeCreate:
 		return "create"
-	case cmdSet:
+	case codeSet:
 		return "set"
-	case cmdDelete:
+	case codeDelete:
 		return "delete"
-	case cmdGet:
+	case codeGet:
 		return "get"
-	case cmdList:
+	case codeList:
 		return "list"
 	default:
-		return fmt.Sprintf("%T", cmd)
+		return fmt.Sprintf("cmd-%#x", uint16(code))
 	}
 }
 
-// propose runs one command and unwraps the opResult.
-func (c *Client) propose(p *simnet.Proc, cmd any) (opResult, error) {
-	sp := p.StartSpan("controller", cmdOp(cmd))
-	defer p.EndSpan(sp)
+// propose runs one encoded command and decodes the opResult.
+func (c *Client) propose(p *simnet.Proc, cmd wire.Msg) (opResult, error) {
+	if p.Tracing() {
+		sp := p.StartSpan("controller", cmdOp(cmd.Code))
+		defer p.EndSpan(sp)
+	}
 	res, err := c.rc.Propose(p, cmd)
 	if err != nil {
 		return opResult{}, err
 	}
-	r := res.(opResult)
+	var r opResult
+	r.UnmarshalWire(res) //nolint:errcheck
 	if r.Err != nil {
 		return r, r.Err
 	}
@@ -81,7 +85,7 @@ func (c *Client) StartSession(p *simnet.Proc) error {
 		Session: c.session,
 		At:      p.Now(),
 		Timeout: c.svc.cfg.SessionTimeout,
-	})
+	}.MarshalWire())
 	if err != nil {
 		return err
 	}
@@ -90,7 +94,7 @@ func (c *Client) StartSession(p *simnet.Proc) error {
 		c.node.Go("ctrl-keepalive:"+c.session, func(kp *simnet.Proc) {
 			for {
 				kp.Sleep(c.svc.cfg.KeepAlive)
-				_, err := c.propose(kp, cmdKeepAlive{Session: c.session, At: kp.Now()})
+				_, err := c.propose(kp, cmdKeepAlive{Session: c.session, At: kp.Now()}.MarshalWire())
 				if err == ErrSession {
 					// Expired (e.g. after a partition): re-establish so our
 					// ephemerals can be re-created by the owner.
@@ -98,7 +102,7 @@ func (c *Client) StartSession(p *simnet.Proc) error {
 						Session: c.session,
 						At:      kp.Now(),
 						Timeout: c.svc.cfg.SessionTimeout,
-					})
+					}.MarshalWire())
 				}
 			}
 		})
@@ -114,22 +118,23 @@ func peerPath(name string) string { return "/peers/" + name }
 // registration is ephemeral: it disappears if the peer dies.
 func (c *Client) RegisterPeer(p *simnet.Proc, info PeerInfo) error {
 	_, err := c.propose(p, cmdCreate{
-		Path: peerPath(info.Name), Data: info,
+		Path: peerPath(info.Name), Data: info.MarshalWire(),
 		Ephemeral: true, Session: c.session, Fencing: c.fencing, Takeover: true,
-	})
+	}.MarshalWire())
 	return err
 }
 
 // UpdatePeerMem republishes a peer's available memory (paper step 4a; the
 // value is a hint, so unconditional set is correct).
 func (c *Client) UpdatePeerMem(p *simnet.Proc, name string, avail int64) error {
-	res, err := c.propose(p, cmdGet{Path: peerPath(name)})
+	res, err := c.propose(p, cmdGet{Path: peerPath(name)}.MarshalWire())
 	if err != nil || !res.Found {
 		return ErrNotFound
 	}
-	info := res.Data.(PeerInfo)
+	var info PeerInfo
+	info.UnmarshalWire(res.Data) //nolint:errcheck
 	info.AvailMem = avail
-	_, err = c.propose(p, cmdSet{Path: peerPath(name), Data: info, Version: -1})
+	_, err = c.propose(p, cmdSet{Path: peerPath(name), Data: info.MarshalWire(), Version: -1}.MarshalWire())
 	return err
 }
 
@@ -137,7 +142,7 @@ func (c *Client) UpdatePeerMem(p *simnet.Proc, name string, avail int64) error {
 // excluding the given names, most-free first (name tiebreak). The choice is
 // a hint: a returned peer can still reject the allocation (§4.3).
 func (c *Client) PickPeers(p *simnet.Proc, n int, minMem int64, exclude []string) ([]PeerInfo, error) {
-	res, err := c.propose(p, cmdList{Prefix: "/peers/"})
+	res, err := c.propose(p, cmdList{Prefix: "/peers/"}.MarshalWire())
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +152,8 @@ func (c *Client) PickPeers(p *simnet.Proc, n int, minMem int64, exclude []string
 	}
 	var cands []PeerInfo
 	for _, d := range res.Datas {
-		info := d.(PeerInfo)
+		var info PeerInfo
+		info.UnmarshalWire(d) //nolint:errcheck
 		if !skip[info.Name] && info.AvailMem >= minMem {
 			cands = append(cands, info)
 		}
@@ -166,14 +172,16 @@ func (c *Client) PickPeers(p *simnet.Proc, n int, minMem int64, exclude []string
 
 // GetPeer returns one peer's registration.
 func (c *Client) GetPeer(p *simnet.Proc, name string) (PeerInfo, bool, error) {
-	res, err := c.propose(p, cmdGet{Path: peerPath(name)})
+	res, err := c.propose(p, cmdGet{Path: peerPath(name)}.MarshalWire())
 	if err != nil {
 		return PeerInfo{}, false, err
 	}
 	if !res.Found {
 		return PeerInfo{}, false, nil
 	}
-	return res.Data.(PeerInfo), true, nil
+	var info PeerInfo
+	info.UnmarshalWire(res.Data) //nolint:errcheck
+	return info, true, nil
 }
 
 // ---- ap-map (/apps/<app>/<file>) ----
@@ -184,41 +192,44 @@ func fileKey(app, file string) string { return "/apps/" + app + "/" + file }
 // overwrites; otherwise it is a compare-and-set on the znode version.
 func (c *Client) SetAppFile(p *simnet.Proc, app, file string, e FileEntry, version int64) (int64, error) {
 	path := fileKey(app, file)
+	data := e.MarshalWire()
 	if version < 0 {
-		res, err := c.propose(p, cmdGet{Path: path})
+		res, err := c.propose(p, cmdGet{Path: path}.MarshalWire())
 		if err != nil {
 			return 0, err
 		}
 		if !res.Found {
-			r, err := c.propose(p, cmdCreate{Path: path, Data: e})
+			r, err := c.propose(p, cmdCreate{Path: path, Data: data}.MarshalWire())
 			if err == ErrExists {
 				// Lost a (retried) race with ourselves; fall through to set.
-				r, err = c.propose(p, cmdSet{Path: path, Data: e, Version: -1})
+				r, err = c.propose(p, cmdSet{Path: path, Data: data, Version: -1}.MarshalWire())
 			}
 			return r.Version, err
 		}
-		r, err := c.propose(p, cmdSet{Path: path, Data: e, Version: -1})
+		r, err := c.propose(p, cmdSet{Path: path, Data: data, Version: -1}.MarshalWire())
 		return r.Version, err
 	}
-	r, err := c.propose(p, cmdSet{Path: path, Data: e, Version: version})
+	r, err := c.propose(p, cmdSet{Path: path, Data: data, Version: version}.MarshalWire())
 	return r.Version, err
 }
 
 // GetAppFile reads the ap-map entry for (app, file).
 func (c *Client) GetAppFile(p *simnet.Proc, app, file string) (FileEntry, int64, bool, error) {
-	res, err := c.propose(p, cmdGet{Path: fileKey(app, file)})
+	res, err := c.propose(p, cmdGet{Path: fileKey(app, file)}.MarshalWire())
 	if err != nil {
 		return FileEntry{}, 0, false, err
 	}
 	if !res.Found {
 		return FileEntry{}, 0, false, nil
 	}
-	return res.Data.(FileEntry), res.Version, true, nil
+	var e FileEntry
+	e.UnmarshalWire(res.Data) //nolint:errcheck
+	return e, res.Version, true, nil
 }
 
 // DeleteAppFile removes the ap-map entry (on ncl-file release).
 func (c *Client) DeleteAppFile(p *simnet.Proc, app, file string) error {
-	_, err := c.propose(p, cmdDelete{Path: fileKey(app, file), Version: -1})
+	_, err := c.propose(p, cmdDelete{Path: fileKey(app, file), Version: -1}.MarshalWire())
 	if err == ErrNotFound {
 		return nil
 	}
@@ -229,13 +240,15 @@ func (c *Client) DeleteAppFile(p *simnet.Proc, app, file string) error {
 // find what must be restored from peers).
 func (c *Client) ListAppFiles(p *simnet.Proc, app string) (map[string]FileEntry, error) {
 	prefix := "/apps/" + app + "/"
-	res, err := c.propose(p, cmdList{Prefix: prefix})
+	res, err := c.propose(p, cmdList{Prefix: prefix}.MarshalWire())
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[string]FileEntry, len(res.Paths))
 	for i, path := range res.Paths {
-		out[path[len(prefix):]] = res.Datas[i].(FileEntry)
+		var e FileEntry
+		e.UnmarshalWire(res.Datas[i]) //nolint:errcheck
+		out[path[len(prefix):]] = e
 	}
 	return out, nil
 }
@@ -249,9 +262,9 @@ func (c *Client) ListAppFiles(p *simnet.Proc, app string) (map[string]FileEntry,
 func (c *Client) AcquireServerLock(p *simnet.Proc, app string) error {
 	_, err := c.propose(p, cmdCreate{
 		Path:      "/servers/" + app,
-		Data:      ServerInfo{Node: c.node.Name(), Fencing: c.fencing},
+		Data:      ServerInfo{Node: c.node.Name(), Fencing: c.fencing}.MarshalWire(),
 		Ephemeral: true, Session: c.session, Fencing: c.fencing, Takeover: true,
-	})
+	}.MarshalWire())
 	if err == ErrExists {
 		return fmt.Errorf("%w: another instance of %s is active", ErrFenced, app)
 	}

@@ -29,6 +29,26 @@ import (
 	"splitft/internal/model"
 	"splitft/internal/raft"
 	"splitft/internal/simnet"
+	"splitft/internal/wire"
+)
+
+// Wire codes for the controller's commands, results and znode values
+// (0x30–0x3f range, see internal/wire). Commands travel unwrapped through
+// the Raft log; any of these codes is outside raft's own range and hence
+// treated as a proposal by the replicas.
+const (
+	codeNewSession wire.Code = 0x30
+	codeKeepAlive  wire.Code = 0x31
+	codeExpire     wire.Code = 0x32
+	codeCreate     wire.Code = 0x33
+	codeSet        wire.Code = 0x34
+	codeDelete     wire.Code = 0x35
+	codeGet        wire.Code = 0x36
+	codeList       wire.Code = 0x37
+	codePeerInfo   wire.Code = 0x3b
+	codeFileEntry  wire.Code = 0x3c
+	codeServerInfo wire.Code = 0x3d
+	codeResult     wire.Code = 0x3e
 )
 
 // PeerInfo is the value stored at /peers/<name>.
@@ -36,6 +56,19 @@ type PeerInfo struct {
 	Name     string
 	Addr     string // RPC address of the peer daemon
 	AvailMem int64
+}
+
+// MarshalWire encodes the registration as a flat message.
+func (i PeerInfo) MarshalWire() wire.Msg {
+	m := wire.Msg{Code: codePeerInfo, S: [3]string{i.Name, i.Addr}}
+	m.SetInt(0, i.AvailMem)
+	return m
+}
+
+// UnmarshalWire decodes a codePeerInfo message.
+func (i *PeerInfo) UnmarshalWire(m wire.Msg) error {
+	i.Name, i.Addr, i.AvailMem = m.S[0], m.S[1], m.Int(0)
+	return nil
 }
 
 // FileEntry is the ap-map value stored at /apps/<app>/<file>.
@@ -48,10 +81,41 @@ type FileEntry struct {
 	AppendOnly bool
 }
 
+// MarshalWire encodes the ap-map entry as a flat message.
+func (e FileEntry) MarshalWire() wire.Msg {
+	m := wire.Msg{Code: codeFileEntry, Strs: e.Peers}
+	m.SetInt(0, e.Epoch)
+	m.SetInt(1, e.RegionSize)
+	m.SetBool(2, e.AppendOnly)
+	return m
+}
+
+// UnmarshalWire decodes a codeFileEntry message.
+func (e *FileEntry) UnmarshalWire(m wire.Msg) error {
+	e.Peers = m.Strs
+	e.Epoch = m.Int(0)
+	e.RegionSize = m.Int(1)
+	e.AppendOnly = m.Bool(2)
+	return nil
+}
+
 // ServerInfo is the value stored at /servers/<app>.
 type ServerInfo struct {
 	Node    string
 	Fencing int64
+}
+
+// MarshalWire encodes the lock owner as a flat message.
+func (s ServerInfo) MarshalWire() wire.Msg {
+	m := wire.Msg{Code: codeServerInfo, S: [3]string{s.Node}}
+	m.SetInt(0, s.Fencing)
+	return m
+}
+
+// UnmarshalWire decodes a codeServerInfo message.
+func (s *ServerInfo) UnmarshalWire(m wire.Msg) error {
+	s.Node, s.Fencing = m.S[0], m.Int(0)
+	return nil
 }
 
 // Errors.
@@ -66,7 +130,7 @@ var (
 // ---- Replicated state machine ----
 
 type znode struct {
-	data      any
+	data      wire.Msg
 	version   int64
 	ephemeral bool
 	session   string
@@ -88,11 +152,27 @@ func newTree() *tree {
 }
 
 // Commands. Every mutation is versioned or idempotent so client retries
-// after ambiguous failures are safe.
+// after ambiguous failures are safe. Each command is a Go struct with a flat
+// wire encoding; the struct form exists only at the edges (client encode,
+// Apply decode) — the Raft log and RPC plane carry wire.Msg values.
 type cmdNewSession struct {
 	Session string
 	At      time.Duration
 	Timeout time.Duration
+}
+
+func (c cmdNewSession) MarshalWire() wire.Msg {
+	m := wire.Msg{Code: codeNewSession, S: [3]string{c.Session}}
+	m.SetInt(0, int64(c.At))
+	m.SetInt(1, int64(c.Timeout))
+	return m
+}
+
+func (c *cmdNewSession) UnmarshalWire(m wire.Msg) error {
+	c.Session = m.S[0]
+	c.At = time.Duration(m.Int(0))
+	c.Timeout = time.Duration(m.Int(1))
+	return nil
 }
 
 type cmdKeepAlive struct {
@@ -100,24 +180,78 @@ type cmdKeepAlive struct {
 	At      time.Duration
 }
 
+func (c cmdKeepAlive) MarshalWire() wire.Msg {
+	m := wire.Msg{Code: codeKeepAlive, S: [3]string{c.Session}}
+	m.SetInt(0, int64(c.At))
+	return m
+}
+
+func (c *cmdKeepAlive) UnmarshalWire(m wire.Msg) error {
+	c.Session = m.S[0]
+	c.At = time.Duration(m.Int(0))
+	return nil
+}
+
 type cmdExpire struct {
 	Session string
 	AsOf    time.Duration
 }
 
+func (c cmdExpire) MarshalWire() wire.Msg {
+	m := wire.Msg{Code: codeExpire, S: [3]string{c.Session}}
+	m.SetInt(0, int64(c.AsOf))
+	return m
+}
+
+func (c *cmdExpire) UnmarshalWire(m wire.Msg) error {
+	c.Session = m.S[0]
+	c.AsOf = time.Duration(m.Int(0))
+	return nil
+}
+
 type cmdCreate struct {
 	Path      string
-	Data      any
+	Data      wire.Msg
 	Ephemeral bool
 	Session   string
 	Fencing   int64
 	Takeover  bool // allow replacing an owner with a strictly lower fencing token
 }
 
+func (c cmdCreate) MarshalWire() wire.Msg {
+	m := wire.Msg{Code: codeCreate, S: [3]string{c.Path, c.Session}, Sub: []wire.Msg{c.Data}}
+	m.SetInt(0, c.Fencing)
+	m.SetBool(1, c.Ephemeral)
+	m.SetBool(2, c.Takeover)
+	return m
+}
+
+func (c *cmdCreate) UnmarshalWire(m wire.Msg) error {
+	c.Path, c.Session = m.S[0], m.S[1]
+	c.Data = m.Sub[0]
+	c.Fencing = m.Int(0)
+	c.Ephemeral = m.Bool(1)
+	c.Takeover = m.Bool(2)
+	return nil
+}
+
 type cmdSet struct {
 	Path    string
-	Data    any
+	Data    wire.Msg
 	Version int64 // -1: unconditional
+}
+
+func (c cmdSet) MarshalWire() wire.Msg {
+	m := wire.Msg{Code: codeSet, S: [3]string{c.Path}, Sub: []wire.Msg{c.Data}}
+	m.SetInt(0, c.Version)
+	return m
+}
+
+func (c *cmdSet) UnmarshalWire(m wire.Msg) error {
+	c.Path = m.S[0]
+	c.Data = m.Sub[0]
+	c.Version = m.Int(0)
+	return nil
 }
 
 type cmdDelete struct {
@@ -125,24 +259,77 @@ type cmdDelete struct {
 	Version int64 // -1: unconditional
 }
 
+func (c cmdDelete) MarshalWire() wire.Msg {
+	m := wire.Msg{Code: codeDelete, S: [3]string{c.Path}}
+	m.SetInt(0, c.Version)
+	return m
+}
+
+func (c *cmdDelete) UnmarshalWire(m wire.Msg) error {
+	c.Path = m.S[0]
+	c.Version = m.Int(0)
+	return nil
+}
+
 type cmdGet struct{ Path string }
+
+func (c cmdGet) MarshalWire() wire.Msg {
+	return wire.Msg{Code: codeGet, S: [3]string{c.Path}}
+}
 
 type cmdList struct{ Prefix string }
 
-// Results.
+func (c cmdList) MarshalWire() wire.Msg {
+	return wire.Msg{Code: codeList, S: [3]string{c.Prefix}}
+}
+
+// opResult is the decoded view of a codeResult message, the reply to every
+// command. Found results carry the znode value in Sub[0]; List results carry
+// paths in Strs and the matching values in Sub.
 type opResult struct {
 	Err     error
 	Version int64
 	Found   bool
-	Data    any
+	Data    wire.Msg
 	Paths   []string
-	Datas   []any
+	Datas   []wire.Msg
+}
+
+func (r opResult) MarshalWire() wire.Msg {
+	m := wire.Msg{Code: codeResult, Err: r.Err, Strs: r.Paths, Sub: r.Datas}
+	m.SetInt(0, r.Version)
+	m.SetBool(1, r.Found)
+	if r.Found {
+		m.Sub = []wire.Msg{r.Data}
+	}
+	return m
+}
+
+func (r *opResult) UnmarshalWire(m wire.Msg) error {
+	r.Err = m.Err
+	r.Version = m.Int(0)
+	r.Found = m.Bool(1)
+	r.Paths = m.Strs
+	if r.Found {
+		if len(m.Sub) == 1 {
+			r.Data = m.Sub[0]
+		}
+	} else {
+		r.Datas = m.Sub
+	}
+	return nil
 }
 
 // Apply implements raft.StateMachine. It must not block.
-func (t *tree) Apply(cmd any) any {
-	switch c := cmd.(type) {
-	case cmdNewSession:
+func (t *tree) Apply(cmd wire.Msg) wire.Msg {
+	return t.apply(cmd).MarshalWire()
+}
+
+func (t *tree) apply(cmd wire.Msg) opResult {
+	switch cmd.Code {
+	case codeNewSession:
+		var c cmdNewSession
+		c.UnmarshalWire(cmd) //nolint:errcheck
 		// Re-creating a session (same name, new fencing) replaces it and
 		// drops the old incarnation's ephemerals.
 		if _, ok := t.sessions[c.Session]; ok {
@@ -150,7 +337,9 @@ func (t *tree) Apply(cmd any) any {
 		}
 		t.sessions[c.Session] = &session{lastSeen: c.At, timeout: c.Timeout}
 		return opResult{}
-	case cmdKeepAlive:
+	case codeKeepAlive:
+		var c cmdKeepAlive
+		c.UnmarshalWire(cmd) //nolint:errcheck
 		s, ok := t.sessions[c.Session]
 		if !ok {
 			return opResult{Err: ErrSession}
@@ -159,7 +348,9 @@ func (t *tree) Apply(cmd any) any {
 			s.lastSeen = c.At
 		}
 		return opResult{}
-	case cmdExpire:
+	case codeExpire:
+		var c cmdExpire
+		c.UnmarshalWire(cmd) //nolint:errcheck
 		s, ok := t.sessions[c.Session]
 		if !ok {
 			return opResult{}
@@ -170,7 +361,9 @@ func (t *tree) Apply(cmd any) any {
 		delete(t.sessions, c.Session)
 		t.dropEphemerals(c.Session)
 		return opResult{}
-	case cmdCreate:
+	case codeCreate:
+		var c cmdCreate
+		c.UnmarshalWire(cmd) //nolint:errcheck
 		if c.Ephemeral {
 			if _, ok := t.sessions[c.Session]; !ok {
 				return opResult{Err: ErrSession}
@@ -184,7 +377,9 @@ func (t *tree) Apply(cmd any) any {
 		t.nodes[c.Path] = &znode{data: c.Data, version: 1, ephemeral: c.Ephemeral,
 			session: c.Session, fencing: c.Fencing}
 		return opResult{Version: 1}
-	case cmdSet:
+	case codeSet:
+		var c cmdSet
+		c.UnmarshalWire(cmd) //nolint:errcheck
 		n, ok := t.nodes[c.Path]
 		if !ok {
 			return opResult{Err: ErrNotFound}
@@ -195,7 +390,9 @@ func (t *tree) Apply(cmd any) any {
 		n.data = c.Data
 		n.version++
 		return opResult{Version: n.version}
-	case cmdDelete:
+	case codeDelete:
+		var c cmdDelete
+		c.UnmarshalWire(cmd) //nolint:errcheck
 		n, ok := t.nodes[c.Path]
 		if !ok {
 			return opResult{Err: ErrNotFound}
@@ -205,27 +402,28 @@ func (t *tree) Apply(cmd any) any {
 		}
 		delete(t.nodes, c.Path)
 		return opResult{}
-	case cmdGet:
-		n, ok := t.nodes[c.Path]
+	case codeGet:
+		n, ok := t.nodes[cmd.S[0]]
 		if !ok {
 			return opResult{Found: false}
 		}
 		return opResult{Found: true, Data: n.data, Version: n.version}
-	case cmdList:
+	case codeList:
+		prefix := cmd.S[0]
 		var paths []string
 		for p := range t.nodes {
-			if strings.HasPrefix(p, c.Prefix) {
+			if strings.HasPrefix(p, prefix) {
 				paths = append(paths, p)
 			}
 		}
 		sort.Strings(paths)
-		datas := make([]any, len(paths))
+		datas := make([]wire.Msg, len(paths))
 		for i, p := range paths {
 			datas[i] = t.nodes[p].data
 		}
 		return opResult{Paths: paths, Datas: datas}
 	default:
-		return opResult{Err: fmt.Errorf("controller: unknown command %T", cmd)}
+		return opResult{Err: fmt.Errorf("controller: unknown command %#x", uint16(cmd.Code))}
 	}
 }
 
@@ -296,7 +494,7 @@ func (svc *Service) startNode(n *simnet.Node, id string) {
 			}
 			sort.Strings(stale)
 			for _, name := range stale {
-				rc.Propose(p, cmdExpire{Session: name, AsOf: p.Now()}) //nolint:errcheck
+				rc.Propose(p, cmdExpire{Session: name, AsOf: p.Now()}.MarshalWire()) //nolint:errcheck
 			}
 		}
 	})

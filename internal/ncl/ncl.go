@@ -31,6 +31,7 @@ import (
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
 	"splitft/internal/trace"
+	"splitft/internal/wire"
 )
 
 // HeaderSize is the per-region metadata prefix: sequence number (8 bytes)
@@ -166,6 +167,9 @@ type peerConn struct {
 	name string
 	qp   *rdma.QP
 	rkey uint64
+	// id is this connection's index in Log.conns, packed into RDMA
+	// completion contexts so the poller can route without boxing.
+	id uint64
 	// completedSeq: every record with seq <= completedSeq (data and header)
 	// is durably in this peer's region. Monotonic because the QP completes
 	// WRs in post order.
@@ -199,6 +203,16 @@ type Log struct {
 	peers []*peerConn
 	cq    *rdma.CQ
 
+	// conns is the append-only registry of every peerConn this log ever
+	// connected (including replaced ones); completion contexts carry an
+	// index into it. peers holds the current membership and is reordered
+	// or rewritten on replacement, so its indexes are not stable.
+	conns []*peerConn
+	// bulks routes catch-up/read completions to their waiters by bulk id.
+	// A waiter that bails early deletes its entry; stragglers are dropped.
+	bulks    map[uint64]*simnet.Chan[error]
+	nextBulk uint64
+
 	mu       simnet.Mutex
 	ackCond  *simnet.Cond
 	repairCh *simnet.Chan[struct{}]
@@ -214,17 +228,45 @@ type Log struct {
 	StallTime    time.Duration
 }
 
-// wrCtx tags record WRs so the poller can account completions.
-type recCtx struct {
-	pc     *peerConn
-	seq    uint64
-	header bool
+// RDMA completion contexts are packed into the 64-bit Ctx word rather than
+// boxed, keeping the record hot path allocation-free:
+//
+//	record WRs: bit 0 clear, bit 1 = header write,
+//	            bits 2..17 = conn id, bits 18..63 = sequence number
+//	bulk WRs:   bit 0 set, bits 1..63 = bulk waiter id
+const (
+	ctxBulkFlag   = 1 << 0
+	ctxHeaderFlag = 1 << 1
+	ctxConnShift  = 2
+	ctxConnMask   = (1 << 16) - 1
+	ctxSeqShift   = 18
+)
+
+func recCtx(pc *peerConn, seq uint64, header bool) uint64 {
+	ctx := pc.id<<ctxConnShift | seq<<ctxSeqShift
+	if header {
+		ctx |= ctxHeaderFlag
+	}
+	return ctx
 }
 
-// bulkCtx tags catch-up transfers; completions are forwarded to the waiter.
-type bulkCtx struct {
-	done *simnet.Chan[error]
+// registerConn assigns pc a stable id and records it in the conn registry.
+func (lg *Log) registerConn(pc *peerConn) {
+	pc.id = uint64(len(lg.conns))
+	lg.conns = append(lg.conns, pc)
 }
+
+// newBulkWaiter allocates a bulk id and its completion channel. The caller
+// must delete the id from lg.bulks when done waiting.
+func (lg *Log) newBulkWaiter() (uint64, *simnet.Chan[error]) {
+	lg.nextBulk++
+	id := lg.nextBulk
+	done := simnet.NewChan[error](lg.lib.sim)
+	lg.bulks[id] = done
+	return id, done
+}
+
+func bulkCtx(id uint64) uint64 { return ctxBulkFlag | id<<1 }
 
 func (l *Lib) n() int { return 2*l.cfg.F + 1 }
 
@@ -255,6 +297,7 @@ func (l *Lib) OpenWithOptions(p *simnet.Proc, name string, capacity int64, opts 
 		appendOnly: opts.AppendOnly,
 		cq:         rdma.NewCQ(l.sim),
 		repairCh:   simnet.NewChan[struct{}](l.sim),
+		bulks:      make(map[uint64]*simnet.Chan[error]),
 	}
 	lg.ackCond = simnet.NewCond(&lg.mu)
 
@@ -315,18 +358,19 @@ func (l *Lib) connectPeer(p *simnet.Proc, lg *Log, cand controller.PeerInfo, epo
 	rp := l.fabric.Params()
 	reg := rp.RegFixed + time.Duration(float64(lg.regionSize())/rp.RegBandwidth*float64(time.Second))
 	timeout := 200*time.Millisecond + 2*reg
-	resp, err := l.sim.Net().CallTimeout(p, l.node, cand.Addr, peer.SetupReq{
+	setup, err := wire.CallTimeout[peer.SetupResp](p, l.sim.Net(), l.node, cand.Addr, peer.SetupReq{
 		App: l.appID, File: lg.name, Size: lg.regionSize(), Epoch: epoch,
 	}, timeout)
 	if err != nil {
 		return nil, err
 	}
-	setup := resp.(peer.SetupResp)
 	qp, err := l.nic.Connect(p, cand.Name, lg.cq)
 	if err != nil {
 		return nil, err
 	}
-	return &peerConn{name: cand.Name, qp: qp, rkey: setup.RKey}, nil
+	pc := &peerConn{name: cand.Name, qp: qp, rkey: setup.RKey}
+	lg.registerConn(pc)
+	return pc, nil
 }
 
 func (lg *Log) regionSize() int64 { return HeaderSize + lg.capacity }
@@ -354,32 +398,36 @@ func (lg *Log) pollLoop(p *simnet.Proc) {
 		if !ok {
 			return
 		}
-		switch ctx := c.Ctx.(type) {
-		case recCtx:
-			lg.mu.Lock(p)
-			if c.Err != nil {
-				if !ctx.pc.failed {
-					ctx.pc.failed = true
-					lg.lib.markSuspect(ctx.pc.name, p.Now())
-					lg.repairCh.Send(p, struct{}{})
-				}
-			} else if ctx.header && ctx.seq > ctx.pc.completedSeq {
-				ctx.pc.completedSeq = ctx.seq
+		ctx := c.Ctx
+		if ctx&ctxBulkFlag != 0 {
+			if done, ok := lg.bulks[ctx>>1]; ok {
+				done.Send(p, c.Err)
 			}
-			lg.ackCond.Broadcast(p)
-			lg.mu.Unlock(p)
-		case bulkCtx:
-			ctx.done.Send(p, c.Err)
+			continue
 		}
+		pc := lg.conns[(ctx>>ctxConnShift)&ctxConnMask]
+		seq := ctx >> ctxSeqShift
+		lg.mu.Lock(p)
+		if c.Err != nil {
+			if !pc.failed {
+				pc.failed = true
+				lg.lib.markSuspect(pc.name, p.Now())
+				lg.repairCh.Send(p, struct{}{})
+			}
+		} else if ctx&ctxHeaderFlag != 0 && seq > pc.completedSeq {
+			pc.completedSeq = seq
+		}
+		lg.ackCond.Broadcast(p)
+		lg.mu.Unlock(p)
 	}
 }
 
-// header returns the 16-byte header for the current seq/length.
-func (lg *Log) header() []byte {
-	var h [HeaderSize]byte
+// putHeader fills h (HeaderSize bytes) with the current seq/length. Callers
+// pass a stack array: PostWrite copies the payload at post time, so the
+// header never escapes and the record hot path stays allocation-free.
+func (lg *Log) putHeader(h []byte) {
 	binary.LittleEndian.PutUint64(h[0:8], lg.seq)
 	binary.LittleEndian.PutUint64(h[8:16], uint64(lg.length))
-	return h[:]
 }
 
 // Record replicates one application write at the given file offset (§4.4).
@@ -390,8 +438,10 @@ func (lg *Log) header() []byte {
 // Record supports overwrites at arbitrary offsets within the region, which
 // is how circular logs (SQLite-style, Fig 7ii) are replicated physically.
 func (lg *Log) Record(p *simnet.Proc, off int64, data []byte) error {
-	sp := p.StartSpan("ncl", "record", trace.Str("file", lg.name), trace.Int("bytes", int64(len(data))))
-	defer p.EndSpan(sp)
+	if p.Tracing() {
+		sp := p.StartSpan("ncl", "record", trace.Str("file", lg.name), trace.Int("bytes", int64(len(data))))
+		defer p.EndSpan(sp)
+	}
 	lg.mu.Lock(p)
 	defer lg.mu.Unlock(p)
 	if lg.released {
@@ -410,11 +460,12 @@ func (lg *Log) Record(p *simnet.Proc, off int64, data []byte) error {
 	}
 	lg.seq++
 	seq := lg.seq
-	hdr := lg.header()
+	var hdr [HeaderSize]byte
+	lg.putHeader(hdr[:])
 	for _, pc := range lg.peers {
 		if pc.active && !pc.failed {
-			pc.qp.PostWrite(p, pc.rkey, HeaderSize+int(off), data, recCtx{pc: pc, seq: seq, header: false})
-			pc.qp.PostWrite(p, pc.rkey, 0, hdr, recCtx{pc: pc, seq: seq, header: true})
+			pc.qp.PostWrite(p, pc.rkey, HeaderSize+int(off), data, recCtx(pc, seq, false))
+			pc.qp.PostWrite(p, pc.rkey, 0, hdr[:], recCtx(pc, seq, true))
 		}
 	}
 	p.Sleep(lg.lib.cfg.RecordCPU)
@@ -489,8 +540,10 @@ func (lg *Log) RemoteReadAt(p *simnet.Proc, buf []byte, off int64) (int, error) 
 	if target == nil {
 		return 0, ErrUnavailable
 	}
-	sp := p.StartSpan("ncl", "remoteread", trace.Str("file", lg.name), trace.Int("bytes", n))
-	defer p.EndSpan(sp)
+	if p.Tracing() {
+		sp := p.StartSpan("ncl", "remoteread", trace.Str("file", lg.name), trace.Int("bytes", n))
+		defer p.EndSpan(sp)
+	}
 	p.Sleep(lg.lib.cfg.ReadOverhead) // per-read library overhead (WR setup + poll)
 	if err := lg.readInto(p, target, HeaderSize+int(off), buf[:n]); err != nil {
 		return 0, err
@@ -533,7 +586,7 @@ func (lg *Log) Release(p *simnet.Proc) error {
 		// Best-effort: dead peers' allocations are reclaimed by their GC.
 		net.CallTimeout(p, lg.lib.node, peer.Addr(pc.name), peer.ReleaseReq{ //nolint:errcheck
 			App: lg.lib.appID, File: lg.name,
-		}, 10*time.Millisecond)
+		}.MarshalWire(), 10*time.Millisecond)
 		pc.qp.Close(p)
 	}
 	if err := lg.lib.ctrl.DeleteAppFile(p, lg.lib.appID, lg.name); err != nil {
@@ -565,7 +618,7 @@ func (l *Lib) ReleaseByName(p *simnet.Proc, name string) error {
 	for _, pname := range entry.Peers {
 		l.sim.Net().CallTimeout(p, l.node, peer.Addr(pname), peer.ReleaseReq{ //nolint:errcheck
 			App: l.appID, File: name,
-		}, 10*time.Millisecond)
+		}.MarshalWire(), 10*time.Millisecond)
 	}
 	return l.ctrl.DeleteAppFile(p, l.appID, name)
 }

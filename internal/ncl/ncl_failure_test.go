@@ -10,6 +10,7 @@ import (
 	"splitft/internal/peer"
 	"splitft/internal/simnet"
 	"splitft/internal/trace"
+	"splitft/internal/wire"
 )
 
 // Additional failure-mode coverage: partitions, capacity limits, multiple
@@ -293,11 +294,11 @@ func TestAppendOnlyTailCatchup(t *testing.T) {
 		c.appNode.Restart()
 
 		// Remember the lagging peer's region identity (rkey via lookup).
-		resp, err := c.sim.Net().Call(p, c.appNode, peer.Addr(lagging), peer.LookupReq{App: "app1", File: "wal"})
+		look, err := wire.Call[peer.LookupResp](p, c.sim.Net(), c.appNode, peer.Addr(lagging), peer.LookupReq{App: "app1", File: "wal"})
 		if err != nil {
 			t.Fatalf("pre-recovery lookup: %v", err)
 		}
-		laggingKeyBefore = resp.(peer.LookupResp).RKey
+		laggingKeyBefore = look.RKey
 
 		l2, _ := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 1, DefaultConfig())
 		lg2, err := l2.Recover(p, "wal")
@@ -309,11 +310,11 @@ func TestAppendOnlyTailCatchup(t *testing.T) {
 		}
 		// Tail shipping reuses the SAME region: the rkey must be unchanged
 		// (a staging switch would have re-keyed it) and the content full.
-		resp, err = c.sim.Net().Call(p, c.appNode, peer.Addr(lagging), peer.LookupReq{App: "app1", File: "wal"})
+		look, err = wire.Call[peer.LookupResp](p, c.sim.Net(), c.appNode, peer.Addr(lagging), peer.LookupReq{App: "app1", File: "wal"})
 		if err != nil {
 			t.Fatalf("post-recovery lookup: %v", err)
 		}
-		if got := resp.(peer.LookupResp).RKey; got != laggingKeyBefore {
+		if got := look.RKey; got != laggingKeyBefore {
 			t.Fatalf("append-only catch-up switched regions: rkey %d -> %d", laggingKeyBefore, got)
 		}
 		region, _ := c.peers[lagging].RegionBytes("app1", "wal")

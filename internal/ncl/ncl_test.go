@@ -14,6 +14,7 @@ import (
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
 	"splitft/internal/trace"
+	"splitft/internal/wire"
 )
 
 // cluster is the standard NCL testbed: 3 controller nodes, a configurable
@@ -571,13 +572,12 @@ func TestSpaceLeakGC(t *testing.T) {
 	c.run(t, func(p *simnet.Proc) {
 		// Simulate an application that allocated a region and crashed before
 		// writing its ap-map entry: call Setup directly.
-		resp, err := c.sim.Net().Call(p, c.appNode, peer.Addr("peer0"), peer.SetupReq{
+		_, err := wire.Call[peer.SetupResp](p, c.sim.Net(), c.appNode, peer.Addr("peer0"), peer.SetupReq{
 			App: "ghost", File: "leaked", Size: 1 << 20, Epoch: 1,
 		})
 		if err != nil {
 			t.Fatalf("setup: %v", err)
 		}
-		_ = resp
 		if c.peers["peer0"].Regions() != 1 {
 			t.Fatalf("region not allocated")
 		}

@@ -10,6 +10,7 @@ import (
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
 	"splitft/internal/trace"
+	"splitft/internal/wire"
 )
 
 // This file implements application recovery (§4.5.1): after a crash the
@@ -75,6 +76,7 @@ func (l *Lib) Recover(p *simnet.Proc, name string) (*Log, error) {
 		appendOnly: entry.AppendOnly,
 		cq:         rdma.NewCQ(l.sim),
 		repairCh:   simnet.NewChan[struct{}](l.sim),
+		bulks:      make(map[uint64]*simnet.Chan[error]),
 	}
 	lg.ackCond = simnet.NewCond(&lg.mu)
 	// The poller runs from here so completion routing works during recovery.
@@ -85,19 +87,19 @@ func (l *Lib) Recover(p *simnet.Proc, name string) (*Log, error) {
 	var alive []*peerConn
 	var missing []int // slots in entry.Peers that need replacement
 	for i, pname := range entry.Peers {
-		resp, err := l.sim.Net().CallTimeout(p, l.node, peer.Addr(pname),
+		look, err := wire.CallTimeout[peer.LookupResp](p, l.sim.Net(), l.node, peer.Addr(pname),
 			peer.LookupReq{App: l.appID, File: name}, 20*time.Millisecond)
 		if err != nil {
 			missing = append(missing, i)
 			continue
 		}
-		look := resp.(peer.LookupResp)
 		qp, err := l.nic.Connect(p, pname, lg.cq)
 		if err != nil {
 			missing = append(missing, i)
 			continue
 		}
 		pc := &peerConn{name: pname, qp: qp, rkey: look.RKey}
+		lg.registerConn(pc)
 		alive = append(alive, pc)
 		lg.peers = append(lg.peers, pc) // placed; reordered below
 	}
@@ -200,8 +202,9 @@ func (l *Lib) Recover(p *simnet.Proc, name string) (*Log, error) {
 
 // readInto issues a 1-sided RDMA read from pc's region into buf and waits.
 func (lg *Log) readInto(p *simnet.Proc, pc *peerConn, off int, buf []byte) error {
-	done := simnet.NewChan[error](lg.lib.sim)
-	pc.qp.PostRead(p, pc.rkey, off, buf, bulkCtx{done: done})
+	id, done := lg.newBulkWaiter()
+	defer delete(lg.bulks, id)
+	pc.qp.PostRead(p, pc.rkey, off, buf, bulkCtx(id))
 	err, ok := done.Recv(p)
 	if !ok {
 		return ErrReleased
@@ -215,17 +218,16 @@ func (lg *Log) readInto(p *simnet.Proc, pc *peerConn, off int, buf []byte) error
 // incorrect (Fig 7ii).
 func (lg *Log) catchUpViaStaging(p *simnet.Proc, pc *peerConn, epoch int64) error {
 	l := lg.lib
-	resp, err := l.sim.Net().Call(p, l.node, peer.Addr(pc.name), peer.AllocStagingReq{
+	stg, err := wire.Call[peer.AllocStagingResp](p, l.sim.Net(), l.node, peer.Addr(pc.name), peer.AllocStagingReq{
 		App: l.appID, File: lg.name, Size: lg.regionSize(), Epoch: epoch,
 	})
 	if err != nil {
 		return err
 	}
-	stg := resp.(peer.AllocStagingResp)
 	if err := lg.bulkTransfer(p, pc.qp, stg.RKey, false); err != nil {
 		return err
 	}
-	if _, err := l.sim.Net().Call(p, l.node, peer.Addr(pc.name), peer.CommitSwitchReq{
+	if _, err := wire.Call[wire.Ack](p, l.sim.Net(), l.node, peer.Addr(pc.name), peer.CommitSwitchReq{
 		App: l.appID, File: lg.name, StagingID: stg.StagingID, Epoch: epoch,
 	}); err != nil {
 		return err
@@ -245,14 +247,17 @@ func (lg *Log) catchUpTail(p *simnet.Proc, pc *peerConn, peerLen int64) error {
 		// its header is corrupt; fall back to the full copy path.
 		return fmt.Errorf("ncl: peer %s advertises %d > recovered %d", pc.name, peerLen, lg.length)
 	}
-	done := simnet.NewChan[error](lg.lib.sim)
+	id, done := lg.newBulkWaiter()
+	defer delete(lg.bulks, id)
 	n := 1
 	if peerLen < lg.length {
 		pc.qp.PostWrite(p, pc.rkey, HeaderSize+int(peerLen),
-			lg.buf[HeaderSize+peerLen:HeaderSize+lg.length], bulkCtx{done: done})
+			lg.buf[HeaderSize+peerLen:HeaderSize+lg.length], bulkCtx(id))
 		n++
 	}
-	pc.qp.PostWrite(p, pc.rkey, 0, lg.header(), bulkCtx{done: done})
+	var hdr [HeaderSize]byte
+	lg.putHeader(hdr[:])
+	pc.qp.PostWrite(p, pc.rkey, 0, hdr[:], bulkCtx(id))
 	for i := 0; i < n; i++ {
 		err, ok := done.Recv(p)
 		if !ok {

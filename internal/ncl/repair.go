@@ -142,34 +142,35 @@ func (lg *Log) postSnapshotLocked(p *simnet.Proc, pc *peerConn) {
 	if lg.length > 0 {
 		p.Sleep(time.Duration(float64(lg.length) / lg.lib.cfg.CatchupCopyCPU * float64(time.Second)))
 		pc.qp.PostWrite(p, pc.rkey, HeaderSize, lg.buf[HeaderSize:HeaderSize+lg.length],
-			recCtx{pc: pc, seq: lg.seq, header: false})
+			recCtx(pc, lg.seq, false))
 	}
-	pc.qp.PostWrite(p, pc.rkey, 0, lg.header(), recCtx{pc: pc, seq: lg.seq, header: true})
+	var hdr [HeaderSize]byte
+	lg.putHeader(hdr[:])
+	pc.qp.PostWrite(p, pc.rkey, 0, hdr[:], recCtx(pc, lg.seq, true))
 }
 
 // bulkTransfer writes the current log snapshot (data then header) to a
 // remote region and waits for both completions. With lock=true the snapshot
-// is taken under lg.mu (consistent cut); the transfer itself proceeds
-// unlocked so writes continue meanwhile.
+// is cut under lg.mu; PostWrite copies payloads into staging buffers at post
+// time, so only the posting happens under the lock — the transfer itself
+// proceeds unlocked and writes continue meanwhile.
 func (lg *Log) bulkTransfer(p *simnet.Proc, qp qpLike, rkey uint64, lock bool) error {
+	id, done := lg.newBulkWaiter()
+	defer delete(lg.bulks, id)
 	if lock {
 		lg.mu.Lock(p)
 	}
-	var data []byte
+	n := 1
 	if lg.length > 0 {
-		data = append([]byte(nil), lg.buf[HeaderSize:HeaderSize+lg.length]...)
+		qp.PostWrite(p, rkey, HeaderSize, lg.buf[HeaderSize:HeaderSize+lg.length], bulkCtx(id))
+		n++
 	}
-	hdr := lg.header()
+	var hdr [HeaderSize]byte
+	lg.putHeader(hdr[:])
+	qp.PostWrite(p, rkey, 0, hdr[:], bulkCtx(id))
 	if lock {
 		lg.mu.Unlock(p)
 	}
-	done := simnet.NewChan[error](lg.lib.sim)
-	n := 1
-	if len(data) > 0 {
-		qp.PostWrite(p, rkey, HeaderSize, data, bulkCtx{done: done})
-		n++
-	}
-	qp.PostWrite(p, rkey, 0, hdr, bulkCtx{done: done})
 	for i := 0; i < n; i++ {
 		err, ok := done.Recv(p)
 		if !ok {
@@ -184,5 +185,5 @@ func (lg *Log) bulkTransfer(p *simnet.Proc, qp qpLike, rkey uint64, lock bool) e
 
 // qpLike lets bulkTransfer serve both live QPs and recovery-time QPs.
 type qpLike interface {
-	PostWrite(p *simnet.Proc, rkey uint64, offset int, data []byte, ctx any) uint64
+	PostWrite(p *simnet.Proc, rkey uint64, offset int, data []byte, ctx uint64) uint64
 }

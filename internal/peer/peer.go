@@ -28,6 +28,7 @@ import (
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
 	"splitft/internal/trace"
+	"splitft/internal/wire"
 )
 
 // Config tunes a peer daemon. The constants live in internal/model (the
@@ -49,7 +50,21 @@ var (
 	ErrDead       = errors.New("peer: daemon is down")
 )
 
-// RPC messages.
+// Wire codes for the peer RPCs (range 0x10–0x1f; see internal/wire).
+const (
+	CodeSetup            wire.Code = 0x10
+	CodeSetupResp        wire.Code = 0x11
+	CodeLookup           wire.Code = 0x12
+	CodeLookupResp       wire.Code = 0x13
+	CodeRelease          wire.Code = 0x14
+	CodeAllocStaging     wire.Code = 0x15
+	CodeAllocStagingResp wire.Code = 0x16
+	CodeCommitSwitch     wire.Code = 0x17
+)
+
+// RPC messages. Each implements wire.Marshaler (requests and responses)
+// and wire.Unmarshaler (responses, plus requests for the handler side), so
+// call sites go through wire.Call with no boxing.
 type SetupReq struct {
 	App   string
 	File  string
@@ -57,13 +72,41 @@ type SetupReq struct {
 	Epoch int64
 }
 
+func (r SetupReq) MarshalWire() wire.Msg {
+	return wire.Msg{Code: CodeSetup, S: [3]string{r.App, r.File},
+		U: [4]uint64{uint64(r.Size), uint64(r.Epoch)}}
+}
+
+func (r *SetupReq) UnmarshalWire(m wire.Msg) error {
+	*r = SetupReq{App: m.S[0], File: m.S[1], Size: m.Int(0), Epoch: m.Int(1)}
+	return nil
+}
+
 type SetupResp struct {
 	RKey uint64
+}
+
+func (r SetupResp) MarshalWire() wire.Msg {
+	return wire.Msg{Code: CodeSetupResp, U: [4]uint64{r.RKey}}
+}
+
+func (r *SetupResp) UnmarshalWire(m wire.Msg) error {
+	r.RKey = m.U[0]
+	return nil
 }
 
 type LookupReq struct {
 	App  string
 	File string
+}
+
+func (r LookupReq) MarshalWire() wire.Msg {
+	return wire.Msg{Code: CodeLookup, S: [3]string{r.App, r.File}}
+}
+
+func (r *LookupReq) UnmarshalWire(m wire.Msg) error {
+	*r = LookupReq{App: m.S[0], File: m.S[1]}
+	return nil
 }
 
 type LookupResp struct {
@@ -72,9 +115,27 @@ type LookupResp struct {
 	Epoch int64
 }
 
+func (r LookupResp) MarshalWire() wire.Msg {
+	return wire.Msg{Code: CodeLookupResp, U: [4]uint64{r.RKey, uint64(r.Size), uint64(r.Epoch)}}
+}
+
+func (r *LookupResp) UnmarshalWire(m wire.Msg) error {
+	*r = LookupResp{RKey: m.U[0], Size: m.Int(1), Epoch: m.Int(2)}
+	return nil
+}
+
 type ReleaseReq struct {
 	App  string
 	File string
+}
+
+func (r ReleaseReq) MarshalWire() wire.Msg {
+	return wire.Msg{Code: CodeRelease, S: [3]string{r.App, r.File}}
+}
+
+func (r *ReleaseReq) UnmarshalWire(m wire.Msg) error {
+	*r = ReleaseReq{App: m.S[0], File: m.S[1]}
+	return nil
 }
 
 type AllocStagingReq struct {
@@ -84,9 +145,28 @@ type AllocStagingReq struct {
 	Epoch int64
 }
 
+func (r AllocStagingReq) MarshalWire() wire.Msg {
+	return wire.Msg{Code: CodeAllocStaging, S: [3]string{r.App, r.File},
+		U: [4]uint64{uint64(r.Size), uint64(r.Epoch)}}
+}
+
+func (r *AllocStagingReq) UnmarshalWire(m wire.Msg) error {
+	*r = AllocStagingReq{App: m.S[0], File: m.S[1], Size: m.Int(0), Epoch: m.Int(1)}
+	return nil
+}
+
 type AllocStagingResp struct {
 	StagingID int64
 	RKey      uint64
+}
+
+func (r AllocStagingResp) MarshalWire() wire.Msg {
+	return wire.Msg{Code: CodeAllocStagingResp, U: [4]uint64{uint64(r.StagingID), r.RKey}}
+}
+
+func (r *AllocStagingResp) UnmarshalWire(m wire.Msg) error {
+	*r = AllocStagingResp{StagingID: m.Int(0), RKey: m.U[1]}
+	return nil
 }
 
 type CommitSwitchReq struct {
@@ -94,6 +174,16 @@ type CommitSwitchReq struct {
 	File      string
 	StagingID int64
 	Epoch     int64
+}
+
+func (r CommitSwitchReq) MarshalWire() wire.Msg {
+	return wire.Msg{Code: CodeCommitSwitch, S: [3]string{r.App, r.File},
+		U: [4]uint64{uint64(r.StagingID), uint64(r.Epoch)}}
+}
+
+func (r *CommitSwitchReq) UnmarshalWire(m wire.Msg) error {
+	*r = CommitSwitchReq{App: m.S[0], File: m.S[1], StagingID: m.Int(0), Epoch: m.Int(1)}
+	return nil
 }
 
 type regionKey struct{ app, file string }
@@ -180,33 +270,67 @@ func (pr *Peer) RegionBytes(app, file string) ([]byte, bool) {
 	return r.mr.Bytes(), true
 }
 
-func (pr *Peer) handleRPC(p *simnet.Proc, req any) (any, error) {
-	if pr.dead {
-		return nil, ErrDead
-	}
-	switch r := req.(type) {
-	case SetupReq:
-		sp := p.StartSpan("peer", "setup", trace.Str("file", r.App+"/"+r.File), trace.Int("bytes", r.Size))
-		defer p.EndSpan(sp)
-		return pr.onSetup(p, r)
-	case LookupReq:
-		sp := p.StartSpan("peer", "lookup", trace.Str("file", r.App+"/"+r.File))
-		defer p.EndSpan(sp)
-		return pr.onLookup(p, r)
-	case ReleaseReq:
-		sp := p.StartSpan("peer", "release", trace.Str("file", r.App+"/"+r.File))
-		defer p.EndSpan(sp)
-		return nil, pr.onRelease(p, r)
-	case AllocStagingReq:
-		sp := p.StartSpan("peer", "staging", trace.Str("file", r.App+"/"+r.File), trace.Int("bytes", r.Size))
-		defer p.EndSpan(sp)
-		return pr.onAllocStaging(p, r)
-	case CommitSwitchReq:
-		sp := p.StartSpan("peer", "switch", trace.Str("file", r.App+"/"+r.File))
-		defer p.EndSpan(sp)
-		return nil, pr.onCommitSwitch(p, r)
+// rpcOp names the span for each request code (tracing only).
+func rpcOp(c wire.Code) string {
+	switch c {
+	case CodeSetup:
+		return "setup"
+	case CodeLookup:
+		return "lookup"
+	case CodeRelease:
+		return "release"
+	case CodeAllocStaging:
+		return "staging"
+	case CodeCommitSwitch:
+		return "switch"
 	default:
-		return nil, fmt.Errorf("peer: unknown rpc %T", req)
+		return "unknown"
+	}
+}
+
+func (pr *Peer) handleRPC(p *simnet.Proc, m simnet.Msg) (simnet.Msg, error) {
+	if pr.dead {
+		return simnet.Msg{}, ErrDead
+	}
+	if p.Tracing() {
+		sp := p.StartSpan("peer", rpcOp(m.Code), trace.Str("file", m.S[0]+"/"+m.S[1]))
+		defer p.EndSpan(sp)
+	}
+	switch m.Code {
+	case CodeSetup:
+		var r SetupReq
+		r.UnmarshalWire(m) //nolint:errcheck
+		resp, err := pr.onSetup(p, r)
+		if err != nil {
+			return simnet.Msg{}, err
+		}
+		return resp.MarshalWire(), nil
+	case CodeLookup:
+		var r LookupReq
+		r.UnmarshalWire(m) //nolint:errcheck
+		resp, err := pr.onLookup(p, r)
+		if err != nil {
+			return simnet.Msg{}, err
+		}
+		return resp.MarshalWire(), nil
+	case CodeRelease:
+		var r ReleaseReq
+		r.UnmarshalWire(m) //nolint:errcheck
+		return wire.Ack{}.MarshalWire(), pr.onRelease(p, r)
+	case CodeAllocStaging:
+		var r AllocStagingReq
+		r.UnmarshalWire(m) //nolint:errcheck
+		resp, err := pr.onAllocStaging(p, r)
+		if err != nil {
+			return simnet.Msg{}, err
+		}
+		return resp.MarshalWire(), nil
+	case CodeCommitSwitch:
+		var r CommitSwitchReq
+		r.UnmarshalWire(m) //nolint:errcheck
+		return wire.Ack{}.MarshalWire(), pr.onCommitSwitch(p, r)
+	default:
+		return simnet.Msg{}, fmt.Errorf("peer: unknown rpc code %#x", m.Code)
 	}
 }
 

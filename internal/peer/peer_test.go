@@ -8,6 +8,7 @@ import (
 	"splitft/internal/controller"
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
+	"splitft/internal/wire"
 )
 
 type fixture struct {
@@ -55,8 +56,12 @@ func (fx *fixture) run(t *testing.T, fn func(p *simnet.Proc)) {
 	}
 }
 
-func (fx *fixture) call(p *simnet.Proc, req any) (any, error) {
-	return fx.sim.Net().Call(p, fx.app, Addr("peerA"), req)
+// call is the typed RPC helper: the response type is named at the call
+// site, everything else is inferred.
+func call[Resp any, PResp wire.Unmarshaler[Resp], Req wire.Marshaler](
+	fx *fixture, p *simnet.Proc, req Req,
+) (Resp, error) {
+	return wire.Call[Resp, PResp](p, fx.sim.Net(), fx.app, Addr("peerA"), req)
 }
 
 func testCfg() Config {
@@ -68,11 +73,11 @@ func testCfg() Config {
 func TestSetupLookupRelease(t *testing.T) {
 	fx := newFixture(1, testCfg())
 	fx.run(t, func(p *simnet.Proc) {
-		resp, err := fx.call(p, SetupReq{App: "a1", File: "wal", Size: 1 << 20, Epoch: 1})
+		resp, err := call[SetupResp](fx, p, SetupReq{App: "a1", File: "wal", Size: 1 << 20, Epoch: 1})
 		if err != nil {
 			t.Fatalf("setup: %v", err)
 		}
-		rkey := resp.(SetupResp).RKey
+		rkey := resp.RKey
 		if rkey == 0 {
 			t.Fatal("zero rkey")
 		}
@@ -80,11 +85,11 @@ func TestSetupLookupRelease(t *testing.T) {
 			t.Errorf("avail = %d after setup", fx.pr.Avail())
 		}
 		// Lookup returns the same region.
-		lresp, err := fx.call(p, LookupReq{App: "a1", File: "wal"})
+		lresp, err := call[LookupResp](fx, p, LookupReq{App: "a1", File: "wal"})
 		if err != nil {
 			t.Fatalf("lookup: %v", err)
 		}
-		look := lresp.(LookupResp)
+		look := lresp
 		if look.RKey != rkey || look.Size != 1<<20 || look.Epoch != 1 {
 			t.Errorf("lookup = %+v", look)
 		}
@@ -94,7 +99,7 @@ func TestSetupLookupRelease(t *testing.T) {
 		if err != nil {
 			t.Fatalf("connect: %v", err)
 		}
-		qp.PostWrite(p, rkey, 0, []byte("hello"), nil)
+		qp.PostWrite(p, rkey, 0, []byte("hello"), 0)
 		if c, _ := cq.Poll(p); c.Err != nil {
 			t.Fatalf("remote write: %v", c.Err)
 		}
@@ -102,17 +107,17 @@ func TestSetupLookupRelease(t *testing.T) {
 			t.Errorf("region content wrong")
 		}
 		// Release frees it; lookups now fail; memory back in the pool.
-		if _, err := fx.call(p, ReleaseReq{App: "a1", File: "wal"}); err != nil {
+		if _, err := call[wire.Ack](fx, p, ReleaseReq{App: "a1", File: "wal"}); err != nil {
 			t.Fatalf("release: %v", err)
 		}
-		if _, err := fx.call(p, LookupReq{App: "a1", File: "wal"}); !errors.Is(err, ErrNotFound) {
+		if _, err := call[LookupResp](fx, p, LookupReq{App: "a1", File: "wal"}); !errors.Is(err, ErrNotFound) {
 			t.Errorf("lookup after release: %v", err)
 		}
 		if fx.pr.Avail() != 8<<20 {
 			t.Errorf("avail = %d after release", fx.pr.Avail())
 		}
 		// And the old key no longer grants access.
-		qp.PostWrite(p, rkey, 0, []byte("x"), nil)
+		qp.PostWrite(p, rkey, 0, []byte("x"), 0)
 		if c, _ := cq.Poll(p); !errors.Is(c.Err, rdma.ErrRemoteAccess) {
 			t.Errorf("write with released key: %v", c.Err)
 		}
@@ -122,10 +127,10 @@ func TestSetupLookupRelease(t *testing.T) {
 func TestSetupRejectsWhenOutOfMemory(t *testing.T) {
 	fx := newFixture(2, testCfg())
 	fx.run(t, func(p *simnet.Proc) {
-		if _, err := fx.call(p, SetupReq{App: "a1", File: "f1", Size: 6 << 20, Epoch: 1}); err != nil {
+		if _, err := call[SetupResp](fx, p, SetupReq{App: "a1", File: "f1", Size: 6 << 20, Epoch: 1}); err != nil {
 			t.Fatalf("first setup: %v", err)
 		}
-		_, err := fx.call(p, SetupReq{App: "a1", File: "f2", Size: 4 << 20, Epoch: 1})
+		_, err := call[SetupResp](fx, p, SetupReq{App: "a1", File: "f2", Size: 4 << 20, Epoch: 1})
 		if !errors.Is(err, ErrNoMem) {
 			t.Fatalf("over-commit allowed: %v", err)
 		}
@@ -135,15 +140,15 @@ func TestSetupRejectsWhenOutOfMemory(t *testing.T) {
 func TestSetupRejectsStaleEpoch(t *testing.T) {
 	fx := newFixture(3, testCfg())
 	fx.run(t, func(p *simnet.Proc) {
-		if _, err := fx.call(p, SetupReq{App: "a1", File: "wal", Size: 1 << 20, Epoch: 5}); err != nil {
+		if _, err := call[SetupResp](fx, p, SetupReq{App: "a1", File: "wal", Size: 1 << 20, Epoch: 5}); err != nil {
 			t.Fatalf("setup: %v", err)
 		}
-		_, err := fx.call(p, SetupReq{App: "a1", File: "wal", Size: 1 << 20, Epoch: 3})
+		_, err := call[SetupResp](fx, p, SetupReq{App: "a1", File: "wal", Size: 1 << 20, Epoch: 3})
 		if !errors.Is(err, ErrStaleEpoch) {
 			t.Fatalf("stale epoch accepted: %v", err)
 		}
 		// Same or newer epoch replaces the region (ambiguous-retry path).
-		if _, err := fx.call(p, SetupReq{App: "a1", File: "wal", Size: 1 << 20, Epoch: 6}); err != nil {
+		if _, err := call[SetupResp](fx, p, SetupReq{App: "a1", File: "wal", Size: 1 << 20, Epoch: 6}); err != nil {
 			t.Fatalf("newer epoch rejected: %v", err)
 		}
 		if fx.pr.Regions() != 1 {
@@ -155,26 +160,26 @@ func TestSetupRejectsStaleEpoch(t *testing.T) {
 func TestStagingAndAtomicSwitch(t *testing.T) {
 	fx := newFixture(4, testCfg())
 	fx.run(t, func(p *simnet.Proc) {
-		resp, _ := fx.call(p, SetupReq{App: "a1", File: "wal", Size: 1 << 20, Epoch: 1})
-		oldKey := resp.(SetupResp).RKey
-		sresp, err := fx.call(p, AllocStagingReq{App: "a1", File: "wal", Size: 1 << 20, Epoch: 1})
+		resp, _ := call[SetupResp](fx, p, SetupReq{App: "a1", File: "wal", Size: 1 << 20, Epoch: 1})
+		oldKey := resp.RKey
+		sresp, err := call[AllocStagingResp](fx, p, AllocStagingReq{App: "a1", File: "wal", Size: 1 << 20, Epoch: 1})
 		if err != nil {
 			t.Fatalf("staging: %v", err)
 		}
-		stg := sresp.(AllocStagingResp)
+		stg := sresp
 		// Write recovered content into staging.
 		cq := rdma.NewCQ(fx.sim)
 		qp, _ := fx.appNIC.Connect(p, "peerA", cq)
-		qp.PostWrite(p, stg.RKey, 0, []byte("recovered!"), nil)
+		qp.PostWrite(p, stg.RKey, 0, []byte("recovered!"), 0)
 		if c, _ := cq.Poll(p); c.Err != nil {
 			t.Fatalf("staging write: %v", c.Err)
 		}
 		// Commit the switch: mr-map now points at the staged region.
-		if _, err := fx.call(p, CommitSwitchReq{App: "a1", File: "wal", StagingID: stg.StagingID, Epoch: 2}); err != nil {
+		if _, err := call[wire.Ack](fx, p, CommitSwitchReq{App: "a1", File: "wal", StagingID: stg.StagingID, Epoch: 2}); err != nil {
 			t.Fatalf("switch: %v", err)
 		}
-		lresp, _ := fx.call(p, LookupReq{App: "a1", File: "wal"})
-		look := lresp.(LookupResp)
+		lresp, _ := call[LookupResp](fx, p, LookupReq{App: "a1", File: "wal"})
+		look := lresp
 		if look.RKey != stg.RKey || look.Epoch != 2 {
 			t.Errorf("lookup after switch = %+v", look)
 		}
@@ -183,7 +188,7 @@ func TestStagingAndAtomicSwitch(t *testing.T) {
 			t.Errorf("switched content = %q", region[:10])
 		}
 		// The old region's key is dead.
-		qp.PostWrite(p, oldKey, 0, []byte("x"), nil)
+		qp.PostWrite(p, oldKey, 0, []byte("x"), 0)
 		if c, _ := cq.Poll(p); !errors.Is(c.Err, rdma.ErrRemoteAccess) {
 			t.Errorf("old key still valid: %v", c.Err)
 		}
@@ -197,7 +202,7 @@ func TestStagingAndAtomicSwitch(t *testing.T) {
 func TestCommitSwitchUnknownStaging(t *testing.T) {
 	fx := newFixture(5, testCfg())
 	fx.run(t, func(p *simnet.Proc) {
-		_, err := fx.call(p, CommitSwitchReq{App: "a1", File: "wal", StagingID: 99, Epoch: 1})
+		_, err := call[wire.Ack](fx, p, CommitSwitchReq{App: "a1", File: "wal", StagingID: 99, Epoch: 1})
 		if !errors.Is(err, ErrNotFound) {
 			t.Fatalf("bogus staging id accepted: %v", err)
 		}
@@ -209,10 +214,10 @@ func TestRegionRecycling(t *testing.T) {
 	fx.run(t, func(p *simnet.Proc) {
 		// Allocate, release, allocate the same size: the second allocation
 		// reuses the pinned region (fast path) under a fresh rkey.
-		r1, _ := fx.call(p, SetupReq{App: "a1", File: "f1", Size: 1 << 20, Epoch: 1})
-		fx.call(p, ReleaseReq{App: "a1", File: "f1"}) //nolint:errcheck
+		r1, _ := call[SetupResp](fx, p, SetupReq{App: "a1", File: "f1", Size: 1 << 20, Epoch: 1})
+		call[wire.Ack](fx, p, ReleaseReq{App: "a1", File: "f1"}) //nolint:errcheck
 		start := p.Now()
-		r2, err := fx.call(p, SetupReq{App: "a1", File: "f2", Size: 1 << 20, Epoch: 1})
+		r2, err := call[SetupResp](fx, p, SetupReq{App: "a1", File: "f2", Size: 1 << 20, Epoch: 1})
 		if err != nil {
 			t.Fatalf("recycled setup: %v", err)
 		}
@@ -220,7 +225,7 @@ func TestRegionRecycling(t *testing.T) {
 		if fx.pr.Recycles != 1 {
 			t.Errorf("recycles = %d", fx.pr.Recycles)
 		}
-		if r1.(SetupResp).RKey == r2.(SetupResp).RKey {
+		if r1.RKey == r2.RKey {
 			t.Error("recycled region kept its old rkey")
 		}
 		// Recycled setup skips the multi-ms registration.
@@ -245,21 +250,21 @@ func TestGCFreesOrphansKeepsCurrent(t *testing.T) {
 	fx.run(t, func(p *simnet.Proc) {
 		ctrl := controller.NewClient(fx.svc, fx.app, "a1", 0)
 		// Region with a matching ap-map entry: kept.
-		fx.call(p, SetupReq{App: "a1", File: "live", Size: 1 << 20, Epoch: 2}) //nolint:errcheck
-		ctrl.SetAppFile(p, "a1", "live", controller.FileEntry{                 //nolint:errcheck
+		call[SetupResp](fx, p, SetupReq{App: "a1", File: "live", Size: 1 << 20, Epoch: 2}) //nolint:errcheck
+		ctrl.SetAppFile(p, "a1", "live", controller.FileEntry{                             //nolint:errcheck
 			Peers: []string{"peerA"}, Epoch: 2, RegionSize: 1 << 20,
 		}, -1)
 		// Region whose epoch the app moved past: freed.
-		fx.call(p, SetupReq{App: "a1", File: "stale", Size: 1 << 20, Epoch: 1}) //nolint:errcheck
-		ctrl.SetAppFile(p, "a1", "stale", controller.FileEntry{                 //nolint:errcheck
+		call[SetupResp](fx, p, SetupReq{App: "a1", File: "stale", Size: 1 << 20, Epoch: 1}) //nolint:errcheck
+		ctrl.SetAppFile(p, "a1", "stale", controller.FileEntry{                             //nolint:errcheck
 			Peers: []string{"peerB"}, Epoch: 3, RegionSize: 1 << 20,
 		}, -1)
 		// Region never recorded in the ap-map: freed after the grace period.
-		fx.call(p, SetupReq{App: "ghost", File: "leak", Size: 1 << 20, Epoch: 1}) //nolint:errcheck
+		call[SetupResp](fx, p, SetupReq{App: "ghost", File: "leak", Size: 1 << 20, Epoch: 1}) //nolint:errcheck
 		// Region with an epoch NEWER than the ap-map (allocation in
 		// progress): kept.
-		fx.call(p, SetupReq{App: "a1", File: "pending", Size: 1 << 20, Epoch: 9}) //nolint:errcheck
-		ctrl.SetAppFile(p, "a1", "pending", controller.FileEntry{                 //nolint:errcheck
+		call[SetupResp](fx, p, SetupReq{App: "a1", File: "pending", Size: 1 << 20, Epoch: 9}) //nolint:errcheck
+		ctrl.SetAppFile(p, "a1", "pending", controller.FileEntry{                             //nolint:errcheck
 			Peers: []string{"peerA"}, Epoch: 8, RegionSize: 1 << 20,
 		}, -1)
 
@@ -280,7 +285,7 @@ func TestGCFreesOrphansKeepsCurrent(t *testing.T) {
 func TestCrashLosesMrMap(t *testing.T) {
 	fx := newFixture(8, testCfg())
 	fx.run(t, func(p *simnet.Proc) {
-		fx.call(p, SetupReq{App: "a1", File: "wal", Size: 1 << 20, Epoch: 1}) //nolint:errcheck
+		call[SetupResp](fx, p, SetupReq{App: "a1", File: "wal", Size: 1 << 20, Epoch: 1}) //nolint:errcheck
 		fx.pNode.Crash()
 		p.Sleep(10 * time.Millisecond)
 		fx.pNode.Restart()
@@ -291,7 +296,7 @@ func TestCrashLosesMrMap(t *testing.T) {
 		if pr2.Regions() != 0 {
 			t.Errorf("restarted peer kept %d regions", pr2.Regions())
 		}
-		if _, err := fx.call(p, LookupReq{App: "a1", File: "wal"}); !errors.Is(err, ErrNotFound) {
+		if _, err := call[LookupResp](fx, p, LookupReq{App: "a1", File: "wal"}); !errors.Is(err, ErrNotFound) {
 			t.Errorf("restarted peer served a stale lookup: %v", err)
 		}
 	})

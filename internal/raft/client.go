@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"splitft/internal/simnet"
+	"splitft/internal/trace"
+	"splitft/internal/wire"
 )
 
 // Client submits commands to a Raft group from some node, following leader
@@ -27,21 +29,26 @@ func NewClient(cluster *Cluster, node *simnet.Node) *Client {
 }
 
 // Propose submits cmd, blocking until the state machine applied it on the
-// leader, and returns the Apply result. Commands may be re-submitted after
-// ambiguous failures (timeouts), so state-machine operations should be
-// idempotent or versioned, as the controller's are.
-func (c *Client) Propose(p *simnet.Proc, cmd any) (any, error) {
-	sp := p.StartSpan("raft", "propose")
-	defer p.EndSpan(sp)
+// leader, and returns the Apply result. The command travels unwrapped: any
+// message whose code is outside raft's own range is treated by replicas as
+// a proposal. Commands may be re-submitted after ambiguous failures
+// (timeouts), so state-machine operations should be idempotent or
+// versioned, as the controller's are.
+func (c *Client) Propose(p *simnet.Proc, cmd wire.Msg) (wire.Msg, error) {
+	var sp *trace.Span
+	if p.Tracing() {
+		sp = p.StartSpan("raft", "propose")
+		defer p.EndSpan(sp)
+	}
 	net := c.cluster.sim.Net()
 	deadline := p.Now() + c.Deadline
 	var lastErr error = ErrTimeout
 	for p.Now() < deadline {
 		id := c.cluster.ids[c.hint%len(c.cluster.ids)]
-		resp, err := net.CallTimeout(p, c.node, c.cluster.Addr(id), proposeArgs{Cmd: cmd}, c.CallTimeout)
+		resp, err := net.CallTimeout(p, c.node, c.cluster.Addr(id), cmd, c.CallTimeout)
 		switch {
 		case err == nil:
-			return resp.(proposeReply).Result, nil
+			return resp, nil
 		case errors.Is(err, ErrNotLeader):
 			var nle NotLeaderError
 			if errors.As(err, &nle) && nle.Hint != "" {
@@ -57,7 +64,7 @@ func (c *Client) Propose(p *simnet.Proc, cmd any) (any, error) {
 			lastErr = err
 		}
 	}
-	return nil, lastErr
+	return wire.Msg{}, lastErr
 }
 
 func (c *Client) indexOf(id string) int {

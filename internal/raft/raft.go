@@ -20,6 +20,7 @@ import (
 
 	"splitft/internal/model"
 	"splitft/internal/simnet"
+	"splitft/internal/wire"
 )
 
 // Config holds protocol timing. The constants live in internal/model (the
@@ -34,9 +35,11 @@ func DefaultConfig() Config {
 }
 
 // StateMachine is the replicated application. Apply must be deterministic;
-// it runs on every replica in log order.
+// it runs on every replica in log order. Commands and results are flat wire
+// messages (see internal/wire); a command's code must lie outside raft's own
+// 0x20–0x2f range.
 type StateMachine interface {
-	Apply(cmd any) any
+	Apply(cmd wire.Msg) wire.Msg
 }
 
 // Errors returned to clients.
@@ -55,7 +58,7 @@ func (e NotLeaderError) Is(target error) bool { return target == ErrNotLeader }
 
 type entry struct {
 	Term int
-	Cmd  any
+	Cmd  wire.Msg
 }
 
 // disk is the persistent state of one replica; it survives node crashes
@@ -135,7 +138,7 @@ type Replica struct {
 
 	// applyResults holds state-machine results for entries this leader
 	// proposed, keyed by log index, until the proposer collects them.
-	applyResults map[int]any
+	applyResults map[int]wire.Msg
 }
 
 // StartReplica boots (or reboots) replica id on node. Persistent state is
@@ -168,6 +171,17 @@ func (r *Replica) persist(p *simnet.Proc) {
 func (r *Replica) lastLogIndex() int { return len(r.d.log) - 1 }
 func (r *Replica) lastLogTerm() int  { return r.d.log[len(r.d.log)-1].Term }
 
+// Wire codes for raft's own RPCs (range 0x20–0x2f; see internal/wire). Any
+// request whose code lies outside this range is a client command proposed
+// into the log, so propose needs no envelope at all.
+const (
+	codeRequestVote   wire.Code = 0x20
+	codeVoteReply     wire.Code = 0x21
+	codeAppendEntries wire.Code = 0x22
+	codeAppendReply   wire.Code = 0x23
+	codeNop           wire.Code = 0x24
+)
+
 // Message types.
 type requestVoteArgs struct {
 	Term         int
@@ -176,9 +190,31 @@ type requestVoteArgs struct {
 	LastLogTerm  int
 }
 
+func (a requestVoteArgs) MarshalWire() wire.Msg {
+	return wire.Msg{Code: codeRequestVote, S: [3]string{a.CandidateID},
+		U: [4]uint64{uint64(a.Term), uint64(a.LastLogIndex), uint64(a.LastLogTerm)}}
+}
+
+func (a *requestVoteArgs) UnmarshalWire(m wire.Msg) error {
+	*a = requestVoteArgs{Term: int(m.Int(0)), CandidateID: m.S[0],
+		LastLogIndex: int(m.Int(1)), LastLogTerm: int(m.Int(2))}
+	return nil
+}
+
 type requestVoteReply struct {
 	Term    int
 	Granted bool
+}
+
+func (a requestVoteReply) MarshalWire() wire.Msg {
+	m := wire.Msg{Code: codeVoteReply, U: [4]uint64{uint64(a.Term)}}
+	m.SetBool(1, a.Granted)
+	return m
+}
+
+func (a *requestVoteReply) UnmarshalWire(m wire.Msg) error {
+	*a = requestVoteReply{Term: int(m.Int(0)), Granted: m.Bool(1)}
+	return nil
 }
 
 type appendEntriesArgs struct {
@@ -190,30 +226,69 @@ type appendEntriesArgs struct {
 	LeaderCommit int
 }
 
+// MarshalWire ships each entry as its command message with the entry term
+// stamped into Meta (the carrier slot); UnmarshalWire moves the term back
+// out so state machines see the command exactly as proposed.
+func (a appendEntriesArgs) MarshalWire() wire.Msg {
+	m := wire.Msg{Code: codeAppendEntries, S: [3]string{a.LeaderID},
+		U: [4]uint64{uint64(a.Term), uint64(a.PrevLogIndex), uint64(a.PrevLogTerm), uint64(a.LeaderCommit)}}
+	if len(a.Entries) > 0 {
+		sub := make([]wire.Msg, len(a.Entries))
+		for i, e := range a.Entries {
+			c := e.Cmd
+			c.Meta = uint64(e.Term)
+			sub[i] = c
+		}
+		m.Sub = sub
+	}
+	return m
+}
+
+func (a *appendEntriesArgs) UnmarshalWire(m wire.Msg) error {
+	*a = appendEntriesArgs{Term: int(m.Int(0)), LeaderID: m.S[0],
+		PrevLogIndex: int(m.Int(1)), PrevLogTerm: int(m.Int(2)), LeaderCommit: int(m.Int(3))}
+	if len(m.Sub) > 0 {
+		a.Entries = make([]entry, len(m.Sub))
+		for i, c := range m.Sub {
+			term := int(c.Meta)
+			c.Meta = 0
+			a.Entries[i] = entry{Term: term, Cmd: c}
+		}
+	}
+	return nil
+}
+
 type appendEntriesReply struct {
 	Term          int
 	Success       bool
 	ConflictIndex int
 }
 
-type proposeArgs struct {
-	Cmd any
+func (a appendEntriesReply) MarshalWire() wire.Msg {
+	m := wire.Msg{Code: codeAppendReply, U: [4]uint64{uint64(a.Term)}}
+	m.SetBool(1, a.Success)
+	m.SetInt(2, int64(a.ConflictIndex))
+	return m
 }
 
-type proposeReply struct {
-	Result any
+func (a *appendEntriesReply) UnmarshalWire(m wire.Msg) error {
+	*a = appendEntriesReply{Term: int(m.Int(0)), Success: m.Bool(1), ConflictIndex: int(m.Int(2))}
+	return nil
 }
 
-func (r *Replica) handleRPC(p *simnet.Proc, req any) (any, error) {
-	switch a := req.(type) {
-	case requestVoteArgs:
-		return r.onRequestVote(p, a), nil
-	case appendEntriesArgs:
-		return r.onAppendEntries(p, a), nil
-	case proposeArgs:
-		return r.onPropose(p, a)
+func (r *Replica) handleRPC(p *simnet.Proc, m simnet.Msg) (simnet.Msg, error) {
+	switch m.Code {
+	case codeRequestVote:
+		var a requestVoteArgs
+		a.UnmarshalWire(m) //nolint:errcheck
+		return r.onRequestVote(p, a).MarshalWire(), nil
+	case codeAppendEntries:
+		var a appendEntriesArgs
+		a.UnmarshalWire(m) //nolint:errcheck
+		return r.onAppendEntries(p, a).MarshalWire(), nil
 	default:
-		return nil, fmt.Errorf("raft: unknown rpc %T", req)
+		// Every non-raft code is a client command to propose.
+		return r.onPropose(p, m)
 	}
 }
 
@@ -311,14 +386,14 @@ func (r *Replica) onAppendEntries(p *simnet.Proc, a appendEntriesArgs) appendEnt
 
 // onPropose appends the command (if leader) and waits for it to commit and
 // apply, returning the state machine's result.
-func (r *Replica) onPropose(p *simnet.Proc, a proposeArgs) (any, error) {
+func (r *Replica) onPropose(p *simnet.Proc, cmd wire.Msg) (wire.Msg, error) {
 	r.mu.Lock(p)
 	if r.role != leader {
 		hint := r.leaderID
 		r.mu.Unlock(p)
-		return nil, NotLeaderError{Hint: hint}
+		return wire.Msg{}, NotLeaderError{Hint: hint}
 	}
-	r.d.log = append(r.d.log, entry{Term: r.d.term, Cmd: a.Cmd})
+	r.d.log = append(r.d.log, entry{Term: r.d.term, Cmd: cmd})
 	idx := r.lastLogIndex()
 	term := r.d.term
 	r.persist(p)
@@ -328,23 +403,23 @@ func (r *Replica) onPropose(p *simnet.Proc, a proposeArgs) (any, error) {
 	for r.lastApplied < idx {
 		if r.d.term != term || r.role != leader {
 			r.mu.Unlock(p)
-			return nil, NotLeaderError{Hint: r.leaderID}
+			return wire.Msg{}, NotLeaderError{Hint: r.leaderID}
 		}
 		if p.Now() >= deadline {
 			r.mu.Unlock(p)
-			return nil, ErrTimeout
+			return wire.Msg{}, ErrTimeout
 		}
 		r.applyCond.WaitTimeout(p, 10*time.Millisecond)
 	}
 	// Verify the entry at idx is still ours (no truncation by a new leader).
 	if r.d.log[idx].Term != term {
 		r.mu.Unlock(p)
-		return nil, NotLeaderError{Hint: r.leaderID}
+		return wire.Msg{}, NotLeaderError{Hint: r.leaderID}
 	}
 	res := r.applyResults[idx]
 	delete(r.applyResults, idx)
 	r.mu.Unlock(p)
-	return proposeReply{Result: res}, nil
+	return res, nil
 }
 
 func (r *Replica) electionTicker(p *simnet.Proc) {
@@ -387,10 +462,9 @@ func (r *Replica) startElection(p *simnet.Proc) {
 		}
 		addr := r.cluster.Addr(peer)
 		p.Go("raft-vote-req:"+peer, func(vp *simnet.Proc) {
-			resp, err := r.cluster.sim.Net().CallTimeout(vp, r.node, addr, args, r.cluster.cfg.ElectionTimeoutMin)
+			rep, err := wire.CallTimeout[requestVoteReply](vp, r.cluster.sim.Net(), r.node, addr, args, r.cluster.cfg.ElectionTimeoutMin)
 			granted := false
 			if err == nil {
-				rep := resp.(requestVoteReply)
 				r.mu.Lock(vp)
 				if rep.Term > r.d.term {
 					r.stepDown(vp, rep.Term)
@@ -441,14 +515,11 @@ func (r *Replica) becomeLeader(p *simnet.Proc) {
 		p.GoOn(r.node, "raft-repl:"+peer, func(rp *simnet.Proc) { r.replicate(rp, peer, term) })
 	}
 	// Commit a no-op to establish commitment in the new term promptly.
-	r.d.log = append(r.d.log, entry{Term: term, Cmd: nopCommand{}})
+	r.d.log = append(r.d.log, entry{Term: term, Cmd: wire.Msg{Code: codeNop}})
 	r.matchIndex[r.id] = r.lastLogIndex()
 	r.persist(p)
 	r.replWake.Broadcast(p)
 }
-
-// nopCommand is the entry a new leader commits to finalize its term.
-type nopCommand struct{}
 
 // replicate drives one follower while r leads in `term`.
 func (r *Replica) replicate(p *simnet.Proc, peer string, term int) {
@@ -475,7 +546,7 @@ func (r *Replica) replicate(p *simnet.Proc, peer string, term int) {
 			args.Entries = append([]entry(nil), r.d.log[ni:]...)
 		}
 		r.mu.Unlock(p)
-		resp, err := r.cluster.sim.Net().CallTimeout(p, r.node, addr, args, cfg.HeartbeatInterval*2)
+		rep, err := wire.CallTimeout[appendEntriesReply](p, r.cluster.sim.Net(), r.node, addr, args, cfg.HeartbeatInterval*2)
 		r.mu.Lock(p)
 		if r.role != leader || r.d.term != term {
 			r.mu.Unlock(p)
@@ -483,7 +554,6 @@ func (r *Replica) replicate(p *simnet.Proc, peer string, term int) {
 		}
 		idle := true
 		if err == nil {
-			rep := resp.(appendEntriesReply)
 			switch {
 			case rep.Term > r.d.term:
 				r.stepDown(p, rep.Term)
@@ -544,11 +614,11 @@ func (r *Replica) applyLoop(p *simnet.Proc) {
 		for r.lastApplied < r.commitIndex {
 			r.lastApplied++
 			e := r.d.log[r.lastApplied]
-			if _, nop := e.Cmd.(nopCommand); !nop {
+			if e.Cmd.Code != codeNop {
 				res := r.sm.Apply(e.Cmd)
 				if r.role == leader {
 					if r.applyResults == nil {
-						r.applyResults = make(map[int]any)
+						r.applyResults = make(map[int]wire.Msg)
 					}
 					r.applyResults[r.lastApplied] = res
 				}

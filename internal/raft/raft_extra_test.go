@@ -18,7 +18,7 @@ func TestFullClusterRestartPreservesLog(t *testing.T) {
 	h.sim.Go("driver", func(p *simnet.Proc) {
 		p.Sleep(time.Second)
 		for i := 0; i < 4; i++ {
-			if _, err := client.Propose(p, fmt.Sprintf("v%d", i)); err != nil {
+			if _, err := client.Propose(p, cmdMsg(fmt.Sprintf("v%d", i))); err != nil {
 				t.Errorf("propose %d: %v", i, err)
 			}
 		}
@@ -32,7 +32,7 @@ func TestFullClusterRestartPreservesLog(t *testing.T) {
 			h.restart(id)
 		}
 		p.Sleep(2 * time.Second) // re-election + replay
-		if _, err := client.Propose(p, "after-restart"); err != nil {
+		if _, err := client.Propose(p, cmdMsg("after-restart")); err != nil {
 			t.Errorf("propose after full restart: %v", err)
 		}
 		p.Sleep(time.Second)
@@ -110,7 +110,7 @@ func TestLogMatchingUnderChaos(t *testing.T) {
 	h.sim.Go("client", func(p *simnet.Proc) {
 		p.Sleep(time.Second)
 		for i := 0; i < 15; i++ {
-			client.Propose(p, fmt.Sprintf("c%d", i)) //nolint:errcheck
+			client.Propose(p, cmdMsg(fmt.Sprintf("c%d", i))) //nolint:errcheck
 			p.Sleep(250 * time.Millisecond)
 		}
 		p.Sleep(2 * time.Second)
@@ -159,7 +159,7 @@ func TestClientDeadlineExpires(t *testing.T) {
 			h.nodes[id].Crash()
 		}
 		start := p.Now()
-		_, err := client.Propose(p, "doomed")
+		_, err := client.Propose(p, cmdMsg("doomed"))
 		if err == nil {
 			t.Error("propose to a dead ensemble succeeded")
 		}

@@ -7,17 +7,24 @@ import (
 	"time"
 
 	"splitft/internal/simnet"
+	"splitft/internal/wire"
 )
+
+// codeTestCmd is the test command code (outside raft's 0x20–0x2f range).
+const codeTestCmd wire.Code = 0x7f
+
+// cmdMsg wraps a string command for proposing.
+func cmdMsg(s string) wire.Msg { return wire.Msg{Code: codeTestCmd, S: [3]string{s}} }
 
 // regSM is a deterministic test state machine: an append-only register log.
 type regSM struct {
 	applied []string
 }
 
-func (m *regSM) Apply(cmd any) any {
-	s := cmd.(string)
+func (m *regSM) Apply(cmd wire.Msg) wire.Msg {
+	s := cmd.S[0]
 	m.applied = append(m.applied, s)
-	return fmt.Sprintf("ok:%s@%d", s, len(m.applied))
+	return cmdMsg(fmt.Sprintf("ok:%s@%d", s, len(m.applied)))
 }
 
 type harness struct {
@@ -104,12 +111,12 @@ func TestProposeAppliesEverywhere(t *testing.T) {
 	h.sim.Go("client", func(p *simnet.Proc) {
 		p.Sleep(time.Second) // allow election
 		for i := 0; i < 5; i++ {
-			res, err := client.Propose(p, fmt.Sprintf("cmd%d", i))
+			res, err := client.Propose(p, cmdMsg(fmt.Sprintf("cmd%d", i)))
 			if err != nil {
 				t.Errorf("propose %d: %v", i, err)
 			}
-			if res == nil {
-				t.Errorf("propose %d: nil result", i)
+			if res.S[0] == "" {
+				t.Errorf("propose %d: empty result", i)
 			}
 		}
 		p.Sleep(500 * time.Millisecond) // let followers apply
@@ -137,9 +144,9 @@ func TestProposeLatency(t *testing.T) {
 	var lat time.Duration
 	h.sim.Go("client", func(p *simnet.Proc) {
 		p.Sleep(time.Second)
-		client.Propose(p, "warm") // settle on the leader
+		client.Propose(p, cmdMsg("warm")) // settle on the leader
 		start := p.Now()
-		if _, err := client.Propose(p, "x"); err != nil {
+		if _, err := client.Propose(p, cmdMsg("x")); err != nil {
 			t.Errorf("propose: %v", err)
 		}
 		lat = p.Now() - start
@@ -159,7 +166,7 @@ func TestLeaderCrashFailover(t *testing.T) {
 	client := NewClient(h.cluster, h.sim.NewNode("app"))
 	h.sim.Go("client", func(p *simnet.Proc) {
 		p.Sleep(time.Second)
-		if _, err := client.Propose(p, "before"); err != nil {
+		if _, err := client.Propose(p, cmdMsg("before")); err != nil {
 			t.Errorf("propose before: %v", err)
 		}
 		ldr := h.leader()
@@ -170,7 +177,7 @@ func TestLeaderCrashFailover(t *testing.T) {
 		}
 		ldr.node.Crash()
 		// The group must recover and keep accepting commands.
-		if _, err := client.Propose(p, "after"); err != nil {
+		if _, err := client.Propose(p, cmdMsg("after")); err != nil {
 			t.Errorf("propose after crash: %v", err)
 		}
 		p.Sleep(500 * time.Millisecond)
@@ -202,7 +209,7 @@ func TestCrashedReplicaCatchesUpAfterRestart(t *testing.T) {
 	var victim string
 	h.sim.Go("client", func(p *simnet.Proc) {
 		p.Sleep(time.Second)
-		client.Propose(p, "a")
+		client.Propose(p, cmdMsg("a"))
 		// Crash a follower.
 		for id, r := range h.replicas {
 			if !r.IsLeader() {
@@ -211,8 +218,8 @@ func TestCrashedReplicaCatchesUpAfterRestart(t *testing.T) {
 			}
 		}
 		h.nodes[victim].Crash()
-		client.Propose(p, "b")
-		client.Propose(p, "c")
+		client.Propose(p, cmdMsg("b"))
+		client.Propose(p, cmdMsg("c"))
 		p.Sleep(100 * time.Millisecond)
 		h.restart(victim)
 		p.Sleep(2 * time.Second) // catch-up via AppendEntries
@@ -246,7 +253,7 @@ func TestMinorityPartitionBlocksCommit(t *testing.T) {
 			}
 		}
 		h.sim.Net().Partition(ldr.node, client.node)
-		if _, err := client.Propose(p, "x"); err == nil {
+		if _, err := client.Propose(p, cmdMsg("x")); err == nil {
 			// A new leader among the majority side may accept it — that is
 			// correct. What must not happen: the isolated old leader commits.
 			p.Sleep(time.Second)
@@ -267,7 +274,7 @@ func TestLogsConvergeAfterPartitionHeals(t *testing.T) {
 	client := NewClient(h.cluster, h.sim.NewNode("app"))
 	h.sim.Go("client", func(p *simnet.Proc) {
 		p.Sleep(time.Second)
-		client.Propose(p, "a")
+		client.Propose(p, cmdMsg("a"))
 		ldr := h.leader()
 		if ldr == nil {
 			t.Error("no leader")
@@ -282,8 +289,8 @@ func TestLogsConvergeAfterPartitionHeals(t *testing.T) {
 			}
 		}
 		client.hint++
-		client.Propose(p, "b")
-		client.Propose(p, "c")
+		client.Propose(p, cmdMsg("b"))
+		client.Propose(p, cmdMsg("c"))
 		// Heal; the old leader must adopt the majority log.
 		for id, n := range h.nodes {
 			if id != ldr.id {
@@ -327,7 +334,7 @@ func TestSafetyNoDivergentApply(t *testing.T) {
 		h.sim.Go("client", func(p *simnet.Proc) {
 			p.Sleep(time.Second)
 			for i := 0; i < 12; i++ {
-				client.Propose(p, fmt.Sprintf("v%d", i)) // errors tolerated
+				client.Propose(p, cmdMsg(fmt.Sprintf("v%d", i))) // errors tolerated
 				p.Sleep(300 * time.Millisecond)
 			}
 			p.Sleep(3 * time.Second)
@@ -368,7 +375,7 @@ func TestClientNotLeaderRedirect(t *testing.T) {
 				break
 			}
 		}
-		if _, err := client.Propose(p, "x"); err != nil {
+		if _, err := client.Propose(p, cmdMsg("x")); err != nil {
 			t.Errorf("propose with wrong hint: %v", err)
 		}
 		h.sim.Stop()
@@ -393,7 +400,7 @@ func TestProposeToFollowerDirectly(t *testing.T) {
 			if id == ldr.id {
 				continue
 			}
-			_, err := h.sim.Net().Call(p, app, h.cluster.Addr(id), proposeArgs{Cmd: "x"})
+			_, err := h.sim.Net().Call(p, app, h.cluster.Addr(id), cmdMsg("x"))
 			if !errors.Is(err, ErrNotLeader) {
 				t.Errorf("follower %s accepted proposal: %v", id, err)
 			}

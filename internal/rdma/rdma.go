@@ -23,6 +23,7 @@ package rdma
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"time"
 
 	"splitft/internal/model"
@@ -60,6 +61,40 @@ type Fabric struct {
 	params  Params
 	nics    map[string]*NIC
 	nextKey uint64
+	bufs    bufPool
+}
+
+// bufPool recycles write-payload staging buffers in power-of-two size
+// classes. PostWrite copies the caller's payload into a pooled buffer (the
+// caller may reuse its own immediately, as after a real post with a
+// registered send buffer) and the QP engine returns the buffer once the
+// write has been applied or failed. Simnet procs are cooperatively
+// scheduled, so the pool needs no lock.
+type bufPool struct {
+	classes [33][][]byte
+}
+
+func (bp *bufPool) get(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	c := bits.Len(uint(n - 1))
+	if l := bp.classes[c]; len(l) > 0 {
+		b := l[len(l)-1]
+		l[len(l)-1] = nil
+		bp.classes[c] = l[:len(l)-1]
+		return b[:n]
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// put returns a buffer obtained from get (its cap is exactly a class size).
+func (bp *bufPool) put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(b) - 1))
+	bp.classes[c] = append(bp.classes[c], b[:0])
 }
 
 // NewFabric creates a fabric on s with the given cost model.
@@ -169,11 +204,14 @@ func (n *NIC) RefreshMR(p *simnet.Proc, mr *MR) error {
 	return nil
 }
 
-// Completion reports the outcome of a posted work request.
+// Completion reports the outcome of a posted work request. Ctx is the
+// opaque value given at post time; callers pack whatever routing state they
+// need into its 64 bits (ncl packs flags, a connection id and a sequence
+// number) so completions flow through the CQ without boxing.
 type Completion struct {
 	QP   *QP
 	WRID uint64
-	Ctx  any
+	Ctx  uint64
 	Err  error // nil on success
 }
 
@@ -213,9 +251,9 @@ type workRequest struct {
 	id     uint64
 	rkey   uint64
 	offset int
-	data   []byte // write payload
+	data   []byte // write payload (pooled; returned by the engine)
 	into   []byte // read destination
-	ctx    any
+	ctx    uint64
 	span   *trace.Span // post→completion async span, finished by the engine
 }
 
@@ -287,15 +325,17 @@ func (qp *QP) Close(p *simnet.Proc) {
 // PostWrite posts a 1-sided RDMA write of data to [offset, offset+len) of
 // the remote region named by rkey. It returns immediately with the WR id;
 // the outcome arrives on the QP's CQ. ctx is returned in the completion.
-func (qp *QP) PostWrite(p *simnet.Proc, rkey uint64, offset int, data []byte, ctx any) uint64 {
-	d := make([]byte, len(data))
+// The payload is copied into a pooled staging buffer at post time, so the
+// caller may reuse data immediately.
+func (qp *QP) PostWrite(p *simnet.Proc, rkey uint64, offset int, data []byte, ctx uint64) uint64 {
+	d := qp.fabric.bufs.get(len(data))
 	copy(d, data)
 	return qp.post(p, workRequest{kind: wrWrite, rkey: rkey, offset: offset, data: d, ctx: ctx})
 }
 
 // PostRead posts a 1-sided RDMA read of len(into) bytes from the remote
 // region at offset into `into`. The buffer is filled by completion time.
-func (qp *QP) PostRead(p *simnet.Proc, rkey uint64, offset int, into []byte, ctx any) uint64 {
+func (qp *QP) PostRead(p *simnet.Proc, rkey uint64, offset int, into []byte, ctx uint64) uint64 {
 	return qp.post(p, workRequest{kind: wrRead, rkey: rkey, offset: offset, into: into, ctx: ctx})
 }
 
@@ -303,19 +343,22 @@ func (qp *QP) post(p *simnet.Proc, wr workRequest) uint64 {
 	qp.nextWR++
 	wr.id = qp.nextWR
 	if qp.closed {
+		qp.fabric.bufs.put(wr.data) // nothing will drain the SQ
 		return wr.id
 	}
-	op := "write"
-	size := len(wr.data)
-	if wr.kind == wrRead {
-		op = "read"
-		size = len(wr.into)
+	if p.Tracing() {
+		op := "write"
+		size := len(wr.data)
+		if wr.kind == wrRead {
+			op = "read"
+			size = len(wr.into)
+		}
+		// A WR's lifetime crosses procs: posted here, completed by the QP
+		// engine. Detached async span, finished when the completion is
+		// delivered.
+		wr.span = p.StartDetachedSpan("rdma", op,
+			trace.Str("remote", qp.remoteName), trace.Int("bytes", int64(size)))
 	}
-	// A WR's lifetime crosses procs: posted here, completed by the QP
-	// engine. Detached async span, finished when the completion is
-	// delivered.
-	wr.span = p.StartDetachedSpan("rdma", op,
-		trace.Str("remote", qp.remoteName), trace.Int("bytes", int64(size)))
 	qp.sq.Send(p, wr)
 	return wr.id
 }
@@ -333,6 +376,7 @@ func (qp *QP) engine(p *simnet.Proc) {
 		if qp.errState {
 			wr.span.SetAttr(trace.Str("err", "flushed"))
 			p.FinishSpan(wr.span)
+			qp.fabric.bufs.put(wr.data)
 			qp.cq.ch.Send(p, Completion{QP: qp, WRID: wr.id, Ctx: wr.ctx, Err: ErrQPError})
 			continue
 		}
@@ -370,6 +414,7 @@ func (qp *QP) engine(p *simnet.Proc) {
 			wr.span.SetAttr(trace.Str("err", err.Error()))
 		}
 		p.FinishSpan(wr.span)
+		qp.fabric.bufs.put(wr.data) // write applied (or failed); recycle the staging buffer
 		qp.cq.ch.Send(p, Completion{QP: qp, WRID: wr.id, Ctx: wr.ctx, Err: err})
 	}
 }

@@ -57,9 +57,9 @@ func TestWriteReadRoundtrip(t *testing.T) {
 			return
 		}
 		payload := []byte("hello near-compute log")
-		qp.PostWrite(p, mr.RKey(), 100, payload, "w1")
+		qp.PostWrite(p, mr.RKey(), 100, payload, 7)
 		c, _ := cq.Poll(p)
-		if c.Err != nil || c.Ctx != "w1" {
+		if c.Err != nil || c.Ctx != 7 {
 			t.Errorf("write completion: %+v", c)
 		}
 		// The write landed in peer memory with no peer CPU involvement.
@@ -68,7 +68,7 @@ func TestWriteReadRoundtrip(t *testing.T) {
 		}
 		// Read it back through the fabric.
 		into := make([]byte, len(payload))
-		qp.PostRead(p, mr.RKey(), 100, into, "r1")
+		qp.PostRead(p, mr.RKey(), 100, into, 8)
 		c, _ = cq.Poll(p)
 		if c.Err != nil || !bytes.Equal(into, payload) {
 			t.Errorf("read completion err=%v data=%q", c.Err, into)
@@ -112,7 +112,7 @@ func TestWriteLatencyModel(t *testing.T) {
 		cq := NewCQ(fx.sim)
 		qp, _ := fx.appNIC.Connect(p, "peer", cq)
 		start := p.Now()
-		qp.PostWrite(p, mr.RKey(), 0, make([]byte, 128), nil)
+		qp.PostWrite(p, mr.RKey(), 0, make([]byte, 128), 0)
 		cq.Poll(p)
 		lat := p.Now() - start
 		// 1.5us base + 128B/3GB/s ~= 1.54us.
@@ -172,7 +172,7 @@ func TestCrashedPeerLosesRegistrations(t *testing.T) {
 			t.Fatalf("reconnect: %v", err)
 		}
 		// The old rkey must be gone after the peer lost its memory.
-		qp.PostWrite(p, mr.RKey(), 0, []byte{9}, nil)
+		qp.PostWrite(p, mr.RKey(), 0, []byte{9}, 0)
 		if c, _ := cq.Poll(p); !errors.Is(c.Err, ErrRemoteAccess) {
 			t.Errorf("write with stale rkey: %v, want access error", c.Err)
 		}
@@ -190,7 +190,7 @@ func TestInvalidateRevokesAccess(t *testing.T) {
 		cq := NewCQ(fx.sim)
 		qp, _ := fx.appNIC.Connect(p, "peer", cq)
 		mr.Invalidate() // peer revokes its memory (local, instantaneous)
-		qp.PostWrite(p, mr.RKey(), 0, []byte{1}, nil)
+		qp.PostWrite(p, mr.RKey(), 0, []byte{1}, 0)
 		if c, _ := cq.Poll(p); !errors.Is(c.Err, ErrRemoteAccess) {
 			t.Errorf("write to revoked region: %v", c.Err)
 		}
@@ -207,7 +207,7 @@ func TestBoundsChecking(t *testing.T) {
 		p.Sleep(10 * time.Millisecond)
 		cq := NewCQ(fx.sim)
 		qp, _ := fx.appNIC.Connect(p, "peer", cq)
-		qp.PostWrite(p, mr.RKey(), 60, []byte("toolong"), nil)
+		qp.PostWrite(p, mr.RKey(), 60, []byte("toolong"), 0)
 		if c, _ := cq.Poll(p); !errors.Is(c.Err, ErrRemoteAccess) {
 			t.Errorf("out-of-bounds write: %v", c.Err)
 		}
@@ -226,7 +226,7 @@ func TestPartitionCausesTransportError(t *testing.T) {
 		qp, _ := fx.appNIC.Connect(p, "peer", cq)
 		fx.sim.Net().Partition(fx.app, fx.peer)
 		start := p.Now()
-		qp.PostWrite(p, mr.RKey(), 0, []byte{1}, nil)
+		qp.PostWrite(p, mr.RKey(), 0, []byte{1}, 0)
 		c, _ := cq.Poll(p)
 		if !errors.Is(c.Err, ErrRemoteDown) {
 			t.Errorf("partitioned write: %v", c.Err)
@@ -313,7 +313,7 @@ func TestQuickWritesApplyInOrder(t *testing.T) {
 					continue
 				}
 				off := int(sp.Off) % (len(region) - len(sp.Data))
-				qp.PostWrite(p, mr.RKey(), off, sp.Data, nil)
+				qp.PostWrite(p, mr.RKey(), off, sp.Data, 0)
 				copy(shadow[off:], sp.Data)
 			}
 			for _, sp := range specs {

@@ -116,16 +116,16 @@ func BenchmarkMutexConvoy(b *testing.B) {
 	}
 }
 
-// BenchmarkRPCEcho measures a full simulated RPC: two Chan hops, a
-// dispatcher proc, a handler proc spawn, and timeout bookkeeping.
+// BenchmarkRPCEcho measures a full simulated RPC: two Chan hops, the
+// dispatcher handoff to a pooled worker, and timeout bookkeeping.
 func BenchmarkRPCEcho(b *testing.B) {
 	s := New(1)
 	srv := s.NewNode("srv")
 	cli := s.NewNode("cli")
-	s.Net().Register("echo", srv, func(p *Proc, req any) (any, error) { return req, nil })
+	s.Net().Register("echo", srv, func(p *Proc, req Msg) (Msg, error) { return req, nil })
 	s.Go("caller", func(p *Proc) {
 		for i := 0; i < b.N; i++ {
-			if _, err := s.Net().Call(p, cli, "echo", i); err != nil {
+			if _, err := s.Net().Call(p, cli, "echo", Msg{U: [4]uint64{uint64(i)}}); err != nil {
 				b.Error(err)
 				return
 			}

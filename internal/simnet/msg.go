@@ -1,0 +1,58 @@
+package simnet
+
+// Msg is the flat wire representation every RPC-speaking layer exchanges
+// through Net. It replaces the `any`-boxed request/response values the
+// transport used to carry: a Msg travels by value through the Chan slabs, so
+// steady-state calls neither box nor allocate. The typed façade over this
+// lives in internal/wire (Marshaler/Unmarshaler + the generic Call), which
+// cannot be defined here without an import cycle.
+//
+// Field discipline:
+//
+//   - Code identifies the message type; dispatchers switch on it instead of
+//     type-switching on an interface. Code ranges are allocated per layer
+//     (see internal/wire).
+//   - Meta is reserved for carriers that envelope other messages (the Raft
+//     log stamps the entry term here when shipping entries). Leaf messages
+//     must leave it zero.
+//   - U, S are fixed scalar/string slots; B is an opaque byte payload; Strs
+//     and Sub carry variable-length lists. Slices are shared, not copied:
+//     once a Msg is handed to Send/Call it must be treated as immutable by
+//     both sides, exactly like a buffer handed to the kernel.
+//   - Err carries an application-level error *inside* a result message
+//     (e.g. a replicated state machine's per-command outcome). Transport-
+//     and handler-level errors travel out of band as the Handler's error
+//     return. Errors must be immutable (sentinel) values.
+type Msg struct {
+	Code Code
+	Meta uint64
+	U    [4]uint64
+	S    [3]string
+	B    []byte
+	Strs []string
+	Sub  []Msg
+	Err  error
+}
+
+// Code identifies a message type on the wire. Codes need only be unique per
+// dispatcher (one RPC address), but layers draw from disjoint ranges to keep
+// traces and debugging unambiguous; internal/wire documents the allocation.
+type Code uint16
+
+// SetInt stores a signed value in scalar slot i.
+func (m *Msg) SetInt(i int, v int64) { m.U[i] = uint64(v) }
+
+// Int reads scalar slot i as a signed value.
+func (m *Msg) Int(i int) int64 { return int64(m.U[i]) }
+
+// SetBool stores a flag in scalar slot i.
+func (m *Msg) SetBool(i int, v bool) {
+	if v {
+		m.U[i] = 1
+	} else {
+		m.U[i] = 0
+	}
+}
+
+// Bool reads scalar slot i as a flag.
+func (m *Msg) Bool(i int) bool { return m.U[i] != 0 }

@@ -12,12 +12,23 @@ import (
 // and an RPC layer. RDMA traffic (internal/rdma) shares the same latency
 // matrix and partition state so control-plane and data-plane failures are
 // consistent.
+//
+// The RPC layer is allocation-free in steady state: requests and responses
+// are value-typed Msg records (no interface boxing), reply channels are
+// free-listed on the Net with a generation stamp guarding against stale
+// deliveries, and each service dispatches onto a pool of reusable worker
+// procs instead of spawning a proc (goroutine + closure) per request.
 type Net struct {
 	sim        *Sim
 	defaultLat time.Duration
 	latency    map[pairKey]time.Duration
 	parts      map[pairKey]bool
 	servers    map[string]*rpcServer
+
+	// freeReplies recycles reply records across calls. A record's gen is
+	// bumped on release, so a late reply addressed to a previous user of the
+	// record is recognized and dropped by the next one.
+	freeReplies *replyRec
 }
 
 type pairKey struct{ a, b string }
@@ -75,25 +86,62 @@ func (nt *Net) Reachable(a, b *Node) bool {
 }
 
 // Handler processes one RPC request. It runs as a proc on the server node
-// (so it dies with the machine) and must treat req as immutable.
-type Handler func(p *Proc, req any) (any, error)
+// (so it dies with the machine) and must treat m as immutable.
+type Handler func(p *Proc, m Msg) (Msg, error)
 
 type rpcServer struct {
+	net         *Net
 	node        *Node
+	h           Handler
 	inbox       *Chan[rpcReq]
 	incarnation int
+
+	// Precomputed names and span ops, so serving allocates no strings.
+	callOp     string
+	serveOp    string
+	workerName string
+
+	// idle is the LIFO pool of worker procs ready to take a request. LIFO
+	// keeps the pool's dispatch order deterministic and cache-warm.
+	idle []*rpcWorker
 }
 
 type rpcReq struct {
-	from  *Node
-	req   any
-	reply *Chan[rpcResp]
-	span  *trace.Span // caller's call span; the handler's serve span nests under it
+	from *Node
+	m    Msg
+	rep  *replyRec
+	gen  uint64      // rep's generation at send time; echoed in the response
+	span *trace.Span // caller's call span; the handler's serve span nests under it
 }
 
 type rpcResp struct {
-	resp any
-	err  error
+	m   Msg
+	err error
+	gen uint64
+}
+
+// replyRec is a pooled reply channel. The generation stamp makes recycling
+// safe: a caller that timed out bumps gen when returning the record, so a
+// reply still in flight toward it is dropped by the record's next user.
+type replyRec struct {
+	ch   *Chan[rpcResp]
+	gen  uint64
+	next *replyRec
+}
+
+func (nt *Net) acquireReply() *replyRec {
+	if r := nt.freeReplies; r != nil {
+		nt.freeReplies = r.next
+		r.next = nil
+		return r
+	}
+	return &replyRec{ch: NewChan[rpcResp](nt.sim)}
+}
+
+func (nt *Net) releaseReply(r *replyRec) {
+	r.gen++ // invalidate any reply still in flight toward this record
+	r.next = nt.freeReplies
+	nt.freeReplies = r
 }
 
 // RPC errors. ErrTimeout covers dead servers, partitions and lost replies —
@@ -104,11 +152,22 @@ var (
 )
 
 // Register installs an RPC service at addr, served from node. A dispatcher
-// proc on the node receives requests and spawns one handler proc each.
+// proc on the node receives requests and hands each to a pooled worker proc
+// (spawning a new one only when every worker is busy), so concurrent
+// requests still interleave but steady-state serving spawns nothing.
 // Re-registering an address (after a node restart) replaces the service;
 // requests sent to the old incarnation are dropped.
 func (nt *Net) Register(addr string, node *Node, h Handler) {
-	srv := &rpcServer{node: node, inbox: NewChan[rpcReq](nt.sim), incarnation: node.incarnation}
+	srv := &rpcServer{
+		net:         nt,
+		node:        node,
+		h:           h,
+		inbox:       NewChan[rpcReq](nt.sim),
+		incarnation: node.incarnation,
+		callOp:      "call:" + addr,
+		serveOp:     "serve:" + addr,
+		workerName:  "rpc-worker:" + addr,
+	}
 	nt.servers[addr] = srv
 	node.Go("rpc-dispatch:"+addr, func(p *Proc) {
 		for {
@@ -116,21 +175,59 @@ func (nt *Net) Register(addr string, node *Node, h Handler) {
 			if !ok {
 				return
 			}
-			req := r
-			p.Go("rpc-handler:"+addr, func(hp *Proc) {
-				hp.AdoptSpan(req.span)
-				hsp := hp.StartSpan("rpc", "serve:"+addr, trace.Str("from", req.from.name))
-				resp, err := h(hp, req.req)
-				hp.EndSpan(hsp)
-				if !nt.Reachable(node, req.from) {
-					return // reply lost
-				}
-				// Error values cross the wire intact (everything is
-				// in-process); handlers must return immutable errors.
-				req.reply.SendAfter(hp, rpcResp{resp: resp, err: err}, nt.Latency(node, req.from))
-			})
+			srv.dispatch(p, r)
 		}
 	})
+}
+
+// dispatch hands one request to a free worker, spawning one if the pool is
+// empty. Workers die with the node; after a restart, Register builds a
+// fresh server (and pool), so a dead pool is never dispatched to.
+func (srv *rpcServer) dispatch(p *Proc, r rpcReq) {
+	var w *rpcWorker
+	if n := len(srv.idle); n > 0 {
+		w = srv.idle[n-1]
+		srv.idle[n-1] = nil
+		srv.idle = srv.idle[:n-1]
+	} else {
+		w = &rpcWorker{srv: srv, inbox: NewChan[rpcReq](srv.net.sim)}
+		srv.node.Go(srv.workerName, w.loop)
+	}
+	w.inbox.Send(p, r)
+}
+
+// rpcWorker is one reusable handler proc. It holds at most one request at a
+// time: the dispatcher only sends to workers it just took off the idle pool.
+type rpcWorker struct {
+	srv   *rpcServer
+	inbox *Chan[rpcReq]
+}
+
+func (w *rpcWorker) loop(p *Proc) {
+	srv := w.srv
+	nt := srv.net
+	for {
+		r, ok := w.inbox.Recv(p)
+		if !ok {
+			return
+		}
+		var hsp *trace.Span
+		if nt.sim.tracer != nil {
+			p.AdoptSpan(r.span)
+			hsp = p.StartSpan("rpc", srv.serveOp, trace.Str("from", r.from.name))
+		}
+		m, err := srv.h(p, r.m)
+		if hsp != nil {
+			p.EndSpan(hsp)
+		}
+		p.AdoptSpan(nil) // don't leak the caller's span into the next request
+		if nt.Reachable(srv.node, r.from) {
+			// Error values cross the wire intact (everything is in-process);
+			// handlers must return immutable errors.
+			r.rep.ch.SendAfter(p, rpcResp{m: m, err: err, gen: r.gen}, nt.Latency(srv.node, r.from))
+		}
+		srv.idle = append(srv.idle, w)
+	}
 }
 
 // DefaultRPCTimeout is used by Call.
@@ -138,33 +235,51 @@ const DefaultRPCTimeout = 200 * time.Millisecond
 
 // Call performs a synchronous RPC from node `from` to service addr with the
 // default timeout.
-func (nt *Net) Call(p *Proc, from *Node, addr string, req any) (any, error) {
+func (nt *Net) Call(p *Proc, from *Node, addr string, req Msg) (Msg, error) {
 	return nt.CallTimeout(p, from, addr, req, DefaultRPCTimeout)
 }
 
 // CallTimeout performs a synchronous RPC with an explicit timeout. Requests
 // to dead or partitioned servers are silently dropped and surface as
 // ErrTimeout; application errors returned by the handler come back as-is
-// (by message).
-func (nt *Net) CallTimeout(p *Proc, from *Node, addr string, req any, timeout time.Duration) (any, error) {
+// (by message). Reachability is evaluated when the request is sent and again
+// when the reply is sent, so a partition cut mid-flight loses the reply even
+// if it heals before the timeout.
+func (nt *Net) CallTimeout(p *Proc, from *Node, addr string, req Msg, timeout time.Duration) (Msg, error) {
 	srv, ok := nt.servers[addr]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoService, addr)
+		return Msg{}, fmt.Errorf("%w: %s", ErrNoService, addr)
 	}
-	sp := p.StartSpan("rpc", "call:"+addr, trace.Str("from", from.name))
-	reply := NewChan[rpcResp](nt.sim)
+	var sp *trace.Span
+	if nt.sim.tracer != nil {
+		sp = p.StartSpan("rpc", srv.callOp, trace.Str("from", from.name))
+	}
+	rec := nt.acquireReply()
+	defer nt.releaseReply(rec)
 	if nt.Reachable(from, srv.node) && srv.node.incarnation == srv.incarnation {
-		srv.inbox.SendAfter(p, rpcReq{from: from, req: req, reply: reply, span: sp}, nt.Latency(from, srv.node))
+		srv.inbox.SendAfter(p, rpcReq{from: from, m: req, rep: rec, gen: rec.gen, span: sp}, nt.Latency(from, srv.node))
 	}
-	resp, ok, timedOut := reply.RecvTimeout(p, timeout)
-	if timedOut || !ok {
-		sp.SetAttr(trace.Str("err", "timeout"))
+	deadline := p.sim.now + timeout
+	for {
+		remain := deadline - p.sim.now
+		if remain < 0 {
+			remain = 0
+		}
+		resp, ok, timedOut := rec.ch.RecvTimeout(p, remain)
+		if timedOut || !ok {
+			if sp != nil {
+				sp.SetAttr(trace.Str("err", "timeout"))
+				p.EndSpan(sp)
+			}
+			return Msg{}, ErrTimeout
+		}
+		if resp.gen != rec.gen {
+			continue // stale reply addressed to a previous user of this record
+		}
 		p.EndSpan(sp)
-		return nil, ErrTimeout
+		if resp.err != nil {
+			return Msg{}, resp.err
+		}
+		return resp.m, nil
 	}
-	p.EndSpan(sp)
-	if resp.err != nil {
-		return nil, resp.err
-	}
-	return resp.resp, nil
 }

@@ -194,6 +194,11 @@ func (p *Proc) Span() *trace.Span { return p.span }
 // nest their work under the remote caller's span.
 func (p *Proc) AdoptSpan(sp *trace.Span) { p.span = sp }
 
+// Tracing reports whether a trace collector is attached. Hot paths use it to
+// skip building span attributes (whose vararg slices would otherwise escape)
+// when tracing is off.
+func (p *Proc) Tracing() bool { return p.sim.tracer != nil }
+
 // Killed reports whether the proc has been marked for death (its node
 // crashed). Long-running loops that never block can poll this, though in
 // practice every loop blocks on simulated time.

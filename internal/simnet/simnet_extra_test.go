@@ -211,20 +211,20 @@ func TestRPCConcurrentHandlers(t *testing.T) {
 	s := New(1)
 	srv := s.NewNode("srv")
 	cli := s.NewNode("cli")
-	s.Net().Register("svc", srv, func(p *Proc, req any) (any, error) {
-		if req.(string) == "slow" {
+	s.Net().Register("svc", srv, func(p *Proc, req Msg) (Msg, error) {
+		if req.S[0] == "slow" {
 			p.Sleep(50 * time.Millisecond)
 		}
 		return req, nil
 	})
 	var fastDone, slowDone time.Duration
 	s.Go("slow", func(p *Proc) {
-		s.Net().Call(p, cli, "svc", "slow") //nolint:errcheck
+		s.Net().Call(p, cli, "svc", Msg{S: [3]string{"slow"}}) //nolint:errcheck
 		slowDone = p.Now()
 	})
 	s.Go("fast", func(p *Proc) {
 		p.Sleep(time.Millisecond)
-		s.Net().Call(p, cli, "svc", "fast") //nolint:errcheck
+		s.Net().Call(p, cli, "svc", Msg{S: [3]string{"fast"}}) //nolint:errcheck
 		fastDone = p.Now()
 	})
 	if err := s.Run(); err != nil {

@@ -387,22 +387,22 @@ func TestRPCRoundtrip(t *testing.T) {
 	srv := s.NewNode("srv")
 	cli := s.NewNode("cli")
 	s.Net().SetLatency(srv, cli, 100*time.Microsecond)
-	s.Net().Register("echo", srv, func(p *Proc, req any) (any, error) {
-		return "echo:" + req.(string), nil
+	s.Net().Register("echo", srv, func(p *Proc, req Msg) (Msg, error) {
+		return Msg{S: [3]string{"echo:" + req.S[0]}}, nil
 	})
-	var resp any
+	var resp Msg
 	var rtt time.Duration
 	s.Go("caller", func(p *Proc) {
 		start := p.Now()
 		var err error
-		resp, err = s.Net().Call(p, cli, "echo", "hi")
+		resp, err = s.Net().Call(p, cli, "echo", Msg{S: [3]string{"hi"}})
 		if err != nil {
 			t.Errorf("call: %v", err)
 		}
 		rtt = p.Now() - start
 	})
 	run(t, s)
-	if resp != "echo:hi" {
+	if resp.S[0] != "echo:hi" {
 		t.Fatalf("resp = %v", resp)
 	}
 	if rtt != 200*time.Microsecond {
@@ -414,11 +414,11 @@ func TestRPCHandlerError(t *testing.T) {
 	s := New(1)
 	srv := s.NewNode("srv")
 	cli := s.NewNode("cli")
-	s.Net().Register("fail", srv, func(p *Proc, req any) (any, error) {
-		return nil, errors.New("boom")
+	s.Net().Register("fail", srv, func(p *Proc, req Msg) (Msg, error) {
+		return Msg{}, errors.New("boom")
 	})
 	s.Go("caller", func(p *Proc) {
-		_, err := s.Net().Call(p, cli, "fail", 1)
+		_, err := s.Net().Call(p, cli, "fail", Msg{})
 		if err == nil || err.Error() != "boom" {
 			t.Errorf("err = %v, want boom", err)
 		}
@@ -430,11 +430,11 @@ func TestRPCTimeoutOnDeadServer(t *testing.T) {
 	s := New(1)
 	srv := s.NewNode("srv")
 	cli := s.NewNode("cli")
-	s.Net().Register("svc", srv, func(p *Proc, req any) (any, error) { return req, nil })
+	s.Net().Register("svc", srv, func(p *Proc, req Msg) (Msg, error) { return req, nil })
 	s.Go("test", func(p *Proc) {
 		srv.Crash()
 		start := p.Now()
-		_, err := s.Net().CallTimeout(p, cli, "svc", 1, 10*time.Millisecond)
+		_, err := s.Net().CallTimeout(p, cli, "svc", Msg{}, 10*time.Millisecond)
 		if !errors.Is(err, ErrTimeout) {
 			t.Errorf("err = %v, want timeout", err)
 		}
@@ -449,14 +449,14 @@ func TestRPCPartition(t *testing.T) {
 	s := New(1)
 	srv := s.NewNode("srv")
 	cli := s.NewNode("cli")
-	s.Net().Register("svc", srv, func(p *Proc, req any) (any, error) { return req, nil })
+	s.Net().Register("svc", srv, func(p *Proc, req Msg) (Msg, error) { return req, nil })
 	s.Go("test", func(p *Proc) {
 		s.Net().Partition(cli, srv)
-		if _, err := s.Net().CallTimeout(p, cli, "svc", 1, 5*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		if _, err := s.Net().CallTimeout(p, cli, "svc", Msg{}, 5*time.Millisecond); !errors.Is(err, ErrTimeout) {
 			t.Errorf("partitioned call err = %v", err)
 		}
 		s.Net().Heal(cli, srv)
-		if _, err := s.Net().Call(p, cli, "svc", 1); err != nil {
+		if _, err := s.Net().Call(p, cli, "svc", Msg{}); err != nil {
 			t.Errorf("healed call err = %v", err)
 		}
 	})
@@ -469,23 +469,23 @@ func TestRPCServerRestartDropsOldIncarnation(t *testing.T) {
 	cli := s.NewNode("cli")
 	hits := 0
 	register := func() {
-		s.Net().Register("svc", srv, func(p *Proc, req any) (any, error) {
+		s.Net().Register("svc", srv, func(p *Proc, req Msg) (Msg, error) {
 			hits++
-			return "ok", nil
+			return Msg{}, nil
 		})
 	}
 	register()
 	s.Go("test", func(p *Proc) {
-		if _, err := s.Net().Call(p, cli, "svc", 1); err != nil {
+		if _, err := s.Net().Call(p, cli, "svc", Msg{}); err != nil {
 			t.Errorf("first call: %v", err)
 		}
 		srv.Crash()
-		if _, err := s.Net().CallTimeout(p, cli, "svc", 1, 5*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		if _, err := s.Net().CallTimeout(p, cli, "svc", Msg{}, 5*time.Millisecond); !errors.Is(err, ErrTimeout) {
 			t.Errorf("call to crashed server: %v", err)
 		}
 		srv.Restart()
 		register()
-		if _, err := s.Net().Call(p, cli, "svc", 1); err != nil {
+		if _, err := s.Net().Call(p, cli, "svc", Msg{}); err != nil {
 			t.Errorf("call after restart: %v", err)
 		}
 	})

@@ -1,0 +1,107 @@
+// Package wire is the typed façade over simnet's flat message plane. The
+// transport (simnet.Net) moves value-typed simnet.Msg records with zero
+// steady-state allocation; this package keeps call sites type-safe on top of
+// that without reintroducing interface boxing on the hot path.
+//
+// Each RPC-speaking layer defines plain request/response structs that
+// implement Marshaler (struct → Msg) and Unmarshaler (Msg → struct). Both
+// conversions move scalars and share slices — no encoding, no copying, no
+// reflection. The generic Call/CallTimeout then give a call site like
+//
+//	resp, err := wire.Call[peer.LookupResp](p, net, from, addr, peer.LookupReq{...})
+//
+// with the response type checked at compile time. Marshal/Unmarshal run
+// inline on stack values; the Msg travels by value through the transport's
+// channel slabs.
+//
+// # Message codes
+//
+// Msg.Code identifies the message type; dispatchers switch on it instead of
+// type-switching on `any`. Codes need only be unique per RPC address, but
+// layers draw from disjoint ranges so traces and debugging stay unambiguous:
+//
+//	0x01        wire (Ack)
+//	0x10–0x1f   peer     (setup/lookup/release/staging)
+//	0x20–0x2f   raft     (vote/append/nop; other codes = client commands)
+//	0x30–0x3f   controller (tree commands and results)
+//	0x40–0x4f   bench    (workload ops)
+//
+// # Lifecycle and pooling rules
+//
+// A Msg handed to Call or returned from a handler is immutable from that
+// point on: its slices (B, Strs, Sub) are shared with the receiver, not
+// copied, exactly like a buffer handed to the kernel. Senders that reuse
+// buffers must not hand them to Call. The transport pools its own reply
+// records and worker procs (see simnet/net.go); messages themselves are
+// plain values and need no pooling — they live in channel slabs and stack
+// frames.
+package wire
+
+import (
+	"time"
+
+	"splitft/internal/simnet"
+)
+
+// Msg and Code alias the transport's flat wire representation so layers can
+// write wire.Msg without importing simnet for the type alone.
+type (
+	Msg  = simnet.Msg
+	Code = simnet.Code
+)
+
+// CodeAck identifies Ack. Codes 0x02–0x0f are reserved for future
+// transport-level messages.
+const CodeAck Code = 0x01
+
+// Marshaler converts a request/response struct into its flat wire form.
+// Implementations move scalars into U/S slots and share slices; they must
+// not retain or mutate the result after returning it.
+type Marshaler interface {
+	MarshalWire() Msg
+}
+
+// Unmarshaler fills a response struct from its flat wire form. The pointer
+// constraint lets Call instantiate the response on the caller's stack and
+// fill it in place.
+type Unmarshaler[T any] interface {
+	*T
+	UnmarshalWire(Msg) error
+}
+
+// Ack is the empty acknowledgement response for RPCs that return no data.
+type Ack struct{}
+
+// MarshalWire implements Marshaler.
+func (Ack) MarshalWire() Msg { return Msg{Code: CodeAck} }
+
+// UnmarshalWire implements Unmarshaler.
+func (*Ack) UnmarshalWire(Msg) error { return nil }
+
+// Call performs a typed synchronous RPC with the default timeout. Resp is
+// named explicitly at the call site; PResp and Req are inferred:
+//
+//	resp, err := wire.Call[peer.SetupResp](p, nt, from, addr, req)
+func Call[Resp any, PResp Unmarshaler[Resp], Req Marshaler](
+	p *simnet.Proc, nt *simnet.Net, from *simnet.Node, addr string, req Req,
+) (Resp, error) {
+	return CallTimeout[Resp, PResp](p, nt, from, addr, req, simnet.DefaultRPCTimeout)
+}
+
+// CallTimeout is Call with an explicit timeout. Transport errors
+// (simnet.ErrTimeout, simnet.ErrNoService) and handler errors come back
+// as-is; on error the response is the zero value.
+func CallTimeout[Resp any, PResp Unmarshaler[Resp], Req Marshaler](
+	p *simnet.Proc, nt *simnet.Net, from *simnet.Node, addr string, req Req,
+	timeout time.Duration,
+) (Resp, error) {
+	var resp Resp
+	m, err := nt.CallTimeout(p, from, addr, req.MarshalWire(), timeout)
+	if err != nil {
+		return resp, err
+	}
+	if err := PResp(&resp).UnmarshalWire(m); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,105 @@
+package wire_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"splitft/internal/simnet"
+	"splitft/internal/wire"
+)
+
+// A toy RPC pair exercising all Msg slot kinds.
+const codePing wire.Code = 0x0f
+
+type pingReq struct {
+	N    int64
+	Who  string
+	Blob []byte
+}
+
+func (r pingReq) MarshalWire() wire.Msg {
+	m := wire.Msg{Code: codePing, S: [3]string{r.Who}, B: r.Blob}
+	m.SetInt(0, r.N)
+	return m
+}
+
+type pingResp struct {
+	N    int64
+	Who  string
+	Blob []byte
+}
+
+func (r *pingResp) UnmarshalWire(m wire.Msg) error {
+	r.N = m.Int(0)
+	r.Who = m.S[0]
+	r.Blob = m.B
+	return nil
+}
+
+func TestCallRoundtrip(t *testing.T) {
+	s := simnet.New(1)
+	srv := s.NewNode("srv")
+	cli := s.NewNode("cli")
+	s.Net().Register("ping", srv, func(p *simnet.Proc, m simnet.Msg) (simnet.Msg, error) {
+		if m.Code != codePing {
+			t.Errorf("code = %#x, want %#x", m.Code, codePing)
+		}
+		out := m
+		out.SetInt(0, m.Int(0)+1)
+		return out, nil
+	})
+	s.Go("caller", func(p *simnet.Proc) {
+		resp, err := wire.Call[pingResp](p, s.Net(), cli, "ping", pingReq{N: 41, Who: "cli", Blob: []byte("xyz")})
+		if err != nil {
+			t.Errorf("call: %v", err)
+			return
+		}
+		if resp.N != 42 || resp.Who != "cli" || string(resp.Blob) != "xyz" {
+			t.Errorf("resp = %+v", resp)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallPropagatesHandlerError(t *testing.T) {
+	s := simnet.New(1)
+	srv := s.NewNode("srv")
+	cli := s.NewNode("cli")
+	sentinel := errors.New("nope")
+	s.Net().Register("fail", srv, func(p *simnet.Proc, m simnet.Msg) (simnet.Msg, error) {
+		return simnet.Msg{}, sentinel
+	})
+	s.Go("caller", func(p *simnet.Proc) {
+		if _, err := wire.Call[wire.Ack](p, s.Net(), cli, "fail", wire.Ack{}); !errors.Is(err, sentinel) {
+			t.Errorf("err = %v, want sentinel", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallTimeoutSurfacesTransportErrors(t *testing.T) {
+	s := simnet.New(1)
+	srv := s.NewNode("srv")
+	cli := s.NewNode("cli")
+	s.Net().Register("svc", srv, func(p *simnet.Proc, m simnet.Msg) (simnet.Msg, error) {
+		return m, nil
+	})
+	s.Go("caller", func(p *simnet.Proc) {
+		if _, err := wire.Call[wire.Ack](p, s.Net(), cli, "absent", wire.Ack{}); !errors.Is(err, simnet.ErrNoService) {
+			t.Errorf("unknown addr err = %v", err)
+		}
+		srv.Crash()
+		_, err := wire.CallTimeout[wire.Ack](p, s.Net(), cli, "svc", wire.Ack{}, 3*time.Millisecond)
+		if !errors.Is(err, simnet.ErrTimeout) {
+			t.Errorf("dead server err = %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

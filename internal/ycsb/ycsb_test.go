@@ -168,3 +168,16 @@ func sortDesc(v []int) {
 		}
 	}
 }
+
+func TestKeyFixedWidthFormat(t *testing.T) {
+	for _, i := range []int64{0, 1, 9, 10, 12345, 99999999, 1<<40 + 7} {
+		got := Key(i)
+		want := fmt.Sprintf("user%020d", i)
+		if got != want {
+			t.Errorf("Key(%d) = %q, want %q", i, got, want)
+		}
+		if len(got) != KeySize {
+			t.Errorf("Key(%d) length %d, want %d", i, len(got), KeySize)
+		}
+	}
+}
