@@ -17,6 +17,7 @@
 //
 // Experiments: table1 table2 fig1 fig1d fig8 fig9 fig10 fig11a fig11b
 // table3 fig12 ablate-repl ablate-split ablate-nolog calibrate sweep perf
+// scale
 //
 // The -profile flag selects the hardware cost model: a built-in name (see
 // internal/model: CX4RoCE25 is the paper-faithful baseline, CX6RoCE100 a
@@ -42,6 +43,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"splitft/internal/bench"
@@ -52,7 +54,7 @@ import (
 var experimentOrder = []string{
 	"table1", "table2", "fig1", "fig1d", "fig8", "fig9", "fig10",
 	"fig11a", "fig11b", "table3", "fig12", "ablate-repl", "ablate-split", "ablate-nolog",
-	"calibrate", "sweep", "perf",
+	"calibrate", "sweep", "perf", "scale",
 }
 
 func usage() {
@@ -61,6 +63,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, "  calibrate  runs the cost-model calibration gate for the selected profile\n")
 	fmt.Fprintf(os.Stderr, "  sweep      reruns the fig8 micro across all named profiles\n")
 	fmt.Fprintf(os.Stderr, "  perf       runs the simulator wall-clock suite and writes -perfout\n")
+	fmt.Fprintf(os.Stderr, "  scale      sweeps open-loop clients across controller shard counts, writes -scaleout\n")
 	fmt.Fprintf(os.Stderr, "  trace      runs the experiments with tracing on and prints the span aggregation\n")
 	fmt.Fprintf(os.Stderr, "profiles (-profile): %v, or a path to a JSON profile file\n", model.Names())
 	flag.PrintDefaults()
@@ -82,6 +85,9 @@ func realMain() int {
 		profile    = flag.String("profile", "", "hardware profile: a built-in name or a JSON file path (default: CX4RoCE25)")
 		traceOut   = flag.String("trace", "", "record spans and write a Chrome trace-event JSON to this file")
 		perfOut    = flag.String("perfout", "BENCH_simnet.json", "output path for the perf subcommand's JSON report")
+		scaleOut   = flag.String("scaleout", "BENCH_scale.json", "output path for the scale subcommand's JSON report")
+		scaleCli   = flag.String("scaleclients", "", "comma-separated client counts for the scale sweep (default 10,100,250,500,1000)")
+		scaleShard = flag.String("scaleshards", "", "comma-separated shard counts for the scale sweep (default 1,8)")
 		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a runtime/pprof heap profile at exit to this file")
 	)
@@ -134,6 +140,27 @@ func realMain() int {
 	}
 
 	appList := splitComma(*apps)
+
+	scaleCfg := bench.DefaultScaleConfig()
+	if *quick {
+		scaleCfg = bench.SmokeScaleConfig()
+	}
+	if *scaleCli != "" {
+		v, err := parseIntList(*scaleCli)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitft-bench: -scaleclients: %v\n", err)
+			return 2
+		}
+		scaleCfg.Clients = v
+	}
+	if *scaleShard != "" {
+		v, err := parseIntList(*scaleShard)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitft-bench: -scaleshards: %v\n", err)
+			return 2
+		}
+		scaleCfg.Shards = v
+	}
 
 	// Validate experiment names up front so a typo fails before hours of
 	// simulation, not after.
@@ -194,7 +221,7 @@ func realMain() int {
 		if !want[exp] {
 			continue
 		}
-		if err := run(exp, sc, *seed, appList, *perfOut); err != nil {
+		if err := run(exp, sc, *seed, appList, *perfOut, *scaleOut, scaleCfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", exp, err)
 			return 1
 		}
@@ -214,7 +241,7 @@ func realMain() int {
 	return 0
 }
 
-func run(exp string, sc bench.Scale, seed int64, apps []string, perfOut string) error {
+func run(exp string, sc bench.Scale, seed int64, apps []string, perfOut, scaleOut string, scaleCfg bench.ScaleConfig) error {
 	banner(exp)
 	switch exp {
 	case "table1":
@@ -330,6 +357,18 @@ func run(exp string, sc bench.Scale, seed int64, apps []string, perfOut string) 
 			}
 			fmt.Printf("[perf report written to %s]\n", perfOut)
 		}
+	case "scale":
+		rep, err := bench.ScaleRun(scaleCfg, sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		if scaleOut != "" {
+			if err := rep.WriteJSON(scaleOut); err != nil {
+				return err
+			}
+			fmt.Printf("[scale report written to %s]\n", scaleOut)
+		}
 	default:
 		return fmt.Errorf("unknown experiment")
 	}
@@ -338,6 +377,22 @@ func run(exp string, sc bench.Scale, seed int64, apps []string, perfOut string) 
 
 func banner(exp string) {
 	fmt.Printf("==== %s ====\n", exp)
+}
+
+func parseIntList(s string) ([]int, error) {
+	parts := splitComma(s)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", p)
+		}
+		out[i] = n
+	}
+	return out, nil
 }
 
 func splitComma(s string) []string {

@@ -155,6 +155,7 @@ func Perf(sc Scale, seed int64) (PerfReport, error) {
 		{"mutex-convoy", func() (*simnet.Sim, error) { return perfMutexConvoy(seed) }},
 		{"rpc-echo", func() (*simnet.Sim, error) { return perfRPCEcho(seed) }},
 		{"ycsb-a-12c", func() (*simnet.Sim, error) { return perfYCSBSlice(ysc, seed) }},
+		{"scale-64c-4s", func() (*simnet.Sim, error) { return perfScaleSmoke(sc, seed) }},
 	}
 	for _, w := range workloads {
 		row, err := measure(w)
@@ -254,6 +255,16 @@ func perfRPCEcho(seed int64) (*simnet.Sim, error) {
 		return s, err
 	}
 	return s, callErr
+}
+
+// perfScaleSmoke is the control-plane row: the CI-sized scale point (64
+// open-loop clients on a 4-shard controller, see scale.go). It exercises the
+// multi-group Raft endpoint, the sharded znode tree and the pooled NCL
+// allocation path, which the YCSB row's single-app cluster barely touches.
+func perfScaleSmoke(sc Scale, seed int64) (*simnet.Sim, error) {
+	cfg := SmokeScaleConfig()
+	_, s, err := runScalePointSim(cfg, sc, seed, cfg.Shards[0], cfg.Clients[0])
+	return s, err
 }
 
 // perfYCSBSlice is the end-to-end row: the full SplitFT stack (controllers,

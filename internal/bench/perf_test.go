@@ -22,8 +22,8 @@ func TestPerfSuiteSanity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 7 {
-		t.Fatalf("got %d rows, want 7", len(rep.Rows))
+	if len(rep.Rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rep.Rows))
 	}
 	for _, row := range rep.Rows {
 		if row.Events == 0 {

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"splitft/internal/trace"
+)
+
+// TestScaleSmoke64c4s is the CI scale gate: the smoke point (64 open-loop
+// clients, 4 controller shards) must boot every client and complete its
+// offered load with no controller errors. Well below the saturation knee,
+// completed throughput should track offered throughput.
+func TestScaleSmoke64c4s(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke skipped in -short")
+	}
+	cfg := SmokeScaleConfig()
+	rep, err := ScaleRun(cfg, QuickScale(), 1)
+	if err != nil {
+		t.Fatalf("scale smoke: %v", err)
+	}
+	if len(rep.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(rep.Points))
+	}
+	pt := rep.Points[0]
+	if pt.Booted != cfg.Clients[0] {
+		t.Errorf("booted = %d, want %d", pt.Booted, cfg.Clients[0])
+	}
+	if pt.Errs != 0 {
+		t.Errorf("errs = %d, want 0", pt.Errs)
+	}
+	if pt.KOps <= 0 {
+		t.Fatalf("completed throughput = %v KOps/s, want > 0", pt.KOps)
+	}
+	if pt.KOps < pt.OfferedKOps*0.9 {
+		t.Errorf("completed %.2f KOps/s below 90%% of offered %.2f", pt.KOps, pt.OfferedKOps)
+	}
+	if pt.P99 <= 0 {
+		t.Errorf("p99 = %v us, want > 0", pt.P99)
+	}
+}
+
+// TestScaleTraceDeterministic extends the determinism contract to the
+// sharded control plane: two runs of the same scale point at the same seed
+// must produce byte-identical Chrome trace exports. Any unordered map
+// iteration feeding a decision in the controller, the shard-aware client or
+// the pooled allocator would diverge here.
+func TestScaleTraceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale trace determinism skipped in -short")
+	}
+	runOnce := func() []byte {
+		col := trace.New()
+		sc := QuickScale()
+		sc.Trace = col
+		cfg := SmokeScaleConfig()
+		if _, err := ScaleRun(cfg, sc, 7); err != nil {
+			t.Fatalf("scale run: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, col.Spans()); err != nil {
+			t.Fatalf("write chrome trace: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a := runOnce()
+	b := runOnce()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace export differs between identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+}

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -10,14 +11,30 @@ import (
 )
 
 // Client is a typed controller client used by ncl-lib and by log peers.
-// Every operation is a linearizable command through the Raft log.
+// Every operation is a linearizable command through the owning shard's Raft
+// log. On a sharded controller the client caches the shard directory
+// (fetched once from the root group) and routes each path to its group; an
+// ErrWrongShard reply — possible only if the directory was stale — drops
+// the cache and retries. Sessions are lazy and per shard: the client
+// registers on a shard the first time it creates an ephemeral there, and
+// one keep-alive proc services every shard it registered on.
 type Client struct {
 	svc     *Service
-	rc      *raft.Client
 	node    *simnet.Node
 	session string
 	fencing int64
-	started bool
+
+	// rcs[g] is the lazily created proposal client for group g.
+	rcs []*raft.Client
+	// dir is the cached shard directory; nil until fetched (single-group
+	// controllers use the service's static layout immediately).
+	dir []ShardRange
+	// sess[g] records that this client's session is established on group g.
+	sess []bool
+	// wantSession is set by StartSession; until then, ephemeral ops surface
+	// ErrSession exactly like a sessionless ZooKeeper client would.
+	wantSession bool
+	started     bool
 }
 
 // NewClient creates a controller client for the given node. name identifies
@@ -28,13 +45,31 @@ type Client struct {
 // fencing tokens, as in ZooKeeper where each client connection is its own
 // session.
 func NewClient(svc *Service, node *simnet.Node, name string, fencing int64) *Client {
-	rc := raft.NewClient(svc.cluster, node)
-	rc.Deadline = svc.cfg.OpTimeout
-	// Fast per-attempt failover: keep-alives must land within a fraction of
-	// the session timeout even right after a partition heals.
-	rc.CallTimeout = svc.cfg.SessionTimeout / 6
-	session := fmt.Sprintf("%s@%s#%d", name, node.Name(), fencing)
-	return &Client{svc: svc, rc: rc, node: node, session: session, fencing: fencing}
+	c := &Client{
+		svc:     svc,
+		node:    node,
+		session: fmt.Sprintf("%s@%s#%d", name, node.Name(), fencing),
+		fencing: fencing,
+		rcs:     make([]*raft.Client, len(svc.shards)),
+		sess:    make([]bool, len(svc.shards)),
+	}
+	if len(svc.shards) == 1 {
+		c.dir = svc.shards
+	}
+	return c
+}
+
+// client returns (creating on first use) the proposal client for group g.
+func (c *Client) client(g int) *raft.Client {
+	if c.rcs[g] == nil {
+		rc := raft.NewClient(c.svc.set.Group(g), c.node)
+		rc.Deadline = c.svc.cfg.OpTimeout
+		// Fast per-attempt failover: keep-alives must land within a fraction
+		// of the session timeout even right after a partition heals.
+		rc.CallTimeout = c.svc.cfg.SessionTimeout / 6
+		c.rcs[g] = rc
+	}
+	return c.rcs[g]
 }
 
 // cmdOp names a znode command for span attribution.
@@ -59,13 +94,13 @@ func cmdOp(code wire.Code) string {
 	}
 }
 
-// propose runs one encoded command and decodes the opResult.
-func (c *Client) propose(p *simnet.Proc, cmd wire.Msg) (opResult, error) {
+// proposeAt runs one encoded command on group g and decodes the opResult.
+func (c *Client) proposeAt(p *simnet.Proc, g int, cmd wire.Msg) (opResult, error) {
 	if p.Tracing() {
 		sp := p.StartSpan("controller", cmdOp(cmd.Code))
 		defer p.EndSpan(sp)
 	}
-	res, err := c.rc.Propose(p, cmd)
+	res, err := c.client(g).Propose(p, cmd)
 	if err != nil {
 		return opResult{}, err
 	}
@@ -77,32 +112,124 @@ func (c *Client) propose(p *simnet.Proc, cmd wire.Msg) (opResult, error) {
 	return r, nil
 }
 
-// StartSession registers the client's session and spawns the keep-alive
-// proc (which dies with the node, letting the session expire — exactly the
-// ZooKeeper ephemeral-node behaviour the paper relies on).
-func (c *Client) StartSession(p *simnet.Proc) error {
-	_, err := c.propose(p, cmdNewSession{
+// ensureDir makes sure the shard directory is cached, fetching /shards from
+// the root group on a sharded controller (retrying briefly: the directory
+// is published by a boot proc and may trail the ensemble by a moment).
+func (c *Client) ensureDir(p *simnet.Proc) error {
+	if c.dir != nil {
+		return nil
+	}
+	var lastErr error
+	deadline := p.Now() + c.svc.cfg.OpTimeout
+	for {
+		r, err := c.proposeAt(p, 0, cmdGet{Path: shardDirPath}.MarshalWire())
+		if err == nil && r.Found {
+			c.dir = parseShardDir(r.Data)
+			return nil
+		}
+		lastErr = err
+		if p.Now() >= deadline {
+			if lastErr == nil {
+				lastErr = ErrNotFound
+			}
+			return fmt.Errorf("controller: shard directory unavailable: %w", lastErr)
+		}
+		p.Sleep(c.svc.cfg.ExpiryScan)
+	}
+}
+
+// groupFor routes a path through the cached directory.
+func (c *Client) groupFor(path string) int {
+	if len(c.dir) == 1 {
+		return 0
+	}
+	app, meta := routeKey(path)
+	if meta {
+		return 0
+	}
+	h := fnv32(app)
+	for _, sr := range c.dir {
+		if sr.contains(h) {
+			return sr.Group
+		}
+	}
+	return 0
+}
+
+// establishSession registers the client's session on group g.
+func (c *Client) establishSession(p *simnet.Proc, g int) error {
+	_, err := c.proposeAt(p, g, cmdNewSession{
 		Session: c.session,
 		At:      p.Now(),
 		Timeout: c.svc.cfg.SessionTimeout,
 	}.MarshalWire())
-	if err != nil {
+	if err == nil {
+		c.sess[g] = true
+	}
+	return err
+}
+
+// run routes one command to the group owning path, lazily establishing the
+// session there when the op needs one, and refreshes the directory on a
+// wrong-shard reply.
+func (c *Client) run(p *simnet.Proc, path string, needSession bool, cmd wire.Msg) (opResult, error) {
+	if err := c.ensureDir(p); err != nil {
+		return opResult{}, err
+	}
+	for attempt := 0; ; attempt++ {
+		g := c.groupFor(path)
+		if needSession && c.wantSession && !c.sess[g] {
+			if err := c.establishSession(p, g); err != nil {
+				return opResult{}, err
+			}
+		}
+		r, err := c.proposeAt(p, g, cmd)
+		if errors.Is(err, ErrWrongShard) && len(c.svc.shards) > 1 && attempt < 2 {
+			c.dir = nil
+			if derr := c.ensureDir(p); derr != nil {
+				return opResult{}, derr
+			}
+			continue
+		}
+		return r, err
+	}
+}
+
+// StartSession arms the client's session and spawns the keep-alive proc
+// (which dies with the node, letting the session expire — exactly the
+// ZooKeeper ephemeral-node behaviour the paper relies on). On a
+// single-group controller the session is registered immediately; on a
+// sharded one it is registered per shard on first ephemeral use, and the
+// keep-alive proc services every shard the session reached.
+func (c *Client) StartSession(p *simnet.Proc) error {
+	if err := c.ensureDir(p); err != nil {
 		return err
+	}
+	c.wantSession = true
+	if len(c.dir) == 1 {
+		if err := c.establishSession(p, 0); err != nil {
+			return err
+		}
 	}
 	if !c.started {
 		c.started = true
 		c.node.Go("ctrl-keepalive:"+c.session, func(kp *simnet.Proc) {
 			for {
 				kp.Sleep(c.svc.cfg.KeepAlive)
-				_, err := c.propose(kp, cmdKeepAlive{Session: c.session, At: kp.Now()}.MarshalWire())
-				if err == ErrSession {
-					// Expired (e.g. after a partition): re-establish so our
-					// ephemerals can be re-created by the owner.
-					c.propose(kp, cmdNewSession{ //nolint:errcheck
-						Session: c.session,
-						At:      kp.Now(),
-						Timeout: c.svc.cfg.SessionTimeout,
-					}.MarshalWire())
+				for g := range c.sess {
+					if !c.sess[g] {
+						continue
+					}
+					_, err := c.proposeAt(kp, g, cmdKeepAlive{Session: c.session, At: kp.Now()}.MarshalWire())
+					if errors.Is(err, ErrSession) {
+						// Expired (e.g. after a partition): re-establish so
+						// our ephemerals can be re-created by the owner.
+						c.proposeAt(kp, g, cmdNewSession{ //nolint:errcheck
+							Session: c.session,
+							At:      kp.Now(),
+							Timeout: c.svc.cfg.SessionTimeout,
+						}.MarshalWire())
+					}
 				}
 			}
 		})
@@ -117,32 +244,43 @@ func peerPath(name string) string { return "/peers/" + name }
 // RegisterPeer advertises a log peer and its lendable memory (§4.3). The
 // registration is ephemeral: it disappears if the peer dies.
 func (c *Client) RegisterPeer(p *simnet.Proc, info PeerInfo) error {
-	_, err := c.propose(p, cmdCreate{
-		Path: peerPath(info.Name), Data: info.MarshalWire(),
+	path := peerPath(info.Name)
+	_, err := c.run(p, path, true, cmdCreate{
+		Path: path, Data: info.MarshalWire(),
 		Ephemeral: true, Session: c.session, Fencing: c.fencing, Takeover: true,
 	}.MarshalWire())
 	return err
 }
 
-// UpdatePeerMem republishes a peer's available memory (paper step 4a; the
-// value is a hint, so unconditional set is correct).
+// PublishPeer republishes a peer's full registration in one proposal (the
+// value is a hint, so unconditional set is correct). ErrNotFound means the
+// registration expired; the caller re-registers or drops the update.
+func (c *Client) PublishPeer(p *simnet.Proc, info PeerInfo) error {
+	path := peerPath(info.Name)
+	_, err := c.run(p, path, false, cmdSet{Path: path, Data: info.MarshalWire(), Version: -1}.MarshalWire())
+	return err
+}
+
+// UpdatePeerMem republishes a peer's available memory (paper step 4a),
+// reading the current registration and rewriting it with the new value.
+// Peers that track their own registration use the single-proposal
+// PublishPeer instead.
 func (c *Client) UpdatePeerMem(p *simnet.Proc, name string, avail int64) error {
-	res, err := c.propose(p, cmdGet{Path: peerPath(name)}.MarshalWire())
+	res, err := c.run(p, peerPath(name), false, cmdGet{Path: peerPath(name)}.MarshalWire())
 	if err != nil || !res.Found {
 		return ErrNotFound
 	}
 	var info PeerInfo
 	info.UnmarshalWire(res.Data) //nolint:errcheck
 	info.AvailMem = avail
-	_, err = c.propose(p, cmdSet{Path: peerPath(name), Data: info.MarshalWire(), Version: -1}.MarshalWire())
-	return err
+	return c.PublishPeer(p, info)
 }
 
 // PickPeers returns up to n registered peers with at least minMem available,
 // excluding the given names, most-free first (name tiebreak). The choice is
 // a hint: a returned peer can still reject the allocation (§4.3).
 func (c *Client) PickPeers(p *simnet.Proc, n int, minMem int64, exclude []string) ([]PeerInfo, error) {
-	res, err := c.propose(p, cmdList{Prefix: "/peers/"}.MarshalWire())
+	res, err := c.run(p, "/peers/", false, cmdList{Prefix: "/peers/"}.MarshalWire())
 	if err != nil {
 		return nil, err
 	}
@@ -170,9 +308,22 @@ func (c *Client) PickPeers(p *simnet.Proc, n int, minMem int64, exclude []string
 	return cands, nil
 }
 
+// ListPeers returns every registered peer (the NCL pool refresh path).
+func (c *Client) ListPeers(p *simnet.Proc) ([]PeerInfo, error) {
+	res, err := c.run(p, "/peers/", false, cmdList{Prefix: "/peers/"}.MarshalWire())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PeerInfo, len(res.Datas))
+	for i, d := range res.Datas {
+		out[i].UnmarshalWire(d) //nolint:errcheck
+	}
+	return out, nil
+}
+
 // GetPeer returns one peer's registration.
 func (c *Client) GetPeer(p *simnet.Proc, name string) (PeerInfo, bool, error) {
-	res, err := c.propose(p, cmdGet{Path: peerPath(name)}.MarshalWire())
+	res, err := c.run(p, peerPath(name), false, cmdGet{Path: peerPath(name)}.MarshalWire())
 	if err != nil {
 		return PeerInfo{}, false, err
 	}
@@ -194,28 +345,29 @@ func (c *Client) SetAppFile(p *simnet.Proc, app, file string, e FileEntry, versi
 	path := fileKey(app, file)
 	data := e.MarshalWire()
 	if version < 0 {
-		res, err := c.propose(p, cmdGet{Path: path}.MarshalWire())
+		res, err := c.run(p, path, false, cmdGet{Path: path}.MarshalWire())
 		if err != nil {
 			return 0, err
 		}
 		if !res.Found {
-			r, err := c.propose(p, cmdCreate{Path: path, Data: data}.MarshalWire())
-			if err == ErrExists {
+			r, err := c.run(p, path, false, cmdCreate{Path: path, Data: data}.MarshalWire())
+			if errors.Is(err, ErrExists) {
 				// Lost a (retried) race with ourselves; fall through to set.
-				r, err = c.propose(p, cmdSet{Path: path, Data: data, Version: -1}.MarshalWire())
+				r, err = c.run(p, path, false, cmdSet{Path: path, Data: data, Version: -1}.MarshalWire())
 			}
 			return r.Version, err
 		}
-		r, err := c.propose(p, cmdSet{Path: path, Data: data, Version: -1}.MarshalWire())
+		r, err := c.run(p, path, false, cmdSet{Path: path, Data: data, Version: -1}.MarshalWire())
 		return r.Version, err
 	}
-	r, err := c.propose(p, cmdSet{Path: path, Data: data, Version: version}.MarshalWire())
+	r, err := c.run(p, path, false, cmdSet{Path: path, Data: data, Version: version}.MarshalWire())
 	return r.Version, err
 }
 
 // GetAppFile reads the ap-map entry for (app, file).
 func (c *Client) GetAppFile(p *simnet.Proc, app, file string) (FileEntry, int64, bool, error) {
-	res, err := c.propose(p, cmdGet{Path: fileKey(app, file)}.MarshalWire())
+	path := fileKey(app, file)
+	res, err := c.run(p, path, false, cmdGet{Path: path}.MarshalWire())
 	if err != nil {
 		return FileEntry{}, 0, false, err
 	}
@@ -229,8 +381,9 @@ func (c *Client) GetAppFile(p *simnet.Proc, app, file string) (FileEntry, int64,
 
 // DeleteAppFile removes the ap-map entry (on ncl-file release).
 func (c *Client) DeleteAppFile(p *simnet.Proc, app, file string) error {
-	_, err := c.propose(p, cmdDelete{Path: fileKey(app, file), Version: -1}.MarshalWire())
-	if err == ErrNotFound {
+	path := fileKey(app, file)
+	_, err := c.run(p, path, false, cmdDelete{Path: path, Version: -1}.MarshalWire())
+	if errors.Is(err, ErrNotFound) {
 		return nil
 	}
 	return err
@@ -240,7 +393,7 @@ func (c *Client) DeleteAppFile(p *simnet.Proc, app, file string) error {
 // find what must be restored from peers).
 func (c *Client) ListAppFiles(p *simnet.Proc, app string) (map[string]FileEntry, error) {
 	prefix := "/apps/" + app + "/"
-	res, err := c.propose(p, cmdList{Prefix: prefix}.MarshalWire())
+	res, err := c.run(p, prefix, false, cmdList{Prefix: prefix}.MarshalWire())
 	if err != nil {
 		return nil, err
 	}
@@ -258,14 +411,16 @@ func (c *Client) ListAppFiles(p *simnet.Proc, app string) (map[string]FileEntry,
 // AcquireServerLock claims the application's single-instance znode (§4.7).
 // A fresh instance takes over from a crashed predecessor with a lower
 // fencing token; concurrent instances with the same token race and exactly
-// one wins (the paper's ZooKeeper guarantee).
+// one wins (the paper's ZooKeeper guarantee). The lock lives on the
+// application's shard, next to its ap-map entries.
 func (c *Client) AcquireServerLock(p *simnet.Proc, app string) error {
-	_, err := c.propose(p, cmdCreate{
-		Path:      "/servers/" + app,
+	path := "/servers/" + app
+	_, err := c.run(p, path, true, cmdCreate{
+		Path:      path,
 		Data:      ServerInfo{Node: c.node.Name(), Fencing: c.fencing}.MarshalWire(),
 		Ephemeral: true, Session: c.session, Fencing: c.fencing, Takeover: true,
 	}.MarshalWire())
-	if err == ErrExists {
+	if errors.Is(err, ErrExists) {
 		return fmt.Errorf("%w: another instance of %s is active", ErrFenced, app)
 	}
 	return err

@@ -45,6 +45,7 @@ const (
 	codeDelete     wire.Code = 0x35
 	codeGet        wire.Code = 0x36
 	codeList       wire.Code = 0x37
+	codeShardDir   wire.Code = 0x38
 	codePeerInfo   wire.Code = 0x3b
 	codeFileEntry  wire.Code = 0x3c
 	codeServerInfo wire.Code = 0x3d
@@ -125,6 +126,9 @@ var (
 	ErrBadVersion = errors.New("controller: version mismatch")
 	ErrSession    = errors.New("controller: session expired or unknown")
 	ErrFenced     = errors.New("controller: fenced by a newer instance")
+	// ErrWrongShard rejects a znode op routed to a group that does not own
+	// the path; clients refresh their shard directory and retry.
+	ErrWrongShard = errors.New("controller: wrong shard for path")
 )
 
 // ---- Replicated state machine ----
@@ -145,10 +149,36 @@ type session struct {
 type tree struct {
 	nodes    map[string]*znode
 	sessions map[string]*session
+	// shard is the app-hash range this tree owns; all short-circuits the
+	// ownership check (the single-group controller owns every path).
+	shard ShardRange
+	all   bool
 }
 
 func newTree() *tree {
-	return &tree{nodes: make(map[string]*znode), sessions: make(map[string]*session)}
+	t := newShardTree(ShardRange{Hi: ^uint32(0)})
+	t.all = true
+	return t
+}
+
+func newShardTree(sr ShardRange) *tree {
+	return &tree{nodes: make(map[string]*znode), sessions: make(map[string]*session), shard: sr}
+}
+
+// owns reports whether this shard's state machine is the home of path.
+// Session commands skip the check — sessions exist per shard.
+func (t *tree) owns(path string) bool {
+	if t.all {
+		return true
+	}
+	app, meta := routeKey(path)
+	if meta {
+		return t.shard.Group == 0
+	}
+	if t.shard.Group == 0 {
+		return false
+	}
+	return t.shard.contains(fnv32(app))
 }
 
 // Commands. Every mutation is versioned or idempotent so client retries
@@ -364,12 +394,22 @@ func (t *tree) apply(cmd wire.Msg) opResult {
 	case codeCreate:
 		var c cmdCreate
 		c.UnmarshalWire(cmd) //nolint:errcheck
+		if !t.owns(c.Path) {
+			return opResult{Err: ErrWrongShard}
+		}
 		if c.Ephemeral {
 			if _, ok := t.sessions[c.Session]; !ok {
 				return opResult{Err: ErrSession}
 			}
 		}
 		if old, ok := t.nodes[c.Path]; ok {
+			// A create proposal may be re-submitted after an ambiguous
+			// timeout; if the node is an ephemeral this same session already
+			// owns, the first submission won — report success (with the
+			// existing version) instead of self-fencing the retrier.
+			if c.Ephemeral && old.ephemeral && old.session == c.Session && old.fencing == c.Fencing {
+				return opResult{Version: old.version}
+			}
 			if !(c.Takeover && old.ephemeral && c.Fencing > old.fencing) {
 				return opResult{Err: ErrExists}
 			}
@@ -380,6 +420,9 @@ func (t *tree) apply(cmd wire.Msg) opResult {
 	case codeSet:
 		var c cmdSet
 		c.UnmarshalWire(cmd) //nolint:errcheck
+		if !t.owns(c.Path) {
+			return opResult{Err: ErrWrongShard}
+		}
 		n, ok := t.nodes[c.Path]
 		if !ok {
 			return opResult{Err: ErrNotFound}
@@ -393,6 +436,9 @@ func (t *tree) apply(cmd wire.Msg) opResult {
 	case codeDelete:
 		var c cmdDelete
 		c.UnmarshalWire(cmd) //nolint:errcheck
+		if !t.owns(c.Path) {
+			return opResult{Err: ErrWrongShard}
+		}
 		n, ok := t.nodes[c.Path]
 		if !ok {
 			return opResult{Err: ErrNotFound}
@@ -403,6 +449,9 @@ func (t *tree) apply(cmd wire.Msg) opResult {
 		delete(t.nodes, c.Path)
 		return opResult{}
 	case codeGet:
+		if !t.owns(cmd.S[0]) {
+			return opResult{Err: ErrWrongShard}
+		}
 		n, ok := t.nodes[cmd.S[0]]
 		if !ok {
 			return opResult{Found: false}
@@ -410,6 +459,9 @@ func (t *tree) apply(cmd wire.Msg) opResult {
 		return opResult{Found: true, Data: n.data, Version: n.version}
 	case codeList:
 		prefix := cmd.S[0]
+		if !t.owns(prefix) {
+			return opResult{Err: ErrWrongShard}
+		}
 		var paths []string
 		for p := range t.nodes {
 			if strings.HasPrefix(p, prefix) {
@@ -448,13 +500,18 @@ func DefaultConfig() Config {
 	return model.Baseline().Controller
 }
 
-// Service is a running controller ensemble.
+// Service is a running controller ensemble: one raft.Set whose group 0 is
+// the root shard (peer registry + shard directory) and whose groups 1..N,
+// when cfg.Shards > 1, own hash ranges of the per-application state. With
+// cfg.Shards <= 1 the set has a single group owning everything — the
+// paper's ZooKeeper-equivalent layout.
 type Service struct {
 	sim      *simnet.Sim
 	cfg      Config
-	cluster  *raft.Cluster
+	set      *raft.Set
+	shards   []ShardRange
 	nodes    []*simnet.Node
-	replicas map[string]*raft.Replica
+	replicas map[string][]*raft.Replica // node id -> replicas in group order
 }
 
 // Start boots a controller ensemble across the given nodes (typically 3).
@@ -463,8 +520,17 @@ func Start(s *simnet.Sim, nodes []*simnet.Node, cfg Config) *Service {
 	for i, n := range nodes {
 		ids[i] = n.Name()
 	}
-	svc := &Service{sim: s, cfg: cfg, nodes: nodes, replicas: make(map[string]*raft.Replica)}
-	svc.cluster = raft.NewCluster(s, "ncl-controller", cfg.Raft, ids, func() raft.StateMachine { return newTree() })
+	svc := &Service{sim: s, cfg: cfg, nodes: nodes,
+		shards: shardLayout(cfg.Shards), replicas: make(map[string][]*raft.Replica)}
+	svc.set = raft.NewSet(s, "ncl-controller", cfg.Raft, ids)
+	for _, sr := range svc.shards {
+		sr := sr
+		if len(svc.shards) == 1 {
+			svc.set.AddGroup(func() raft.StateMachine { return newTree() })
+		} else {
+			svc.set.AddGroup(func() raft.StateMachine { return newShardTree(sr) })
+		}
+	}
 	for i, n := range nodes {
 		svc.startNode(n, ids[i])
 	}
@@ -472,29 +538,60 @@ func Start(s *simnet.Sim, nodes []*simnet.Node, cfg Config) *Service {
 }
 
 func (svc *Service) startNode(n *simnet.Node, id string) {
-	rep := raft.StartReplica(svc.cluster, n, id)
-	svc.replicas[id] = rep
-	// Session-expiry monitor: the leader proposes expirations for sessions
-	// whose heartbeats stopped. The state machine re-checks at apply time,
-	// so a stale monitor can never expire a live session.
+	reps := svc.set.StartNode(n, id)
+	svc.replicas[id] = reps
+	if len(svc.shards) > 1 {
+		// Publish the shard directory into the root group so clients can
+		// fetch it. Every node proposes the same create; the first to land
+		// wins and the rest see ErrExists — idempotent by construction.
+		n.Go("ctrl-shard-dir:"+id, func(p *simnet.Proc) {
+			rc := raft.NewClient(svc.set.Group(0), n)
+			rc.Deadline = svc.cfg.OpTimeout
+			for {
+				res, err := rc.Propose(p, cmdCreate{Path: shardDirPath, Data: shardDirMsg(svc.shards)}.MarshalWire())
+				if err == nil {
+					var r opResult
+					r.UnmarshalWire(res) //nolint:errcheck
+					if r.Err == nil || errors.Is(r.Err, ErrExists) {
+						return
+					}
+				}
+				p.Sleep(svc.cfg.ExpiryScan)
+			}
+		})
+	}
+	// Session-expiry monitor: for every group this node currently leads,
+	// propose expirations for sessions whose heartbeats stopped. The state
+	// machine re-checks at apply time, so a stale monitor can never expire
+	// a live session. Groups are scanned in index order and stale names
+	// sorted, keeping the proposal stream deterministic.
 	n.Go("ctrl-expiry:"+id, func(p *simnet.Proc) {
-		rc := raft.NewClient(svc.cluster, n)
-		rc.Deadline = svc.cfg.OpTimeout
+		rcs := make([]*raft.Client, len(reps))
+		var stale []string
 		for {
 			p.Sleep(svc.cfg.ExpiryScan)
-			if !rep.IsLeader() {
-				continue
-			}
-			t := rep.SM().(*tree)
-			var stale []string
-			for name, sess := range t.sessions {
-				if p.Now()-sess.lastSeen >= sess.timeout {
-					stale = append(stale, name)
+			for g, rep := range reps {
+				if !rep.IsLeader() {
+					continue
 				}
-			}
-			sort.Strings(stale)
-			for _, name := range stale {
-				rc.Propose(p, cmdExpire{Session: name, AsOf: p.Now()}.MarshalWire()) //nolint:errcheck
+				t := rep.SM().(*tree)
+				stale = stale[:0]
+				for name, sess := range t.sessions {
+					if p.Now()-sess.lastSeen >= sess.timeout {
+						stale = append(stale, name)
+					}
+				}
+				if len(stale) == 0 {
+					continue
+				}
+				sort.Strings(stale)
+				if rcs[g] == nil {
+					rcs[g] = raft.NewClient(svc.set.Group(g), n)
+					rcs[g].Deadline = svc.cfg.OpTimeout
+				}
+				for _, name := range stale {
+					rcs[g].Propose(p, cmdExpire{Session: name, AsOf: p.Now()}.MarshalWire()) //nolint:errcheck
+				}
 			}
 		}
 	})
@@ -505,8 +602,11 @@ func (svc *Service) RestartNode(n *simnet.Node) {
 	svc.startNode(n, n.Name())
 }
 
-// Cluster exposes the underlying Raft cluster (for clients).
-func (svc *Service) Cluster() *raft.Cluster { return svc.cluster }
+// Cluster exposes the root Raft group (for tests and diagnostics).
+func (svc *Service) Cluster() *raft.Cluster { return svc.set.Group(0) }
+
+// Shards returns the shard layout (group 0 first).
+func (svc *Service) Shards() []ShardRange { return svc.shards }
 
 // Config returns the service timing configuration.
 func (svc *Service) Config() Config { return svc.cfg }

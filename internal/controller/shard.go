@@ -1,0 +1,109 @@
+package controller
+
+import (
+	"strings"
+
+	"splitft/internal/wire"
+)
+
+// Sharding splits the controller's znode tree across multiple Raft groups
+// (ChubaoFS-style multi-raft metanodes) so thousands of client WALs stop
+// funneling their session keep-alives and ap-map updates through a single
+// leader's log. The partition is by application: group 0 (the root group)
+// owns the peer registry (/peers/...) and the shard directory (/shards),
+// and groups 1..N each own a contiguous range of the 32-bit FNV-1a hash of
+// the application name, covering that application's ap-map entries
+// (/apps/<app>/...) and its single-instance lock (/servers/<app>). Keeping
+// an application's files and lock on one shard preserves the per-app
+// guarantees the paper gets from ZooKeeper — the lock, its session, and the
+// ephemeral behavior all live in one replicated state machine.
+//
+// Sessions are per shard: a client lazily establishes its session on each
+// shard it creates ephemerals on, and its keep-alive proc services all of
+// them. Expiry therefore also runs per shard, which is exactly the fault
+// isolation wanted — one shard's leader election only stalls the sessions
+// (and ephemerals) homed on that shard.
+
+// ShardRange describes one group's slice of the app-hash space. Hi is
+// inclusive; the root group carries an empty range (Lo > Hi).
+type ShardRange struct {
+	Group  int
+	Lo, Hi uint32
+}
+
+func (r ShardRange) contains(h uint32) bool { return h >= r.Lo && h <= r.Hi }
+
+// shardLayout computes the group layout for n configured shards. n <= 1
+// keeps everything in one group (the paper's setup); n > 1 yields the root
+// group plus n data groups slicing the hash space evenly.
+func shardLayout(n int) []ShardRange {
+	if n <= 1 {
+		return []ShardRange{{Group: 0, Lo: 0, Hi: ^uint32(0)}}
+	}
+	out := make([]ShardRange, 0, n+1)
+	out = append(out, ShardRange{Group: 0, Lo: 1, Hi: 0}) // root: empty app range
+	step := (uint64(1) << 32) / uint64(n)
+	for g := 1; g <= n; g++ {
+		lo := uint32(uint64(g-1) * step)
+		hi := ^uint32(0)
+		if g < n {
+			hi = uint32(uint64(g)*step - 1)
+		}
+		out = append(out, ShardRange{Group: g, Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// fnv32 is FNV-1a over the app name; inlined (vs hash/fnv) so routing on
+// the op hot path allocates nothing.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// routeKey extracts the routing key from a znode path: per-application
+// paths (/apps/<app>/... including list prefixes, and /servers/<app>) route
+// by application; everything else — the peer registry, the shard directory
+// — is meta state homed on the root group.
+func routeKey(path string) (app string, meta bool) {
+	switch {
+	case strings.HasPrefix(path, "/apps/"):
+		rest := path[len("/apps/"):]
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[:i]
+		}
+		return rest, false
+	case strings.HasPrefix(path, "/servers/"):
+		return path[len("/servers/"):], false
+	default:
+		return "", true
+	}
+}
+
+// shardDirPath is the root-group znode holding the shard directory.
+const shardDirPath = "/shards"
+
+// shardDirMsg encodes the layout as the /shards znode value: one Sub entry
+// per range with (group, lo, hi) in the U slots.
+func shardDirMsg(shards []ShardRange) wire.Msg {
+	m := wire.Msg{Code: codeShardDir}
+	m.Sub = make([]wire.Msg, len(shards))
+	for i, sr := range shards {
+		m.Sub[i] = wire.Msg{Code: codeShardDir,
+			U: [4]uint64{uint64(sr.Group), uint64(sr.Lo), uint64(sr.Hi)}}
+	}
+	return m
+}
+
+// parseShardDir decodes a codeShardDir znode value.
+func parseShardDir(m wire.Msg) []ShardRange {
+	out := make([]ShardRange, len(m.Sub))
+	for i, s := range m.Sub {
+		out[i] = ShardRange{Group: int(s.U[0]), Lo: uint32(s.U[1]), Hi: uint32(s.U[2])}
+	}
+	return out
+}

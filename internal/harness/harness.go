@@ -44,6 +44,10 @@ type Options struct {
 	// PeerConfig overrides peer daemon settings (LendableMem is still
 	// taken from PeerMem when set).
 	PeerConfig *peer.Config
+	// ControllerShards overrides the profile's Controller.Shards: the
+	// number of data Raft groups the controller's znode tree is split
+	// across (0/1 = the paper's single-group layout).
+	ControllerShards int
 }
 
 // Cluster is a running testbed.
@@ -88,6 +92,10 @@ func New(opts Options) *Cluster {
 		s.SetTracer(opts.Trace)
 	}
 	s.Net().SetDefaultLatency(opts.NetLatency)
+	ctrlCfg := prof.Controller
+	if opts.ControllerShards != 0 {
+		ctrlCfg.Shards = opts.ControllerShards
+	}
 	ctrlNodes := []*simnet.Node{s.NewNode("ctrl0"), s.NewNode("ctrl1"), s.NewNode("ctrl2")}
 	dfsParams := prof.DFS
 	if opts.DFSParams != nil {
@@ -95,7 +103,7 @@ func New(opts Options) *Cluster {
 	}
 	c := &Cluster{
 		Sim:        s,
-		Controller: controller.Start(s, ctrlNodes, prof.Controller),
+		Controller: controller.Start(s, ctrlNodes, ctrlCfg),
 		Fabric:     rdma.NewFabric(s, prof.RDMA),
 		DFS:        dfs.NewCluster(s, "cephfs", dfsParams),
 		AppNode:    s.NewNode("appserver"),

@@ -100,6 +100,13 @@ type RaftConfig struct {
 	ElectionTimeoutMax time.Duration
 	// FsyncCost models persisting term/vote/log entries before answering.
 	FsyncCost time.Duration
+	// ApplyCPU models the single-threaded state-machine apply path: every
+	// committed command pays this on the apply proc (deserialize, mutate
+	// the tree, build the reply). With group commit amortizing FsyncCost
+	// across a batch, this serial stage is what caps a group's linearizable
+	// op throughput at roughly 1/ApplyCPU — the knee the control-plane
+	// scaling experiment measures.
+	ApplyCPU time.Duration
 	// ProposeTimeout bounds how long a replica holds a client proposal
 	// while waiting for commit.
 	ProposeTimeout time.Duration
@@ -114,6 +121,12 @@ type ControllerConfig struct {
 	KeepAlive      time.Duration
 	ExpiryScan     time.Duration
 	OpTimeout      time.Duration
+	// Shards partitions the controller's znode tree across multiple Raft
+	// groups (ChubaoFS-style multi-raft): 0 or 1 keeps everything in one
+	// group (the paper's ZooKeeper-equivalent setup); N > 1 runs a small
+	// root group for the peer registry and shard directory plus N data
+	// groups that own hash ranges of the per-application state.
+	Shards int
 }
 
 // PeerConfig tunes a log-peer daemon (peer.Config is an alias of this
@@ -129,6 +142,12 @@ type PeerConfig struct {
 	// SetupCPU models the lightweight setup process work besides MR
 	// registration.
 	SetupCPU time.Duration
+	// PublishInterval coalesces available-memory updates to the controller:
+	// at most one republish per interval instead of one per setup/release.
+	// 0 publishes immediately after every change (the small-cluster
+	// behavior); set it when hundreds of clients churn WALs so the peer
+	// pool does not turn every region event into a Raft proposal.
+	PublishInterval time.Duration
 }
 
 // NCLConfig tunes ncl-lib (ncl.Config is an alias of this type).
@@ -161,6 +180,12 @@ type NCLConfig struct {
 	// SyncCPU is the cost of Sync on an ncl file: the fsync has left the
 	// critical path, so only the library call itself remains.
 	SyncCPU time.Duration
+	// PoolRefresh enables the pooled server set: ncl-lib caches the
+	// controller's peer registry for this long and spreads allocations over
+	// it with rendezvous hashing, instead of asking the controller to pick
+	// on every slot. 0 disables the pool (every allocation is a controller
+	// PickPeers round trip, the paper's behavior).
+	PoolRefresh time.Duration
 }
 
 // KVStoreCosts is the RocksDB-style store's per-operation CPU model

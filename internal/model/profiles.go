@@ -79,7 +79,11 @@ var cx4RoCE25 = Profile{
 			ElectionTimeoutMin: 100 * time.Millisecond,
 			ElectionTimeoutMax: 200 * time.Millisecond,
 			FsyncCost:          800 * time.Microsecond,
-			ProposeTimeout:     2 * time.Second,
+			// Single-threaded apply/response path of a ZooKeeper-class
+			// service on the testbed's E5-2640v4 servers: ~8K linearizable
+			// writes/s per ensemble once the log fsyncs are group-committed.
+			ApplyCPU:       120 * time.Microsecond,
+			ProposeTimeout: 2 * time.Second,
 		},
 		SessionTimeout: 600 * time.Millisecond,
 		KeepAlive:      150 * time.Millisecond,
@@ -89,8 +93,13 @@ var cx4RoCE25 = Profile{
 	Peer: PeerConfig{
 		LendableMem: 1 << 30,
 		GCInterval:  2 * time.Second,
-		GCGrace:     5 * time.Second,
-		SetupCPU:    200 * time.Microsecond,
+		// The no-entry grace must outlast a worst-case open attempt against
+		// a saturated controller — region setup succeeds immediately but the
+		// ap-map update behind it can burn several 3 s proposal deadlines
+		// before committing. Sweeping sooner frees a region the application
+		// is about to write through. Retried setups re-arm the clock.
+		GCGrace:  15 * time.Second,
+		SetupCPU: 200 * time.Microsecond,
 	},
 	NCL: NCLConfig{
 		F:               1,

@@ -79,6 +79,10 @@ type Lib struct {
 	// are excluded from allocation until the cooldown passes, since the
 	// controller's registry only drops them after session expiry.
 	suspects map[string]time.Duration
+
+	// pool is the cached peer registry used when cfg.PoolRefresh > 0 (see
+	// pool.go).
+	pool serverPool
 }
 
 func (l *Lib) markSuspect(name string, now time.Duration) {
@@ -305,6 +309,7 @@ func (l *Lib) OpenWithOptions(p *simnet.Proc, name string, capacity int64, opts 
 	for len(lg.peers) < l.n() {
 		pc, err := l.allocatePeer(p, lg, exclude, lg.epoch)
 		if err != nil {
+			lg.abortOpen(p)
 			return nil, err
 		}
 		exclude = append(exclude, pc.name)
@@ -317,6 +322,7 @@ func (l *Lib) OpenWithOptions(p *simnet.Proc, name string, capacity int64, opts 
 		Peers: names, Epoch: lg.epoch, RegionSize: lg.regionSize(), AppendOnly: lg.appendOnly,
 	}, -1)
 	if err != nil {
+		lg.abortOpen(p)
 		return nil, fmt.Errorf("ncl: ap-map update: %w", err)
 	}
 	lg.apVersion = ver
@@ -325,12 +331,35 @@ func (l *Lib) OpenWithOptions(p *simnet.Proc, name string, capacity int64, opts 
 	return lg, nil
 }
 
+// abortOpen unwinds a failed OpenWithOptions: the QPs are closed so their
+// engine procs exit. Without this, every failed open under a saturated
+// controller leaks its QPs, and a retrying client turns saturation into an
+// unbounded proc pile-up.
+//
+// The allocated regions are deliberately NOT released here. A release RPC
+// fired during abort can outlive its timeout in a busy peer's queue, and a
+// retried open of the same file — which setup idempotency hands the very
+// same regions — would then have its live region swept by the stale
+// release. Orphaned regions (the retry chose other peers, or never came)
+// are reclaimed by the peers' space-leak GC once the grace period passes.
+func (lg *Log) abortOpen(p *simnet.Proc) {
+	for _, pc := range lg.peers {
+		pc.qp.Close(p)
+	}
+	lg.peers = nil
+	lg.cq.Close(p)
+	lg.repairCh.Close(p)
+}
+
 // allocatePeer picks a candidate from the controller, sets up a region and
 // connects a QP. The controller's answer is a hint; peers that reject (or
 // died) are skipped and another candidate is requested (§4.3).
 func (l *Lib) allocatePeer(p *simnet.Proc, lg *Log, exclude []string, epoch int64) (*peerConn, error) {
 	tried := append([]string(nil), exclude...)
 	tried = append(tried, l.suspectNames(p.Now())...)
+	if l.cfg.PoolRefresh > 0 {
+		return l.allocateFromPool(p, lg, tried, epoch)
+	}
 	for attempt := 0; attempt < l.cfg.SetupRetries; attempt++ {
 		cands, err := l.ctrl.PickPeers(p, 1, lg.regionSize(), tried)
 		if err != nil {
@@ -589,13 +618,19 @@ func (lg *Log) Release(p *simnet.Proc) error {
 		}.MarshalWire(), 10*time.Millisecond)
 		pc.qp.Close(p)
 	}
-	if err := lg.lib.ctrl.DeleteAppFile(p, lg.lib.appID, lg.name); err != nil {
-		return fmt.Errorf("ncl: ap-map delete: %w", err)
-	}
+	// Local teardown happens regardless of the ap-map outcome: the poller
+	// and repair procs must die and the lib must forget the log even when
+	// the delete proposal times out on a saturated controller, or every
+	// failed release strands a proc pair. A dangling ap-map entry is safe —
+	// ReleaseByName can retry it, and peers already freed their regions.
+	delErr := lg.lib.ctrl.DeleteAppFile(p, lg.lib.appID, lg.name)
 	delete(lg.lib.logs, lg.name)
 	// Tear down the poller and repair procs.
 	lg.cq.Close(p)
 	lg.repairCh.Close(p)
+	if delErr != nil {
+		return fmt.Errorf("ncl: ap-map delete: %w", delErr)
+	}
 	return nil
 }
 

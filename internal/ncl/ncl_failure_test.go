@@ -37,7 +37,9 @@ func TestRecordBeyondCapacity(t *testing.T) {
 }
 
 func TestPartitionFromOnePeerThenHeal(t *testing.T) {
-	c := newCluster(21, 4, smallPeerCfg())
+	cfg := smallPeerCfg()
+	cfg.GCGrace = 3 * time.Second // keep the GC check within the 6 s sleep below
+	c := newCluster(21, 4, cfg)
 	c.run(t, func(p *simnet.Proc) {
 		l := c.newLib(p, t, "app1", 0)
 		lg, err := l.Open(p, "wal", 1<<20)

@@ -1,0 +1,117 @@
+package ncl
+
+import (
+	"sort"
+	"time"
+
+	"splitft/internal/controller"
+	"splitft/internal/simnet"
+)
+
+// Pooled server set. With cfg.PoolRefresh > 0, ncl-lib caches the
+// controller's full peer registry for that long and picks allocation
+// candidates from the cache with rendezvous hashing keyed by (peer,
+// app/file). Two things change versus the paper's per-slot PickPeers call:
+// the controller answers one List per TTL instead of one per allocation,
+// and placement stops being most-free-first — a thousand WALs opened in the
+// same interval would all see the same "most free" peers and pile onto
+// them, while rendezvous weights spread files across the fleet and keep
+// each file's placement stable under registry churn. PoolRefresh = 0
+// disables the pool and keeps the paper's exact behavior.
+
+type serverPool struct {
+	peers     []controller.PeerInfo
+	fetchedAt time.Duration
+	valid     bool
+}
+
+// rdvWeight is FNV-1a over "peer|app/file" — the rendezvous (highest
+// random weight) score of placing this file's slot on this peer.
+func rdvWeight(peerName, key string) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(peerName); i++ {
+		h ^= uint64(peerName[i])
+		h *= prime
+	}
+	h ^= '|'
+	h *= prime
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return h
+}
+
+// poolCandidates returns allocation candidates for lg in rendezvous order,
+// refreshing the cached registry when the TTL lapsed. Names in tried and
+// peers advertising less than the region size are filtered out (the
+// advertised memory is a hint either way — the peer itself still accepts or
+// rejects the setup).
+func (l *Lib) poolCandidates(p *simnet.Proc, lg *Log, tried []string) ([]controller.PeerInfo, error) {
+	now := p.Now()
+	if !l.pool.valid || now-l.pool.fetchedAt >= l.cfg.PoolRefresh {
+		peers, err := l.ctrl.ListPeers(p)
+		if err != nil {
+			return nil, err
+		}
+		l.pool.peers = peers
+		l.pool.fetchedAt = now
+		l.pool.valid = true
+	}
+	skip := make(map[string]bool, len(tried))
+	for _, t := range tried {
+		skip[t] = true
+	}
+	key := l.appID + "/" + lg.name
+	type scored struct {
+		info controller.PeerInfo
+		w    uint64
+	}
+	cands := make([]scored, 0, len(l.pool.peers))
+	for _, info := range l.pool.peers {
+		if skip[info.Name] || info.AvailMem < lg.regionSize() {
+			continue
+		}
+		cands = append(cands, scored{info: info, w: rdvWeight(info.Name, key)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].w != cands[j].w {
+			return cands[i].w > cands[j].w
+		}
+		return cands[i].info.Name < cands[j].info.Name
+	})
+	out := make([]controller.PeerInfo, len(cands))
+	for i, c := range cands {
+		out[i] = c.info
+	}
+	return out, nil
+}
+
+// allocateFromPool is allocatePeer's pooled variant: candidates come from
+// the cached registry in rendezvous order instead of a controller round
+// trip per slot. An empty candidate list forces one refresh before giving
+// up — newly registered capacity may be hidden by a stale cache.
+func (l *Lib) allocateFromPool(p *simnet.Proc, lg *Log, tried []string, epoch int64) (*peerConn, error) {
+	for attempt := 0; attempt < l.cfg.SetupRetries; attempt++ {
+		cands, err := l.poolCandidates(p, lg, tried)
+		if err != nil {
+			return nil, err
+		}
+		if len(cands) == 0 {
+			if l.pool.valid {
+				l.pool.valid = false
+				continue
+			}
+			return nil, ErrNoPeers
+		}
+		cand := cands[0]
+		tried = append(tried, cand.Name)
+		pc, err := l.connectPeer(p, lg, cand, epoch)
+		if err != nil {
+			continue // rejected or dead: try the next candidate
+		}
+		return pc, nil
+	}
+	return nil, ErrNoPeers
+}

@@ -23,6 +23,7 @@ func (lg *Log) repairLoop(p *simnet.Proc) {
 		if _, ok := lg.repairCh.Recv(p); !ok {
 			return
 		}
+		backoff := 20 * time.Millisecond
 		for {
 			lg.mu.Lock(p)
 			if lg.released {
@@ -40,8 +41,16 @@ func (lg *Log) repairLoop(p *simnet.Proc) {
 			if idx < 0 {
 				break
 			}
-			if !lg.replacePeer(p, idx) {
-				p.Sleep(20 * time.Millisecond) // no peer available yet; retry
+			if lg.replacePeer(p, idx) {
+				backoff = 20 * time.Millisecond
+			} else {
+				// No peer available (or the controller timed out): back off
+				// so a saturated control plane is not hammered by every
+				// degraded log at once.
+				p.Sleep(backoff)
+				if backoff < 2*time.Second {
+					backoff *= 2
+				}
 			}
 		}
 	}
@@ -114,10 +123,17 @@ func (lg *Log) replacePeer(p *simnet.Proc, idx int) bool {
 	}, apVersion)
 	p.EndSpan(sp)
 	if err != nil {
-		// CAS failure should be impossible with a single instance; treat it
-		// as fatal for this replacement and retry from scratch.
-		pc.qp.Close(p)
-		return false
+		// The CAS proposal may have committed even though the reply was
+		// lost (a timeout on a saturated controller) — in which case every
+		// blind retry would fail ErrBadVersion forever. Re-read the entry:
+		// if it already names our membership at our epoch, the first
+		// submission won and this replacement should proceed.
+		entry, rver, found, gerr := l.ctrl.GetAppFile(p, l.appID, lg.name)
+		if gerr != nil || !found || entry.Epoch != newEpoch || !sameNames(entry.Peers, names) {
+			pc.qp.Close(p)
+			return false
+		}
+		ver = rver
 	}
 	// (4) Activate: send the delta accumulated during (2)-(3) and include
 	// the peer in future replication. Its completedSeq only advances once
@@ -131,6 +147,18 @@ func (lg *Log) replacePeer(p *simnet.Proc, idx int) bool {
 	lg.Replacements++
 	lg.mu.Unlock(p)
 	oldPC.qp.Close(p)
+	return true
+}
+
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
 	return true
 }
 

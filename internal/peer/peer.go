@@ -204,11 +204,12 @@ type Peer struct {
 	ctrl *controller.Client
 	cfg  Config
 
-	avail     int64
-	regions   map[regionKey]*region // the mr-map
-	staging   map[int64]*region
-	nextStage int64
-	dead      bool
+	avail      int64
+	availDirty bool                  // a republish is pending (coalesced mode)
+	regions    map[regionKey]*region // the mr-map
+	staging    map[int64]*region
+	nextStage  int64
+	dead       bool
 
 	// recycled holds freed-but-still-registered regions by size (§4.3:
 	// released regions are recycled so the next allocation of the same
@@ -249,6 +250,22 @@ func Start(p *simnet.Proc, svc *controller.Service, fabric *rdma.Fabric, node *s
 	}
 	pr.sim.Net().Register(Addr(pr.name), node, pr.handleRPC)
 	node.Go("peer-gc:"+pr.name, pr.gcLoop)
+	if cfg.PublishInterval > 0 {
+		// Coalesced publication: batch available-memory updates so a churny
+		// region workload costs at most one Raft proposal per interval.
+		node.Go("peer-pub:"+pr.name, func(pp *simnet.Proc) {
+			for {
+				pp.Sleep(cfg.PublishInterval)
+				if !pr.availDirty {
+					continue
+				}
+				pr.availDirty = false
+				pr.ctrl.PublishPeer(pp, controller.PeerInfo{ //nolint:errcheck
+					Name: pr.name, Addr: Addr(pr.name), AvailMem: pr.avail,
+				})
+			}
+		})
+	}
 	return pr, nil
 }
 
@@ -343,8 +360,18 @@ func (pr *Peer) onSetup(p *simnet.Proc, r SetupReq) (SetupResp, error) {
 		if r.Epoch < old.epoch {
 			return SetupResp{}, ErrStaleEpoch
 		}
-		// Same or newer epoch re-setup (e.g. the application retried after
-		// an ambiguous failure): replace the old region.
+		if r.Epoch == old.epoch && old.size == r.Size {
+			// Duplicate setup at the same epoch: the retried (or stale,
+			// still-queued) request of an ambiguous earlier attempt. Return
+			// the existing region rather than replacing it — freeing here
+			// would invalidate an MR the application may already be writing
+			// through, turning one late RPC into a poisoned peer. The retry
+			// also re-arms the GC grace clock: the application is clearly
+			// still working on getting this file's ap-map entry committed.
+			old.createdAt = p.Now()
+			return SetupResp{RKey: old.mr.RKey()}, nil
+		}
+		// Strictly newer epoch (or a resize): replace the old region.
 		pr.freeRegion(p, key, old)
 	}
 	if pr.avail < r.Size {
@@ -452,11 +479,18 @@ func (pr *Peer) freeRegion(_ *simnet.Proc, key regionKey, reg *region) {
 }
 
 // publishAvail updates the controller's (hint) view of available memory in
-// the background so data-path RPCs don't wait on a Raft commit.
+// the background so data-path RPCs don't wait on a Raft commit. With
+// PublishInterval set the update is only marked dirty and the publisher
+// proc batches it; otherwise it goes out immediately (as one unconditional
+// set — the value is a hint, so no read-modify-write is needed).
 func (pr *Peer) publishAvail(p *simnet.Proc) {
-	avail := pr.avail
+	if pr.cfg.PublishInterval > 0 {
+		pr.availDirty = true
+		return
+	}
+	info := controller.PeerInfo{Name: pr.name, Addr: Addr(pr.name), AvailMem: pr.avail}
 	p.GoOn(pr.node, "peer-avail:"+pr.name, func(up *simnet.Proc) {
-		pr.ctrl.UpdatePeerMem(up, pr.name, avail) //nolint:errcheck
+		pr.ctrl.PublishPeer(up, info) //nolint:errcheck
 	})
 }
 
@@ -500,6 +534,12 @@ func (pr *Peer) gcLoop(p *simnet.Proc) {
 			if err != nil {
 				continue // controller unavailable; retry next round
 			}
+			if cur, ok := pr.regions[k]; !ok || cur != reg {
+				// Released or replaced while the controller query was in
+				// flight. Freeing the stale pointer would pool its MR a second
+				// time, silently aliasing two future regions onto one MR.
+				continue
+			}
 			if !found {
 				if p.Now()-reg.createdAt > pr.cfg.GCGrace {
 					pr.freeRegion(p, k, reg)
@@ -507,24 +547,27 @@ func (pr *Peer) gcLoop(p *simnet.Proc) {
 				}
 				continue
 			}
-			switch {
-			case entry.Epoch > reg.epoch:
+			if reg.epoch > entry.Epoch {
+				// Allocation newer than the ap-map: a replacement that has
+				// not CASed its membership yet. Keep it.
+				continue
+			}
+			member := false
+			for _, name := range entry.Peers {
+				if name == pr.name {
+					member = true
+					break
+				}
+			}
+			// A region the current membership names is live no matter how
+			// old its epoch: survivors of a replacement keep their original
+			// allocation while the entry's epoch advances past it. Only
+			// regions the entry does not name — abandoned allocations,
+			// replaced-out members — are garbage, and only after the grace
+			// period so an in-flight setup is not swept mid-handshake.
+			if !member && p.Now()-reg.createdAt > pr.cfg.GCGrace {
 				pr.freeRegion(p, k, reg)
 				freed = true
-			case entry.Epoch < reg.epoch:
-				// Allocation newer than the ap-map: still in progress.
-			default:
-				member := false
-				for _, name := range entry.Peers {
-					if name == pr.name {
-						member = true
-						break
-					}
-				}
-				if !member {
-					pr.freeRegion(p, k, reg)
-					freed = true
-				}
 			}
 		}
 		if freed {

@@ -1,0 +1,187 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"splitft/internal/simnet"
+)
+
+// setHarness runs one multi-group Set across n nodes with g groups, each
+// group replicating its own regSM.
+type setHarness struct {
+	sim   *simnet.Sim
+	set   *Set
+	nodes map[string]*simnet.Node
+	// replicas[id][g] is group g's replica on node id.
+	replicas map[string][]*Replica
+	// sms[g][id] is group g's state machine on node id, filled as factories
+	// fire during StartNode.
+	sms     []map[string]*regSM
+	pending string
+}
+
+func newSetHarness(seed int64, n, groups int) *setHarness {
+	s := simnet.New(seed)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("c%d", i)
+	}
+	h := &setHarness{
+		sim:      s,
+		nodes:    make(map[string]*simnet.Node),
+		replicas: make(map[string][]*Replica),
+		sms:      make([]map[string]*regSM, groups),
+	}
+	h.set = NewSet(s, "ctrl", DefaultConfig(), ids)
+	for g := 0; g < groups; g++ {
+		g := g
+		h.sms[g] = make(map[string]*regSM)
+		h.set.AddGroup(func() StateMachine {
+			sm := &regSM{}
+			h.sms[g][h.pending] = sm
+			return sm
+		})
+	}
+	for _, id := range ids {
+		node := s.NewNode(id)
+		h.nodes[id] = node
+		h.pending = id
+		h.replicas[id] = h.set.StartNode(node, id)
+	}
+	return h
+}
+
+func (h *setHarness) restart(id string) {
+	node := h.nodes[id]
+	node.Restart()
+	h.pending = id
+	h.replicas[id] = h.set.StartNode(node, id)
+}
+
+// groupLeaders counts live leaders per group.
+func (h *setHarness) groupLeaders() []int {
+	out := make([]int, h.set.Groups())
+	for id, reps := range h.replicas {
+		if !h.nodes[id].Alive() {
+			continue
+		}
+		for g, r := range reps {
+			if r.IsLeader() && r.node.Incarnation() == r.incarnation {
+				out[g]++
+			}
+		}
+	}
+	return out
+}
+
+// Every group elects exactly one leader, and proposals to different groups
+// commit independently: each group's state machines see only that group's
+// commands, on every node.
+func TestSetGroupsCommitIndependently(t *testing.T) {
+	const groups = 4
+	h := newSetHarness(1, 3, groups)
+	app := h.sim.NewNode("app")
+	clients := make([]*Client, groups)
+	for g := range clients {
+		clients[g] = NewClient(h.set.Group(g), app)
+	}
+	h.sim.Go("driver", func(p *simnet.Proc) {
+		p.Sleep(time.Second) // allow elections
+		for i := 0; i < 3; i++ {
+			for g, cl := range clients {
+				if _, err := cl.Propose(p, cmdMsg(fmt.Sprintf("g%d-cmd%d", g, i))); err != nil {
+					t.Errorf("group %d propose %d: %v", g, i, err)
+				}
+			}
+		}
+		p.Sleep(500 * time.Millisecond) // let followers apply
+		for g, n := range h.groupLeaders() {
+			if n != 1 {
+				t.Errorf("group %d: %d leaders, want 1", g, n)
+			}
+		}
+		for g := 0; g < groups; g++ {
+			for id, sm := range h.sms[g] {
+				if len(sm.applied) != 3 {
+					t.Errorf("group %d on %s: %d applied, want 3", g, id, len(sm.applied))
+					continue
+				}
+				for i, s := range sm.applied {
+					want := fmt.Sprintf("g%d-cmd%d", g, i)
+					if s != want {
+						t.Errorf("group %d on %s [%d] = %q, want %q", g, id, i, s, want)
+					}
+				}
+			}
+		}
+		h.sim.Stop()
+	})
+	if err := h.sim.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Crashing one node fails over every group it led; after restart the node
+// catches up in all groups.
+func TestSetFailoverAndCatchUp(t *testing.T) {
+	const groups = 3
+	h := newSetHarness(3, 3, groups)
+	app := h.sim.NewNode("app")
+	h.sim.Go("driver", func(p *simnet.Proc) {
+		p.Sleep(time.Second)
+		for g := 0; g < groups; g++ {
+			cl := NewClient(h.set.Group(g), app)
+			if _, err := cl.Propose(p, cmdMsg(fmt.Sprintf("pre-g%d", g))); err != nil {
+				t.Errorf("pre propose g%d: %v", g, err)
+			}
+		}
+		h.nodes["c0"].Crash()
+		p.Sleep(time.Second) // re-elections among survivors
+		for g, n := range h.groupLeaders() {
+			if n != 1 {
+				t.Errorf("group %d after crash: %d leaders, want 1", g, n)
+			}
+		}
+		for g := 0; g < groups; g++ {
+			cl := NewClient(h.set.Group(g), app)
+			if _, err := cl.Propose(p, cmdMsg(fmt.Sprintf("post-g%d", g))); err != nil {
+				t.Errorf("post propose g%d: %v", g, err)
+			}
+		}
+		h.restart("c0")
+		p.Sleep(time.Second)
+		for g := 0; g < groups; g++ {
+			sm := h.sms[g]["c0"]
+			if len(sm.applied) != 2 {
+				t.Errorf("group %d on restarted c0: applied %v, want 2 entries", g, sm.applied)
+			}
+		}
+		h.sim.Stop()
+	})
+	if err := h.sim.RunUntil(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A message tagged with a group the node does not run is rejected with
+// ErrUnknownGroup rather than silently landing in group 0.
+func TestSetRejectsUnknownGroup(t *testing.T) {
+	h := newSetHarness(5, 3, 2)
+	app := h.sim.NewNode("app")
+	h.sim.Go("driver", func(p *simnet.Proc) {
+		p.Sleep(time.Second)
+		m := cmdMsg("stray")
+		m.Meta = 7 // no such group
+		_, err := h.sim.Net().CallTimeout(p, app, h.set.Addr("c0"), m, time.Second)
+		if !errors.Is(err, ErrUnknownGroup) {
+			t.Errorf("got %v, want ErrUnknownGroup", err)
+		}
+		h.sim.Stop()
+	})
+	if err := h.sim.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -47,6 +47,11 @@ var (
 	// ErrNotLeader carries a leader hint in its message ("" if unknown).
 	ErrNotLeader = errors.New("raft: not leader")
 	ErrTimeout   = errors.New("raft: proposal timed out")
+	// ErrBusy sheds load before it is accepted: the leader's unapplied
+	// backlog is already deeper than ApplyCPU can drain within
+	// ProposeTimeout, so appending another entry would only burn apply
+	// capacity on a command whose proposer is guaranteed to time out.
+	ErrBusy = errors.New("raft: apply backlog full")
 )
 
 // NotLeaderError rejects a proposal sent to a non-leader, carrying a hint
@@ -78,6 +83,13 @@ type Cluster struct {
 	ids    []string
 	disks  map[string]*disk
 	smFact func() StateMachine
+
+	// set/group place this cluster inside a multi-group Set (see group.go):
+	// all groups of a set share one RPC endpoint per node and tag messages
+	// with the group id in Msg.Meta. Standalone clusters keep set nil and
+	// group 0, so their wire Meta stays zero and nothing changes.
+	set   *Set
+	group int
 }
 
 // NewCluster defines a Raft group with the given replica ids (which double
@@ -116,6 +128,7 @@ const (
 type Replica struct {
 	cluster *Cluster
 	id      string
+	tag     string // proc-name tag: id, or id/g<N> inside a Set
 	node    *simnet.Node
 	d       *disk
 
@@ -131,37 +144,67 @@ type Replica struct {
 	nextIndex  map[string]int
 	matchIndex map[string]int
 
-	lastHeard   time.Duration
-	applyCond   *simnet.Cond // signalled when commitIndex advances
-	replWake    *simnet.Cond // kicks replicators on new entries
-	incarnation int
+	lastHeard    time.Duration
+	electTimeout time.Duration // randomized; redrawn after every candidate round
+	electing     bool          // an election proc is in flight
+	applyCond    *simnet.Cond  // signalled when commitIndex advances
+	replWake     *simnet.Cond  // kicks replicators on new entries
+	persistWake  *simnet.Cond  // kicks the group-commit persister on appends
+	persisted    int           // highest log index covered by a finished fsync
+	incarnation  int
 
 	// applyResults holds state-machine results for entries this leader
 	// proposed, keyed by log index, until the proposer collects them.
 	applyResults map[int]wire.Msg
+	// applyWaiters parks each in-flight proposer on its own cond, keyed by
+	// log index, so apply-time wakeups are targeted rather than broadcast.
+	applyWaiters map[int]*simnet.Cond
 }
 
 // StartReplica boots (or reboots) replica id on node. Persistent state is
 // reloaded from the cluster's disk registry; volatile state starts fresh.
 func StartReplica(c *Cluster, node *simnet.Node, id string) *Replica {
+	r := newReplica(c, node, id)
+	c.sim.Net().Register(c.Addr(id), node, r.handleRPC)
+	node.Go("raft-ticker:"+id, r.electionTicker)
+	node.Go("raft-apply:"+id, r.applyLoop)
+	node.Go("raft-persist:"+id, r.persistLoop)
+	return r
+}
+
+// newReplica builds replica id on node with fresh volatile state. Callers
+// register the RPC endpoint and spawn the ticker and apply procs:
+// StartReplica does it per replica, Set.StartNode once per node for all
+// groups.
+func newReplica(c *Cluster, node *simnet.Node, id string) *Replica {
 	r := &Replica{
 		cluster:     c,
 		id:          id,
+		tag:         id,
 		node:        node,
 		d:           c.disks[id],
 		role:        follower,
 		sm:          c.smFact(),
 		incarnation: node.Incarnation(),
 	}
+	if c.set != nil {
+		r.tag = fmt.Sprintf("%s/g%d", id, c.group)
+	}
 	r.applyCond = simnet.NewCond(&r.mu)
 	r.replWake = simnet.NewCond(&r.mu)
+	r.persistWake = simnet.NewCond(&r.mu)
 	if r.d == nil {
 		panic(fmt.Sprintf("raft: unknown replica id %q", id))
 	}
-	c.sim.Net().Register(c.Addr(id), node, r.handleRPC)
-	node.Go("raft-ticker:"+id, r.electionTicker)
-	node.Go("raft-apply:"+id, r.applyLoop)
+	r.persisted = len(r.d.log) - 1 // the reloaded log is durable by definition
 	return r
+}
+
+// callPeer sends one intra-group RPC, stamping the group id into Meta so
+// multi-group endpoints can demultiplex (zero for standalone clusters).
+func (r *Replica) callPeer(p *simnet.Proc, addr string, req wire.Msg, timeout time.Duration) (wire.Msg, error) {
+	req.Meta = uint64(r.cluster.group)
+	return r.cluster.sim.Net().CallTimeout(p, r.node, addr, req, timeout)
 }
 
 func (r *Replica) persist(p *simnet.Proc) {
@@ -298,6 +341,11 @@ func (r *Replica) stepDown(p *simnet.Proc, term int) {
 	r.d.votedFor = ""
 	r.role = follower
 	r.leaderID = ""
+	// Parked proposers wait on per-entry conds; losing leadership is the
+	// one event that must wake all of them (their entries may never apply).
+	for _, w := range r.applyWaiters {
+		w.Signal(p)
+	}
 	r.persist(p)
 }
 
@@ -369,6 +417,8 @@ func (r *Replica) onAppendEntries(p *simnet.Proc, a appendEntriesArgs) appendEnt
 	}
 	if changed {
 		r.persist(p)
+		// Truncation can shrink the durable frontier; appends extend it.
+		r.persisted = r.lastLogIndex()
 	}
 	if a.LeaderCommit > r.commitIndex {
 		ci := a.LeaderCommit
@@ -393,23 +443,53 @@ func (r *Replica) onPropose(p *simnet.Proc, cmd wire.Msg) (wire.Msg, error) {
 		r.mu.Unlock(p)
 		return wire.Msg{}, NotLeaderError{Hint: hint}
 	}
+	if cpu := r.cluster.cfg.ApplyCPU; cpu > 0 {
+		// Admission control: if the unapplied backlog already needs more
+		// than ProposeTimeout of apply CPU, this command cannot possibly
+		// answer in time — reject it now, cheaply, instead of letting it
+		// queue, time out, and still consume apply capacity later (the
+		// retry amplification that melts a saturated group).
+		if backlog := r.lastLogIndex() - r.lastApplied; time.Duration(backlog)*cpu >= r.cluster.cfg.ProposeTimeout {
+			r.mu.Unlock(p)
+			return wire.Msg{}, ErrBusy
+		}
+	}
 	r.d.log = append(r.d.log, entry{Term: r.d.term, Cmd: cmd})
 	idx := r.lastLogIndex()
 	term := r.d.term
-	r.persist(p)
-	r.matchIndex[r.id] = idx
+	// Group commit: the fsync happens off this path, in persistLoop, where
+	// one disk sync covers every entry appended while the previous sync ran.
+	// Proposers therefore hold mu only for the in-memory append — under a
+	// proposal burst the replicators (which need mu to build AppendEntries,
+	// heartbeats included) are never starved behind a convoy of serialized
+	// fsyncs, which is what used to flap leadership on a saturated group.
+	// Replication starts immediately; the commit rule counts this replica
+	// only once the persister has caught up past idx.
+	r.persistWake.Broadcast(p)
 	r.replWake.Broadcast(p)
+	// Park on a per-proposal cond: the apply loop signals exactly the
+	// waiters whose entries it applied, and stepDown wakes everyone. A
+	// shared broadcast cond here would wake every parked proposer on every
+	// committed batch — an O(waiters²) thundering herd once a group backs
+	// up.
+	waiter := simnet.NewCond(&r.mu)
+	if r.applyWaiters == nil {
+		r.applyWaiters = make(map[int]*simnet.Cond)
+	}
+	r.applyWaiters[idx] = waiter
+	defer delete(r.applyWaiters, idx)
 	deadline := p.Now() + r.cluster.cfg.ProposeTimeout
 	for r.lastApplied < idx {
 		if r.d.term != term || r.role != leader {
 			r.mu.Unlock(p)
 			return wire.Msg{}, NotLeaderError{Hint: r.leaderID}
 		}
-		if p.Now() >= deadline {
+		now := p.Now()
+		if now >= deadline {
 			r.mu.Unlock(p)
 			return wire.Msg{}, ErrTimeout
 		}
-		r.applyCond.WaitTimeout(p, 10*time.Millisecond)
+		waiter.WaitTimeout(p, deadline-now)
 	}
 	// Verify the entry at idx is still ours (no truncation by a new leader).
 	if r.d.log[idx].Term != term {
@@ -422,18 +502,79 @@ func (r *Replica) onPropose(p *simnet.Proc, cmd wire.Msg) (wire.Msg, error) {
 	return res, nil
 }
 
-func (r *Replica) electionTicker(p *simnet.Proc) {
-	cfg := r.cluster.cfg
+// persistLoop is the group-commit disk path: whenever the log has entries
+// beyond the last finished fsync it syncs once, covering all of them, then
+// re-checks. Leader-side durability feeds the commit rule from here — the
+// replica's own matchIndex advances only when the fsync that covers an entry
+// completes (followers may still form a majority without it, as in any Raft
+// where replication runs in parallel with the leader's disk write). The
+// follower append path persists synchronously per RPC and keeps `persisted`
+// up to date itself, so this proc only ever works on a leader's backlog.
+func (r *Replica) persistLoop(p *simnet.Proc) {
+	r.mu.Lock(p)
 	for {
-		span := cfg.ElectionTimeoutMax - cfg.ElectionTimeoutMin
-		timeout := cfg.ElectionTimeoutMin + time.Duration(p.Rand().Int63n(int64(span)))
-		p.Sleep(timeout / 4)
-		r.mu.Lock(p)
-		if r.role != leader && p.Now()-r.lastHeard >= timeout {
-			r.startElection(p)
+		for r.persisted >= r.lastLogIndex() {
+			r.persistWake.Wait(p)
 		}
+		target := r.lastLogIndex()
 		r.mu.Unlock(p)
+		p.Sleep(r.cluster.cfg.FsyncCost)
+		r.mu.Lock(p)
+		if n := r.lastLogIndex(); n < target {
+			target = n // truncated by a new leader while the sync ran
+		}
+		if target > r.persisted {
+			r.persisted = target
+		}
+		if r.role == leader && r.persisted > r.matchIndex[r.id] {
+			r.matchIndex[r.id] = r.persisted
+			r.advanceCommit(p)
+		}
 	}
+}
+
+// electionTicker polls the election timer for a standalone replica. Nodes
+// in a Set run one shared ticker over all their groups instead (group.go).
+func (r *Replica) electionTicker(p *simnet.Proc) {
+	gran := r.cluster.cfg.ElectionTimeoutMin / 4
+	for {
+		p.Sleep(gran)
+		r.tick(p)
+	}
+}
+
+// tick checks the election timer once and, when it has expired, runs the
+// candidate round on a dedicated proc. The indirection keeps the ticker
+// non-blocking, so on a multi-group node one group's election (which holds
+// the round's vote RPCs in flight for up to an election timeout) never
+// delays the timer checks of the other groups sharing the ticker.
+func (r *Replica) tick(p *simnet.Proc) {
+	r.mu.Lock(p)
+	if r.electTimeout == 0 {
+		r.drawTimeout(p)
+	}
+	if r.role == leader || r.electing || p.Now()-r.lastHeard < r.electTimeout {
+		r.mu.Unlock(p)
+		return
+	}
+	r.electing = true
+	r.mu.Unlock(p)
+	p.GoOn(r.node, "raft-elect:"+r.tag, func(ep *simnet.Proc) {
+		r.mu.Lock(ep)
+		if r.role != leader && ep.Now()-r.lastHeard >= r.electTimeout {
+			r.startElection(ep)
+		}
+		r.drawTimeout(ep)
+		r.electing = false
+		r.mu.Unlock(ep)
+	})
+}
+
+// drawTimeout redraws the randomized election timeout. Caller holds mu.
+func (r *Replica) drawTimeout(p *simnet.Proc) {
+	cfg := r.cluster.cfg
+	span := cfg.ElectionTimeoutMax - cfg.ElectionTimeoutMin
+	r.electTimeout = cfg.ElectionTimeoutMin + time.Duration(p.Rand().Int63n(int64(span)))
 }
 
 // startElection runs a candidate round. Caller holds mu; it is released
@@ -462,9 +603,11 @@ func (r *Replica) startElection(p *simnet.Proc) {
 		}
 		addr := r.cluster.Addr(peer)
 		p.Go("raft-vote-req:"+peer, func(vp *simnet.Proc) {
-			rep, err := wire.CallTimeout[requestVoteReply](vp, r.cluster.sim.Net(), r.node, addr, args, r.cluster.cfg.ElectionTimeoutMin)
+			m, err := r.callPeer(vp, addr, args.MarshalWire(), r.cluster.cfg.ElectionTimeoutMin)
 			granted := false
 			if err == nil {
+				var rep requestVoteReply
+				rep.UnmarshalWire(m) //nolint:errcheck
 				r.mu.Lock(vp)
 				if rep.Term > r.d.term {
 					r.stepDown(vp, rep.Term)
@@ -512,12 +655,13 @@ func (r *Replica) becomeLeader(p *simnet.Proc) {
 			continue
 		}
 		peer := peer
-		p.GoOn(r.node, "raft-repl:"+peer, func(rp *simnet.Proc) { r.replicate(rp, peer, term) })
+		p.GoOn(r.node, "raft-repl:"+r.tag+">"+peer, func(rp *simnet.Proc) { r.replicate(rp, peer, term) })
 	}
 	// Commit a no-op to establish commitment in the new term promptly.
 	r.d.log = append(r.d.log, entry{Term: term, Cmd: wire.Msg{Code: codeNop}})
 	r.matchIndex[r.id] = r.lastLogIndex()
 	r.persist(p)
+	r.persisted = r.lastLogIndex()
 	r.replWake.Broadcast(p)
 }
 
@@ -546,7 +690,11 @@ func (r *Replica) replicate(p *simnet.Proc, peer string, term int) {
 			args.Entries = append([]entry(nil), r.d.log[ni:]...)
 		}
 		r.mu.Unlock(p)
-		rep, err := wire.CallTimeout[appendEntriesReply](p, r.cluster.sim.Net(), r.node, addr, args, cfg.HeartbeatInterval*2)
+		am, err := r.callPeer(p, addr, args.MarshalWire(), cfg.HeartbeatInterval*2)
+		var rep appendEntriesReply
+		if err == nil {
+			rep.UnmarshalWire(am) //nolint:errcheck
+		}
 		r.mu.Lock(p)
 		if r.role != leader || r.d.term != term {
 			r.mu.Unlock(p)
@@ -604,14 +752,24 @@ func (r *Replica) advanceCommit(p *simnet.Proc) {
 	}
 }
 
-// applyLoop applies committed entries in order on this replica.
+// applyLoop applies committed entries in order on this replica. The
+// per-command CPU cost is charged with mu released — the apply PROC is the
+// serial resource (as in a real coordination service's single apply thread),
+// so a busy apply stage delays proposers waiting on results but never blocks
+// the replicators' heartbeat path on the mutex.
 func (r *Replica) applyLoop(p *simnet.Proc) {
 	for {
 		r.mu.Lock(p)
 		for r.lastApplied >= r.commitIndex {
 			r.applyCond.Wait(p)
 		}
-		for r.lastApplied < r.commitIndex {
+		end := r.commitIndex
+		if cpu := r.cluster.cfg.ApplyCPU; cpu > 0 {
+			r.mu.Unlock(p)
+			p.Sleep(time.Duration(end-r.lastApplied) * cpu)
+			r.mu.Lock(p)
+		}
+		for r.lastApplied < end {
 			r.lastApplied++
 			e := r.d.log[r.lastApplied]
 			if e.Cmd.Code != codeNop {
@@ -623,8 +781,11 @@ func (r *Replica) applyLoop(p *simnet.Proc) {
 					r.applyResults[r.lastApplied] = res
 				}
 			}
+			// Wake exactly the proposer parked on this entry, if any.
+			if w, ok := r.applyWaiters[r.lastApplied]; ok {
+				w.Signal(p)
+			}
 		}
-		r.applyCond.Broadcast(p)
 		r.mu.Unlock(p)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"time"
 )
 
 // OpType is a YCSB operation.
@@ -168,6 +169,28 @@ func (g *Generator) chooseKey() string {
 		h.Write(b[:])
 		return Key(int64(h.Sum64() % uint64(g.records)))
 	}
+}
+
+// Arrivals is an open-loop arrival-time generator: a Poisson process at a
+// fixed mean rate, drawn on the virtual clock. Open-loop clients model
+// independent users — an operation's start time does not wait for the
+// previous operation to finish, so queueing delay shows up in latency
+// instead of silently throttling offered load (the coordinated-omission
+// trap of closed-loop benchmarks).
+type Arrivals struct {
+	rng  *rand.Rand
+	mean float64 // mean inter-arrival gap in nanoseconds
+}
+
+// NewArrivals creates a Poisson arrival generator with the given rate in
+// operations per second.
+func NewArrivals(rate float64, seed int64) *Arrivals {
+	return &Arrivals{rng: rand.New(rand.NewSource(seed)), mean: 1e9 / rate}
+}
+
+// Next draws the next inter-arrival gap (exponentially distributed).
+func (a *Arrivals) Next() time.Duration {
+	return time.Duration(a.rng.ExpFloat64() * a.mean)
 }
 
 // zipfGen is the YCSB incremental zipfian generator (theta = 0.99) with

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestKeyShape(t *testing.T) {
@@ -178,6 +179,35 @@ func TestKeyFixedWidthFormat(t *testing.T) {
 		}
 		if len(got) != KeySize {
 			t.Errorf("Key(%d) length %d, want %d", i, len(got), KeySize)
+		}
+	}
+}
+
+// TestArrivalsMeanRate checks the Poisson arrival generator: over many draws
+// the mean inter-arrival gap must converge to 1/rate, every gap must be
+// non-negative, and the stream must be deterministic per seed.
+func TestArrivalsMeanRate(t *testing.T) {
+	const rate = 20.0 // ops/s
+	a := NewArrivals(rate, 42)
+	const n = 200000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		d := a.Next()
+		if d < 0 {
+			t.Fatalf("draw %d: negative gap %v", i, d)
+		}
+		sum += d
+	}
+	mean := sum.Seconds() / n
+	want := 1 / rate
+	if mean < want*0.98 || mean > want*1.02 {
+		t.Errorf("mean gap = %.4fs, want %.4fs +-2%%", mean, want)
+	}
+
+	b1, b2 := NewArrivals(rate, 7), NewArrivals(rate, 7)
+	for i := 0; i < 1000; i++ {
+		if g1, g2 := b1.Next(), b2.Next(); g1 != g2 {
+			t.Fatalf("draw %d: same seed diverged: %v vs %v", i, g1, g2)
 		}
 	}
 }
