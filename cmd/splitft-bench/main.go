@@ -17,7 +17,7 @@
 //
 // Experiments: table1 table2 fig1 fig1d fig8 fig9 fig10 fig11a fig11b
 // table3 fig12 ablate-repl ablate-split ablate-nolog calibrate sweep perf
-// scale
+// scale dfs
 //
 // The -profile flag selects the hardware cost model: a built-in name (see
 // internal/model: CX4RoCE25 is the paper-faithful baseline, CX6RoCE100 a
@@ -54,7 +54,7 @@ import (
 var experimentOrder = []string{
 	"table1", "table2", "fig1", "fig1d", "fig8", "fig9", "fig10",
 	"fig11a", "fig11b", "table3", "fig12", "ablate-repl", "ablate-split", "ablate-nolog",
-	"calibrate", "sweep", "perf", "scale",
+	"calibrate", "sweep", "perf", "scale", "dfs",
 }
 
 func usage() {
@@ -64,6 +64,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, "  sweep      reruns the fig8 micro across all named profiles\n")
 	fmt.Fprintf(os.Stderr, "  perf       runs the simulator wall-clock suite and writes -perfout\n")
 	fmt.Fprintf(os.Stderr, "  scale      sweeps open-loop clients across controller shard counts, writes -scaleout\n")
+	fmt.Fprintf(os.Stderr, "  dfs        sweeps the extent data path (flat vs chain, IO sizes, chain shapes), writes -dfsout\n")
 	fmt.Fprintf(os.Stderr, "  trace      runs the experiments with tracing on and prints the span aggregation\n")
 	fmt.Fprintf(os.Stderr, "profiles (-profile): %v, or a path to a JSON profile file\n", model.Names())
 	flag.PrintDefaults()
@@ -86,6 +87,7 @@ func realMain() int {
 		traceOut   = flag.String("trace", "", "record spans and write a Chrome trace-event JSON to this file")
 		perfOut    = flag.String("perfout", "BENCH_simnet.json", "output path for the perf subcommand's JSON report")
 		scaleOut   = flag.String("scaleout", "BENCH_scale.json", "output path for the scale subcommand's JSON report")
+		dfsOut     = flag.String("dfsout", "BENCH_dfs.json", "output path for the dfs subcommand's JSON report")
 		scaleCli   = flag.String("scaleclients", "", "comma-separated client counts for the scale sweep (default 10,100,250,500,1000)")
 		scaleShard = flag.String("scaleshards", "", "comma-separated shard counts for the scale sweep (default 1,8)")
 		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
@@ -221,7 +223,7 @@ func realMain() int {
 		if !want[exp] {
 			continue
 		}
-		if err := run(exp, sc, *seed, appList, *perfOut, *scaleOut, scaleCfg); err != nil {
+		if err := run(exp, sc, *seed, appList, *perfOut, *scaleOut, *dfsOut, scaleCfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", exp, err)
 			return 1
 		}
@@ -241,7 +243,7 @@ func realMain() int {
 	return 0
 }
 
-func run(exp string, sc bench.Scale, seed int64, apps []string, perfOut, scaleOut string, scaleCfg bench.ScaleConfig) error {
+func run(exp string, sc bench.Scale, seed int64, apps []string, perfOut, scaleOut, dfsOut string, scaleCfg bench.ScaleConfig) error {
 	banner(exp)
 	switch exp {
 	case "table1":
@@ -368,6 +370,18 @@ func run(exp string, sc bench.Scale, seed int64, apps []string, perfOut, scaleOu
 				return err
 			}
 			fmt.Printf("[scale report written to %s]\n", scaleOut)
+		}
+	case "dfs":
+		rep, err := bench.RunDfs(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		if dfsOut != "" {
+			if err := rep.WriteJSON(dfsOut); err != nil {
+				return err
+			}
+			fmt.Printf("[dfs report written to %s]\n", dfsOut)
 		}
 	default:
 		return fmt.Errorf("unknown experiment")

@@ -316,7 +316,7 @@ func writeChunk(p *simnet.Proc, fs *core.FS, path string, records map[string][]b
 	binary.LittleEndian.PutUint64(trailer[8:16], chunkMagic)
 	data = append(data, trailer[:]...)
 
-	f, err := fs.OpenFile(p, path, core.O_CREATE, 0)
+	f, err := fs.OpenFile(p, path, core.O_CREATE|core.O_EXTENT, 0)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -134,6 +134,11 @@ type DB struct {
 
 	queue        []*writeReq
 	leaderActive bool
+	// reqFree recycles writeReqs and spareQueue the queue's backing array:
+	// the group-commit path runs once per op, and the put rate is high enough
+	// that one allocation per op shows up in the perf alloc gate.
+	reqFree    []*writeReq
+	spareQueue []*writeReq
 
 	mem     *memtable
 	imm     []*memtable
@@ -148,6 +153,10 @@ type DB struct {
 
 	l0 []*ssTable // newest first
 	l1 []*ssTable // sorted, non-overlapping (kept as one run)
+	// tables is the read path's lookup order (l0 newest-first, then l1) as
+	// an immutable snapshot: rebuilt via retable on every table-set change,
+	// never mutated in place, so Get can release mu without copying it.
+	tables []*ssTable
 
 	closed bool
 
@@ -234,12 +243,25 @@ func (db *DB) write(p *simnet.Proc, e entry) error {
 		db.mu.Unlock(p)
 		return errors.New("kvstore: closed")
 	}
-	w := &writeReq{ent: e}
+	var w *writeReq
+	if n := len(db.reqFree); n > 0 {
+		w = db.reqFree[n-1]
+		db.reqFree = db.reqFree[:n-1]
+		*w = writeReq{ent: e}
+	} else {
+		w = &writeReq{ent: e}
+	}
+	if db.queue == nil && db.spareQueue != nil {
+		db.queue, db.spareQueue = db.spareQueue, nil
+	}
 	db.queue = append(db.queue, w)
 	for {
 		if w.done {
+			err := w.err
+			*w = writeReq{}
+			db.reqFree = append(db.reqFree, w)
 			db.mu.Unlock(p)
-			return w.err
+			return err
 		}
 		if db.leaderActive {
 			db.qCond.Wait(p)
@@ -260,6 +282,9 @@ func (db *DB) write(p *simnet.Proc, e entry) error {
 		db.leaderActive = false
 		db.Batches++
 		db.Ops += int64(len(batch))
+		if db.spareQueue == nil {
+			db.spareQueue = batch[:0]
+		}
 		db.qCond.Broadcast(p)
 	}
 }
@@ -380,19 +405,9 @@ func (db *DB) Get(p *simnet.Proc, key string) ([]byte, bool, error) {
 			return e.value, !e.del, nil
 		}
 	}
-	l0 := append([]*ssTable(nil), db.l0...)
-	l1 := append([]*ssTable(nil), db.l1...)
+	tables := db.tables // immutable snapshot: safe to walk unlocked
 	db.mu.Unlock(p)
-	for _, t := range l0 {
-		v, found, deleted, err := t.get(p, key)
-		if err != nil {
-			return nil, false, err
-		}
-		if found {
-			return v, !deleted, nil
-		}
-	}
-	for _, t := range l1 {
+	for _, t := range tables {
 		v, found, deleted, err := t.get(p, key)
 		if err != nil {
 			return nil, false, err
@@ -402,6 +417,15 @@ func (db *DB) Get(p *simnet.Proc, key string) ([]byte, bool, error) {
 		}
 	}
 	return nil, false, nil
+}
+
+// retable rebuilds the immutable lookup snapshot after a table-set change.
+// Caller holds mu (or has exclusive access, as during recovery).
+func (db *DB) retable() {
+	t := make([]*ssTable, 0, len(db.l0)+len(db.l1))
+	t = append(t, db.l0...)
+	t = append(t, db.l1...)
+	db.tables = t
 }
 
 // flusherLoop writes immutable memtables to L0 tables and deletes their
@@ -429,6 +453,7 @@ func (db *DB) flusherLoop(p *simnet.Proc) {
 		db.mu.Lock(p)
 		db.imm = db.imm[1:]
 		db.l0 = append([]*ssTable{t}, db.l0...)
+		db.retable()
 		db.Flushes++
 		trigger := len(db.l0) >= db.cfg.L0CompactTrigger
 		db.flush.Broadcast(p)
@@ -471,6 +496,7 @@ func (db *DB) compactorLoop(p *simnet.Proc) {
 		db.mu.Lock(p)
 		db.l0 = db.l0[:len(db.l0)-len(inputsL0)]
 		db.l1 = []*ssTable{t}
+		db.retable()
 		db.Compactions++
 		db.mu.Unlock(p)
 		for _, in := range append(inputsL0, inputsL1...) {
@@ -628,6 +654,7 @@ func Recover(p *simnet.Proc, fs *core.FS, cfg Config) (*DB, error) {
 	if err := db.rotateWAL(p); err != nil {
 		return nil, err
 	}
+	db.retable()
 	db.startBackground(p)
 	return db, nil
 }

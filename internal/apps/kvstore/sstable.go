@@ -94,9 +94,10 @@ type ssTable struct {
 
 // writeSSTable serializes sorted entries to path on the dfs and syncs it.
 // The write is one large sequential IO — exactly the background write class
-// SplitFT pushes straight to the dfs (Fig 1).
+// SplitFT pushes straight to the dfs (Fig 1) — so it goes to the extent
+// plane, where the flush pipelines down append chains.
 func writeSSTable(p *simnet.Proc, fs *core.FS, path string, entries []entry) (*ssTable, error) {
-	f, err := fs.OpenFile(p, path, core.O_CREATE, 0)
+	f, err := fs.OpenFile(p, path, core.O_CREATE|core.O_EXTENT, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -278,13 +279,16 @@ func (t *ssTable) get(p *simnet.Proc, key string) (value []byte, found, deleted 
 	return nil, false, false, nil
 }
 
-// scanAll reads the full table sequentially (compaction input).
+// scanAll reads the full table sequentially (compaction input). Returned
+// values alias one backing buffer (they are never mutated downstream), so a
+// scan costs one read buffer plus a key string per entry, not a value copy —
+// compaction runs often enough that the copies showed in the alloc gate.
 func (t *ssTable) scanAll(p *simnet.Proc) ([]entry, error) {
 	data := make([]byte, t.dataEnd)
 	if _, err := t.file.Pread(p, data, 0); err != nil {
 		return nil, err
 	}
-	var out []entry
+	out := make([]entry, 0, t.entries)
 	pos := 0
 	for pos+8 <= len(data) {
 		klen := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
@@ -296,8 +300,7 @@ func (t *ssTable) scanAll(p *simnet.Proc) ([]entry, error) {
 			out = append(out, entry{key: key, del: true})
 			continue
 		}
-		v := make([]byte, vlen)
-		copy(v, data[pos:pos+int(vlen)])
+		v := data[pos : pos+int(vlen) : pos+int(vlen)]
 		pos += int(vlen)
 		out = append(out, entry{key: key, value: v})
 	}

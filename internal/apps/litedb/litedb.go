@@ -120,7 +120,7 @@ func (db *DB) walFlags() core.OpenFlag {
 func Open(p *simnet.Proc, fs *core.FS, cfg Config) (*DB, error) {
 	db := &DB{fs: fs, node: fs.Node(), cfg: cfg, dirty: make(map[int][]byte), salt: 1}
 	db.frameSz = int64(frameHdrLen + cfg.PageSize)
-	f, err := fs.OpenFile(p, cfg.Path, core.O_CREATE, 0)
+	f, err := fs.OpenFile(p, cfg.Path, core.O_CREATE|core.O_EXTENT, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +332,7 @@ func (db *DB) Close(p *simnet.Proc) {
 func Recover(p *simnet.Proc, fs *core.FS, cfg Config) (*DB, error) {
 	db := &DB{fs: fs, node: fs.Node(), cfg: cfg, dirty: make(map[int][]byte), salt: 1}
 	db.frameSz = int64(frameHdrLen + cfg.PageSize)
-	f, err := fs.OpenFile(p, cfg.Path, core.O_CREATE, 0)
+	f, err := fs.OpenFile(p, cfg.Path, core.O_CREATE|core.O_EXTENT, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -331,7 +331,7 @@ func (s *Store) writeRDB(p *simnet.Proc, num int, snap map[string][]byte) error 
 		copy(buf[pos:], snap[k])
 		pos += len(snap[k])
 	}
-	f, err := s.fs.OpenFile(p, s.rdbPath(num), core.O_CREATE, 0)
+	f, err := s.fs.OpenFile(p, s.rdbPath(num), core.O_CREATE|core.O_EXTENT, 0)
 	if err != nil {
 		return err
 	}

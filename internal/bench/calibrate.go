@@ -94,6 +94,36 @@ func Probes(sc Scale, seed int64) ([]model.Measurement, error) {
 			Probe: model.ProbeControllerOp,
 			Value: (p.Now() - start) / ctrlOps,
 		})
+
+		// Chain append: one 64 MB sequential write synced down the extent
+		// chains — the large-IO data path of §4. Only meaningful when the
+		// profile has an extent plane (LocalFS does not).
+		if sc.profile().DFS.ExtentNodes > 0 {
+			cf, err := fs.OpenFile(p, "/calib-chain", core.O_CREATE|core.O_EXTENT, 0)
+			if err != nil {
+				return err
+			}
+			// Warm-up append: primes the batched extent-ID lease and the tail
+			// extent so the measured sync sees no controller round trip.
+			if _, err := cf.Write(p, buf); err != nil {
+				return err
+			}
+			if err := cf.Sync(p); err != nil {
+				return err
+			}
+			big := make([]byte, 64<<20)
+			if _, err := cf.Write(p, big); err != nil {
+				return err
+			}
+			start = p.Now()
+			if err := cf.Sync(p); err != nil {
+				return err
+			}
+			meas = append(meas, model.Measurement{
+				Probe: model.ProbeChainAppend64MB,
+				Value: p.Now() - start,
+			})
+		}
 		return nil
 	})
 	return meas, err

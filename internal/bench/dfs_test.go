@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestDfsSmoke checks the headline data-path property end to end on the
+// full harness: a 64 MB chained append syncs at least 5x faster than the
+// flat primary-copy sync of the same bytes. (The name matches the CI
+// non-race gate's filter; virtual-time results are race-independent but
+// the full sweep is too slow under the race detector.)
+func TestDfsSmoke(t *testing.T) {
+	sc := DefaultScale()
+	flat, err := dfsSyncDur(sc, 1, dfsHeadlineBytes, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := dfsSyncDur(sc, 1, dfsHeadlineBytes, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("flat %v, chain %v (%.2fx)", flat, chain, float64(flat)/float64(chain))
+	if chain <= 0 || flat < 5*chain {
+		t.Errorf("chain sync %v not ≥5x faster than flat sync %v", chain, flat)
+	}
+}
+
+// TestDfsPerfGate regenerates the dfs sweep at the CLI's default scale and
+// seed and diffs every row against the committed BENCH_dfs.json. Virtual
+// times are deterministic, so the tolerance is tight: a drift means the
+// data-path cost model changed and the committed report (and any analysis
+// resting on it) must be regenerated deliberately, not silently.
+func TestDfsPerfGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full sweep is too slow under -race")
+	}
+	if testing.Short() {
+		t.Skip("runs the full dfs sweep")
+	}
+	rep, err := RunDfs(DefaultScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The acceptance floor, independent of the baseline file.
+	flat, chain := rep.Row("flat-sync-64MB"), rep.Row("chain-append-64MB")
+	if flat == nil || chain == nil {
+		t.Fatalf("headline rows missing: %+v", rep.Rows)
+	}
+	if chain.VirtualNS <= 0 || flat.VirtualNS < 5*chain.VirtualNS {
+		t.Errorf("chain 64MB sync %dns not ≥5x faster than flat %dns", chain.VirtualNS, flat.VirtualNS)
+	}
+	load := rep.Row("kvload-1M")
+	if load == nil {
+		t.Fatal("kvload-1M row missing")
+	}
+	if v := time.Duration(load.VirtualNS); v <= 0 || v > time.Minute {
+		t.Errorf("1M-row load took %v of virtual time, want bounded (0, 1m]", v)
+	}
+
+	data, err := os.ReadFile("../../BENCH_dfs.json")
+	if err != nil {
+		t.Fatalf("committed BENCH_dfs.json missing (regenerate with `splitft-bench dfs`): %v", err)
+	}
+	var base DfsReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Profile != rep.Profile {
+		t.Fatalf("baseline profile %q, regenerated %q", base.Profile, rep.Profile)
+	}
+	if len(base.Rows) != len(rep.Rows) {
+		t.Fatalf("baseline has %d rows, regenerated %d", len(base.Rows), len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		b := base.Row(row.Name)
+		if b == nil {
+			t.Errorf("%s: not in committed baseline", row.Name)
+			continue
+		}
+		// 2%: virtual time should be bit-identical run to run; the slack
+		// only absorbs a deliberately regenerated baseline from a slightly
+		// different Go release rounding somewhere.
+		lo, hi := float64(b.VirtualNS)*0.98, float64(b.VirtualNS)*1.02
+		if v := float64(row.VirtualNS); v < lo || v > hi {
+			t.Errorf("%s: virtual time %dns drifted from committed %dns (±2%%)",
+				row.Name, row.VirtualNS, b.VirtualNS)
+		}
+	}
+}

@@ -67,8 +67,12 @@ func fnv32(s string) uint32 {
 
 // routeKey extracts the routing key from a znode path: per-application
 // paths (/apps/<app>/... including list prefixes, and /servers/<app>) route
-// by application; everything else — the peer registry, the shard directory
-// — is meta state homed on the root group.
+// by application, per-volume extent metadata (/dfs/<vol>/...) routes by
+// volume; everything else — the peer registry, the shard directory — is
+// meta state homed on the root group. Volumes hash into the same key space
+// as applications (the prefix keeps "dfs:cephfs" distinct from an app
+// literally named cephfs), so extent allocation spreads over the data
+// shards like any other tenant.
 func routeKey(path string) (app string, meta bool) {
 	switch {
 	case strings.HasPrefix(path, "/apps/"):
@@ -79,6 +83,12 @@ func routeKey(path string) (app string, meta bool) {
 		return rest, false
 	case strings.HasPrefix(path, "/servers/"):
 		return path[len("/servers/"):], false
+	case strings.HasPrefix(path, "/dfs/"):
+		rest := path[len("/dfs/"):]
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[:i]
+		}
+		return "dfs:" + rest, false
 	default:
 		return "", true
 	}

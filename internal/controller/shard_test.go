@@ -214,3 +214,73 @@ func TestWrongShardRetryRefreshesDirectory(t *testing.T) {
 	})
 	fx.run(t, time.Minute)
 }
+
+// TestExtentMetaOnShardedController exercises the /dfs/<vol>/ extent paths
+// on a sharded controller: volume routing lands on a data group, batched
+// ID allocation is a CAS loop that hands out disjoint ranges to competing
+// clients, and seal records round-trip.
+func TestExtentMetaOnShardedController(t *testing.T) {
+	fx := newShardedFixture(21, 4)
+	n1 := fx.sim.NewNode("dfs-client-1")
+	n2 := fx.sim.NewNode("dfs-client-2")
+	fx.sim.Go("test", func(p *simnet.Proc) {
+		p.Sleep(time.Second)
+		// Volume paths must route by volume to a data group, and volumes
+		// must not collide with a same-named application.
+		app, meta := routeKey("/dfs/cephfs/next")
+		if meta || app != "dfs:cephfs" {
+			t.Fatalf("routeKey(/dfs/cephfs/next) = %q, %v", app, meta)
+		}
+		if a2, _ := routeKey("/apps/cephfs/f"); a2 == app {
+			t.Fatal("volume key collides with app key")
+		}
+		if g := dataGroupFor(fx.svc, "dfs:cephfs"); g <= 0 {
+			t.Fatalf("volume routed to group %d, want a data group", g)
+		}
+		c1 := NewClient(fx.svc, n1, "dfs-1", 0)
+		c2 := NewClient(fx.svc, n2, "dfs-2", 0)
+		// Interleaved batch allocations must return disjoint ID ranges.
+		seen := map[uint64]string{}
+		clients := []struct {
+			name string
+			c    *Client
+		}{{"c1", c1}, {"c2", c2}}
+		for i := 0; i < 3; i++ {
+			for _, cc := range clients {
+				name, c := cc.name, cc.c
+				first, err := c.AllocExtentIDs(p, "cephfs", 8)
+				if err != nil {
+					t.Fatalf("%s alloc: %v", name, err)
+				}
+				for id := first; id < first+8; id++ {
+					if owner, dup := seen[id]; dup {
+						t.Fatalf("id %d allocated to both %s and %s", id, owner, name)
+					}
+					seen[id] = name
+				}
+			}
+		}
+		if len(seen) != 48 {
+			t.Fatalf("allocated %d ids, want 48", len(seen))
+		}
+		// Seal records round-trip, including the create-or-set overwrite.
+		if err := c1.SealExtent(p, "cephfs", 7, []string{"sn0", "sn1", "sn2"}, 1<<20); err != nil {
+			t.Fatalf("seal: %v", err)
+		}
+		if err := c2.SealExtent(p, "cephfs", 7, []string{"sn0", "sn1", "sn2"}, 2<<20); err != nil {
+			t.Fatalf("re-seal: %v", err)
+		}
+		e, found, err := c1.GetExtent(p, "cephfs", 7)
+		if err != nil || !found {
+			t.Fatalf("get extent: %v %v", found, err)
+		}
+		if !e.Sealed || e.Length != 2<<20 || len(e.Nodes) != 3 || e.Nodes[0] != "sn0" {
+			t.Fatalf("extent entry = %+v", e)
+		}
+		if _, found, _ := c1.GetExtent(p, "cephfs", 999); found {
+			t.Fatal("absent extent reported found")
+		}
+		fx.sim.Stop()
+	})
+	fx.run(t, time.Minute)
+}

@@ -44,6 +44,12 @@ const (
 	// only the missing log suffix instead of a whole-region copy. Never
 	// set it on circular logs.
 	O_APPEND
+	// O_EXTENT routes a new dfs file to the extent plane: large sequential
+	// writes become chained appends pipelining at per-link bandwidth
+	// instead of paying the flat sync path. Only meaningful at create —
+	// existing files open as whatever backend they were created on — and a
+	// no-op when the cluster has no extent plane (the local-ext4 baseline).
+	O_EXTENT
 )
 
 // Errors.
@@ -147,7 +153,7 @@ func (fs *FS) OpenFile(p *simnet.Proc, path string, flags OpenFlag, regionSize i
 	if flags&O_NCL != 0 {
 		return fs.openNCL(p, path, flags, regionSize)
 	}
-	inner, err := fs.dfs.OpenFile(p, path, flags&O_CREATE != 0)
+	inner, err := fs.dfs.OpenFileExt(p, path, flags&O_CREATE != 0, flags&O_EXTENT != 0)
 	if err != nil {
 		if errors.Is(err, dfs.ErrNotExist) {
 			return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
@@ -248,8 +254,10 @@ func (fs *FS) ListDFS(prefix string) []string { return fs.dfs.List(prefix) }
 // ---- dfs-backed file ----
 
 type dfsFile struct {
-	fs    *FS
-	inner *dfs.File
+	fs *FS
+	// inner is either backend's handle: the flat *dfs.File or an extent
+	// *dfs.ExtentFile, chosen at open time.
+	inner dfs.Handle
 }
 
 func (f *dfsFile) Write(p *simnet.Proc, data []byte) (int, error) { return f.inner.Write(p, data) }

@@ -75,14 +75,26 @@ type Cluster struct {
 	// reservation: crash-safe, deterministic FIFO bandwidth sharing.
 	diskBusyUntil time.Duration
 
+	// extents is the chained-append extent store (nil until EnableExtents;
+	// the classic primary-copy path above is untouched by it).
+	extents *extentStore
+
 	// Stats.
 	BytesWritten int64
 	BytesRead    int64
 	Syncs        int64
+	// ExtentBytes counts bytes acked through extent chains (the payload
+	// once, not per replica); ExtentSyncs counts extent-file fsyncs.
+	ExtentBytes int64
+	ExtentSyncs int64
 }
 
+// durableFile is one inode of the storage service. Small files hold their
+// bytes inline (data); large files opened with the extent flag hold a
+// manifest mapping logical ranges onto chain-replicated extents (ext).
 type durableFile struct {
 	data []byte
+	ext  *extManifest
 }
 
 // NewCluster creates a storage service on s.
@@ -110,14 +122,22 @@ func (c *Cluster) DurableSize(path string) (int64, bool) {
 	if !ok {
 		return 0, false
 	}
+	if f.ext != nil {
+		return f.ext.size, true
+	}
 	return int64(len(f.data)), true
 }
 
-// DurableBytes returns a copy of the durable content of path.
+// DurableBytes returns a copy of the durable content of path. For an
+// extent-backed file the content is reconstructed from the storage nodes'
+// replicas (a zero-cost test/debug helper, not a data path).
 func (c *Cluster) DurableBytes(path string) ([]byte, bool) {
 	f, ok := c.files[path]
 	if !ok {
 		return nil, false
+	}
+	if f.ext != nil {
+		return c.extents.reconstruct(f.ext), true
 	}
 	out := make([]byte, len(f.data))
 	copy(out, f.data)
@@ -142,6 +162,17 @@ type Client struct {
 	stallMu   simnet.Mutex
 
 	flushNow *simnet.Chan[struct{}]
+
+	// Extent-plane state (nil/zero until the mount touches an extent file):
+	// the metadata client, the extent-ID lease cache, the chain members this
+	// mount has blamed for failed appends, the egress-link pipe all chained
+	// appends serialize through, and a counter naming pump procs.
+	meta          ExtentMeta
+	allocNext     uint64
+	allocEnd      uint64
+	suspects      map[string]bool
+	extEgressBusy time.Duration
+	pumpSeq       uint64
 
 	// DirectIO disables the block cache and readahead for all reads through
 	// this client (Fig 11a "DFS direct IO" baseline).
@@ -233,8 +264,14 @@ func grow(buf []byte, n int64) []byte {
 // span is a dirty byte range [start, end).
 type span struct{ start, end int64 }
 
-// addSpan inserts s into sorted, disjoint spans, merging overlaps.
+// addSpan inserts s into sorted, disjoint, non-empty spans, merging
+// overlapping and adjacent ranges. Empty spans are dropped: a zero-length
+// write dirties nothing, and inserting one would break the non-empty
+// invariant everything downstream (flush packing, extent appends) relies on.
 func addSpan(spans []span, s span) []span {
+	if s.end <= s.start {
+		return spans
+	}
 	i := sort.Search(len(spans), func(i int) bool { return spans[i].end >= s.start })
 	j := i
 	for j < len(spans) && spans[j].start <= s.end {
@@ -266,8 +303,14 @@ func spanBytes(spans []span) int64 {
 // fsync must push. A single client writing a file at a time is assumed, as
 // in the paper's applications.
 type File struct {
-	client     *Client
-	path       string
+	client *Client
+	path   string
+	// df is the inode this handle writes through. Flushes apply to the
+	// inode, not to whatever cl.cluster.files[path] resolves to at landing
+	// time: a Rename during a flush moves the inode (data follows the
+	// file), and an Unlink orphans it (data goes nowhere) — never does a
+	// flush resurrect content into a file that replaced this one at path.
+	df         *durableFile
 	view       []byte
 	dirty      []span
 	offset     int64 // cursor for Write/Read
@@ -282,8 +325,9 @@ func (cl *Client) Create(p *simnet.Proc, path string) (*File, error) {
 		return nil, err
 	}
 	p.Sleep(cl.cluster.params.MetaFixed)
-	cl.cluster.files[path] = &durableFile{}
-	f := &File{client: cl, path: path}
+	df := &durableFile{}
+	cl.cluster.files[path] = df
+	f := &File{client: cl, path: path, df: df}
 	cl.open[f] = struct{}{}
 	return f, nil
 }
@@ -298,7 +342,10 @@ func (cl *Client) Open(p *simnet.Proc, path string) (*File, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
 	}
-	f := &File{client: cl, path: path, view: append([]byte(nil), df.data...)}
+	if df.ext != nil {
+		return nil, fmt.Errorf("dfs: %s is extent-backed; open it through OpenFileExt", path)
+	}
+	f := &File{client: cl, path: path, df: df, view: append([]byte(nil), df.data...)}
 	cl.open[f] = struct{}{}
 	return f, nil
 }
@@ -348,6 +395,14 @@ func (cl *Client) Rename(p *simnet.Proc, oldPath, newPath string) error {
 	}
 	cl.cluster.files[newPath] = df
 	delete(cl.cluster.files, oldPath)
+	// Cached blocks are keyed by path: entries for the old name (and for a
+	// file the rename replaced) would serve stale hits to future openers.
+	for k := range cl.cache {
+		if k.path == oldPath || k.path == newPath {
+			cl.cacheUsed -= cl.cache[k].size
+			delete(cl.cache, k)
+		}
+	}
 	return nil
 }
 
@@ -479,14 +534,12 @@ func (f *File) flush(p *simnet.Proc, foreground bool) error {
 	if cl.dead {
 		return errors.New("dfs: client died during flush")
 	}
-	// Apply the spans durably. The view may have grown past some spans'
-	// snapshot; copy what the view holds now (writeback semantics).
-	df, ok := cl.cluster.files[f.path]
-	if !ok {
-		// Unlinked while dirty: data goes nowhere, like writeback to a
-		// deleted inode.
-		return nil
-	}
+	// Apply the spans durably to this handle's inode (see File.df). The
+	// view may have grown past some spans' snapshot; copy what the view
+	// holds now (writeback semantics). If the file was unlinked while the
+	// flush was in flight the inode is orphaned and the data simply goes
+	// nowhere, like kernel writeback to a deleted inode.
+	df := f.df
 	for _, s := range spans {
 		end := s.end
 		if end > int64(len(f.view)) {
@@ -501,9 +554,13 @@ func (f *File) flush(p *simnet.Proc, foreground bool) error {
 	} else {
 		cl.FlushedBytes += n
 	}
-	// Recently written data is cache-resident.
-	for _, s := range spans {
-		cl.insertBlocks(f.path, s.start, s.end)
+	// Recently written data is cache-resident — but only while the path
+	// still names this inode. A file renamed away (or replaced) mid-flush
+	// must not warm cache blocks for whatever now lives at the old path.
+	if cl.cluster.files[f.path] == df {
+		for _, s := range spans {
+			cl.insertBlocks(f.path, s.start, s.end)
+		}
 	}
 	return nil
 }

@@ -365,6 +365,111 @@ func TestAddSpanMerging(t *testing.T) {
 	}
 }
 
+// Property: addSpan maintains its invariant — sorted, non-overlapping,
+// non-adjacent, non-empty spans — and covers exactly the bytes ever added,
+// for any sequence of spans including empty ones (a zero-length Pwrite used
+// to insert a zero-length span, breaking the sorted-merge invariant).
+func TestAddSpanProperty(t *testing.T) {
+	const limit = 256
+	f := func(ops []uint16) bool {
+		var spans []span
+		var shadow [limit + 16]bool
+		for _, op := range ops {
+			start := int64(op % limit)
+			length := int64(op/limit) % 16 // 0..15, empty spans included
+			spans = addSpan(spans, span{start, start + length})
+			for i := start; i < start+length; i++ {
+				shadow[i] = true
+			}
+		}
+		for i, s := range spans {
+			if s.end <= s.start {
+				t.Logf("empty span %d: %+v", i, spans)
+				return false
+			}
+			// Strictly after the previous span with a gap: adjacent or
+			// overlapping spans must have been merged.
+			if i > 0 && s.start <= spans[i-1].end {
+				t.Logf("unsorted/unmerged at %d: %+v", i, spans)
+				return false
+			}
+		}
+		covered := func(i int64) bool {
+			for _, s := range spans {
+				if i >= s.start && i < s.end {
+					return true
+				}
+			}
+			return false
+		}
+		for i := int64(0); i < limit+16; i++ {
+			if covered(i) != shadow[i] {
+				t.Logf("byte %d: covered=%v shadow=%v spans=%+v", i, covered(i), shadow[i], spans)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Regression: an empty span between two real ones must vanish, not wedge
+	// itself into the list.
+	spans := addSpan(addSpan(nil, span{0, 10}), span{20, 30})
+	if got := addSpan(spans, span{15, 15}); len(got) != 2 {
+		t.Fatalf("empty span inserted: %+v", got)
+	}
+}
+
+// A writeback flush in flight when its file is renamed must follow the inode:
+// the data lands under the new name, and a file re-created at the old path is
+// not resurrected with the old content.
+func TestRenameDuringWriteback(t *testing.T) {
+	fx := newFixture(3)
+	payload := bytes.Repeat([]byte{0xAB}, 8<<20) // 16ms of writeback at 500 MB/s
+	fx.node.Go("test", func(p *simnet.Proc) {
+		f, err := fx.client.Create(p, "/old")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		if _, err := f.Write(p, payload); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		// Let the background writeback pick the dirty file up, then rename
+		// mid-flush (the 8 MB flush spends ~16ms on storage bandwidth).
+		p.Sleep(fx.cluster.Params().WritebackInterval + 5*time.Millisecond)
+		if err := fx.client.Rename(p, "/old", "/new"); err != nil {
+			t.Errorf("rename: %v", err)
+		}
+		g, err := fx.client.Create(p, "/old")
+		if err != nil {
+			t.Errorf("recreate: %v", err)
+			return
+		}
+		if _, err := g.Write(p, []byte("fresh")); err != nil {
+			t.Errorf("write new: %v", err)
+		}
+		if err := g.Sync(p); err != nil {
+			t.Errorf("sync new: %v", err)
+		}
+		// Drain the in-flight flush and sync the renamed file's remainder
+		// through the original handle (it tracks the inode, not the name).
+		if err := f.Sync(p); err != nil {
+			t.Errorf("sync renamed: %v", err)
+		}
+		p.Sleep(2 * fx.cluster.Params().WritebackInterval)
+		if got, ok := fx.cluster.DurableBytes("/old"); !ok || string(got) != "fresh" {
+			t.Errorf("old path resurrected: %d bytes, ok=%v", len(got), ok)
+		}
+		if got, ok := fx.cluster.DurableBytes("/new"); !ok || !bytes.Equal(got, payload) {
+			t.Errorf("renamed file lost data: %d bytes, ok=%v", len(got), ok)
+		}
+		fx.sim.Stop()
+	})
+	run(t, fx.sim)
+}
+
 // Property: any sequence of pwrites followed by sync yields durable content
 // identical to applying the writes to a shadow buffer.
 func TestQuickPwriteSyncFidelity(t *testing.T) {

@@ -59,8 +59,11 @@ type Cluster struct {
 	LocalFS    *dfs.Cluster
 	AppNode    *simnet.Node
 	ClientNode *simnet.Node
-	PeerNodes  []*simnet.Node
-	Peers      map[string]*peer.Peer
+	// StorageNodes back the dfs extent plane (empty when the profile's
+	// DFS.ExtentNodes is zero).
+	StorageNodes []*simnet.Node
+	PeerNodes    []*simnet.Node
+	Peers        map[string]*peer.Peer
 	// Profile is the resolved hardware cost model the testbed was built
 	// with; application builders read their CPU costs from it.
 	Profile *model.Profile
@@ -112,8 +115,25 @@ func New(opts Options) *Cluster {
 		Profile:    prof,
 		Seed:       opts.Seed,
 	}
+	if dfsParams.ExtentNodes > 0 {
+		for i := 0; i < dfsParams.ExtentNodes; i++ {
+			c.StorageNodes = append(c.StorageNodes, s.NewNode(fmt.Sprintf("cephfs-sn%d", i)))
+		}
+		c.DFS.EnableExtents(c.StorageNodes)
+		// Extent metadata lives under /dfs/cephfs/ on the sharded controller.
+		// The per-mount client is sessionless — allocation and seals are not
+		// ephemeral — so it adds no keep-alive traffic.
+		ctrl := c.Controller
+		c.DFS.SetExtentMetaFactory(func(n *simnet.Node) dfs.ExtentMeta {
+			return controller.NewClient(ctrl, n, "dfs-extmeta", 0).ExtentMeta("cephfs")
+		})
+	}
 	if opts.WithLocalFS {
-		c.LocalFS = dfs.NewCluster(s, "local-ext4", prof.LocalFS)
+		// The local-ext4 baseline never has an extent plane, whatever the
+		// profile says about the disaggregated cluster.
+		localParams := prof.LocalFS
+		localParams.ExtentNodes = 0
+		c.LocalFS = dfs.NewCluster(s, "local-ext4", localParams)
 	}
 	c.AppNode.SetCores(opts.AppCores)
 	c.ClientNode.SetCores(16)

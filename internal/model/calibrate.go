@@ -27,7 +27,15 @@ const (
 	// ProbeControllerOp is the average latency of a quorum-committed
 	// controller metadata operation.
 	ProbeControllerOp = "controller-op"
+	// ProbeChainAppend64MB is the latency of a 64 MB buffered write made
+	// durable through the extent plane's chained appends (fsync on an
+	// extent-backed file). Only emitted for profiles with ExtentNodes > 0.
+	ProbeChainAppend64MB = "dfs-chain-append-64MB"
 )
+
+// chainProbeBytes is the IO size of the chained-append probe (the paper's
+// largest Fig 1(d) point, where the flat path is bandwidth-bound).
+const chainProbeBytes = 64 << 20
 
 // mrProbeBytes is the region size of the MR-registration probe (the
 // paper's 60 MB recovery log, Table 3).
@@ -75,7 +83,7 @@ func Targets(p *Profile) []Target {
 	// A controller op is a Raft quorum commit: leader and follower each
 	// fsync before acking, plus a few network hops.
 	ctrl := 2*p.Controller.Raft.FsyncCost + 8*p.NetLatency
-	return []Target{
+	out := []Target{
 		band(ProbeNCLRecord128, ncl, 0.65, 1.7,
 			"2*RDMA.WRBase + 144B/RDMA.Bandwidth"),
 		band(ProbeDFSSyncWrite128, dfs, 0.8, 1.3,
@@ -85,6 +93,18 @@ func Targets(p *Profile) []Target {
 		band(ProbeControllerOp, ctrl, 0.5, 2.5,
 			"2*Controller.Raft.FsyncCost + 8*NetLatency"),
 	}
+	if p.DFS.ExtentNodes > 0 {
+		// A windowed chained append is bounded by serializing the payload
+		// onto the client's egress link; the last frame then rides the chain
+		// (per-hop fixed cost + two network hops each), and the manifest
+		// commit closes the fsync. Frame pipelining overlaps everything else.
+		chain := durOf(chainProbeBytes, p.DFS.LinkBandwidth) +
+			time.Duration(p.DFS.ChainLength)*(p.DFS.AppendFixed+2*p.NetLatency) +
+			p.DFS.MetaFixed
+		out = append(out, band(ProbeChainAppend64MB, chain, 0.8, 1.4,
+			"64MB/DFS.LinkBandwidth + ChainLength*(AppendFixed+2*NetLatency) + DFS.MetaFixed"))
+	}
+	return out
 }
 
 // Measurement is one probe's measured value.

@@ -89,6 +89,40 @@ type DFSParams struct {
 	// effect: fsync-less "weak" log writes still pay for the writeback
 	// they defer; applications whose logs bypass the dfs do not).
 	WritebackThrottleMax time.Duration
+
+	// The extent plane (ChubaoFS-style extents with chain replication for
+	// appends; DXRAM-style append-only backup logs on the storage nodes).
+	// Large files opened with the extent flag bypass the flat primary-copy
+	// sync path above: appends stream down a per-extent chain of storage
+	// nodes and are acked once resident in ChainLength memories, with each
+	// node draining to disk asynchronously. ExtentNodes == 0 disables the
+	// plane entirely (the LocalFS instance, and any pre-extent profile).
+
+	// ExtentNodes is the number of storage nodes backing the extent plane.
+	ExtentNodes int
+	// ExtentSize is the fixed extent capacity; an append that fills the
+	// tail extent allocates a fresh one on a new chain.
+	ExtentSize int64
+	// ChainLength is the replication factor: every extent lives on a chain
+	// of this many storage nodes (client -> head -> ... -> tail, ack up).
+	ChainLength int
+	// ChainFrame is the maximum bytes per chained append frame; a flush is
+	// cut into frames so the chain pipelines instead of store-and-forward
+	// on the whole payload.
+	ChainFrame int
+	// ChainWindow is how many frames a client keeps in flight per append
+	// stream before waiting for acks.
+	ChainWindow int
+	// LinkBandwidth is the per-link network bandwidth (bytes/sec) of each
+	// hop on a chain: client egress, storage-node ingress and egress each
+	// serialize at this rate.
+	LinkBandwidth float64
+	// NodeWriteBandwidth is one storage node's local drain-to-disk
+	// bandwidth (bytes/sec); drained asynchronously, off the ack path.
+	NodeWriteBandwidth float64
+	// AppendFixed is the fixed per-frame cost at each storage node
+	// (request handling, log-index update, memory commit).
+	AppendFixed time.Duration
 }
 
 // RaftConfig holds the consensus protocol timing (raft.Config is an alias

@@ -73,7 +73,14 @@ func TestVariantProfilesMoveTheRightAxis(t *testing.T) {
 	if cx6.RDMA.WRBase >= base.RDMA.WRBase || cx6.RDMA.Bandwidth <= base.RDMA.Bandwidth {
 		t.Errorf("CX6RoCE100 fabric not faster: %+v", cx6.RDMA)
 	}
-	if cx6.DFS != base.DFS {
+	// A faster NIC speeds up the dfs chain links (LinkBandwidth) but must
+	// leave the storage medium itself alone.
+	if cx6.DFS.LinkBandwidth <= base.DFS.LinkBandwidth {
+		t.Errorf("CX6RoCE100 chain links not faster: %v", cx6.DFS.LinkBandwidth)
+	}
+	cx6DFS := cx6.DFS
+	cx6DFS.LinkBandwidth = base.DFS.LinkBandwidth
+	if cx6DFS != base.DFS {
 		t.Error("CX6RoCE100 should leave storage unchanged")
 	}
 	fast := FastDFS()
@@ -124,8 +131,8 @@ func TestResolve(t *testing.T) {
 func TestTargetsTrackTheProfile(t *testing.T) {
 	base := Targets(Baseline())
 	fast := Targets(CX6RoCE100())
-	if len(base) != 4 || len(fast) != 4 {
-		t.Fatalf("want 4 targets, got %d/%d", len(base), len(fast))
+	if len(base) != 5 || len(fast) != 5 {
+		t.Fatalf("want 5 targets, got %d/%d", len(base), len(fast))
 	}
 	byProbe := func(ts []Target, probe string) Target {
 		for _, x := range ts {
@@ -146,6 +153,16 @@ func TestTargetsTrackTheProfile(t *testing.T) {
 	}
 	if byProbe(fast, ProbeDFSSyncWrite128).Expect != byProbe(base, ProbeDFSSyncWrite128).Expect {
 		t.Error("CX6 should not move the dfs target")
+	}
+	// Chain appends are link-bound, so the faster fabric lowers them too.
+	if f := byProbe(fast, ProbeChainAppend64MB); f.Expect >= byProbe(base, ProbeChainAppend64MB).Expect {
+		t.Errorf("CX6 chain-append target %v not below baseline", f.Expect)
+	}
+	// A profile without an extent plane has no chain target.
+	noExt := Baseline()
+	noExt.DFS.ExtentNodes = 0
+	if got := Targets(noExt); len(got) != 4 {
+		t.Errorf("extent-less profile: want 4 targets, got %d", len(got))
 	}
 	for _, x := range base {
 		if x.Lo >= x.Expect || x.Hi <= x.Expect {

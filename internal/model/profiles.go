@@ -56,6 +56,21 @@ var cx4RoCE25 = Profile{
 		DirtyHighWater:       64 << 20,
 		WritebackInterval:    500 * time.Millisecond,
 		WritebackThrottleMax: 2500 * time.Nanosecond,
+		// Extent plane: 16 storage nodes, 4 MB extents on 3-node chains
+		// (CephFS-class replication factor), 512 KB frames with an 8-frame
+		// window. Links run at the fabric's 3 GB/s; each node drains its
+		// append log to a SATA SSD at the same 500 MB/s the flat path
+		// models, but off the ack path (DXRAM-style backup logging), so a
+		// 64 MB append is bounded by client egress (~21 ms) instead of the
+		// shared 500 MB/s pipe plus sync round trip (~137 ms).
+		ExtentNodes:        16,
+		ExtentSize:         4 << 20,
+		ChainLength:        3,
+		ChainFrame:         512 << 10,
+		ChainWindow:        8,
+		LinkBandwidth:      3e9,
+		NodeWriteBandwidth: 500e6,
+		AppendFixed:        20 * time.Microsecond,
 	},
 	LocalFS: DFSParams{
 		SyncFixed:            900 * time.Microsecond,
@@ -164,6 +179,9 @@ func CX6RoCE100() *Profile {
 	p.RDMA.RegFixed = 1500 * time.Microsecond
 	p.RDMA.RegBandwidth = 2.4e9
 	p.RDMA.ConnectBase = 20 * time.Microsecond
+	// Chain links ride the same fabric: a faster NIC raises per-link
+	// bandwidth for extent appends even though the disks are unchanged.
+	p.DFS.LinkBandwidth = 12e9
 	p.NetLatency = 2 * time.Microsecond
 	return p
 }
@@ -187,6 +205,9 @@ func FastDFS() *Profile {
 	p.DFS.ReadFixed = 120 * time.Microsecond
 	p.DFS.ReadBandwidth = 3e9
 	p.DFS.MetaFixed = 150 * time.Microsecond
+	// NVMe storage nodes drain their append logs ~4x faster; the ack path
+	// (links + memory commit) is fabric-bound and unchanged.
+	p.DFS.NodeWriteBandwidth = 2e9
 	p.LocalFS.SyncFixed = 150 * time.Microsecond
 	p.LocalFS.SyncCleanFixed = 20 * time.Microsecond
 	p.LocalFS.WriteBandwidth = 1.8e9

@@ -1,0 +1,65 @@
+package modelcheck
+
+import "testing"
+
+func chainCfgWith(m ChainMutation) ChainConfig {
+	cfg := DefaultChainConfig()
+	cfg.Mutation = m
+	return cfg
+}
+
+func TestChainCorrectProtocolHasNoViolations(t *testing.T) {
+	res := CheckChain(chainCfgWith(ChainMutNone))
+	if res.Violation != nil {
+		t.Fatalf("correct chain protocol flagged: %s\ntrace: %v", res.Violation.Kind, res.Violation.Trace)
+	}
+	if res.States < 500 {
+		t.Fatalf("explored only %d states; bounds too tight to mean anything", res.States)
+	}
+	t.Logf("explored %d states, no violations", res.States)
+}
+
+func TestChainAckEarlyIsCaught(t *testing.T) {
+	res := CheckChain(chainCfgWith(ChainMutAckEarly))
+	if res.Violation == nil {
+		t.Fatal("ack-at-head bug not caught")
+	}
+	// The minimal counterexample: the head stores and acks frame 0, then
+	// crashes before anyone downstream holds it.
+	t.Logf("caught after %d states at depth %d: %s\ntrace: %v",
+		res.States, res.Violation.Depth, res.Violation.Kind, res.Violation.Trace)
+}
+
+func TestChainAckOnSendIsCaught(t *testing.T) {
+	res := CheckChain(chainCfgWith(ChainMutAckOnSend))
+	if res.Violation == nil {
+		t.Fatal("ack-on-send bug not caught")
+	}
+	t.Logf("caught after %d states at depth %d: %s\ntrace: %v",
+		res.States, res.Violation.Depth, res.Violation.Kind, res.Violation.Trace)
+}
+
+// A crash budget that can wipe the whole chain before a re-form completes
+// breaks durability by design — the checker must see that too, or the
+// "correct protocol passes" result would be vacuous.
+func TestChainFullWipeIsDetected(t *testing.T) {
+	cfg := DefaultChainConfig()
+	cfg.MaxCrashes = cfg.ChainLen
+	res := CheckChain(cfg)
+	if res.Violation == nil {
+		t.Fatal("wiping every chain member should strand acked frames")
+	}
+	t.Logf("caught after %d states: %s\ntrace: %v", res.States, res.Violation.Kind, res.Violation.Trace)
+}
+
+func TestChainCorrectProtocolLargerBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	cfg := ChainConfig{ChainLen: 3, Spares: 2, MaxFrames: 3, MaxCrashes: 2, MaxReforms: 2}
+	res := CheckChain(cfg)
+	if res.Violation != nil {
+		t.Fatalf("violation at larger bounds: %s\ntrace: %v", res.Violation.Kind, res.Violation.Trace)
+	}
+	t.Logf("explored %d states, no violations", res.States)
+}
