@@ -17,7 +17,11 @@
 //
 // Experiments: table1 table2 fig1 fig1d fig8 fig9 fig10 fig11a fig11b
 // table3 fig12 ablate-repl ablate-split ablate-nolog calibrate sweep perf
-// scale dfs
+// scale dfs repl
+//
+// The -replicate flag overrides the NCL replication policy for every
+// experiment (mirror, mirror:F, ec:K,M, quorum); the repl experiment sweeps
+// all policies across all named profiles and writes BENCH_repl.json.
 //
 // The -profile flag selects the hardware cost model: a built-in name (see
 // internal/model: CX4RoCE25 is the paper-faithful baseline, CX6RoCE100 a
@@ -48,13 +52,14 @@ import (
 
 	"splitft/internal/bench"
 	"splitft/internal/model"
+	"splitft/internal/ncl"
 	"splitft/internal/trace"
 )
 
 var experimentOrder = []string{
 	"table1", "table2", "fig1", "fig1d", "fig8", "fig9", "fig10",
 	"fig11a", "fig11b", "table3", "fig12", "ablate-repl", "ablate-split", "ablate-nolog",
-	"calibrate", "sweep", "perf", "scale", "dfs",
+	"calibrate", "sweep", "perf", "scale", "dfs", "repl",
 }
 
 func usage() {
@@ -65,6 +70,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, "  perf       runs the simulator wall-clock suite and writes -perfout\n")
 	fmt.Fprintf(os.Stderr, "  scale      sweeps open-loop clients across controller shard counts, writes -scaleout\n")
 	fmt.Fprintf(os.Stderr, "  dfs        sweeps the extent data path (flat vs chain, IO sizes, chain shapes), writes -dfsout\n")
+	fmt.Fprintf(os.Stderr, "  repl       sweeps NCL replication policies x profiles (memory, write latency, recovery), writes -replout\n")
 	fmt.Fprintf(os.Stderr, "  trace      runs the experiments with tracing on and prints the span aggregation\n")
 	fmt.Fprintf(os.Stderr, "profiles (-profile): %v, or a path to a JSON profile file\n", model.Names())
 	flag.PrintDefaults()
@@ -88,6 +94,8 @@ func realMain() int {
 		perfOut    = flag.String("perfout", "BENCH_simnet.json", "output path for the perf subcommand's JSON report")
 		scaleOut   = flag.String("scaleout", "BENCH_scale.json", "output path for the scale subcommand's JSON report")
 		dfsOut     = flag.String("dfsout", "BENCH_dfs.json", "output path for the dfs subcommand's JSON report")
+		replOut    = flag.String("replout", "BENCH_repl.json", "output path for the repl subcommand's JSON report")
+		replicate  = flag.String("replicate", "", "NCL replication policy for all experiments: mirror|mirror:F|ec:K,M|quorum")
 		scaleCli   = flag.String("scaleclients", "", "comma-separated client counts for the scale sweep (default 10,100,250,500,1000)")
 		scaleShard = flag.String("scaleshards", "", "comma-separated shard counts for the scale sweep (default 1,8)")
 		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
@@ -133,6 +141,16 @@ func realMain() int {
 			return 2
 		}
 		sc.Profile = prof
+	}
+	if *replicate != "" {
+		if _, err := ncl.ParsePolicy(*replicate); err != nil {
+			fmt.Fprintf(os.Stderr, "splitft-bench: -replicate: %v\n", err)
+			return 2
+		}
+		if sc.Profile == nil {
+			sc.Profile = model.Baseline()
+		}
+		sc.Profile.NCL.Replication = *replicate
 	}
 
 	var col *trace.Collector
@@ -223,7 +241,7 @@ func realMain() int {
 		if !want[exp] {
 			continue
 		}
-		if err := run(exp, sc, *seed, appList, *perfOut, *scaleOut, *dfsOut, scaleCfg); err != nil {
+		if err := run(exp, sc, *seed, appList, *perfOut, *scaleOut, *dfsOut, *replOut, scaleCfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", exp, err)
 			return 1
 		}
@@ -243,7 +261,7 @@ func realMain() int {
 	return 0
 }
 
-func run(exp string, sc bench.Scale, seed int64, apps []string, perfOut, scaleOut, dfsOut string, scaleCfg bench.ScaleConfig) error {
+func run(exp string, sc bench.Scale, seed int64, apps []string, perfOut, scaleOut, dfsOut, replOut string, scaleCfg bench.ScaleConfig) error {
 	banner(exp)
 	switch exp {
 	case "table1":
@@ -382,6 +400,18 @@ func run(exp string, sc bench.Scale, seed int64, apps []string, perfOut, scaleOu
 				return err
 			}
 			fmt.Printf("[dfs report written to %s]\n", dfsOut)
+		}
+	case "repl":
+		rep, err := bench.RunRepl(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		if replOut != "" {
+			if err := rep.WriteJSON(replOut); err != nil {
+				return err
+			}
+			fmt.Printf("[repl report written to %s]\n", replOut)
 		}
 	default:
 		return fmt.Errorf("unknown experiment")

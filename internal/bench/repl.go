@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"splitft/internal/core"
+	"splitft/internal/harness"
+	"splitft/internal/metrics"
+	"splitft/internal/model"
+	"splitft/internal/ncl"
+	"splitft/internal/simnet"
+)
+
+// The repl experiment sweeps the NCL replication policies behind
+// `splitft-bench repl`: for each policy x hardware profile it fills one log
+// with synchronous records, reads the peer registry's memory bill, then
+// crashes the application and times a full recovery. The three columns are
+// the policy trade-off the redesign exists to expose — memory overhead
+// (mirror ~3x vs ec(k,m) at (k+m)/k), write latency (quorum's one-RTT
+// single-WR ack vs mirror's data+header pair vs ec's encode+all-cells ack),
+// and recovery time (mirror's prefetch vs reconstruction/read-repair).
+// Virtual time keeps every number deterministic; BENCH_repl.json pins the
+// sweep in CI and TestReplPerfGate fails loudly on silent drift.
+
+// ReplRow is one measured (policy, profile) cell.
+type ReplRow struct {
+	Policy     string  `json:"policy"`
+	Profile    string  `json:"profile"`
+	MemFactor  float64 `json:"mem_factor"` // remote bytes per byte of log capacity
+	WriteP50NS int64   `json:"write_p50_ns"`
+	WriteP99NS int64   `json:"write_p99_ns"`
+	RecoveryNS int64   `json:"recovery_ns"`
+}
+
+// ReplReport is the whole sweep, JSON-shaped for BENCH_repl.json.
+type ReplReport struct {
+	Rows []ReplRow `json:"rows"`
+}
+
+// Row returns the (policy, profile) cell, or nil.
+func (r ReplReport) Row(policy, profile string) *ReplRow {
+	for i := range r.Rows {
+		if r.Rows[i].Policy == policy && r.Rows[i].Profile == profile {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Render formats the report as a table.
+func (r ReplReport) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Policy, row.Profile,
+			fmt.Sprintf("%.2fx", row.MemFactor),
+			fmtUS(time.Duration(row.WriteP50NS)),
+			fmtUS(time.Duration(row.WriteP99NS)),
+			fmt.Sprintf("%.2f", time.Duration(row.RecoveryNS).Seconds()*1000),
+		})
+	}
+	return fmt.Sprintf("NCL replication policies (%d x 4 KiB records, virtual time)\n", replRecords) +
+		metrics.Table([]string{"Policy", "Profile", "Memory", "Write p50 (us)", "Write p99 (us)", "Recovery (ms)"}, rows)
+}
+
+// WriteJSON writes the report to path (BENCH_repl.json).
+func (r ReplReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReplPolicies is the sweep's policy axis: the paper's mirror protocol as
+// the anchor, the erasure-coded layout at the canonical 4+2 shape, and the
+// one-RTT quorum variant.
+var ReplPolicies = []string{"mirror", "ec:4,2", "quorum"}
+
+const (
+	// replRecords x replRecBytes fills ~1 MiB of log — large enough that
+	// recovery moves real bytes, small enough to sweep every profile.
+	replRecords  = 256
+	replRecBytes = 4096
+	// replCapacity leaves headroom so no policy's frame budget interferes
+	// with the measurement (records are >= 2 KiB, the ec sizing floor).
+	replCapacity = int64(replRecords*replRecBytes) + (1 << 20)
+	// replPeerMem fixes the lendable pool so the registry's memory bill
+	// (LendableMem - Avail) is attributable to the one benchmark log.
+	replPeerMem = 512 << 20
+)
+
+// RunRepl runs the policy x profile sweep and returns the report.
+func RunRepl(sc Scale, seed int64) (ReplReport, error) {
+	var rep ReplReport
+	for _, pol := range ReplPolicies {
+		for _, profName := range model.Names() {
+			row, err := replOnce(sc, seed, pol, profName)
+			if err != nil {
+				return rep, fmt.Errorf("repl %s/%s: %w", pol, profName, err)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// replOnce measures one (policy, profile) cell on a fresh cluster.
+func replOnce(sc Scale, seed int64, policy, profName string) (ReplRow, error) {
+	row := ReplRow{Policy: policy, Profile: profName}
+	prof, err := model.Resolve(profName)
+	if err != nil {
+		return row, err
+	}
+	prof.NCL.Replication = policy
+	c := harness.New(harness.Options{
+		Seed: seed, NumPeers: 8, PeerMem: replPeerMem, AppCores: 10,
+		WithLocalFS: true, Profile: prof, Trace: sc.Trace,
+	})
+	err = c.Run(func(p *simnet.Proc) error {
+		var hist metrics.Histogram
+		filled := make(chan struct{}, 1)
+		c.AppNode.Go("app-v1", func(wp *simnet.Proc) {
+			fs, err := core.NewFS(wp, c.FSOptions("repl", 0))
+			if err != nil {
+				return
+			}
+			nf, err := fs.OpenFile(wp, "wal-000", core.O_NCL|core.O_CREATE, replCapacity)
+			if err != nil {
+				return
+			}
+			rec := make([]byte, replRecBytes)
+			for i := 0; i < replRecords; i++ {
+				t0 := wp.Now()
+				if _, err := nf.Write(wp, rec); err != nil {
+					return
+				}
+				hist.Record(wp.Now() - t0)
+			}
+			filled <- struct{}{}
+			wp.Sleep(24 * time.Hour)
+		})
+		for len(filled) == 0 {
+			p.Sleep(10 * time.Millisecond)
+		}
+		row.WriteP50NS = hist.Percentile(0.50).Nanoseconds()
+		row.WriteP99NS = hist.Percentile(0.99).Nanoseconds()
+
+		// The registry's bill for this log: every byte the peers stopped
+		// lending. The policy's MemoryFactor promises exactly this number.
+		var reserved int64
+		for _, pr := range c.Peers {
+			reserved += replPeerMem - pr.Avail()
+		}
+		row.MemFactor = float64(reserved) / float64(replCapacity)
+
+		c.CrashApp()
+		p.Sleep(10 * time.Millisecond)
+		c.RestartApp()
+		fs2, err := core.NewFS(p, c.FSOptions("repl", 1))
+		if err != nil {
+			return err
+		}
+		start := p.Now()
+		nf2, err := fs2.OpenFile(p, "wal-000", core.O_NCL, 0)
+		if err != nil {
+			return err
+		}
+		row.RecoveryNS = (p.Now() - start).Nanoseconds()
+		if nf2.Size() != int64(replRecords*replRecBytes) {
+			return fmt.Errorf("recovered %d bytes, want %d", nf2.Size(), replRecords*replRecBytes)
+		}
+		// Recovered under the policy it was written with, regardless of the
+		// recovering process's own defaults.
+		type hasLog interface{ Log() *ncl.Log }
+		if got := nf2.(hasLog).Log().Policy().String(); got != policySpecString(policy) {
+			return fmt.Errorf("recovered under %s, want %s", got, policy)
+		}
+		return nil
+	})
+	return row, err
+}
+
+// policySpecString canonicalizes a policy string through the parser.
+func policySpecString(s string) string {
+	spec, err := ncl.ParsePolicy(s)
+	if err != nil {
+		return s
+	}
+	return spec.String()
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestReplSmoke checks the headline policy properties on one profile: the
+// erasure-coded layout stays within its (k+m)/k + slack memory budget where
+// mirror pays ~3x, and the one-RTT quorum write beats mirror's data+header
+// pair at the tail. (The name matches the CI non-race gate's filter.)
+func TestReplSmoke(t *testing.T) {
+	sc := QuickScale()
+	mirror, err := replOnce(sc, 1, "mirror", "CX4RoCE25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := replOnce(sc, 1, "ec:4,2", "CX4RoCE25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	quorum, err := replOnce(sc, 1, "quorum", "CX4RoCE25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mirror: mem %.2fx p50 %dns p99 %dns", mirror.MemFactor, mirror.WriteP50NS, mirror.WriteP99NS)
+	t.Logf("ec:4,2: mem %.2fx p50 %dns p99 %dns", ec.MemFactor, ec.WriteP50NS, ec.WriteP99NS)
+	t.Logf("quorum: mem %.2fx p50 %dns p99 %dns", quorum.MemFactor, quorum.WriteP50NS, quorum.WriteP99NS)
+	if mirror.MemFactor < 2.9 || mirror.MemFactor > 3.1 {
+		t.Errorf("mirror memory factor %.2f, want ~3x", mirror.MemFactor)
+	}
+	if ec.MemFactor > 1.6 {
+		t.Errorf("ec(4,2) memory factor %.2f, want <= 1.6x", ec.MemFactor)
+	}
+	if quorum.WriteP99NS >= mirror.WriteP99NS {
+		t.Errorf("quorum write p99 %dns not below mirror's %dns", quorum.WriteP99NS, mirror.WriteP99NS)
+	}
+	for _, row := range []ReplRow{mirror, ec, quorum} {
+		if row.RecoveryNS <= 0 {
+			t.Errorf("%s: no recovery time measured", row.Policy)
+		}
+	}
+}
+
+// TestReplPerfGate regenerates the policy sweep at the CLI's default scale
+// and seed and diffs every cell against the committed BENCH_repl.json.
+// Virtual times are deterministic, so the tolerance is tight: drift means
+// the replication cost model changed and the committed report must be
+// regenerated deliberately, not silently.
+func TestReplPerfGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full sweep is too slow under -race")
+	}
+	if testing.Short() {
+		t.Skip("runs the full repl sweep")
+	}
+	rep, err := RunRepl(DefaultScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The acceptance floors, independent of the baseline file: on every
+	// profile, ec(4,2) stores <= 1.6x where mirror stores ~3x, and quorum's
+	// one-RTT write has the lower p99.
+	for _, row := range rep.Rows {
+		switch row.Policy {
+		case "mirror":
+			if row.MemFactor < 2.9 || row.MemFactor > 3.1 {
+				t.Errorf("%s/%s: memory factor %.2f, want ~3x", row.Policy, row.Profile, row.MemFactor)
+			}
+		case "ec:4,2":
+			if row.MemFactor > 1.6 {
+				t.Errorf("%s/%s: memory factor %.2f, want <= 1.6x", row.Policy, row.Profile, row.MemFactor)
+			}
+		}
+	}
+	for _, profName := range profilesIn(rep) {
+		m, q := rep.Row("mirror", profName), rep.Row("quorum", profName)
+		if m == nil || q == nil {
+			t.Fatalf("profile %s missing mirror or quorum row", profName)
+		}
+		if q.WriteP99NS >= m.WriteP99NS {
+			t.Errorf("%s: quorum p99 %dns not below mirror p99 %dns", profName, q.WriteP99NS, m.WriteP99NS)
+		}
+	}
+
+	data, err := os.ReadFile("../../BENCH_repl.json")
+	if err != nil {
+		t.Fatalf("committed BENCH_repl.json missing (regenerate with `splitft-bench repl`): %v", err)
+	}
+	var base ReplReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Rows) != len(rep.Rows) {
+		t.Fatalf("baseline has %d rows, regenerated %d", len(base.Rows), len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		b := base.Row(row.Policy, row.Profile)
+		if b == nil {
+			t.Errorf("%s/%s: not in committed baseline", row.Policy, row.Profile)
+			continue
+		}
+		// 2%: virtual time should be bit-identical run to run; the slack only
+		// absorbs a deliberately regenerated baseline from a slightly
+		// different Go release rounding somewhere.
+		within := func(name string, got, want int64) {
+			lo, hi := float64(want)*0.98, float64(want)*1.02
+			if v := float64(got); v < lo || v > hi {
+				t.Errorf("%s/%s: %s %dns drifted from committed %dns (±2%%)",
+					row.Policy, row.Profile, name, got, want)
+			}
+		}
+		within("write p50", row.WriteP50NS, b.WriteP50NS)
+		within("write p99", row.WriteP99NS, b.WriteP99NS)
+		within("recovery", row.RecoveryNS, b.RecoveryNS)
+		if row.MemFactor < b.MemFactor*0.98 || row.MemFactor > b.MemFactor*1.02 {
+			t.Errorf("%s/%s: memory factor %.3f drifted from committed %.3f",
+				row.Policy, row.Profile, row.MemFactor, b.MemFactor)
+		}
+	}
+}
+
+// profilesIn lists the distinct profiles of a report in row order.
+func profilesIn(rep ReplReport) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, row := range rep.Rows {
+		if !seen[row.Profile] {
+			seen[row.Profile] = true
+			out = append(out, row.Profile)
+		}
+	}
+	return out
+}

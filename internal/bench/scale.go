@@ -303,7 +303,12 @@ func runScaleClient(cp *simnet.Proc, c *harness.Cluster, cfg ScaleConfig,
 	for cp.Now() < deadline {
 		var err error
 		if lib == nil {
-			if lib, err = ncl.NewLib(cp, c.Controller, c.Fabric, cp.Node(), app, 1, c.Profile.NCL); err != nil {
+			nclCfg, cfgErr := ncl.ConfigFromProfile(c.Profile)
+			if cfgErr != nil {
+				bootWG.Done(cp)
+				return
+			}
+			if lib, err = ncl.NewLib(cp, c.Controller, c.Fabric, cp.Node(), app, 1, nclCfg); err != nil {
 				lib = nil
 			}
 		}

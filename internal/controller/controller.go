@@ -56,19 +56,20 @@ const (
 type PeerInfo struct {
 	Name     string
 	Addr     string // RPC address of the peer daemon
+	Domain   string // failure domain (rack/zone); "" when not configured
 	AvailMem int64
 }
 
 // MarshalWire encodes the registration as a flat message.
 func (i PeerInfo) MarshalWire() wire.Msg {
-	m := wire.Msg{Code: codePeerInfo, S: [3]string{i.Name, i.Addr}}
+	m := wire.Msg{Code: codePeerInfo, S: [3]string{i.Name, i.Addr, i.Domain}}
 	m.SetInt(0, i.AvailMem)
 	return m
 }
 
 // UnmarshalWire decodes a codePeerInfo message.
 func (i *PeerInfo) UnmarshalWire(m wire.Msg) error {
-	i.Name, i.Addr, i.AvailMem = m.S[0], m.S[1], m.Int(0)
+	i.Name, i.Addr, i.Domain, i.AvailMem = m.S[0], m.S[1], m.S[2], m.Int(0)
 	return nil
 }
 
@@ -80,23 +81,33 @@ type FileEntry struct {
 	// AppendOnly records that the file only ever grows, enabling the
 	// tail-shipping catch-up optimization during recovery (§4.5.1).
 	AppendOnly bool
+	// Policy is the replication policy spec string the file was written
+	// under (ncl.ParsePolicy); "" means mirror from before the field existed.
+	Policy string
+	// Capacity is the log's nominal capacity in bytes. RegionSize is the
+	// per-peer region (policy-dependent: larger than Capacity for mirror,
+	// smaller for ec fragments); 0 falls back to RegionSize-derived sizing.
+	Capacity int64
 }
 
 // MarshalWire encodes the ap-map entry as a flat message.
 func (e FileEntry) MarshalWire() wire.Msg {
-	m := wire.Msg{Code: codeFileEntry, Strs: e.Peers}
+	m := wire.Msg{Code: codeFileEntry, Strs: e.Peers, S: [3]string{e.Policy}}
 	m.SetInt(0, e.Epoch)
 	m.SetInt(1, e.RegionSize)
 	m.SetBool(2, e.AppendOnly)
+	m.SetInt(3, e.Capacity)
 	return m
 }
 
 // UnmarshalWire decodes a codeFileEntry message.
 func (e *FileEntry) UnmarshalWire(m wire.Msg) error {
 	e.Peers = m.Strs
+	e.Policy = m.S[0]
 	e.Epoch = m.Int(0)
 	e.RegionSize = m.Int(1)
 	e.AppendOnly = m.Bool(2)
+	e.Capacity = m.Int(3)
 	return nil
 }
 

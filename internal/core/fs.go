@@ -80,12 +80,11 @@ type Options struct {
 	AppID      string
 	// Fencing is the application incarnation; bump on every restart.
 	Fencing int64
-	// NCL tunes the near-compute log library.
+	// NCL tunes the near-compute log library: replication policy, default
+	// region capacity (used when OpenFile is called without an explicit
+	// size), and the hardware cost model. Build it with
+	// ncl.ConfigFromProfile; the zero value means mirror f=1 over 64 MiB.
 	NCL ncl.Config
-	// DefaultRegionSize is the ncl region capacity used when OpenFile is
-	// called without an explicit size (apps usually configure their log
-	// size; 64 MiB default).
-	DefaultRegionSize int64
 	// AcquireLock claims the single-instance znode at start-up.
 	AcquireLock bool
 }
@@ -111,8 +110,8 @@ type FS struct {
 
 // NewFS mounts the dfs and initializes ncl-lib for the application.
 func NewFS(p *simnet.Proc, opts Options) (*FS, error) {
-	if opts.DefaultRegionSize == 0 {
-		opts.DefaultRegionSize = 64 << 20
+	if opts.NCL.RegionSize == 0 {
+		opts.NCL.RegionSize = 64 << 20
 	}
 	lib, err := ncl.NewLib(p, opts.Controller, opts.Fabric, opts.Node, opts.AppID, opts.Fencing, opts.NCL)
 	if err != nil {
@@ -124,7 +123,7 @@ func NewFS(p *simnet.Proc, opts Options) (*FS, error) {
 		lib:               lib,
 		nclCfg:            opts.NCL,
 		appID:             opts.AppID,
-		defaultRegionSize: opts.DefaultRegionSize,
+		defaultRegionSize: opts.NCL.RegionSize,
 		nclOpen:           make(map[string]*nclFile),
 	}
 	if opts.AcquireLock {
@@ -317,7 +316,7 @@ func (f *nclFile) Pread(p *simnet.Proc, buf []byte, off int64) (int, error) {
 	// Reads come from the local buffer; after recovery the content was
 	// prefetched from the recovery peer (Fig 11a). ncl-lib serves them in
 	// user space — no syscall — so the fixed cost undercuts a dfs read.
-	p.Sleep(f.fs.nclCfg.LocalReadCPU)
+	p.Sleep(f.fs.nclCfg.Model.LocalReadCPU)
 	return f.lg.ReadAt(buf, off), nil
 }
 
@@ -325,7 +324,7 @@ func (f *nclFile) Pread(p *simnet.Proc, buf []byte, off int64) (int, error) {
 // majority of log peers before returning. This is precisely SplitFT's
 // performance win — the fsync disappears from the critical path.
 func (f *nclFile) Sync(p *simnet.Proc) error {
-	p.Sleep(f.fs.nclCfg.SyncCPU)
+	p.Sleep(f.fs.nclCfg.Model.SyncCPU)
 	return nil
 }
 

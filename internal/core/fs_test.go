@@ -67,15 +67,16 @@ func (tb *testbed) run(t *testing.T, fn func(p *simnet.Proc)) {
 }
 
 func (tb *testbed) opts(fencing int64) Options {
+	nclCfg := ncl.DefaultConfig()
+	nclCfg.RegionSize = 4 << 20
 	return Options{
-		Controller:        tb.svc,
-		Fabric:            tb.fabric,
-		DFS:               tb.dcl,
-		Node:              tb.appNode,
-		AppID:             "app1",
-		Fencing:           fencing,
-		NCL:               ncl.DefaultConfig(),
-		DefaultRegionSize: 4 << 20,
+		Controller: tb.svc,
+		Fabric:     tb.fabric,
+		DFS:        tb.dcl,
+		Node:       tb.appNode,
+		AppID:      "app1",
+		Fencing:    fencing,
+		NCL:        nclCfg,
 	}
 }
 

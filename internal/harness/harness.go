@@ -13,6 +13,7 @@ import (
 	"splitft/internal/core"
 	"splitft/internal/dfs"
 	"splitft/internal/model"
+	"splitft/internal/ncl"
 	"splitft/internal/peer"
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
@@ -44,6 +45,11 @@ type Options struct {
 	// PeerConfig overrides peer daemon settings (LendableMem is still
 	// taken from PeerMem when set).
 	PeerConfig *peer.Config
+	// PeerDomainCount > 0 assigns each peer a failure domain, round-robin
+	// across that many domains ("dom0".."dom<n-1>"), so placement spreads
+	// a log's group across domains. 0 leaves domains unset (the default —
+	// placement and traces are unchanged).
+	PeerDomainCount int
 	// ControllerShards overrides the profile's Controller.Shards: the
 	// number of data Raft groups the controller's znode tree is split
 	// across (0/1 = the paper's single-group layout).
@@ -71,7 +77,8 @@ type Cluster struct {
 	// drivers derive per-client generator seeds from it.
 	Seed int64
 
-	peerCfg peer.Config
+	peerCfg     peer.Config
+	domainCount int
 }
 
 // New builds the testbed (nodes and services that need no running procs).
@@ -144,18 +151,29 @@ func New(opts Options) *Cluster {
 	if opts.PeerMem != 0 {
 		c.peerCfg.LendableMem = opts.PeerMem
 	}
+	c.domainCount = opts.PeerDomainCount
 	for i := 0; i < opts.NumPeers; i++ {
 		c.PeerNodes = append(c.PeerNodes, s.NewNode(fmt.Sprintf("peer%d", i)))
 	}
 	return c
 }
 
+// peerCfgFor returns the daemon config for the i-th peer, assigning its
+// failure domain when PeerDomainCount is set.
+func (c *Cluster) peerCfgFor(i int) peer.Config {
+	cfg := c.peerCfg
+	if c.domainCount > 0 {
+		cfg.Domain = fmt.Sprintf("dom%d", i%c.domainCount)
+	}
+	return cfg
+}
+
 // Boot waits out controller election and starts the peer daemons. Call it
 // from a proc before using NCL.
 func (c *Cluster) Boot(p *simnet.Proc) error {
 	p.Sleep(time.Second)
-	for _, n := range c.PeerNodes {
-		pr, err := peer.Start(p, c.Controller, c.Fabric, n, c.peerCfg)
+	for i, n := range c.PeerNodes {
+		pr, err := peer.Start(p, c.Controller, c.Fabric, n, c.peerCfgFor(i))
 		if err != nil {
 			return fmt.Errorf("harness: start peer %s: %w", n.Name(), err)
 		}
@@ -167,9 +185,10 @@ func (c *Cluster) Boot(p *simnet.Proc) error {
 // RestartPeer revives a crashed peer node and restarts its daemon.
 func (c *Cluster) RestartPeer(p *simnet.Proc, name string) error {
 	var node *simnet.Node
-	for _, n := range c.PeerNodes {
+	idx := -1
+	for i, n := range c.PeerNodes {
 		if n.Name() == name {
-			node = n
+			node, idx = n, i
 			break
 		}
 	}
@@ -177,7 +196,7 @@ func (c *Cluster) RestartPeer(p *simnet.Proc, name string) error {
 		return fmt.Errorf("harness: unknown peer %s", name)
 	}
 	node.Restart()
-	pr, err := peer.Start(p, c.Controller, c.Fabric, node, c.peerCfg)
+	pr, err := peer.Start(p, c.Controller, c.Fabric, node, c.peerCfgFor(idx))
 	if err != nil {
 		return err
 	}
@@ -205,8 +224,15 @@ func (c *Cluster) Run(fn func(p *simnet.Proc) error) error {
 	return fnErr
 }
 
-// FSOptions builds core.FS options for an application on the app node.
+// FSOptions builds core.FS options for an application on the app node. The
+// ncl configuration (replication policy, region size, cost model) derives
+// from the cluster's profile; an unparsable policy string panics here —
+// profiles are validated input, not user data.
 func (c *Cluster) FSOptions(appID string, fencing int64) core.Options {
+	nclCfg, err := ncl.ConfigFromProfile(c.Profile)
+	if err != nil {
+		panic(fmt.Sprintf("harness: profile %s: %v", c.Profile.Name, err))
+	}
 	return core.Options{
 		Controller: c.Controller,
 		Fabric:     c.Fabric,
@@ -214,7 +240,7 @@ func (c *Cluster) FSOptions(appID string, fencing int64) core.Options {
 		Node:       c.AppNode,
 		AppID:      appID,
 		Fencing:    fencing,
-		NCL:        c.Profile.NCL,
+		NCL:        nclCfg,
 	}
 }
 

@@ -91,7 +91,7 @@ func TestDefaultsApplied(t *testing.T) {
 func TestProfileOverridePlumbing(t *testing.T) {
 	prof := model.CX6RoCE100()
 	prof.DFS.SyncFixed = 1750 * time.Microsecond
-	prof.NCL.F = 2
+	prof.NCL.Replication = "mirror:2"
 	c := New(Options{Seed: 5, Profile: prof})
 	// The fabric, dfs and network must be built from the custom profile,
 	// not the baseline.
@@ -104,8 +104,8 @@ func TestProfileOverridePlumbing(t *testing.T) {
 	if got := c.Sim.Net().Latency(c.AppNode, c.ClientNode); got != prof.NetLatency {
 		t.Errorf("net latency = %v, want %v", got, prof.NetLatency)
 	}
-	if got := c.FSOptions("app", 0).NCL.F; got != 2 {
-		t.Errorf("FSOptions NCL.F = %d, want the profile's 2", got)
+	if got := c.FSOptions("app", 0).NCL.Policy.F; got != 2 {
+		t.Errorf("FSOptions NCL.Policy.F = %d, want the profile's 2", got)
 	}
 	if c.peerCfg != prof.Peer {
 		t.Errorf("peer config = %+v, want the profile's", c.peerCfg)

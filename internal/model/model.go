@@ -182,13 +182,36 @@ type PeerConfig struct {
 	// behavior); set it when hundreds of clients churn WALs so the peer
 	// pool does not turn every region event into a Raft proposal.
 	PublishInterval time.Duration
+	// Domain is the peer's failure domain (rack/power unit), advertised in
+	// the registry. Placement spreads a log's peer group across distinct
+	// domains when the fleet declares them; empty (the default) opts out.
+	Domain string
 }
 
-// NCLConfig tunes ncl-lib (ncl.Config is an alias of this type).
+// NCLConfig tunes ncl-lib (the cost-constant half of ncl.Config; the
+// parsed replication policy and region default are derived from it by
+// ncl.ConfigFromProfile).
 type NCLConfig struct {
-	// F is the failure budget: each log gets 2F+1 peers and tolerates F
-	// simultaneous peer failures.
-	F int
+	// Replication selects the replication policy as a spec string:
+	//
+	//	"mirror"       full copies on 2f+1 peers, f=1 (the paper's setup)
+	//	"mirror:F"     full copies with failure budget F
+	//	"ec:K,M"       Reed-Solomon striping across K+M peers; any K
+	//	               survivors reconstruct, at (K+M)/K memory instead of
+	//	               2f+1 full copies (Hydra's memory-tax argument)
+	//	"quorum"       unordered one-RTT writes to 2f+1 peers acked at a
+	//	               majority, f=1 (SWARM-style; also "swarm-quorum")
+	//	"quorum:F"     the same with failure budget F
+	//
+	// Empty means "mirror".
+	Replication string
+	// DefaultRegionSize is the ncl region capacity used when a file is
+	// opened without an explicit size (64 MiB baseline).
+	DefaultRegionSize int64
+	// EncodeBandwidth is the client-side Reed-Solomon encode bandwidth in
+	// bytes/sec, paid per record on the ec path (SIMD GF(2^8) arithmetic on
+	// the testbed's cores).
+	EncodeBandwidth float64
 	// RecordCPU models ncl-lib's per-record client-side work (buffer copy,
 	// posting, completion bookkeeping).
 	RecordCPU time.Duration

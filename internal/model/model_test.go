@@ -32,8 +32,11 @@ func TestBaselineConstants(t *testing.T) {
 	if p.Peer.LendableMem != 1<<30 {
 		t.Errorf("Peer.LendableMem = %v, want 1GiB", p.Peer.LendableMem)
 	}
-	if p.NCL.F != 1 || p.NCL.SuspectCooldown != 2*time.Second {
-		t.Errorf("NCL = %+v, want F=1, SuspectCooldown=2s", p.NCL)
+	if p.NCL.Replication != "mirror" || p.NCL.SuspectCooldown != 2*time.Second {
+		t.Errorf("NCL = %+v, want Replication=mirror, SuspectCooldown=2s", p.NCL)
+	}
+	if p.NCL.DefaultRegionSize != 64<<20 {
+		t.Errorf("NCL.DefaultRegionSize = %d, want 64MiB", p.NCL.DefaultRegionSize)
 	}
 	if p.Apps.KVStore.EncodeCPU != 600*time.Nanosecond {
 		t.Errorf("KVStore.EncodeCPU = %v, want 600ns", p.Apps.KVStore.EncodeCPU)

@@ -117,7 +117,11 @@ var cx4RoCE25 = Profile{
 		SetupCPU: 200 * time.Microsecond,
 	},
 	NCL: NCLConfig{
-		F:               1,
+		Replication:       "mirror",
+		DefaultRegionSize: 64 << 20,
+		// ~6 GB/s single-core systematic RS encode (ISA-L-class GF(2^8)
+		// SIMD kernels on the testbed's E5-2640v4).
+		EncodeBandwidth: 6e9,
 		RecordCPU:       900 * time.Nanosecond,
 		AckTimeout:      5 * time.Millisecond,
 		SetupRetries:    8,

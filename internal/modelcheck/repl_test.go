@@ -1,0 +1,99 @@
+package modelcheck
+
+import (
+	"strings"
+	"testing"
+
+	"splitft/internal/ncl"
+)
+
+func mustSpec(t *testing.T, s string) ncl.PolicySpec {
+	t.Helper()
+	spec, err := ncl.ParsePolicy(s)
+	if err != nil {
+		t.Fatalf("ParsePolicy(%q): %v", s, err)
+	}
+	return spec
+}
+
+// Every policy's correct ack rule survives its full failure budget, at two
+// bound sizes each.
+func TestReplicationCorrectProtocols(t *testing.T) {
+	for _, pol := range []string{"mirror", "mirror:2", "ec:2,1", "ec:2,2", "quorum", "quorum:2"} {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			spec := mustSpec(t, pol)
+			small := DefaultReplConfig(spec)
+			for _, cfg := range []ReplConfig{small, {MaxWrites: 4, MaxCrashes: spec.Tolerates()}} {
+				res := CheckReplication(spec, cfg)
+				if res.Violation != nil {
+					t.Fatalf("correct %s flagged at writes=%d: %s\ntrace: %v",
+						pol, cfg.MaxWrites, res.Violation.Kind, res.Violation.Trace)
+				}
+				if res.States < 100 {
+					t.Fatalf("explored only %d states; bounds too tight to mean anything", res.States)
+				}
+				t.Logf("writes=%d crashes=%d: %d states, no violations",
+					cfg.MaxWrites, cfg.MaxCrashes, res.States)
+			}
+		})
+	}
+}
+
+func TestReplicationLostStripeIsCaught(t *testing.T) {
+	for _, pol := range []string{"ec:2,1", "ec:2,2"} {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			spec := mustSpec(t, pol)
+			cfg := DefaultReplConfig(spec)
+			cfg.Mutation = ReplMutLostStripe
+			res := CheckReplication(spec, cfg)
+			if res.Violation == nil {
+				t.Fatal("lost-stripe ack bug not caught")
+			}
+			if len(res.Violation.Trace) == 0 || !strings.Contains(res.Violation.Trace[len(res.Violation.Trace)-1], "crash") {
+				// The minimal counterexample ends in the crash that drops the
+				// stripe below K cells.
+				t.Fatalf("counterexample trace does not end in a crash: %v", res.Violation.Trace)
+			}
+			t.Logf("caught after %d states at depth %d: %s\ntrace: %v",
+				res.States, res.Violation.Depth, res.Violation.Kind, res.Violation.Trace)
+		})
+	}
+}
+
+func TestReplicationSplitBrainAckIsCaught(t *testing.T) {
+	for _, pol := range []string{"quorum", "quorum:2", "mirror"} {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			spec := mustSpec(t, pol)
+			cfg := DefaultReplConfig(spec)
+			cfg.Mutation = ReplMutSplitBrainAck
+			res := CheckReplication(spec, cfg)
+			if res.Violation == nil {
+				t.Fatal("split-brain (minority) ack bug not caught")
+			}
+			t.Logf("caught after %d states at depth %d: %s\ntrace: %v",
+				res.States, res.Violation.Depth, res.Violation.Kind, res.Violation.Trace)
+		})
+	}
+}
+
+// Anti-vacuity: a crash budget one past the policy's tolerance must produce
+// violations even for the correct protocol — otherwise "correct passes"
+// would mean the checker can't see loss at all.
+func TestReplicationOverBudgetIsDetected(t *testing.T) {
+	for _, pol := range []string{"mirror", "ec:2,1", "quorum"} {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			spec := mustSpec(t, pol)
+			cfg := DefaultReplConfig(spec)
+			cfg.MaxCrashes = spec.Tolerates() + 1
+			res := CheckReplication(spec, cfg)
+			if res.Violation == nil {
+				t.Fatalf("%s: exceeding the failure budget should lose acked writes", pol)
+			}
+			t.Logf("caught after %d states: %s", res.States, res.Violation.Kind)
+		})
+	}
+}

@@ -1,0 +1,264 @@
+package ncl
+
+// mirrorPolicy is the paper's replication protocol (§4.4): every peer holds
+// a full copy of the region — a 16-byte header (sequence number, length)
+// followed by the log content. Each record is a data write followed by a
+// header write, ordered by the QP's send queue, so a peer whose header
+// shows sequence s holds every write up to s. Acked at f+1 of 2f+1.
+//
+// This implementation is the regression anchor: it is a verbatim move of
+// the pre-policy-seam code paths, so mirror traces stay deterministic per
+// (profile, seed) and cost-identical to the original.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"splitft/internal/peer"
+	"splitft/internal/simnet"
+	"splitft/internal/wire"
+)
+
+type mirrorPolicy struct {
+	spec PolicySpec
+
+	// Recovery state shared between the read and sync phases: each
+	// survivor's advertised header, and the peer whose region was
+	// prefetched.
+	hdrLens      map[*peerConn]int64
+	recoveryPeer *peerConn
+}
+
+func (m *mirrorPolicy) Spec() PolicySpec { return m.spec }
+
+func (m *mirrorPolicy) Place(capacity int64) Placement {
+	return Placement{
+		Slots:      m.spec.Slots(),
+		SlotRegion: HeaderSize + capacity,
+		AckNeed:    m.spec.F + 1,
+		MinAlive:   m.spec.F + 1,
+	}
+}
+
+func (m *mirrorPolicy) MemoryFactor(capacity int64) float64 {
+	return float64(int64(m.spec.Slots())*(HeaderSize+capacity)) / float64(capacity)
+}
+
+// putHeader fills h (HeaderSize bytes) with the current seq/length. Callers
+// pass a stack array: PostWrite copies the payload at post time, so the
+// header never escapes and the record hot path stays allocation-free.
+func (lg *Log) putHeader(h []byte) {
+	binary.LittleEndian.PutUint64(h[0:8], lg.seq)
+	binary.LittleEndian.PutUint64(h[8:16], uint64(lg.length))
+}
+
+// Append posts a data write followed by a header write to every active
+// peer (§4.4). Caller holds lg.mu with lg.buf/length/seq already updated.
+func (m *mirrorPolicy) Append(p *simnet.Proc, lg *Log, off int64, data []byte) error {
+	seq := lg.seq
+	var hdr [HeaderSize]byte
+	lg.putHeader(hdr[:])
+	for _, pc := range lg.peers {
+		if pc != nil && pc.active && !pc.failed {
+			pc.qp.PostWrite(p, pc.rkey, HeaderSize+int(off), data, recCtx(pc, seq, false))
+			pc.qp.PostWrite(p, pc.rkey, 0, hdr[:], recCtx(pc, seq, true))
+		}
+	}
+	return nil
+}
+
+// Recover is the read phase of §4.5.1 steps 3-4: read the header from every
+// survivor, pick the maximum sequence number (quorum intersection
+// guarantees it covers every acknowledged write), and prefetch the full
+// region from that peer.
+func (m *mirrorPolicy) Recover(p *simnet.Proc, lg *Log, alive []*peerConn) error {
+	type hdrInfo struct {
+		seq    uint64
+		length int64
+	}
+	hdrs := make(map[*peerConn]hdrInfo)
+	m.hdrLens = make(map[*peerConn]int64)
+	for _, pc := range alive {
+		hbuf := make([]byte, HeaderSize)
+		if err := lg.readInto(p, pc, 0, hbuf); err != nil {
+			continue
+		}
+		h := hdrInfo{
+			seq:    binary.LittleEndian.Uint64(hbuf[0:8]),
+			length: int64(binary.LittleEndian.Uint64(hbuf[8:16])),
+		}
+		hdrs[pc] = h
+		m.hdrLens[pc] = h.length
+	}
+	if len(hdrs) < lg.place.MinAlive {
+		return fmt.Errorf("%w: %d header responses", ErrUnavailable, len(hdrs))
+	}
+	var recoveryPeer *peerConn
+	for _, pc := range alive { // deterministic order; first max wins
+		h, ok := hdrs[pc]
+		if !ok {
+			continue
+		}
+		if recoveryPeer == nil || h.seq > hdrs[recoveryPeer].seq {
+			recoveryPeer = pc
+		}
+	}
+	maxHdr := hdrs[recoveryPeer]
+	if maxHdr.length > 0 {
+		if err := lg.readInto(p, recoveryPeer, HeaderSize, lg.buf[HeaderSize:HeaderSize+maxHdr.length]); err != nil {
+			return fmt.Errorf("ncl: recovery read from %s: %w", recoveryPeer.name, err)
+		}
+	}
+	lg.seq = maxHdr.seq
+	lg.length = maxHdr.length
+	binary.LittleEndian.PutUint64(lg.buf[0:8], lg.seq)
+	binary.LittleEndian.PutUint64(lg.buf[8:16], uint64(lg.length))
+	m.recoveryPeer = recoveryPeer
+	return nil
+}
+
+// Resync is the sync phase of §4.5.1 step 5: catch every other responsive
+// peer up to the recovered content. Circular (and by default all) logs get
+// the whole region via staging + atomic switch; logs the application
+// declared append-only get the cheaper tail shipping into their existing
+// regions. Peers that fail here are marked for replacement.
+func (m *mirrorPolicy) Resync(p *simnet.Proc, lg *Log, alive []*peerConn) error {
+	for _, pc := range alive {
+		if pc == m.recoveryPeer {
+			pc.completedSeq = lg.seq
+			pc.active = true
+			continue
+		}
+		var err error
+		if lg.appendOnly {
+			err = lg.catchUpTail(p, pc, m.hdrLens[pc])
+		} else {
+			err = lg.catchUpViaStaging(p, pc, lg.epoch)
+		}
+		if err != nil {
+			// Treat as freshly failed: the caller replaces it.
+			pc.failed = true
+			continue
+		}
+		pc.completedSeq = lg.seq
+		pc.active = true
+	}
+	return nil
+}
+
+func (m *mirrorPolicy) Repair(p *simnet.Proc, lg *Log, qp qpLike, rkey uint64, slot int, lock bool) error {
+	return lg.bulkTransfer(p, qp, rkey, lock)
+}
+
+// Snapshot posts the current region content and header to pc as ordinary
+// record WRs, so the poller advances pc.completedSeq to the current
+// sequence number when they complete. Caller holds lg.mu. The client-side
+// copy briefly occupies the writer — the Fig 12 "blip".
+func (m *mirrorPolicy) Snapshot(p *simnet.Proc, lg *Log, pc *peerConn) {
+	if lg.length > 0 {
+		p.Sleep(time.Duration(float64(lg.length) / lg.lib.cfg.Model.CatchupCopyCPU * float64(time.Second)))
+		pc.qp.PostWrite(p, pc.rkey, HeaderSize, lg.buf[HeaderSize:HeaderSize+lg.length],
+			recCtx(pc, lg.seq, false))
+	}
+	var hdr [HeaderSize]byte
+	lg.putHeader(hdr[:])
+	pc.qp.PostWrite(p, pc.rkey, 0, hdr[:], recCtx(pc, lg.seq, true))
+}
+
+// catchUpViaStaging copies the recovered content to a fresh staging region
+// on pc and atomically switches the peer's mr-map to it (§4.5.1). The
+// switch also covers circular logs, where shipping a log tail would be
+// incorrect (Fig 7ii).
+func (lg *Log) catchUpViaStaging(p *simnet.Proc, pc *peerConn, epoch int64) error {
+	l := lg.lib
+	stg, err := wire.Call[peer.AllocStagingResp](p, l.sim.Net(), l.node, peer.Addr(pc.name), peer.AllocStagingReq{
+		App: l.appID, File: lg.name, Size: lg.regionSize(), Epoch: epoch,
+	})
+	if err != nil {
+		return err
+	}
+	if err := lg.bulkTransfer(p, pc.qp, stg.RKey, false); err != nil {
+		return err
+	}
+	if _, err := wire.Call[wire.Ack](p, l.sim.Net(), l.node, peer.Addr(pc.name), peer.CommitSwitchReq{
+		App: l.appID, File: lg.name, StagingID: stg.StagingID, Epoch: epoch,
+	}); err != nil {
+		return err
+	}
+	pc.rkey = stg.RKey
+	return nil
+}
+
+// catchUpTail ships only the missing bytes at the end of an append-only
+// log into the lagging peer's EXISTING region, followed by a header write.
+// Safe because in-order replication makes a lagging peer's prefix (up to
+// its advertised length) identical to the recovered content; bytes beyond
+// it are at worst a torn, unacknowledged record that the new header caps.
+func (lg *Log) catchUpTail(p *simnet.Proc, pc *peerConn, peerLen int64) error {
+	if peerLen > lg.length {
+		// A peer cannot advertise more than the recovered maximum unless
+		// its header is corrupt; fall back to the full copy path.
+		return fmt.Errorf("ncl: peer %s advertises %d > recovered %d", pc.name, peerLen, lg.length)
+	}
+	id, done := lg.newBulkWaiter()
+	defer delete(lg.bulks, id)
+	n := 1
+	if peerLen < lg.length {
+		pc.qp.PostWrite(p, pc.rkey, HeaderSize+int(peerLen),
+			lg.buf[HeaderSize+peerLen:HeaderSize+lg.length], bulkCtx(id))
+		n++
+	}
+	var hdr [HeaderSize]byte
+	lg.putHeader(hdr[:])
+	pc.qp.PostWrite(p, pc.rkey, 0, hdr[:], bulkCtx(id))
+	for i := 0; i < n; i++ {
+		err, ok := done.Recv(p)
+		if !ok {
+			return ErrReleased
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bulkTransfer writes the current log snapshot (data then header) to a
+// remote region and waits for both completions. With lock=true the snapshot
+// is cut under lg.mu; PostWrite copies payloads into staging buffers at post
+// time, so only the posting happens under the lock — the transfer itself
+// proceeds unlocked and writes continue meanwhile.
+func (lg *Log) bulkTransfer(p *simnet.Proc, qp qpLike, rkey uint64, lock bool) error {
+	id, done := lg.newBulkWaiter()
+	defer delete(lg.bulks, id)
+	if lock {
+		lg.mu.Lock(p)
+	}
+	n := 1
+	if lg.length > 0 {
+		qp.PostWrite(p, rkey, HeaderSize, lg.buf[HeaderSize:HeaderSize+lg.length], bulkCtx(id))
+		n++
+	}
+	var hdr [HeaderSize]byte
+	lg.putHeader(hdr[:])
+	qp.PostWrite(p, rkey, 0, hdr[:], bulkCtx(id))
+	if lock {
+		lg.mu.Unlock(p)
+	}
+	for i := 0; i < n; i++ {
+		err, ok := done.Recv(p)
+		if !ok {
+			return ErrReleased
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// qpLike lets bulk writes serve both live QPs and recovery-time QPs.
+type qpLike interface {
+	PostWrite(p *simnet.Proc, rkey uint64, offset int, data []byte, ctx uint64) uint64
+}

@@ -17,10 +17,14 @@
 // physical content. Each application write becomes two RDMA writes per peer
 // (data, then header), ordered by the QP's send queue, so a peer whose
 // header shows sequence s is guaranteed to hold every write up to s (§4.4).
+//
+// That description covers the default mirror policy. How a log's bytes are
+// placed, replicated, and recovered is pluggable (policy.go): Config.Policy
+// selects mirror, Reed-Solomon striping ("ec:k,m"), or one-RTT quorum
+// journals ("quorum") — see ReplicationPolicy.
 package ncl
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
@@ -39,15 +43,56 @@ import (
 // after the data write.
 const HeaderSize = 16
 
-// Config tunes the library. The constants live in internal/model (the
-// unified hardware cost-model layer); this alias keeps the ncl API
-// self-contained.
-type Config = model.NCLConfig
+// Config is ncl-lib's single configuration entry point: the replication
+// policy (group shape + commit rule), the default region capacity, and the
+// calibrated cost constants from the hardware model. Construct it with
+// ConfigFromProfile (or DefaultConfig for the baseline); the zero value of
+// Policy/RegionSize is normalized by NewLib to mirror f=1 over 64 MiB
+// regions.
+type Config struct {
+	// Policy is the parsed replication policy (see ParsePolicy).
+	Policy PolicySpec
+	// RegionSize is the default log capacity for callers that open files
+	// without an explicit size (the FS layer).
+	RegionSize int64
+	// Model holds the calibrated cost constants (internal/model).
+	Model model.NCLConfig
+}
+
+// ConfigFromProfile derives the ncl configuration from a hardware profile:
+// the policy is parsed from prof.NCL.Replication, the default region size
+// comes from prof.NCL.DefaultRegionSize, and the cost constants carry over.
+func ConfigFromProfile(prof *model.Profile) (Config, error) {
+	spec, err := ParsePolicy(prof.NCL.Replication)
+	if err != nil {
+		return Config{}, err
+	}
+	size := prof.NCL.DefaultRegionSize
+	if size == 0 {
+		size = 64 << 20
+	}
+	return Config{Policy: spec, RegionSize: size, Model: prof.NCL}, nil
+}
 
 // DefaultConfig returns the baseline profile's configuration, used
-// throughout the evaluation (f=1, so three log peers — the paper's setup).
+// throughout the evaluation (mirror with f=1, so three log peers — the
+// paper's setup).
 func DefaultConfig() Config {
-	return model.Baseline().NCL
+	cfg, err := ConfigFromProfile(model.Baseline())
+	if err != nil {
+		panic(err) // baseline profile always parses
+	}
+	return cfg
+}
+
+// normalize fills the zero-value defaults.
+func (c *Config) normalize() {
+	if c.Policy == (PolicySpec{}) {
+		c.Policy = PolicySpec{Kind: PolicyMirror, F: 1}
+	}
+	if c.RegionSize == 0 {
+		c.RegionSize = 64 << 20
+	}
 }
 
 // Errors.
@@ -86,7 +131,7 @@ type Lib struct {
 }
 
 func (l *Lib) markSuspect(name string, now time.Duration) {
-	l.suspects[name] = now + l.cfg.SuspectCooldown
+	l.suspects[name] = now + l.cfg.Model.SuspectCooldown
 }
 
 func (l *Lib) suspectNames(now time.Duration) []string {
@@ -105,6 +150,7 @@ func (l *Lib) suspectNames(now time.Duration) []string {
 // NewLib initializes ncl-lib for application appID running on node. fencing
 // is the application's incarnation (bump it on every restart).
 func NewLib(p *simnet.Proc, svc *controller.Service, fabric *rdma.Fabric, node *simnet.Node, appID string, fencing int64, cfg Config) (*Lib, error) {
+	cfg.normalize()
 	l := &Lib{
 		sim:      node.Sim(),
 		node:     node,
@@ -171,6 +217,11 @@ type peerConn struct {
 	name string
 	qp   *rdma.QP
 	rkey uint64
+	// slot is this peer's index in the membership — for ec, the fragment
+	// index (which data/parity cell its region holds).
+	slot int
+	// domain is the peer's failure domain, used by pooled placement spread.
+	domain string
 	// id is this connection's index in Log.conns, packed into RDMA
 	// completion contexts so the poller can route without boxing.
 	id uint64
@@ -189,6 +240,11 @@ type Log struct {
 	lib      *Lib
 	name     string
 	capacity int64
+
+	// policy is the per-log replication strategy; place is its derived
+	// group shape for this capacity.
+	policy ReplicationPolicy
+	place  Placement
 
 	buf    []byte // local buffer: authoritative file content
 	length int64
@@ -272,8 +328,6 @@ func (lg *Log) newBulkWaiter() (uint64, *simnet.Chan[error]) {
 
 func bulkCtx(id uint64) uint64 { return ctxBulkFlag | id<<1 }
 
-func (l *Lib) n() int { return 2*l.cfg.F + 1 }
-
 // LogOptions tunes per-file behaviour.
 type LogOptions struct {
 	// AppendOnly enables the tail-shipping recovery catch-up (§4.5.1).
@@ -281,9 +335,11 @@ type LogOptions struct {
 	AppendOnly bool
 }
 
-// Open creates a new ncl file of the given capacity: it obtains 2f+1 peers
-// from the controller, sets up a memory region on each, and records the
-// allocation in the ap-map (§4.3, Fig 4). The returned Log is empty.
+// Open creates a new ncl file of the given capacity: it obtains the
+// policy's peer group from the controller (2f+1 for mirror/quorum, k+m for
+// ec), sets up a memory region on each, and records the allocation — peers,
+// epoch, and policy — in the ap-map (§4.3, Fig 4). The returned Log is
+// empty.
 func (l *Lib) Open(p *simnet.Proc, name string, capacity int64) (*Log, error) {
 	return l.OpenWithOptions(p, name, capacity, LogOptions{})
 }
@@ -304,9 +360,11 @@ func (l *Lib) OpenWithOptions(p *simnet.Proc, name string, capacity int64, opts 
 		bulks:      make(map[uint64]*simnet.Chan[error]),
 	}
 	lg.ackCond = simnet.NewCond(&lg.mu)
+	lg.policy = newPolicy(l.cfg.Policy, capacity)
+	lg.place = lg.policy.Place(capacity)
 
 	var exclude []string
-	for len(lg.peers) < l.n() {
+	for len(lg.peers) < lg.place.Slots {
 		pc, err := l.allocatePeer(p, lg, exclude, lg.epoch)
 		if err != nil {
 			lg.abortOpen(p)
@@ -314,13 +372,11 @@ func (l *Lib) OpenWithOptions(p *simnet.Proc, name string, capacity int64, opts 
 		}
 		exclude = append(exclude, pc.name)
 		pc.active = true
+		pc.slot = len(lg.peers)
 		lg.peers = append(lg.peers, pc)
 	}
 	// Step 4b: record the allocation in the ap-map.
-	names := lg.peerNames()
-	ver, err := l.ctrl.SetAppFile(p, l.appID, name, controller.FileEntry{
-		Peers: names, Epoch: lg.epoch, RegionSize: lg.regionSize(), AppendOnly: lg.appendOnly,
-	}, -1)
+	ver, err := l.ctrl.SetAppFile(p, l.appID, name, lg.fileEntry(lg.epoch), -1)
 	if err != nil {
 		lg.abortOpen(p)
 		return nil, fmt.Errorf("ncl: ap-map update: %w", err)
@@ -344,7 +400,9 @@ func (l *Lib) OpenWithOptions(p *simnet.Proc, name string, capacity int64, opts 
 // are reclaimed by the peers' space-leak GC once the grace period passes.
 func (lg *Log) abortOpen(p *simnet.Proc) {
 	for _, pc := range lg.peers {
-		pc.qp.Close(p)
+		if pc != nil {
+			pc.qp.Close(p)
+		}
 	}
 	lg.peers = nil
 	lg.cq.Close(p)
@@ -357,10 +415,10 @@ func (lg *Log) abortOpen(p *simnet.Proc) {
 func (l *Lib) allocatePeer(p *simnet.Proc, lg *Log, exclude []string, epoch int64) (*peerConn, error) {
 	tried := append([]string(nil), exclude...)
 	tried = append(tried, l.suspectNames(p.Now())...)
-	if l.cfg.PoolRefresh > 0 {
+	if l.cfg.Model.PoolRefresh > 0 {
 		return l.allocateFromPool(p, lg, tried, epoch)
 	}
-	for attempt := 0; attempt < l.cfg.SetupRetries; attempt++ {
+	for attempt := 0; attempt < l.cfg.Model.SetupRetries; attempt++ {
 		cands, err := l.ctrl.PickPeers(p, 1, lg.regionSize(), tried)
 		if err != nil {
 			return nil, fmt.Errorf("ncl: pick peers: %w", err)
@@ -397,19 +455,37 @@ func (l *Lib) connectPeer(p *simnet.Proc, lg *Log, cand controller.PeerInfo, epo
 	if err != nil {
 		return nil, err
 	}
-	pc := &peerConn{name: cand.Name, qp: qp, rkey: setup.RKey}
+	pc := &peerConn{name: cand.Name, qp: qp, rkey: setup.RKey, domain: cand.Domain}
 	lg.registerConn(pc)
 	return pc, nil
 }
 
-func (lg *Log) regionSize() int64 { return HeaderSize + lg.capacity }
+// regionSize is the per-peer region size the policy derived — what setup
+// requests, placement filters, and free-memory accounting all use, so a
+// policy's MemoryFactor is exactly what the peer registry reserves.
+func (lg *Log) regionSize() int64 { return lg.place.SlotRegion }
 
 func (lg *Log) peerNames() []string {
 	names := make([]string, len(lg.peers))
 	for i, pc := range lg.peers {
-		names[i] = pc.name
+		if pc != nil {
+			names[i] = pc.name
+		}
 	}
 	return names
+}
+
+// fileEntry builds the ap-map entry for the current membership at the given
+// epoch.
+func (lg *Log) fileEntry(epoch int64) controller.FileEntry {
+	return controller.FileEntry{
+		Peers:      lg.peerNames(),
+		Epoch:      epoch,
+		RegionSize: lg.regionSize(),
+		AppendOnly: lg.appendOnly,
+		Policy:     lg.policy.Spec().String(),
+		Capacity:   lg.capacity,
+	}
 }
 
 // start spawns the completion poller and the repair proc. Both die with the
@@ -451,21 +527,17 @@ func (lg *Log) pollLoop(p *simnet.Proc) {
 	}
 }
 
-// putHeader fills h (HeaderSize bytes) with the current seq/length. Callers
-// pass a stack array: PostWrite copies the payload at post time, so the
-// header never escapes and the record hot path stays allocation-free.
-func (lg *Log) putHeader(h []byte) {
-	binary.LittleEndian.PutUint64(h[0:8], lg.seq)
-	binary.LittleEndian.PutUint64(h[8:16], uint64(lg.length))
-}
-
 // Record replicates one application write at the given file offset (§4.4).
-// It assigns the next sequence number, posts a data write followed by a
-// header write to every active peer, and returns once at least f+1 active
-// peers have completed every record up to and including this one.
+// It assigns the next sequence number, hands the write to the replication
+// policy (mirror: data + header WR per active peer; ec: one coded frame per
+// slot; quorum: one journal frame per peer), and returns once the policy's
+// ack quorum of active peers has completed every record up to and including
+// this one.
 //
 // Record supports overwrites at arbitrary offsets within the region, which
-// is how circular logs (SQLite-style, Fig 7ii) are replicated physically.
+// is how circular logs (SQLite-style, Fig 7ii) are replicated physically
+// under mirror; the ec and quorum frame logs accept overwrites too but
+// consume frame budget per write (see their policy docs).
 func (lg *Log) Record(p *simnet.Proc, off int64, data []byte) error {
 	if p.Tracing() {
 		sp := p.StartSpan("ncl", "record", trace.Str("file", lg.name), trace.Int("bytes", int64(len(data))))
@@ -483,28 +555,29 @@ func (lg *Log) Record(p *simnet.Proc, off int64, data []byte) error {
 	if lg.appendOnly && off != lg.length {
 		return fmt.Errorf("ncl: overwrite at %d on append-only log %s (length %d)", off, lg.name, lg.length)
 	}
+	prevLength := lg.length
 	copy(lg.buf[HeaderSize+off:], data)
 	if end > lg.length {
 		lg.length = end
 	}
 	lg.seq++
 	seq := lg.seq
-	var hdr [HeaderSize]byte
-	lg.putHeader(hdr[:])
-	for _, pc := range lg.peers {
-		if pc.active && !pc.failed {
-			pc.qp.PostWrite(p, pc.rkey, HeaderSize+int(off), data, recCtx(pc, seq, false))
-			pc.qp.PostWrite(p, pc.rkey, 0, hdr[:], recCtx(pc, seq, true))
-		}
+	if err := lg.policy.Append(p, lg, off, data); err != nil {
+		// Nothing was posted: roll the sequence and length back. The local
+		// buffer keeps the bytes, but they were never replicated and the
+		// caller sees the failure.
+		lg.seq--
+		lg.length = prevLength
+		return err
 	}
-	p.Sleep(lg.lib.cfg.RecordCPU)
+	p.Sleep(lg.lib.cfg.Model.RecordCPU)
 	lg.Records++
 	start := p.Now()
-	for lg.ackCount(seq) <= lg.lib.cfg.F {
+	for lg.ackCount(seq) < lg.place.AckNeed {
 		if lg.released {
 			return ErrReleased
 		}
-		if timedOut := lg.ackCond.WaitTimeout(p, lg.lib.cfg.AckTimeout); timedOut {
+		if timedOut := lg.ackCond.WaitTimeout(p, lg.lib.cfg.Model.AckTimeout); timedOut {
 			// No majority progress: make sure repair is running (it may
 			// already be replacing failed peers).
 			lg.repairCh.Send(p, struct{}{})
@@ -520,7 +593,7 @@ func (lg *Log) Record(p *simnet.Proc, off int64, data []byte) error {
 func (lg *Log) ackCount(seq uint64) int {
 	n := 0
 	for _, pc := range lg.peers {
-		if pc.active && !pc.failed && pc.completedSeq >= seq {
+		if pc != nil && pc.active && !pc.failed && pc.completedSeq >= seq {
 			n++
 		}
 	}
@@ -545,13 +618,23 @@ func (lg *Log) Seq() uint64 { return lg.seq }
 // Epoch returns the log's current allocation epoch (tests).
 func (lg *Log) Epoch() int64 { return lg.epoch }
 
+// Policy returns the log's replication policy spec.
+func (lg *Log) Policy() PolicySpec { return lg.policy.Spec() }
+
 // Bytes returns the local buffer content (the file view).
 func (lg *Log) Bytes() []byte { return lg.buf[HeaderSize : HeaderSize+lg.length] }
 
 // RemoteReadAt reads log content directly from a live peer's region with a
 // 1-sided RDMA read instead of the local buffer — the "NCL no prefetch"
-// variant of Fig 11(a). It exists to show why Recover prefetches.
+// variant of Fig 11(a). It exists to show why Recover prefetches. Only the
+// mirror policy keeps full plaintext copies remotely; under ec the regions
+// hold coded fragments and under quorum framed journals, so a raw remote
+// read has nothing file-shaped to return.
 func (lg *Log) RemoteReadAt(p *simnet.Proc, buf []byte, off int64) (int, error) {
+	if lg.policy.Spec().Kind != PolicyMirror {
+		return 0, fmt.Errorf("ncl: RemoteReadAt requires the mirror policy (log %s uses %s)",
+			lg.name, lg.policy.Spec())
+	}
 	if off >= lg.length {
 		return 0, nil
 	}
@@ -561,7 +644,7 @@ func (lg *Log) RemoteReadAt(p *simnet.Proc, buf []byte, off int64) (int, error) 
 	}
 	var target *peerConn
 	for _, pc := range lg.peers {
-		if pc.active && !pc.failed {
+		if pc != nil && pc.active && !pc.failed {
 			target = pc
 			break
 		}
@@ -573,7 +656,7 @@ func (lg *Log) RemoteReadAt(p *simnet.Proc, buf []byte, off int64) (int, error) 
 		sp := p.StartSpan("ncl", "remoteread", trace.Str("file", lg.name), trace.Int("bytes", n))
 		defer p.EndSpan(sp)
 	}
-	p.Sleep(lg.lib.cfg.ReadOverhead) // per-read library overhead (WR setup + poll)
+	p.Sleep(lg.lib.cfg.Model.ReadOverhead) // per-read library overhead (WR setup + poll)
 	if err := lg.readInto(p, target, HeaderSize+int(off), buf[:n]); err != nil {
 		return 0, err
 	}
@@ -612,6 +695,9 @@ func (lg *Log) Release(p *simnet.Proc) error {
 
 	net := lg.lib.sim.Net()
 	for _, pc := range peers {
+		if pc == nil {
+			continue
+		}
 		// Best-effort: dead peers' allocations are reclaimed by their GC.
 		net.CallTimeout(p, lg.lib.node, peer.Addr(pc.name), peer.ReleaseReq{ //nolint:errcheck
 			App: lg.lib.appID, File: lg.name,
@@ -662,7 +748,7 @@ func (l *Lib) ReleaseByName(p *simnet.Proc, name string) error {
 func (lg *Log) LivePeers() []string {
 	var out []string
 	for _, pc := range lg.peers {
-		if pc.active && !pc.failed {
+		if pc != nil && pc.active && !pc.failed {
 			out = append(out, pc.name)
 		}
 	}

@@ -1,0 +1,304 @@
+package ncl
+
+// The replication policy seam. Everything about how a log's bytes are laid
+// out on its peer group — how many peers, how big each region is, what a
+// record posts, what "acknowledged" means, and how recovery reconstructs
+// the log — lives behind ReplicationPolicy. Three implementations:
+//
+//   - mirror  (mirror.go): the paper's protocol — full copies on 2f+1
+//     peers, data WR + header WR SQ-ordered, acked at f+1.
+//   - ec(k,m) (ec.go): Reed-Solomon striping — each record is split into k
+//     data cells plus m parity cells, one per peer; any k survivors
+//     reconstruct, at (k+m)/k of the log's size instead of 2f+1 copies.
+//   - quorum  (quorum.go): SWARM-style one-RTT writes — one self-describing
+//     frame WR per peer, no ordering between them, acked at a majority,
+//     with a read-repair pass on recovery.
+//
+// The policy spec travels in the ap-map entry (controller.FileEntry.Policy)
+// so a recovering instance — possibly configured differently — rebuilds the
+// file with the policy it was written under.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"splitft/internal/simnet"
+)
+
+// PolicyKind enumerates the replication strategies.
+type PolicyKind int
+
+const (
+	// PolicyMirror is the paper's full-copy protocol.
+	PolicyMirror PolicyKind = iota
+	// PolicyEC stripes records with Reed-Solomon coding.
+	PolicyEC
+	// PolicyQuorum writes unordered one-RTT frames acked at a majority.
+	PolicyQuorum
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyEC:
+		return "ec"
+	case PolicyQuorum:
+		return "quorum"
+	default:
+		return "mirror"
+	}
+}
+
+// PolicySpec is the parsed form of a replication policy string.
+type PolicySpec struct {
+	Kind PolicyKind
+	// F is the failure budget for mirror and quorum: 2F+1 peers, F
+	// simultaneous failures tolerated.
+	F int
+	// K and M are the data/parity counts for ec: K+M peers, M failures
+	// tolerated, any K survivors reconstruct.
+	K, M int
+}
+
+// ParsePolicy parses a policy spec string: "mirror" (or ""), "mirror:F",
+// "ec:K,M", "quorum" / "swarm-quorum", "quorum:F".
+func ParsePolicy(s string) (PolicySpec, error) {
+	name, arg := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		name, arg = s[:i], s[i+1:]
+	}
+	switch name {
+	case "", "mirror":
+		f := 1
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 1 || v > 7 {
+				return PolicySpec{}, fmt.Errorf("ncl: bad mirror failure budget %q", arg)
+			}
+			f = v
+		}
+		return PolicySpec{Kind: PolicyMirror, F: f}, nil
+	case "quorum", "swarm-quorum":
+		f := 1
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 1 || v > 7 {
+				return PolicySpec{}, fmt.Errorf("ncl: bad quorum failure budget %q", arg)
+			}
+			f = v
+		}
+		return PolicySpec{Kind: PolicyQuorum, F: f}, nil
+	case "ec":
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 {
+			return PolicySpec{}, fmt.Errorf("ncl: ec policy wants K,M, got %q", arg)
+		}
+		k, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		m, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil || k < 2 || m < 1 || k+m > 16 {
+			return PolicySpec{}, fmt.Errorf("ncl: bad ec shape %q (want 2<=K, 1<=M, K+M<=16)", arg)
+		}
+		return PolicySpec{Kind: PolicyEC, K: k, M: m}, nil
+	default:
+		return PolicySpec{}, fmt.Errorf("ncl: unknown replication policy %q", s)
+	}
+}
+
+// String renders the canonical spec string (round-trips through ParsePolicy).
+func (s PolicySpec) String() string {
+	switch s.Kind {
+	case PolicyEC:
+		return fmt.Sprintf("ec:%d,%d", s.K, s.M)
+	case PolicyQuorum:
+		if s.F == 1 {
+			return "quorum"
+		}
+		return fmt.Sprintf("quorum:%d", s.F)
+	default:
+		if s.F == 1 {
+			return "mirror"
+		}
+		return fmt.Sprintf("mirror:%d", s.F)
+	}
+}
+
+// Slots is the peer-group size.
+func (s PolicySpec) Slots() int {
+	if s.Kind == PolicyEC {
+		return s.K + s.M
+	}
+	return 2*s.F + 1
+}
+
+// Tolerates is how many simultaneous peer failures lose no acknowledged
+// write.
+func (s PolicySpec) Tolerates() int {
+	if s.Kind == PolicyEC {
+		return s.M
+	}
+	return s.F
+}
+
+// Placement is the group shape a policy derives for one log.
+type Placement struct {
+	// Slots is the number of peer regions.
+	Slots int
+	// SlotRegion is each region's size in bytes; the controller's placement
+	// and the peers' free-memory accounting both work in these units, so
+	// the policy's memory factor is what the registry actually reserves.
+	SlotRegion int64
+	// AckNeed is how many active peers must complete a record before it is
+	// acknowledged to the application.
+	AckNeed int
+	// MinAlive is how many members recovery must reach to reconstruct.
+	MinAlive int
+}
+
+// ReplicationPolicy is the log-write/recovery strategy of one open log.
+// Instances are per-log (ec and quorum hold client-side shard state) and
+// every method is called from ncl-lib with the log's conventions: Append
+// runs under lg.mu with the local buffer already updated and lg.seq already
+// assigned; Recover runs on a freshly connected log before it is returned
+// to the application; Repair and Snapshot are the §4.5.2 catch-up steps.
+type ReplicationPolicy interface {
+	// Spec returns the parsed policy.
+	Spec() PolicySpec
+	// Place returns the group shape for a log of the given capacity.
+	Place(capacity int64) Placement
+	// Append posts the RDMA writes replicating the record just applied at
+	// [off, off+len(data)) as sequence lg.seq. Called under lg.mu. An error
+	// (ec/quorum frame-budget exhaustion) means nothing was posted; the
+	// caller rolls the sequence number back and fails the Record.
+	Append(p *simnet.Proc, lg *Log, off int64, data []byte) error
+	// Recover is the read phase of application recovery: rebuild lg's
+	// content (buf, length, seq) from the reachable peers. alive holds the
+	// connected members; len(alive) >= Place().MinAlive is guaranteed.
+	// Peers that fail mid-read are marked failed (the caller replaces
+	// them). Runs inside the "recover.rdmaread" span.
+	Recover(p *simnet.Proc, lg *Log, alive []*peerConn) error
+	// Resync is the sync phase: catch every responsive survivor up to the
+	// recovered content so a subsequent failure cannot un-recover it, and
+	// leave survivors active with completedSeq = lg.seq. Runs inside the
+	// "recover.syncpeer" span.
+	Resync(p *simnet.Proc, lg *Log, alive []*peerConn) error
+	// Repair bulk-writes slot's current replica content to a fresh region
+	// (a replacement peer, or a staging region) and waits for completion.
+	// With lock=true the snapshot is cut under lg.mu.
+	Repair(p *simnet.Proc, lg *Log, qp qpLike, rkey uint64, slot int, lock bool) error
+	// Snapshot posts slot pc's replica content as ordinary record WRs so
+	// the poller advances pc.completedSeq to lg.seq when they land — the
+	// §4.5.2 activation delta. Called under lg.mu.
+	Snapshot(p *simnet.Proc, lg *Log, pc *peerConn)
+	// MemoryFactor is the total remote bytes per byte of log capacity.
+	MemoryFactor(capacity int64) float64
+}
+
+// newPolicy builds the per-log policy instance for a log of the given
+// capacity.
+func newPolicy(spec PolicySpec, capacity int64) ReplicationPolicy {
+	switch spec.Kind {
+	case PolicyEC:
+		return newECPolicy(spec, capacity)
+	case PolicyQuorum:
+		return newQuorumPolicy(spec, capacity)
+	default:
+		return &mirrorPolicy{spec: spec}
+	}
+}
+
+// ---- Self-describing frames (ec and quorum) ----
+//
+// The ec and quorum policies keep each peer region as an append-only frame
+// log instead of mirror's header+content image. A frame is self-describing:
+//
+//	[seq u64][gen u64][off u32][len u32][cell u32][sum u32][cell bytes]
+//
+// seq is the record's sequence number, gen the log epoch it was written
+// under, (off, len) the record's location in the file, cell the byte count
+// that follows (len for quorum, ceil(len/K) for ec), and sum an FNV-1a
+// checksum over header and payload. Recovery scans a region from offset 0
+// and accepts frames while the checksum holds, seq strictly increases and
+// gen never decreases: stale bytes beyond a compaction reset (or beyond a
+// recovery cut, which bumps the epoch precisely so its gen outranks them)
+// fail one of the three and terminate the scan. In-place on real hardware
+// the checksum also catches torn frames; in the simulation writes are
+// atomic, so it only ever rejects stale bytes.
+const frameHdrSize = 32
+
+func frameSum(hdr, cell []byte) uint32 {
+	const prime = 16777619
+	h := uint32(2166136261)
+	for _, b := range hdr {
+		h ^= uint32(b)
+		h *= prime
+	}
+	for _, b := range cell {
+		h ^= uint32(b)
+		h *= prime
+	}
+	return h
+}
+
+// putFrame writes a frame header into dst[0:frameHdrSize], checksummed over
+// the cell bytes that the caller has already placed at dst[frameHdrSize:].
+func putFrame(dst []byte, seq, gen uint64, off, length, cell int64) {
+	binary.LittleEndian.PutUint64(dst[0:8], seq)
+	binary.LittleEndian.PutUint64(dst[8:16], gen)
+	binary.LittleEndian.PutUint32(dst[16:20], uint32(off))
+	binary.LittleEndian.PutUint32(dst[20:24], uint32(length))
+	binary.LittleEndian.PutUint32(dst[24:28], uint32(cell))
+	binary.LittleEndian.PutUint32(dst[28:32], frameSum(dst[0:28], dst[frameHdrSize:frameHdrSize+cell]))
+}
+
+// frame is one parsed frame.
+type frame struct {
+	seq  uint64
+	gen  uint64
+	off  int64
+	len  int64
+	cell []byte // aliases the scanned buffer
+	// pos/size locate the whole frame (header + cell) in the region.
+	pos, size int64
+}
+
+// scanFrames parses the frame log in buf, stopping at the first frame that
+// fails its checksum, repeats/regresses a sequence number, or regresses the
+// epoch. maxLen bounds a frame's declared record length (the log capacity).
+func scanFrames(buf []byte, maxLen int64) []frame {
+	var out []frame
+	var prevSeq, prevGen uint64
+	pos := int64(0)
+	for pos+frameHdrSize <= int64(len(buf)) {
+		hdr := buf[pos : pos+frameHdrSize]
+		seq := binary.LittleEndian.Uint64(hdr[0:8])
+		gen := binary.LittleEndian.Uint64(hdr[8:16])
+		off := int64(binary.LittleEndian.Uint32(hdr[16:20]))
+		length := int64(binary.LittleEndian.Uint32(hdr[20:24]))
+		cell := int64(binary.LittleEndian.Uint32(hdr[24:28]))
+		sum := binary.LittleEndian.Uint32(hdr[28:32])
+		if seq == 0 || seq <= prevSeq || gen < prevGen {
+			break
+		}
+		// length == 0 is legal: zero-length records still frame (their WR is
+		// what advances the ack sequence). Zeroed-region garbage is caught by
+		// the seq == 0 check above, not here.
+		if length < 0 || length > maxLen || off < 0 || off+length > maxLen {
+			break
+		}
+		if cell < 0 || pos+frameHdrSize+cell > int64(len(buf)) {
+			break
+		}
+		payload := buf[pos+frameHdrSize : pos+frameHdrSize+cell]
+		if frameSum(hdr[0:28], payload) != sum {
+			break
+		}
+		out = append(out, frame{
+			seq: seq, gen: gen, off: off, len: length, cell: payload,
+			pos: pos, size: frameHdrSize + cell,
+		})
+		prevSeq, prevGen = seq, gen
+		pos += frameHdrSize + cell
+	}
+	return out
+}

@@ -1,0 +1,497 @@
+package ncl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"splitft/internal/simnet"
+)
+
+// ---- Spec parsing and placement ----
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want PolicySpec
+	}{
+		{"", PolicySpec{Kind: PolicyMirror, F: 1}},
+		{"mirror", PolicySpec{Kind: PolicyMirror, F: 1}},
+		{"mirror:2", PolicySpec{Kind: PolicyMirror, F: 2}},
+		{"ec:4,2", PolicySpec{Kind: PolicyEC, K: 4, M: 2}},
+		{"ec:10,4", PolicySpec{Kind: PolicyEC, K: 10, M: 4}},
+		{"quorum", PolicySpec{Kind: PolicyQuorum, F: 1}},
+		{"swarm-quorum", PolicySpec{Kind: PolicyQuorum, F: 1}},
+		{"quorum:3", PolicySpec{Kind: PolicyQuorum, F: 3}},
+	}
+	for _, tc := range cases {
+		got, err := ParsePolicy(tc.in)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParsePolicy(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		back, err := ParsePolicy(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip %q -> %q -> %+v (%v)", tc.in, got.String(), back, err)
+		}
+	}
+	for _, bad := range []string{"ec", "ec:1,2", "ec:4", "ec:4,0", "ec:12,8", "mirror:0", "mirror:9", "raid5", "quorum:x"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPlacementShapes(t *testing.T) {
+	const capacity = 1 << 20
+	cases := []struct {
+		spec                     string
+		slots, ackNeed, minAlive int
+		tolerates                int
+	}{
+		{"mirror", 3, 2, 2, 1},
+		{"mirror:2", 5, 3, 3, 2},
+		{"ec:4,2", 6, 6, 4, 2},
+		{"quorum", 3, 2, 2, 1},
+	}
+	for _, tc := range cases {
+		spec, err := ParsePolicy(tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		pol := newPolicy(spec, capacity)
+		pl := pol.Place(capacity)
+		if pl.Slots != tc.slots || pl.AckNeed != tc.ackNeed || pl.MinAlive != tc.minAlive {
+			t.Errorf("%s: placement %+v, want slots=%d ack=%d alive=%d",
+				tc.spec, pl, tc.slots, tc.ackNeed, tc.minAlive)
+		}
+		if got := spec.Tolerates(); got != tc.tolerates {
+			t.Errorf("%s: tolerates %d, want %d", tc.spec, got, tc.tolerates)
+		}
+		if int64(pl.Slots)*pl.SlotRegion < capacity {
+			t.Errorf("%s: total remote bytes %d < capacity", tc.spec, int64(pl.Slots)*pl.SlotRegion)
+		}
+	}
+}
+
+// The issue's headline memory claim: ec(4,2) replicates a log at <= 1.6x its
+// capacity where mirror costs ~3x, and the factor is exactly what the peer
+// registry reserves (Slots x SlotRegion).
+func TestMemoryFactors(t *testing.T) {
+	const capacity = 64 << 20
+	for _, tc := range []struct {
+		spec   string
+		lo, hi float64
+	}{
+		{"mirror", 2.99, 3.01},
+		{"ec:4,2", 1.45, 1.60},
+		{"quorum", 3.0, 3.45},
+	} {
+		spec, _ := ParsePolicy(tc.spec)
+		pol := newPolicy(spec, capacity)
+		got := pol.MemoryFactor(capacity)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("%s: memory factor %.3f outside [%.2f, %.2f]", tc.spec, got, tc.lo, tc.hi)
+		}
+		pl := pol.Place(capacity)
+		reserved := float64(int64(pl.Slots)*pl.SlotRegion) / float64(capacity)
+		if reserved != got {
+			t.Errorf("%s: MemoryFactor %.4f != registry reservation %.4f", tc.spec, got, reserved)
+		}
+	}
+}
+
+// ---- Frame codec ----
+
+func TestFrameScanStopsAtGarbage(t *testing.T) {
+	buf := make([]byte, 4096)
+	pos := int64(0)
+	for i := 1; i <= 3; i++ {
+		payload := bytes.Repeat([]byte{byte('a' + i)}, 10)
+		copy(buf[pos+frameHdrSize:], payload)
+		putFrame(buf[pos:pos+frameHdrSize+10], uint64(i), 1, int64((i-1)*10), 10, 10)
+		pos += frameHdrSize + 10
+	}
+	fr := scanFrames(buf, 4096)
+	if len(fr) != 3 {
+		t.Fatalf("scanned %d frames, want 3", len(fr))
+	}
+	for i, f := range fr {
+		if f.seq != uint64(i+1) || f.len != 10 || f.off != int64(i*10) {
+			t.Fatalf("frame %d = %+v", i, f)
+		}
+	}
+	// Corrupt the second frame's payload: the scan must stop after frame 1.
+	buf[frameHdrSize+10+frameHdrSize+3] ^= 0xff
+	if fr := scanFrames(buf, 4096); len(fr) != 1 {
+		t.Fatalf("scan past corruption: %d frames", len(fr))
+	}
+}
+
+func TestFrameScanRejectsStaleGeneration(t *testing.T) {
+	// A frame log recovered under epoch e+1 with stale epoch-e bytes beyond
+	// the recovered prefix: once an e+1 frame appears, a following e frame
+	// (stale leftover) terminates the scan.
+	buf := make([]byte, 4096)
+	w := func(pos int64, seq, gen uint64) int64 {
+		copy(buf[pos+frameHdrSize:], []byte("0123456789"))
+		putFrame(buf[pos:pos+frameHdrSize+10], seq, gen, 0, 10, 10)
+		return pos + frameHdrSize + 10
+	}
+	pos := w(0, 1, 1)
+	pos = w(pos, 2, 2) // post-recovery write under the bumped epoch
+	_ = w(pos, 3, 1)   // stale pre-crash leftover: gen regressed
+	if fr := scanFrames(buf, 4096); len(fr) != 2 {
+		t.Fatalf("stale-generation frame accepted: %d frames", len(fr))
+	}
+}
+
+func TestFrameScanAcceptsZeroLength(t *testing.T) {
+	buf := make([]byte, 1024)
+	putFrame(buf[0:frameHdrSize], 1, 1, 0, 0, 0)
+	copy(buf[frameHdrSize+frameHdrSize:], []byte("xy"))
+	putFrame(buf[frameHdrSize:2*frameHdrSize+2], 2, 1, 0, 2, 2)
+	if fr := scanFrames(buf, 1024); len(fr) != 2 {
+		t.Fatalf("zero-length frame broke the scan: %d frames", len(fr))
+	}
+}
+
+// ---- Per-policy behavior on the simulated testbed ----
+
+func policyCfg(t *testing.T, policy string) Config {
+	t.Helper()
+	cfg := DefaultConfig()
+	spec, err := ParsePolicy(policy)
+	if err != nil {
+		t.Fatalf("ParsePolicy(%q): %v", policy, err)
+	}
+	cfg.Policy = spec
+	return cfg
+}
+
+// allPolicies are the specs every cross-policy test sweeps.
+var allPolicies = []string{"mirror", "ec:4,2", "quorum"}
+
+func TestPolicyWriteCrashRecover(t *testing.T) {
+	// The core durability contract, per policy: acked writes survive an
+	// application crash and full recovery, byte for byte.
+	for _, pol := range allPolicies {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			c := newCluster(31, 8, smallPeerCfg())
+			c.run(t, func(p *simnet.Proc) {
+				var want []byte
+				c.appNode.Go("app-v1", func(ap *simnet.Proc) {
+					l, err := NewLib(ap, c.svc, c.fabric, c.appNode, "app1", 0, policyCfg(t, pol))
+					if err != nil {
+						return
+					}
+					lg, err := l.Open(ap, "wal", 1<<20)
+					if err != nil {
+						return
+					}
+					for i := 0; i < 30; i++ {
+						rec := bytes.Repeat([]byte{byte(i + 1)}, 100+i*7)
+						if _, err := lg.Append(ap, rec); err != nil {
+							return
+						}
+						want = append(want, rec...)
+					}
+					ap.Sleep(time.Hour)
+				})
+				p.Sleep(400 * time.Millisecond)
+				c.appNode.Crash()
+				p.Sleep(10 * time.Millisecond)
+				c.appNode.Restart()
+
+				// The recovering lib is configured with MIRROR defaults either
+				// way: the ap-map entry's policy must win.
+				l2, err := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 1, DefaultConfig())
+				if err != nil {
+					t.Fatalf("new lib: %v", err)
+				}
+				lg2, err := l2.Recover(p, "wal")
+				if err != nil {
+					t.Fatalf("recover: %v", err)
+				}
+				if !bytes.Equal(lg2.Bytes(), want) {
+					t.Fatalf("recovered %d bytes, want %d", lg2.Length(), int64(len(want)))
+				}
+				if got := lg2.policy.Spec().String(); got != policyCfg(t, pol).Policy.String() {
+					t.Fatalf("recovered under policy %s, want %s", got, pol)
+				}
+				// And the log keeps accepting writes.
+				if _, err := lg2.Append(p, []byte("post-recovery")); err != nil {
+					t.Fatalf("append after recovery: %v", err)
+				}
+			})
+		})
+	}
+}
+
+func TestPolicyPeerCrashMidAppend(t *testing.T) {
+	// A peer dying under write load: the policy must keep (or restore)
+	// write availability and lose nothing. Mirror/quorum ride out the
+	// failure on the surviving majority; ec stalls until the background
+	// replacement activates (AckNeed = k+m), then resumes.
+	for _, pol := range allPolicies {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			c := newCluster(32, 9, smallPeerCfg())
+			c.run(t, func(p *simnet.Proc) {
+				l, err := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 0, policyCfg(t, pol))
+				if err != nil {
+					t.Fatalf("new lib: %v", err)
+				}
+				lg, err := l.Open(p, "wal", 1<<20)
+				if err != nil {
+					t.Fatalf("open: %v", err)
+				}
+				var want []byte
+				rec := func(i int) []byte { return bytes.Repeat([]byte{byte(i + 1)}, 300) }
+				for i := 0; i < 5; i++ {
+					if _, err := lg.Append(p, rec(i)); err != nil {
+						t.Fatalf("append %d: %v", i, err)
+					}
+					want = append(want, rec(i)...)
+				}
+				victim := lg.LivePeers()[1]
+				c.pNodes[victim].Crash()
+				for i := 5; i < 15; i++ {
+					if _, err := lg.Append(p, rec(i)); err != nil {
+						t.Fatalf("append %d after peer crash: %v", i, err)
+					}
+					want = append(want, rec(i)...)
+				}
+				p.Sleep(2 * time.Second) // replacement settles
+				for _, pn := range lg.LivePeers() {
+					if pn == victim {
+						t.Fatalf("crashed peer still a member")
+					}
+				}
+				if len(lg.LivePeers()) != lg.place.Slots {
+					t.Fatalf("membership not restored: %d of %d", len(lg.LivePeers()), lg.place.Slots)
+				}
+				// Full crash-recovery proves the re-replicated state is whole.
+				c.appNode.Crash()
+				p.Sleep(10 * time.Millisecond)
+				c.appNode.Restart()
+				l2, _ := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 1, DefaultConfig())
+				lg2, err := l2.Recover(p, "wal")
+				if err != nil {
+					t.Fatalf("recover: %v", err)
+				}
+				if !bytes.Equal(lg2.Bytes(), want) {
+					t.Fatalf("post-replacement recovery mismatch: %d vs %d bytes", lg2.Length(), len(want))
+				}
+			})
+		})
+	}
+}
+
+func TestPolicyPeerCrashDuringRecovery(t *testing.T) {
+	// A member dies together with the application: recovery must still
+	// reconstruct from the survivors and restore full membership.
+	for _, pol := range allPolicies {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			c := newCluster(33, 9, smallPeerCfg())
+			c.run(t, func(p *simnet.Proc) {
+				var member string
+				var want []byte
+				c.appNode.Go("app-v1", func(ap *simnet.Proc) {
+					l, _ := NewLib(ap, c.svc, c.fabric, c.appNode, "app1", 0, policyCfg(t, pol))
+					lg, err := l.Open(ap, "wal", 1<<20)
+					if err != nil {
+						return
+					}
+					for i := 0; i < 12; i++ {
+						rec := bytes.Repeat([]byte{byte(i + 1)}, 200)
+						if _, err := lg.Append(ap, rec); err != nil {
+							return
+						}
+						want = append(want, rec...)
+					}
+					member = lg.LivePeers()[0]
+					ap.Sleep(time.Hour)
+				})
+				p.Sleep(400 * time.Millisecond)
+				c.appNode.Crash()
+				c.pNodes[member].Crash()
+				p.Sleep(10 * time.Millisecond)
+				c.appNode.Restart()
+				l2, _ := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 1, DefaultConfig())
+				lg2, err := l2.Recover(p, "wal")
+				if err != nil {
+					t.Fatalf("recover with one dead member: %v", err)
+				}
+				if !bytes.Equal(lg2.Bytes(), want) {
+					t.Fatalf("recovery mismatch: %d vs %d bytes", lg2.Length(), len(want))
+				}
+				if len(lg2.LivePeers()) != lg2.place.Slots {
+					t.Fatalf("membership not restored: %v", lg2.LivePeers())
+				}
+				if _, err := lg2.Append(p, []byte("onward")); err != nil {
+					t.Fatalf("append after recovery: %v", err)
+				}
+			})
+		})
+	}
+}
+
+func TestECTooManyFailuresErrorsNotCorrupts(t *testing.T) {
+	// ec(4,2) with m+1 = 3 members dead: recovery must fail with
+	// ErrUnavailable — never hand back reconstructed-from-too-few garbage.
+	c := newCluster(34, 8, smallPeerCfg())
+	c.run(t, func(p *simnet.Proc) {
+		var members []string
+		c.appNode.Go("app-v1", func(ap *simnet.Proc) {
+			l, _ := NewLib(ap, c.svc, c.fabric, c.appNode, "app1", 0, policyCfg(t, "ec:4,2"))
+			lg, err := l.Open(ap, "wal", 1<<20)
+			if err != nil {
+				return
+			}
+			for i := 0; i < 8; i++ {
+				lg.Append(ap, bytes.Repeat([]byte{byte(i + 1)}, 256))
+			}
+			members = append([]string(nil), lg.LivePeers()...)
+			ap.Sleep(time.Hour)
+		})
+		p.Sleep(400 * time.Millisecond)
+		c.appNode.Crash()
+		for _, m := range members[:3] {
+			c.pNodes[m].Crash()
+		}
+		p.Sleep(10 * time.Millisecond)
+		c.appNode.Restart()
+		l2, _ := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 1, DefaultConfig())
+		if _, err := l2.Recover(p, "wal"); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("recovery with k-1 fragments: err = %v, want ErrUnavailable", err)
+		}
+	})
+}
+
+func TestFrameBudgetExhaustion(t *testing.T) {
+	// Tiny records burn the ec/quorum frame-header slack; Append must fail
+	// cleanly with ErrRegionFull (wrapped), roll the write back, and keep the
+	// log usable after the app checkpoints (Release + Open).
+	for _, pol := range []string{"ec:4,2", "quorum"} {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			c := newCluster(35, 8, smallPeerCfg())
+			c.run(t, func(p *simnet.Proc) {
+				l, err := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 0, policyCfg(t, pol))
+				if err != nil {
+					t.Fatalf("new lib: %v", err)
+				}
+				lg, err := l.Open(p, "wal", 4096)
+				if err != nil {
+					t.Fatalf("open: %v", err)
+				}
+				var budgetErr error
+				wrote := 0
+				for i := 0; i < 4096; i++ {
+					// 1-byte overwrites at offset 0: no capacity pressure, pure
+					// frame-budget pressure.
+					if err := lg.Record(p, 0, []byte{byte(i)}); err != nil {
+						budgetErr = err
+						break
+					}
+					wrote++
+				}
+				if budgetErr == nil {
+					t.Fatal("frame budget never exhausted")
+				}
+				if !errors.Is(budgetErr, ErrRegionFull) {
+					t.Fatalf("budget exhaustion error = %v, want ErrRegionFull", budgetErr)
+				}
+				seqBefore := lg.Seq()
+				if err := lg.Record(p, 0, []byte{0xff}); !errors.Is(err, ErrRegionFull) {
+					t.Fatalf("write after exhaustion: %v", err)
+				}
+				if lg.Seq() != seqBefore {
+					t.Fatalf("failed append advanced seq: %d -> %d", seqBefore, lg.Seq())
+				}
+				// The checkpoint/rotate path resets the budget.
+				if err := lg.Release(p); err != nil {
+					t.Fatalf("release: %v", err)
+				}
+				lg2, err := l.Open(p, "wal", 4096)
+				if err != nil {
+					t.Fatalf("reopen: %v", err)
+				}
+				if err := lg2.Record(p, 0, []byte{1}); err != nil {
+					t.Fatalf("write after rotate: %v", err)
+				}
+				_ = wrote
+			})
+		})
+	}
+}
+
+func TestECBigRecordsFillNominalCapacity(t *testing.T) {
+	// The sizing guarantee: records >= 2 KiB never hit the ec frame budget
+	// before the nominal capacity itself.
+	c := newCluster(36, 8, smallPeerCfg())
+	c.run(t, func(p *simnet.Proc) {
+		l, _ := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 0, policyCfg(t, "ec:4,2"))
+		const capacity = 256 << 10
+		lg, err := l.Open(p, "wal", capacity)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		rec := make([]byte, 2048)
+		for off := int64(0); off+2048 <= capacity; off += 2048 {
+			if _, err := lg.Append(p, rec); err != nil {
+				t.Fatalf("append at %d/%d: %v", off, int64(capacity), err)
+			}
+		}
+		if lg.Length() != capacity {
+			t.Fatalf("filled %d of %d", lg.Length(), int64(capacity))
+		}
+	})
+}
+
+func TestPolicyTraceDeterministic(t *testing.T) {
+	// Same (policy, seed) twice => byte-identical event history. The
+	// simulation's determinism contract extends to every policy.
+	for _, pol := range allPolicies {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			run := func() string {
+				c := newCluster(37, 8, smallPeerCfg())
+				var out string
+				c.run(t, func(p *simnet.Proc) {
+					l, err := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 0, policyCfg(t, pol))
+					if err != nil {
+						t.Fatalf("new lib: %v", err)
+					}
+					lg, err := l.Open(p, "wal", 1<<20)
+					if err != nil {
+						t.Fatalf("open: %v", err)
+					}
+					var hist []string
+					for i := 0; i < 20; i++ {
+						start := p.Now()
+						if _, err := lg.Append(p, bytes.Repeat([]byte{byte(i)}, 128+i)); err != nil {
+							t.Fatalf("append: %v", err)
+						}
+						hist = append(hist, fmt.Sprintf("%d:%d", i, p.Now()-start))
+					}
+					hist = append(hist, fmt.Sprintf("peers:%v seq:%d", lg.LivePeers(), lg.Seq()))
+					out = fmt.Sprint(hist)
+				})
+				return out
+			}
+			a, b := run(), run()
+			if a == "" || a != b {
+				t.Fatalf("non-deterministic history:\n%s\nvs\n%s", a, b)
+			}
+		})
+	}
+}

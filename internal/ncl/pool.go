@@ -50,7 +50,7 @@ func rdvWeight(peerName, key string) uint64 {
 // rejects the setup).
 func (l *Lib) poolCandidates(p *simnet.Proc, lg *Log, tried []string) ([]controller.PeerInfo, error) {
 	now := p.Now()
-	if !l.pool.valid || now-l.pool.fetchedAt >= l.cfg.PoolRefresh {
+	if !l.pool.valid || now-l.pool.fetchedAt >= l.cfg.Model.PoolRefresh {
 		peers, err := l.ctrl.ListPeers(p)
 		if err != nil {
 			return nil, err
@@ -81,6 +81,23 @@ func (l *Lib) poolCandidates(p *simnet.Proc, lg *Log, tried []string) ([]control
 		}
 		return cands[i].info.Name < cands[j].info.Name
 	})
+	// Failure-domain spread: prefer candidates in domains the log's current
+	// members do not occupy, so one rack/domain failure cannot take more
+	// members than the policy tolerates. Within a usage tier the rendezvous
+	// order is preserved (stable sort), and when no one advertises a domain
+	// every count is zero — the order, and every existing trace, is
+	// unchanged.
+	used := make(map[string]int)
+	for _, pc := range lg.peers {
+		if pc != nil && pc.domain != "" {
+			used[pc.domain]++
+		}
+	}
+	if len(used) > 0 {
+		sort.SliceStable(cands, func(i, j int) bool {
+			return used[cands[i].info.Domain] < used[cands[j].info.Domain]
+		})
+	}
 	out := make([]controller.PeerInfo, len(cands))
 	for i, c := range cands {
 		out[i] = c.info
@@ -93,7 +110,7 @@ func (l *Lib) poolCandidates(p *simnet.Proc, lg *Log, tried []string) ([]control
 // trip per slot. An empty candidate list forces one refresh before giving
 // up — newly registered capacity may be hidden by a stale cache.
 func (l *Lib) allocateFromPool(p *simnet.Proc, lg *Log, tried []string, epoch int64) (*peerConn, error) {
-	for attempt := 0; attempt < l.cfg.SetupRetries; attempt++ {
+	for attempt := 0; attempt < l.cfg.Model.SetupRetries; attempt++ {
 		cands, err := l.poolCandidates(p, lg, tried)
 		if err != nil {
 			return nil, err

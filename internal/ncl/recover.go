@@ -1,11 +1,9 @@
 package ncl
 
 import (
-	"encoding/binary"
 	"fmt"
 	"time"
 
-	"splitft/internal/controller"
 	"splitft/internal/peer"
 	"splitft/internal/rdma"
 	"splitft/internal/simnet"
@@ -17,30 +15,30 @@ import (
 // application (possibly on a different machine) reconstructs each ncl
 // file's most up-to-date content from the log peers recorded in the ap-map:
 //
-//  1. Fetch the ap-map entry from the controller ("get peer").
+//  1. Fetch the ap-map entry from the controller ("get peer"). The entry
+//     carries the replication policy the file was written under, so a
+//     recovering instance — even one configured with a different default —
+//     rebuilds the file correctly.
 //  2. Contact each peer; a peer that crashed since the allocation has lost
 //     its mr-map and rejects the lookup ("connect").
-//  3. Read the header sequence number from at least f+1 peers and pick the
-//     maximum: quorum intersection guarantees it covers every acknowledged
-//     write ("rdma read" of the headers).
-//  4. Prefetch the full region from the peer holding the maximum — the
-//     recovery peer ("rdma read").
-//  5. Catch every other responsive peer up to the recovered content by
-//     writing it to a fresh staging region and atomically switching the
-//     peer's mr-map entry — required even for equal sequence numbers, and
-//     the only safe option for circular logs (Fig 7 i/ii) ("sync peer").
-//  6. Replace unresponsive peers entirely, then publish the new membership
-//     under an incremented epoch.
+//  3. Read phase ("rdma read"): the policy reconstructs the log content.
+//     Mirror reads headers from >= f+1 peers and prefetches the maximum's
+//     region; ec reads and RS-decodes >= k fragment logs; quorum replays
+//     the longest of >= f+1 journals.
+//  4. Sync phase ("sync peer"): the policy catches every responsive
+//     survivor up to the recovered content, then unresponsive peers are
+//     replaced entirely and the membership republished under an
+//     incremented epoch.
 //
-// Only after (5)-(6) does Recover return data to the application: returning
+// Only after (4) does Recover return data to the application: returning
 // earlier could externalize state that a subsequent failure un-recovers.
 
 // Recovery time breaks down as Fig 11(b) does via trace spans: Recover emits
 // an "ncl"/"recover" span with child spans "recover.getpeer" (controller
 // ap-map fetch), "recover.connect" (peer lookups + QP connects),
-// "recover.rdmaread" (header reads + region prefetch) and "recover.syncpeer"
-// (catch-up of lagging peers + replacements). Attach a trace.Collector to
-// the Sim to observe them.
+// "recover.rdmaread" (the policy's read phase) and "recover.syncpeer" (the
+// policy's sync phase + replacements). Attach a trace.Collector to the Sim
+// to observe them.
 
 // Exists reports whether the application has an ncl file of this name
 // recorded in the ap-map.
@@ -66,11 +64,29 @@ func (l *Lib) Recover(p *simnet.Proc, name string) (*Log, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 
+	// The entry's policy is authoritative — not this instance's config.
+	// Entries written before the policy field carry an empty string and a
+	// region-derived capacity: reconstruct mirror with f from the group size.
+	spec, err := ParsePolicy(entry.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("ncl: recover %s: %w", name, err)
+	}
+	if entry.Policy == "" && len(entry.Peers) > 0 {
+		spec.F = (len(entry.Peers) - 1) / 2
+		if spec.F < 1 {
+			spec.F = 1
+		}
+	}
+	capacity := entry.Capacity
+	if capacity == 0 {
+		capacity = entry.RegionSize - HeaderSize
+	}
+
 	lg := &Log{
 		lib:        l,
 		name:       name,
-		capacity:   entry.RegionSize - HeaderSize,
-		buf:        make([]byte, entry.RegionSize),
+		capacity:   capacity,
+		buf:        make([]byte, HeaderSize+capacity),
 		epoch:      entry.Epoch,
 		apVersion:  ver,
 		appendOnly: entry.AppendOnly,
@@ -79,117 +95,64 @@ func (l *Lib) Recover(p *simnet.Proc, name string) (*Log, error) {
 		bulks:      make(map[uint64]*simnet.Chan[error]),
 	}
 	lg.ackCond = simnet.NewCond(&lg.mu)
+	lg.policy = newPolicy(spec, capacity)
+	lg.place = lg.policy.Place(capacity)
 	// The poller runs from here so completion routing works during recovery.
 	lg.start(p)
 
-	// (2) Contact peers: mr-map lookup + QP connect.
+	// (2) Contact peers: mr-map lookup + QP connect. Membership slots are
+	// positional (for ec, slot i holds fragment i), so lg.peers keeps the
+	// entry's order with nil holes for unreachable members.
 	sp = p.StartSpan("ncl", "recover.connect")
 	var alive []*peerConn
-	var missing []int // slots in entry.Peers that need replacement
+	lg.peers = make([]*peerConn, len(entry.Peers))
 	for i, pname := range entry.Peers {
 		look, err := wire.CallTimeout[peer.LookupResp](p, l.sim.Net(), l.node, peer.Addr(pname),
 			peer.LookupReq{App: l.appID, File: name}, 20*time.Millisecond)
 		if err != nil {
-			missing = append(missing, i)
 			continue
 		}
 		qp, err := l.nic.Connect(p, pname, lg.cq)
 		if err != nil {
-			missing = append(missing, i)
 			continue
 		}
-		pc := &peerConn{name: pname, qp: qp, rkey: look.RKey}
+		pc := &peerConn{name: pname, qp: qp, rkey: look.RKey, slot: i}
 		lg.registerConn(pc)
 		alive = append(alive, pc)
-		lg.peers = append(lg.peers, pc) // placed; reordered below
+		lg.peers[i] = pc
 	}
 	p.EndSpan(sp)
-	if len(alive) < l.cfg.F+1 {
-		return nil, fmt.Errorf("%w: %d of %d peers reachable", ErrUnavailable, len(alive), len(entry.Peers))
+	if len(alive) < lg.place.MinAlive {
+		return nil, fmt.Errorf("%w: %d of %d peers reachable (need %d)",
+			ErrUnavailable, len(alive), len(entry.Peers), lg.place.MinAlive)
 	}
 
-	// (3) Header reads: the maximum sequence number among >= f+1 responses
-	// is guaranteed to cover every acknowledged write.
+	// (3) Read phase: the policy reconstructs buf/length/seq from the
+	// reachable members.
 	sp = p.StartSpan("ncl", "recover.rdmaread")
-	type hdrInfo struct {
-		seq    uint64
-		length int64
-	}
-	hdrs := make(map[*peerConn]hdrInfo)
-	for _, pc := range alive {
-		hbuf := make([]byte, HeaderSize)
-		if err := lg.readInto(p, pc, 0, hbuf); err != nil {
-			continue
-		}
-		hdrs[pc] = hdrInfo{
-			seq:    binary.LittleEndian.Uint64(hbuf[0:8]),
-			length: int64(binary.LittleEndian.Uint64(hbuf[8:16])),
-		}
-	}
-	if len(hdrs) < l.cfg.F+1 {
+	if err := lg.policy.Recover(p, lg, alive); err != nil {
 		p.EndSpan(sp)
-		return nil, fmt.Errorf("%w: %d header responses", ErrUnavailable, len(hdrs))
+		return nil, err
 	}
-	var recoveryPeer *peerConn
-	for _, pc := range alive { // deterministic order; first max wins
-		h, ok := hdrs[pc]
-		if !ok {
-			continue
-		}
-		if recoveryPeer == nil || h.seq > hdrs[recoveryPeer].seq {
-			recoveryPeer = pc
-		}
-	}
-	maxHdr := hdrs[recoveryPeer]
-
-	// (4) Prefetch the full region from the recovery peer.
-	if maxHdr.length > 0 {
-		if err := lg.readInto(p, recoveryPeer, HeaderSize, lg.buf[HeaderSize:HeaderSize+maxHdr.length]); err != nil {
-			p.EndSpan(sp)
-			return nil, fmt.Errorf("ncl: recovery read from %s: %w", recoveryPeer.name, err)
-		}
-	}
-	lg.seq = maxHdr.seq
-	lg.length = maxHdr.length
-	binary.LittleEndian.PutUint64(lg.buf[0:8], lg.seq)
-	binary.LittleEndian.PutUint64(lg.buf[8:16], uint64(lg.length))
 	p.EndSpan(sp)
 
-	// (5) Catch up every other responsive peer. Circular (and by-default
-	// all) logs get the whole region via staging + atomic switch; logs the
-	// application declared append-only get the cheaper tail shipping into
-	// their existing regions (§4.5.1's optimization).
+	// (4) Sync phase: catch survivors up, then replace the rest. The ec and
+	// quorum policies always republish under a bumped epoch even with a full
+	// house — post-recovery frames must outrank any stale frames beyond the
+	// recovered prefix on generation.
 	sp = p.StartSpan("ncl", "recover.syncpeer")
-	for _, pc := range alive {
-		if pc == recoveryPeer {
-			pc.completedSeq = lg.seq
-			pc.active = true
-			continue
-		}
-		var err error
-		if lg.appendOnly {
-			err = lg.catchUpTail(p, pc, hdrs[pc].length)
-		} else {
-			err = lg.catchUpViaStaging(p, pc, entry.Epoch)
-		}
-		if err != nil {
-			// Treat as freshly failed: replace below.
-			pc.failed = true
-			continue
-		}
-		pc.completedSeq = lg.seq
-		pc.active = true
+	if err := lg.policy.Resync(p, lg, alive); err != nil {
+		p.EndSpan(sp)
+		return nil, err
 	}
-	// (6) Replace unresponsive (or just-failed) peers so the fault-tolerance
-	// level is restored before the application externalizes anything.
-	needReplace := len(missing)
-	for _, pc := range alive {
-		if pc.failed {
+	needReplace := 0
+	for _, pc := range lg.peers {
+		if pc == nil || pc.failed {
 			needReplace++
 		}
 	}
-	if needReplace > 0 {
-		if err := lg.replaceAtRecovery(p, entry, needReplace); err != nil {
+	if needReplace > 0 || spec.Kind != PolicyMirror {
+		if err := lg.replaceAtRecovery(p, entry.Peers, needReplace); err != nil {
 			p.EndSpan(sp)
 			return nil, err
 		}
@@ -212,96 +175,36 @@ func (lg *Log) readInto(p *simnet.Proc, pc *peerConn, off int, buf []byte) error
 	return err
 }
 
-// catchUpViaStaging copies the recovered content to a fresh staging region
-// on pc and atomically switches the peer's mr-map to it (§4.5.1). The
-// switch also covers circular logs, where shipping a log tail would be
-// incorrect (Fig 7ii).
-func (lg *Log) catchUpViaStaging(p *simnet.Proc, pc *peerConn, epoch int64) error {
-	l := lg.lib
-	stg, err := wire.Call[peer.AllocStagingResp](p, l.sim.Net(), l.node, peer.Addr(pc.name), peer.AllocStagingReq{
-		App: l.appID, File: lg.name, Size: lg.regionSize(), Epoch: epoch,
-	})
-	if err != nil {
-		return err
-	}
-	if err := lg.bulkTransfer(p, pc.qp, stg.RKey, false); err != nil {
-		return err
-	}
-	if _, err := wire.Call[wire.Ack](p, l.sim.Net(), l.node, peer.Addr(pc.name), peer.CommitSwitchReq{
-		App: l.appID, File: lg.name, StagingID: stg.StagingID, Epoch: epoch,
-	}); err != nil {
-		return err
-	}
-	pc.rkey = stg.RKey
-	return nil
-}
-
-// catchUpTail ships only the missing bytes at the end of an append-only
-// log into the lagging peer's EXISTING region, followed by a header write.
-// Safe because in-order replication makes a lagging peer's prefix (up to
-// its advertised length) identical to the recovered content; bytes beyond
-// it are at worst a torn, unacknowledged record that the new header caps.
-func (lg *Log) catchUpTail(p *simnet.Proc, pc *peerConn, peerLen int64) error {
-	if peerLen > lg.length {
-		// A peer cannot advertise more than the recovered maximum unless
-		// its header is corrupt; fall back to the full copy path.
-		return fmt.Errorf("ncl: peer %s advertises %d > recovered %d", pc.name, peerLen, lg.length)
-	}
-	id, done := lg.newBulkWaiter()
-	defer delete(lg.bulks, id)
-	n := 1
-	if peerLen < lg.length {
-		pc.qp.PostWrite(p, pc.rkey, HeaderSize+int(peerLen),
-			lg.buf[HeaderSize+peerLen:HeaderSize+lg.length], bulkCtx(id))
-		n++
-	}
-	var hdr [HeaderSize]byte
-	lg.putHeader(hdr[:])
-	pc.qp.PostWrite(p, pc.rkey, 0, hdr[:], bulkCtx(id))
-	for i := 0; i < n; i++ {
-		err, ok := done.Recv(p)
-		if !ok {
-			return ErrReleased
-		}
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// replaceAtRecovery fills the missing peer slots with fresh, caught-up
-// peers and publishes the new membership under an incremented epoch.
-func (lg *Log) replaceAtRecovery(p *simnet.Proc, entry controller.FileEntry, need int) error {
+// replaceAtRecovery fills the missing membership slots with fresh,
+// caught-up peers and publishes the membership under an incremented epoch.
+// Slots are preserved (ec fragment i must land in slot i); with zero
+// replacements this is a pure epoch bump (the ec/quorum generation fence).
+func (lg *Log) replaceAtRecovery(p *simnet.Proc, oldPeers []string, need int) error {
 	l := lg.lib
 	newEpoch := lg.epoch + 1
-	exclude := append([]string(nil), entry.Peers...)
-	// Drop failed conns from the peer list.
-	kept := lg.peers[:0]
-	for _, pc := range lg.peers {
-		if pc.failed {
-			pc.qp.Close(p)
+	exclude := append([]string(nil), oldPeers...)
+	for slot, pc := range lg.peers {
+		if pc != nil && !pc.failed {
 			continue
 		}
-		kept = append(kept, pc)
-	}
-	lg.peers = kept
-	for i := 0; i < need; i++ {
-		pc, err := l.allocatePeer(p, lg, exclude, newEpoch)
+		if pc != nil {
+			pc.qp.Close(p)
+			lg.peers[slot] = nil
+		}
+		npc, err := l.allocatePeer(p, lg, exclude, newEpoch)
 		if err != nil {
 			return fmt.Errorf("ncl: recovery replacement: %w", err)
 		}
-		exclude = append(exclude, pc.name)
-		if err := lg.bulkTransfer(p, pc.qp, pc.rkey, false); err != nil {
-			return fmt.Errorf("ncl: recovery catch-up of %s: %w", pc.name, err)
+		exclude = append(exclude, npc.name)
+		npc.slot = slot
+		if err := lg.policy.Repair(p, lg, npc.qp, npc.rkey, slot, false); err != nil {
+			return fmt.Errorf("ncl: recovery catch-up of %s: %w", npc.name, err)
 		}
-		pc.completedSeq = lg.seq
-		pc.active = true
-		lg.peers = append(lg.peers, pc)
+		npc.completedSeq = lg.seq
+		npc.active = true
+		lg.peers[slot] = npc
 	}
-	ver, err := l.ctrl.SetAppFile(p, l.appID, lg.name, controller.FileEntry{
-		Peers: lg.peerNames(), Epoch: newEpoch, RegionSize: lg.regionSize(),
-	}, lg.apVersion)
+	ver, err := l.ctrl.SetAppFile(p, l.appID, lg.name, lg.fileEntry(newEpoch), lg.apVersion)
 	if err != nil {
 		return fmt.Errorf("ncl: recovery ap-map update: %w", err)
 	}

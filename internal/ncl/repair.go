@@ -3,7 +3,6 @@ package ncl
 import (
 	"time"
 
-	"splitft/internal/controller"
 	"splitft/internal/simnet"
 	"splitft/internal/trace"
 )
@@ -13,8 +12,9 @@ import (
 // replacement, catching it up, and only then updating the ap-map — the
 // ordering Fig 7(iii) shows is required to avoid data loss. Replacement of
 // a single peer happens in the background while writes continue on the
-// remaining majority; when more than f peers are gone, Record blocks until
-// a replacement is caught up (the ~100 ms stall of Fig 12).
+// remaining quorum; when the policy's ack quorum is unreachable (more than
+// f peers gone for mirror/quorum, any peer gone for ec), Record blocks
+// until a replacement is caught up (the ~100 ms stall of Fig 12).
 
 // repairLoop waits for failure notifications and replaces failed peers one
 // at a time.
@@ -32,7 +32,7 @@ func (lg *Log) repairLoop(p *simnet.Proc) {
 			}
 			idx := -1
 			for i, pc := range lg.peers {
-				if pc.failed {
+				if pc != nil && pc.failed {
 					idx = i
 					break
 				}
@@ -58,9 +58,10 @@ func (lg *Log) repairLoop(p *simnet.Proc) {
 
 // replacePeer substitutes the failed peer at idx with a fresh one. Order
 // matters for safety (§4.5.2): (1) allocate a region under a new epoch,
-// (2) bulk catch-up the new peer, (3) CAS the ap-map with the new
-// membership, (4) activate the peer and send it the delta. Only after (4)
-// does the peer count toward write majorities.
+// (2) bulk catch-up the new peer with the policy's replica content for that
+// slot, (3) CAS the ap-map with the new membership, (4) activate the peer
+// and send it the delta. Only after (4) does the peer count toward write
+// quorums.
 //
 // Each step is a trace span ("ncl"/"replace.getpeer", ".connect",
 // ".catchup", ".apmap" under an "ncl"/"replace" parent) — Table 3's latency
@@ -68,7 +69,7 @@ func (lg *Log) repairLoop(p *simnet.Proc) {
 func (lg *Log) replacePeer(p *simnet.Proc, idx int) bool {
 	l := lg.lib
 	lg.mu.Lock(p)
-	if lg.released || !lg.peers[idx].failed {
+	if lg.released || lg.peers[idx] == nil || !lg.peers[idx].failed {
 		lg.mu.Unlock(p)
 		return true
 	}
@@ -76,7 +77,9 @@ func (lg *Log) replacePeer(p *simnet.Proc, idx int) bool {
 	newEpoch := lg.epoch + 1
 	exclude := make([]string, 0, len(lg.peers))
 	for _, pc := range lg.peers {
-		exclude = append(exclude, pc.name)
+		if pc != nil {
+			exclude = append(exclude, pc.name)
+		}
 	}
 	lg.mu.Unlock(p)
 
@@ -100,11 +103,13 @@ func (lg *Log) replacePeer(p *simnet.Proc, idx int) bool {
 			return false
 		}
 	}
+	pc.slot = idx
 	p.EndSpan(sp)
-	// (2) Bulk catch-up from the local buffer (§4.5.2: "ncl-lib copies the
-	// contents of the ncl file from its local buffer").
+	// (2) Bulk catch-up from the client-side replica state (§4.5.2: "ncl-lib
+	// copies the contents of the ncl file from its local buffer" — for ec,
+	// the slot's fragment log; for quorum, the journal).
 	sp = p.StartSpan("ncl", "replace.catchup")
-	if err := lg.bulkTransfer(p, pc.qp, pc.rkey, true); err != nil {
+	if err := lg.policy.Repair(p, lg, pc.qp, pc.rkey, idx, true); err != nil {
 		p.EndSpan(sp)
 		pc.qp.Close(p)
 		return false
@@ -114,13 +119,12 @@ func (lg *Log) replacePeer(p *simnet.Proc, idx int) bool {
 	lg.mu.Lock(p)
 	names := lg.peerNames()
 	names[idx] = pc.name
-	size := lg.regionSize()
+	entry := lg.fileEntry(newEpoch)
+	entry.Peers = names
 	apVersion := lg.apVersion
 	lg.mu.Unlock(p)
 	sp = p.StartSpan("ncl", "replace.apmap")
-	ver, err := l.ctrl.SetAppFile(p, l.appID, lg.name, controller.FileEntry{
-		Peers: names, Epoch: newEpoch, RegionSize: size, AppendOnly: lg.appendOnly,
-	}, apVersion)
+	ver, err := l.ctrl.SetAppFile(p, l.appID, lg.name, entry, apVersion)
 	p.EndSpan(sp)
 	if err != nil {
 		// The CAS proposal may have committed even though the reply was
@@ -128,8 +132,8 @@ func (lg *Log) replacePeer(p *simnet.Proc, idx int) bool {
 		// blind retry would fail ErrBadVersion forever. Re-read the entry:
 		// if it already names our membership at our epoch, the first
 		// submission won and this replacement should proceed.
-		entry, rver, found, gerr := l.ctrl.GetAppFile(p, l.appID, lg.name)
-		if gerr != nil || !found || entry.Epoch != newEpoch || !sameNames(entry.Peers, names) {
+		rentry, rver, found, gerr := l.ctrl.GetAppFile(p, l.appID, lg.name)
+		if gerr != nil || !found || rentry.Epoch != newEpoch || !sameNames(rentry.Peers, names) {
 			pc.qp.Close(p)
 			return false
 		}
@@ -137,11 +141,11 @@ func (lg *Log) replacePeer(p *simnet.Proc, idx int) bool {
 	}
 	// (4) Activate: send the delta accumulated during (2)-(3) and include
 	// the peer in future replication. Its completedSeq only advances once
-	// the delta lands, so it joins majorities exactly when it is caught up.
+	// the delta lands, so it joins quorums exactly when it is caught up.
 	lg.mu.Lock(p)
 	lg.apVersion = ver
 	lg.epoch = newEpoch
-	lg.postSnapshotLocked(p, pc)
+	lg.policy.Snapshot(p, lg, pc)
 	pc.active = true
 	lg.peers[idx] = pc
 	lg.Replacements++
@@ -160,58 +164,4 @@ func sameNames(a, b []string) bool {
 		}
 	}
 	return true
-}
-
-// postSnapshotLocked posts the current region content and header to pc as
-// ordinary record WRs, so the poller advances pc.completedSeq to the
-// current sequence number when they complete. Caller holds lg.mu. The
-// client-side copy briefly occupies the writer — the Fig 12 "blip".
-func (lg *Log) postSnapshotLocked(p *simnet.Proc, pc *peerConn) {
-	if lg.length > 0 {
-		p.Sleep(time.Duration(float64(lg.length) / lg.lib.cfg.CatchupCopyCPU * float64(time.Second)))
-		pc.qp.PostWrite(p, pc.rkey, HeaderSize, lg.buf[HeaderSize:HeaderSize+lg.length],
-			recCtx(pc, lg.seq, false))
-	}
-	var hdr [HeaderSize]byte
-	lg.putHeader(hdr[:])
-	pc.qp.PostWrite(p, pc.rkey, 0, hdr[:], recCtx(pc, lg.seq, true))
-}
-
-// bulkTransfer writes the current log snapshot (data then header) to a
-// remote region and waits for both completions. With lock=true the snapshot
-// is cut under lg.mu; PostWrite copies payloads into staging buffers at post
-// time, so only the posting happens under the lock — the transfer itself
-// proceeds unlocked and writes continue meanwhile.
-func (lg *Log) bulkTransfer(p *simnet.Proc, qp qpLike, rkey uint64, lock bool) error {
-	id, done := lg.newBulkWaiter()
-	defer delete(lg.bulks, id)
-	if lock {
-		lg.mu.Lock(p)
-	}
-	n := 1
-	if lg.length > 0 {
-		qp.PostWrite(p, rkey, HeaderSize, lg.buf[HeaderSize:HeaderSize+lg.length], bulkCtx(id))
-		n++
-	}
-	var hdr [HeaderSize]byte
-	lg.putHeader(hdr[:])
-	qp.PostWrite(p, rkey, 0, hdr[:], bulkCtx(id))
-	if lock {
-		lg.mu.Unlock(p)
-	}
-	for i := 0; i < n; i++ {
-		err, ok := done.Recv(p)
-		if !ok {
-			return ErrReleased
-		}
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// qpLike lets bulkTransfer serve both live QPs and recovery-time QPs.
-type qpLike interface {
-	PostWrite(p *simnet.Proc, rkey uint64, offset int, data []byte, ctx uint64) uint64
 }

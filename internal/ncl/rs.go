@@ -1,0 +1,215 @@
+package ncl
+
+// Systematic Reed-Solomon over GF(2^8) for the ec policy. The encode matrix
+// is [I; C] where C is a K x M Cauchy block: C[j][i] = 1/(x_j + y_i) with
+// x_j = K+j and y_i = i (all arithmetic in GF(2^8), + is XOR). Every K x K
+// submatrix of [I; C] is invertible, so any K of the K+M cells reconstruct
+// the stripe. Hand-rolled on purpose: the simulator can't take external
+// dependencies, and the cell sizes here (a few KB) don't need SIMD kernels —
+// the *time* cost of encoding is modeled separately by
+// model.NCLConfig.EncodeBandwidth.
+
+import "fmt"
+
+// GF(2^8) log/antilog tables for the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d), generator 2.
+var gfExp [512]byte
+var gfLog [256]byte
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("ncl: GF(2^8) inverse of zero")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// gfMulAddRow dst ^= coef * src, the inner loop of both encode and decode.
+func gfMulAddRow(dst, src []byte, coef byte) {
+	if coef == 0 {
+		return
+	}
+	if coef == 1 {
+		for i := range src {
+			dst[i] ^= src[i]
+		}
+		return
+	}
+	lc := int(gfLog[coef])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[lc+int(gfLog[s])]
+		}
+	}
+}
+
+// rsCode is a (K, M) systematic code. parity holds the Cauchy rows: row j is
+// the coefficients producing parity cell j from the K data cells.
+type rsCode struct {
+	k, m   int
+	parity [][]byte
+}
+
+func newRS(k, m int) *rsCode {
+	if k < 1 || m < 1 || k+m > 255 {
+		panic(fmt.Sprintf("ncl: bad RS shape (%d,%d)", k, m))
+	}
+	c := &rsCode{k: k, m: m, parity: make([][]byte, m)}
+	for j := 0; j < m; j++ {
+		row := make([]byte, k)
+		for i := 0; i < k; i++ {
+			row[i] = gfInv(byte(k+j) ^ byte(i))
+		}
+		c.parity[j] = row
+	}
+	return c
+}
+
+// encode fills cells[k..k+m-1] (parity) from cells[0..k-1] (data). All cells
+// must be the same length; parity cells are overwritten in place.
+func (c *rsCode) encode(cells [][]byte) {
+	for j := 0; j < c.m; j++ {
+		out := cells[c.k+j]
+		for i := range out {
+			out[i] = 0
+		}
+		for i := 0; i < c.k; i++ {
+			gfMulAddRow(out, cells[i], c.parity[j][i])
+		}
+	}
+}
+
+// reconstruct rebuilds every absent cell from the present ones. cells holds
+// all k+m slots (present ones filled, absent ones allocated to cell length);
+// present flags which are trustworthy. Needs at least k present.
+func (c *rsCode) reconstruct(cells [][]byte, present []bool) error {
+	avail := 0
+	for _, ok := range present {
+		if ok {
+			avail++
+		}
+	}
+	if avail < c.k {
+		return fmt.Errorf("ncl: RS(%d,%d) reconstruct with only %d cells", c.k, c.m, avail)
+	}
+	allData := true
+	for i := 0; i < c.k; i++ {
+		if !present[i] {
+			allData = false
+			break
+		}
+	}
+	if !allData {
+		// Invert the K x K submatrix of [I; C] formed by the first K present
+		// rows: dec * [chosen cells] = [data cells].
+		mat := make([][]byte, c.k)
+		chosen := make([][]byte, c.k)
+		n := 0
+		for r := 0; r < c.k+c.m && n < c.k; r++ {
+			if !present[r] {
+				continue
+			}
+			row := make([]byte, c.k)
+			if r < c.k {
+				row[r] = 1
+			} else {
+				copy(row, c.parity[r-c.k])
+			}
+			mat[n] = row
+			chosen[n] = cells[r]
+			n++
+		}
+		dec := invertMatrix(mat)
+		for i := 0; i < c.k; i++ {
+			if present[i] {
+				continue
+			}
+			out := cells[i]
+			for x := range out {
+				out[x] = 0
+			}
+			for j := 0; j < c.k; j++ {
+				gfMulAddRow(out, chosen[j], dec[i][j])
+			}
+		}
+	}
+	// With all data cells in hand, recompute any absent parity.
+	for j := 0; j < c.m; j++ {
+		if present[c.k+j] {
+			continue
+		}
+		out := cells[c.k+j]
+		for x := range out {
+			out[x] = 0
+		}
+		for i := 0; i < c.k; i++ {
+			gfMulAddRow(out, cells[i], c.parity[j][i])
+		}
+	}
+	return nil
+}
+
+// invertMatrix Gauss-Jordan inverts a square GF(2^8) matrix. The matrices
+// here are submatrices of [I; Cauchy], which are always invertible; a
+// singular input is a programming error and panics.
+func invertMatrix(m [][]byte) [][]byte {
+	n := len(m)
+	a := make([][]byte, n)
+	inv := make([][]byte, n)
+	for i := range m {
+		a[i] = append([]byte(nil), m[i]...)
+		inv[i] = make([]byte, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			panic("ncl: singular RS decode matrix")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		if pv := a[col][col]; pv != 1 {
+			ipv := gfInv(pv)
+			for x := 0; x < n; x++ {
+				a[col][x] = gfMul(a[col][x], ipv)
+				inv[col][x] = gfMul(inv[col][x], ipv)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			coef := a[r][col]
+			gfMulAddRow(a[r], a[col], coef)
+			gfMulAddRow(inv[r], inv[col], coef)
+		}
+	}
+	return inv
+}

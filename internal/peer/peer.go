@@ -244,7 +244,7 @@ func Start(p *simnet.Proc, svc *controller.Service, fabric *rdma.Fabric, node *s
 		return nil, fmt.Errorf("peer %s: session: %w", pr.name, err)
 	}
 	if err := pr.ctrl.RegisterPeer(p, controller.PeerInfo{
-		Name: pr.name, Addr: Addr(pr.name), AvailMem: pr.avail,
+		Name: pr.name, Addr: Addr(pr.name), Domain: cfg.Domain, AvailMem: pr.avail,
 	}); err != nil {
 		return nil, fmt.Errorf("peer %s: register: %w", pr.name, err)
 	}
@@ -261,7 +261,7 @@ func Start(p *simnet.Proc, svc *controller.Service, fabric *rdma.Fabric, node *s
 				}
 				pr.availDirty = false
 				pr.ctrl.PublishPeer(pp, controller.PeerInfo{ //nolint:errcheck
-					Name: pr.name, Addr: Addr(pr.name), AvailMem: pr.avail,
+					Name: pr.name, Addr: Addr(pr.name), Domain: pr.cfg.Domain, AvailMem: pr.avail,
 				})
 			}
 		})
@@ -488,7 +488,7 @@ func (pr *Peer) publishAvail(p *simnet.Proc) {
 		pr.availDirty = true
 		return
 	}
-	info := controller.PeerInfo{Name: pr.name, Addr: Addr(pr.name), AvailMem: pr.avail}
+	info := controller.PeerInfo{Name: pr.name, Addr: Addr(pr.name), Domain: pr.cfg.Domain, AvailMem: pr.avail}
 	p.GoOn(pr.node, "peer-avail:"+pr.name, func(up *simnet.Proc) {
 		pr.ctrl.PublishPeer(up, info) //nolint:errcheck
 	})
