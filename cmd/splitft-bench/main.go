@@ -59,7 +59,7 @@ import (
 var experimentOrder = []string{
 	"table1", "table2", "fig1", "fig1d", "fig8", "fig9", "fig10",
 	"fig11a", "fig11b", "table3", "fig12", "ablate-repl", "ablate-split", "ablate-nolog",
-	"calibrate", "sweep", "perf", "scale", "dfs", "repl",
+	"calibrate", "sweep", "perf", "scale", "dfs", "repl", "chaos",
 }
 
 func usage() {
@@ -71,6 +71,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, "  scale      sweeps open-loop clients across controller shard counts, writes -scaleout\n")
 	fmt.Fprintf(os.Stderr, "  dfs        sweeps the extent data path (flat vs chain, IO sizes, chain shapes), writes -dfsout\n")
 	fmt.Fprintf(os.Stderr, "  repl       sweeps NCL replication policies x profiles (memory, write latency, recovery), writes -replout\n")
+	fmt.Fprintf(os.Stderr, "  chaos      sweeps fault schedules x policies x seeds with per-event durability audits, writes -chaosout\n")
 	fmt.Fprintf(os.Stderr, "  trace      runs the experiments with tracing on and prints the span aggregation\n")
 	fmt.Fprintf(os.Stderr, "profiles (-profile): %v, or a path to a JSON profile file\n", model.Names())
 	flag.PrintDefaults()
@@ -95,6 +96,7 @@ func realMain() int {
 		scaleOut   = flag.String("scaleout", "BENCH_scale.json", "output path for the scale subcommand's JSON report")
 		dfsOut     = flag.String("dfsout", "BENCH_dfs.json", "output path for the dfs subcommand's JSON report")
 		replOut    = flag.String("replout", "BENCH_repl.json", "output path for the repl subcommand's JSON report")
+		chaosOut   = flag.String("chaosout", "BENCH_chaos.json", "output path for the chaos subcommand's JSON report")
 		replicate  = flag.String("replicate", "", "NCL replication policy for all experiments: mirror|mirror:F|ec:K,M|quorum")
 		scaleCli   = flag.String("scaleclients", "", "comma-separated client counts for the scale sweep (default 10,100,250,500,1000)")
 		scaleShard = flag.String("scaleshards", "", "comma-separated shard counts for the scale sweep (default 1,8)")
@@ -241,7 +243,7 @@ func realMain() int {
 		if !want[exp] {
 			continue
 		}
-		if err := run(exp, sc, *seed, appList, *perfOut, *scaleOut, *dfsOut, *replOut, scaleCfg); err != nil {
+		if err := run(exp, sc, *seed, appList, *perfOut, *scaleOut, *dfsOut, *replOut, *chaosOut, scaleCfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", exp, err)
 			return 1
 		}
@@ -261,7 +263,7 @@ func realMain() int {
 	return 0
 }
 
-func run(exp string, sc bench.Scale, seed int64, apps []string, perfOut, scaleOut, dfsOut, replOut string, scaleCfg bench.ScaleConfig) error {
+func run(exp string, sc bench.Scale, seed int64, apps []string, perfOut, scaleOut, dfsOut, replOut, chaosOut string, scaleCfg bench.ScaleConfig) error {
 	banner(exp)
 	switch exp {
 	case "table1":
@@ -412,6 +414,18 @@ func run(exp string, sc bench.Scale, seed int64, apps []string, perfOut, scaleOu
 				return err
 			}
 			fmt.Printf("[repl report written to %s]\n", replOut)
+		}
+	case "chaos":
+		rep, err := bench.RunChaos(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		if chaosOut != "" {
+			if err := rep.WriteJSON(chaosOut); err != nil {
+				return err
+			}
+			fmt.Printf("[chaos report written to %s]\n", chaosOut)
 		}
 	default:
 		return fmt.Errorf("unknown experiment")

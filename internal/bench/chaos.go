@@ -1,0 +1,393 @@
+package bench
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"splitft/internal/apps/kvstore"
+	"splitft/internal/core"
+	"splitft/internal/harness"
+	"splitft/internal/metrics"
+	"splitft/internal/model"
+	"splitft/internal/modelcheck"
+	"splitft/internal/ncl"
+	"splitft/internal/simnet"
+	"splitft/internal/wire"
+)
+
+// The chaos experiment behind `splitft-bench chaos` sweeps adversarial
+// failure schedules (harness.ChaosScenarios) against a live kvstore
+// workload for every replication policy and seed, and checks the fsynced
+// prefix after every injected event: the app is crashed, restarted with a
+// bumped fencing token, recovered from the surviving peers, and every key
+// the workload ever wrote is audited against the client-side history
+// (internal/modelcheck.History). A correct protocol shows violations = 0 on
+// every cell; the two trailing "gray-crash" rows re-run a correlated
+// gray-members-plus-crash schedule with and without the seeded
+// ack-before-quorum mutation (ncl.Config.UnsafeAckQuorum) to prove the
+// checker produces counterexamples when the commit rule is actually broken.
+// Everything runs on the virtual clock, so the committed BENCH_chaos.json
+// is deterministic and TestChaosPerfGate diffs it at ±2%.
+
+// ChaosRow is one (scenario, policy, seed) cell.
+type ChaosRow struct {
+	Scenario      string `json:"scenario"`
+	Policy        string `json:"policy"`
+	Seed          int64  `json:"seed"`
+	Events        int    `json:"events"`     // injected fault events
+	AckedOps      int64  `json:"acked_ops"`  // client writes acked durable
+	Recoveries    int    `json:"recoveries"` // post-event crash+recover audits
+	MaxRecoveryNS int64  `json:"max_recovery_ns"`
+	MaxUnavailNS  int64  `json:"max_unavail_ns"` // longest gap between acks
+	Violations    int    `json:"violations"`
+}
+
+// ChaosReport is the whole sweep, JSON-shaped for BENCH_chaos.json.
+type ChaosReport struct {
+	Rows []ChaosRow `json:"rows"`
+}
+
+// Row returns the (scenario, policy, seed) cell, or nil.
+func (r ChaosReport) Row(scenario, policy string, seed int64) *ChaosRow {
+	for i := range r.Rows {
+		if r.Rows[i].Scenario == scenario && r.Rows[i].Policy == policy && r.Rows[i].Seed == seed {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Render formats the report as a table.
+func (r ChaosReport) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Scenario, row.Policy, fmt.Sprint(row.Seed),
+			fmt.Sprint(row.Events), fmt.Sprint(row.AckedOps), fmt.Sprint(row.Recoveries),
+			fmt.Sprintf("%.1f", time.Duration(row.MaxRecoveryNS).Seconds()*1000),
+			fmt.Sprintf("%.1f", time.Duration(row.MaxUnavailNS).Seconds()*1000),
+			fmt.Sprint(row.Violations),
+		})
+	}
+	return "Chaos sweep: durability of the acked prefix under fault schedules (virtual time)\n" +
+		metrics.Table([]string{"Scenario", "Policy", "Seed", "Events", "Acked ops",
+			"Recoveries", "Max recovery (ms)", "Max unavail (ms)", "Violations"}, rows)
+}
+
+// WriteJSON writes the report to path (BENCH_chaos.json).
+func (r ChaosReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ChaosSeeds is the sweep's seed axis: every scenario's fault schedule and
+// workload interleaving replays byte-identically per seed.
+var ChaosSeeds = []int64{1, 2}
+
+const (
+	codeChaosPut wire.Code = 0x42 // client->server versioned put
+
+	chaosAddr          = "chaos-kv"
+	chaosClients       = 4
+	chaosKeysPerClient = 4
+	chaosOpGap         = 1 * time.Millisecond // paced, not closed-loop flat out
+	chaosRetryGap      = 5 * time.Millisecond // backoff while the app is down
+	chaosRPCTimeout    = 100 * time.Millisecond
+	chaosMutantPolicy  = "mirror+unsafe-ack:1"
+)
+
+// RunChaos runs the scenario x policy x seed sweep plus the two mutation
+// rows and returns the report. Each policy is first model-checked offline
+// (bounded BFS) so a protocol-level ack-rule bug fails fast, before any
+// simulated hardware is involved.
+func RunChaos(sc Scale, seed int64) (ChaosReport, error) {
+	var rep ChaosReport
+	for _, pol := range ReplPolicies {
+		spec, err := ncl.ParsePolicy(pol)
+		if err != nil {
+			return rep, err
+		}
+		if res := modelcheck.CheckReplication(spec, modelcheck.DefaultReplConfig(spec)); res.Violation != nil {
+			return rep, fmt.Errorf("chaos: policy %s fails offline model check: %s", pol, res.Violation.Kind)
+		}
+	}
+	for _, scenario := range harness.ChaosScenarios {
+		for _, pol := range ReplPolicies {
+			for _, off := range ChaosSeeds {
+				row, err := chaosOnce(sc, seed+off-1, scenario, pol, 0)
+				if err != nil {
+					return rep, fmt.Errorf("chaos %s/%s/seed%d: %w", scenario, pol, seed+off-1, err)
+				}
+				rep.Rows = append(rep.Rows, row)
+			}
+		}
+	}
+	clean, mutated, err := RunChaosMutation(sc, seed)
+	if err != nil {
+		return rep, err
+	}
+	rep.Rows = append(rep.Rows, clean, mutated)
+	return rep, nil
+}
+
+// chaosCell is the shared live-workload machinery of one cell: a kvstore
+// behind an RPC server on the app node, paced writer clients on the client
+// machine recording every invoke/ack into a history, and the post-event
+// audit that crashes the app, re-opens it with a higher fencing token,
+// times recovery, and checks every key ever written against the history.
+type chaosCell struct {
+	c            *harness.Cluster
+	hist         *modelcheck.History
+	dbCfg        kvstore.Config
+	unsafeQuorum int
+	fence        int64
+
+	stop       bool
+	wg         simnet.WaitGroup
+	lastAck    time.Duration
+	maxGap     time.Duration
+	recoveries int
+	maxRecover time.Duration
+}
+
+func newChaosCell(c *harness.Cluster, unsafeQuorum int) *chaosCell {
+	dbCfg := kvstore.DefaultConfig()
+	dbCfg.KVStoreCosts = c.Profile.Apps.KVStore
+	dbCfg.Durability = kvstore.SplitFT
+	dbCfg.MemtableBytes = 32 << 20 // paced writes never rotate mid-cell
+	dbCfg.WALRegion = 8 << 20
+	return &chaosCell{c: c, hist: modelcheck.NewHistory(), dbCfg: dbCfg, unsafeQuorum: unsafeQuorum}
+}
+
+func (ce *chaosCell) fsOpts(fence int64) core.Options {
+	o := ce.c.FSOptions("chaoskv", fence)
+	o.NCL.UnsafeAckQuorum = ce.unsafeQuorum
+	return o
+}
+
+// open creates the generation-zero store.
+func (ce *chaosCell) open(p *simnet.Proc) (*kvstore.DB, error) {
+	fs, err := core.NewFS(p, ce.fsOpts(ce.fence))
+	if err != nil {
+		return nil, err
+	}
+	return kvstore.Open(p, fs, ce.dbCfg)
+}
+
+// serve (re-)registers the RPC server wrapping db on the app node. The
+// registration dies with the node's incarnation on every crash, so each
+// recovered generation must call it again — as a restarted process would.
+func (ce *chaosCell) serve(db *kvstore.DB) {
+	ce.c.Sim.Net().Register(chaosAddr, ce.c.AppNode, func(hp *simnet.Proc, req simnet.Msg) (simnet.Msg, error) {
+		val := make([]byte, 16)
+		binary.BigEndian.PutUint64(val, req.U[1])
+		if err := db.Put(hp, req.S[0], val); err != nil {
+			return simnet.Msg{}, err
+		}
+		return simnet.Msg{Code: wire.CodeAck}, nil
+	})
+}
+
+// startClients launches the paced writers. Each client owns its keys and
+// writes strictly increasing versions, so the history's per-key window
+// invariant is exactly linearizability of the acked prefix.
+func (ce *chaosCell) startClients(p *simnet.Proc) {
+	ce.wg.Add(chaosClients)
+	for i := 0; i < chaosClients; i++ {
+		i := i
+		p.GoOn(ce.c.ClientNode, fmt.Sprintf("chaos-client%d", i), func(cp *simnet.Proc) {
+			defer ce.wg.Done(cp)
+			var ver int64
+			for j := 0; !ce.stop; j++ {
+				key := fmt.Sprintf("c%dk%d", i, j%chaosKeysPerClient)
+				ver++
+				ce.hist.Invoke(key, ver)
+				m := simnet.Msg{Code: codeChaosPut, S: [3]string{key}}
+				m.U[1] = uint64(ver)
+				if _, err := ce.c.Sim.Net().CallTimeout(cp, ce.c.ClientNode, chaosAddr, m, chaosRPCTimeout); err != nil {
+					cp.Sleep(chaosRetryGap)
+					continue
+				}
+				now := cp.Now()
+				ce.hist.Ack(key, ver, now)
+				if gap := now - ce.lastAck; gap > ce.maxGap {
+					ce.maxGap = gap
+				}
+				ce.lastAck = now
+				cp.Sleep(chaosOpGap)
+			}
+		})
+	}
+	ce.lastAck = p.Now()
+}
+
+// stopClients drains the writers.
+func (ce *chaosCell) stopClients(p *simnet.Proc) {
+	ce.stop = true
+	ce.wg.Wait(p)
+}
+
+// audit is the durability check run after every injected event: crash the
+// app mid-whatever-it-was-doing, restart it, recover the store from the
+// surviving peers under a new fencing token, and compare every key the
+// workload ever wrote against the acked window. Recovery is retried while
+// the fault the scenario injected still blocks it (that wait IS the
+// unavailability being measured); the recovered generation then serves.
+func (ce *chaosCell) audit(p *simnet.Proc, what string) error {
+	ce.c.CrashApp()
+	ce.c.RestartApp()
+	start := p.Now()
+	var db *kvstore.DB
+	var rerr error
+	for attempt := 0; db == nil; attempt++ {
+		if attempt > 0 {
+			p.Sleep(50 * time.Millisecond)
+		}
+		if attempt > 60 {
+			return fmt.Errorf("bench: recovery stuck after %q: %w", what, rerr)
+		}
+		ce.fence++
+		var fs *core.FS
+		if fs, rerr = core.NewFS(p, ce.fsOpts(ce.fence)); rerr != nil {
+			continue
+		}
+		db, rerr = kvstore.Recover(p, fs, ce.dbCfg)
+	}
+	if d := p.Now() - start; d > ce.maxRecover {
+		ce.maxRecover = d
+	}
+	ce.recoveries++
+	for _, k := range ce.hist.Keys() {
+		val, ok, err := db.Get(p, k)
+		if err != nil {
+			return fmt.Errorf("bench: audit read %s: %w", k, err)
+		}
+		var ver int64
+		if ok && len(val) >= 8 {
+			ver = int64(binary.BigEndian.Uint64(val))
+		}
+		ce.hist.Observe(k, ver, ok, p.Now())
+	}
+	ce.serve(db)
+	return nil
+}
+
+// fill copies the cell's measurements into a row.
+func (ce *chaosCell) fill(row *ChaosRow, events int) {
+	row.Events = events
+	row.AckedOps = ce.hist.Acks
+	row.Recoveries = ce.recoveries
+	row.MaxRecoveryNS = int64(ce.maxRecover)
+	row.MaxUnavailNS = int64(ce.maxGap)
+	row.Violations = len(ce.hist.Violations())
+}
+
+// chaosOnce measures one (scenario, policy, seed) cell on a fresh cluster.
+func chaosOnce(sc Scale, seed int64, scenario, policy string, unsafeQuorum int) (ChaosRow, error) {
+	row := ChaosRow{Scenario: scenario, Policy: policy, Seed: seed}
+	prof := model.Baseline()
+	prof.NCL.Replication = policy
+	c := harness.New(harness.Options{
+		Seed: seed, NumPeers: 8, PeerMem: 512 << 20, AppCores: 10,
+		PeerDomainCount: 4, Profile: prof, Trace: sc.Trace,
+	})
+	ce := newChaosCell(c, unsafeQuorum)
+	err := c.Run(func(p *simnet.Proc) error {
+		db, err := ce.open(p)
+		if err != nil {
+			return err
+		}
+		ce.serve(db)
+		ce.startClients(p)
+		p.Sleep(200 * time.Millisecond) // steady state before the first fault
+		in := harness.NewInjector(c, seed)
+		in.OnEvent = ce.audit
+		if err := in.Run(p, scenario); err != nil {
+			return err
+		}
+		p.Sleep(200 * time.Millisecond) // post-heal acks close the last gap
+		ce.stopClients(p)
+		ce.fill(&row, len(in.Events))
+		return nil
+	})
+	return row, err
+}
+
+// RunChaosMutation runs the correlated gray-members-plus-crash schedule
+// twice — under the correct commit rule (zero violations expected) and
+// under the seeded ack-before-quorum mutation (counterexamples expected).
+// Two of the three mirror members are made gray, so their in-order RDMA
+// engines fall thousands of WRs behind while the third acks instantly;
+// then the fast member and the app crash together. With the correct F+1
+// rule every acked record also lives on a gray member and recovery finds
+// it; with UnsafeAckQuorum=1 the acked prefix dies with the fast member
+// and the history checker reports lost-acked-write.
+func RunChaosMutation(sc Scale, seed int64) (clean, mutated ChaosRow, err error) {
+	if clean, err = chaosMutationOnce(sc, seed, 0); err != nil {
+		return clean, mutated, fmt.Errorf("chaos gray-crash/clean: %w", err)
+	}
+	if mutated, err = chaosMutationOnce(sc, seed, 1); err != nil {
+		return clean, mutated, fmt.Errorf("chaos gray-crash/mutated: %w", err)
+	}
+	return clean, mutated, nil
+}
+
+func chaosMutationOnce(sc Scale, seed int64, unsafeQuorum int) (ChaosRow, error) {
+	row := ChaosRow{Scenario: "gray-crash", Policy: "mirror", Seed: seed}
+	if unsafeQuorum > 0 {
+		row.Policy = chaosMutantPolicy
+	}
+	prof := model.Baseline()
+	prof.NCL.Replication = "mirror"
+	c := harness.New(harness.Options{
+		Seed: seed, NumPeers: 5, PeerMem: 512 << 20, AppCores: 10,
+		PeerDomainCount: 0, Profile: prof, Trace: sc.Trace,
+	})
+	ce := newChaosCell(c, unsafeQuorum)
+	err := c.Run(func(p *simnet.Proc) error {
+		db, err := ce.open(p)
+		if err != nil {
+			return err
+		}
+		ce.serve(db)
+		ce.startClients(p)
+		p.Sleep(100 * time.Millisecond)
+
+		// Identify the WAL's member peers and gray two of the three: +5 ms
+		// per WR on an in-order queue pair is an ever-growing backlog.
+		type hasLog interface{ Log() *ncl.Log }
+		members := db.WAL().(hasLog).Log().LivePeers()
+		if len(members) != 3 {
+			return fmt.Errorf("bench: mirror WAL has %d members, want 3", len(members))
+		}
+		net := c.Sim.Net()
+		events := 0
+		for _, name := range members[1:] {
+			net.SetLinkLatency(c.AppNode, c.Sim.Node(name), 5*time.Millisecond)
+			events++
+		}
+		p.Sleep(300 * time.Millisecond)
+
+		// Correlated crash: the only up-to-date member dies with the app.
+		c.Sim.Node(members[0]).Crash()
+		c.CrashApp()
+		events++
+		net.HealAll()
+		p.Sleep(10 * time.Millisecond)
+		c.RestartApp()
+		if err := ce.audit(p, "gray-crash"); err != nil {
+			return err
+		}
+		p.Sleep(100 * time.Millisecond)
+		ce.stopClients(p)
+		ce.fill(&row, events)
+		return nil
+	})
+	return row, err
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestChaosSmoke runs one cheap cell end to end: faults injected, the app
+// crash-audited after every event, writes acked, zero violations. (The
+// name matches the CI non-race gate's filter.)
+func TestChaosSmoke(t *testing.T) {
+	row, err := chaosOnce(QuickScale(), 1, "peer-crash", "mirror", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%+v", row)
+	if row.Violations != 0 {
+		t.Errorf("violations = %d, want 0", row.Violations)
+	}
+	if row.AckedOps == 0 {
+		t.Error("no writes were acked")
+	}
+	if row.Recoveries < 2 || row.MaxRecoveryNS <= 0 {
+		t.Errorf("recoveries = %d (max %dns), want an audit per event", row.Recoveries, row.MaxRecoveryNS)
+	}
+	if row.MaxUnavailNS <= 0 {
+		t.Error("no unavailability window measured across an app crash")
+	}
+}
+
+// TestChaosMutationCaught proves the checker catches a real protocol bug:
+// the same gray-members-plus-correlated-crash schedule passes under the
+// correct F+1 commit rule and loses acked writes under UnsafeAckQuorum=1.
+func TestChaosMutationCaught(t *testing.T) {
+	clean, mutated, err := RunChaosMutation(QuickScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("clean: %+v", clean)
+	t.Logf("mutated: %+v", mutated)
+	if clean.Violations != 0 {
+		t.Errorf("correct commit rule reported %d violations, want 0", clean.Violations)
+	}
+	if mutated.Violations == 0 {
+		t.Error("ack-before-quorum mutation produced no counterexample")
+	}
+	if clean.AckedOps == 0 || mutated.AckedOps == 0 {
+		t.Error("a variant acked no writes")
+	}
+}
+
+// TestChaosDeterminism re-runs one cell and expects a bit-identical row:
+// the sweep is a pure function of its seeds.
+func TestChaosDeterminism(t *testing.T) {
+	a, err := chaosOnce(QuickScale(), 3, "storm", "quorum", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaosOnce(QuickScale(), 3, "storm", "quorum", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("rows differ across identical runs:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// TestChaosPerfGate regenerates the full sweep at the CLI's default scale
+// and seed and diffs every cell against the committed BENCH_chaos.json.
+func TestChaosPerfGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full sweep is too slow under -race")
+	}
+	if testing.Short() {
+		t.Skip("runs the full chaos sweep")
+	}
+	rep, err := RunChaos(DefaultScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline-independent floors: a correct protocol never loses an acked
+	// write, whatever the schedule; the seeded mutation always does.
+	for _, row := range rep.Rows {
+		if row.Policy == chaosMutantPolicy {
+			if row.Violations == 0 {
+				t.Errorf("%s/%s/seed%d: mutation produced no counterexample", row.Scenario, row.Policy, row.Seed)
+			}
+			continue
+		}
+		if row.Violations != 0 {
+			t.Errorf("%s/%s/seed%d: %d violations on a correct protocol", row.Scenario, row.Policy, row.Seed, row.Violations)
+		}
+		if row.AckedOps == 0 {
+			t.Errorf("%s/%s/seed%d: no writes acked", row.Scenario, row.Policy, row.Seed)
+		}
+	}
+
+	data, err := os.ReadFile("../../BENCH_chaos.json")
+	if err != nil {
+		t.Fatalf("committed BENCH_chaos.json missing (regenerate with `splitft-bench chaos`): %v", err)
+	}
+	var base ChaosReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Rows) != len(rep.Rows) {
+		t.Fatalf("baseline has %d rows, regenerated %d", len(base.Rows), len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		b := base.Row(row.Scenario, row.Policy, row.Seed)
+		if b == nil {
+			t.Errorf("%s/%s/seed%d: not in committed baseline", row.Scenario, row.Policy, row.Seed)
+			continue
+		}
+		if row.Events != b.Events || row.Recoveries != b.Recoveries || row.Violations != b.Violations {
+			t.Errorf("%s/%s/seed%d: counts {ev %d rec %d viol %d} drifted from committed {ev %d rec %d viol %d}",
+				row.Scenario, row.Policy, row.Seed,
+				row.Events, row.Recoveries, row.Violations, b.Events, b.Recoveries, b.Violations)
+		}
+		// Virtual time is deterministic; ±2% only absorbs a deliberately
+		// regenerated baseline rounding differently on another Go release.
+		within := func(name string, got, want int64) {
+			lo, hi := float64(want)*0.98, float64(want)*1.02
+			if v := float64(got); v < lo || v > hi {
+				t.Errorf("%s/%s/seed%d: %s %d drifted from committed %d (±2%%)",
+					row.Scenario, row.Policy, row.Seed, name, got, want)
+			}
+		}
+		within("acked ops", row.AckedOps, b.AckedOps)
+		within("max recovery ns", row.MaxRecoveryNS, b.MaxRecoveryNS)
+		within("max unavail ns", row.MaxUnavailNS, b.MaxUnavailNS)
+	}
+}

@@ -616,6 +616,22 @@ func (svc *Service) RestartNode(n *simnet.Node) {
 // Cluster exposes the root Raft group (for tests and diagnostics).
 func (svc *Service) Cluster() *raft.Cluster { return svc.set.Group(0) }
 
+// Nodes returns the ensemble's nodes in start order.
+func (svc *Service) Nodes() []*simnet.Node { return svc.nodes }
+
+// LeaderNode returns the node whose replica currently leads raft group g,
+// or nil when no replica believes it leads (mid-election). Fault injectors
+// use it to aim partitions at the node whose loss actually hurts.
+func (svc *Service) LeaderNode(g int) *simnet.Node {
+	for _, n := range svc.nodes {
+		reps := svc.replicas[n.Name()]
+		if g < len(reps) && reps[g].IsLeader() {
+			return n
+		}
+	}
+	return nil
+}
+
 // Shards returns the shard layout (group 0 first).
 func (svc *Service) Shards() []ShardRange { return svc.shards }
 

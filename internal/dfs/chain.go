@@ -3,6 +3,7 @@ package dfs
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"splitft/internal/simnet"
 	"splitft/internal/wire"
@@ -33,6 +34,18 @@ const extAllocBatch = 32
 
 // extMaxRetries bounds chain re-forms per chunk before the flush fails.
 const extMaxRetries = 3
+
+// chainProbation is how long a blamed chain member stays out of chain
+// selection. Depth-scaled timeouts blame slow-but-alive members exactly
+// like crashed ones, so blame must expire: a gray node re-enters the pick
+// set after the window instead of being excluded for the mount's lifetime.
+const chainProbation = 2 * time.Second
+
+// chainReformAmnesty caps consecutive chain re-forms before the suspect set
+// is cleared wholesale. Under a widespread gray failure every node ends up
+// blamed; without amnesty the client re-forms onto an ever-shrinking pool
+// until chainFor starves even though the fabric has recovered.
+const chainReformAmnesty = 3
 
 // localExtentMeta is the controller-less allocator: a counter on the
 // cluster, priced at one metadata op per call.
@@ -83,9 +96,12 @@ func (cl *Client) allocExtent(p *simnet.Proc) (uint64, []string, error) {
 }
 
 // chainFor picks extent id's chain deterministically: ChainLength distinct
-// nodes scanning from (id*ChainLength) mod N, skipping suspects. The
-// stride spreads consecutive extents' chain slots evenly over the nodes,
-// so a multi-extent flush loads every link equally.
+// nodes scanning from (id*ChainLength) mod N, skipping unexpired suspects.
+// The stride spreads consecutive extents' chain slots evenly over the
+// nodes, so a multi-extent flush loads every link equally. When suspects
+// leave fewer than ChainLength candidates, the whole suspect set is
+// re-admitted — capacity beats blame: a chain over recently-blamed nodes
+// can still make progress, a starved allocator cannot.
 func (cl *Client) chainFor(id uint64) ([]string, error) {
 	es := cl.cluster.extents
 	k := cl.cluster.params.ChainLength
@@ -93,34 +109,57 @@ func (cl *Client) chainFor(id uint64) ([]string, error) {
 		k = 1
 	}
 	n := len(es.nodes)
-	out := make([]string, 0, k)
 	start := int(id * uint64(k) % uint64(n))
-	for i := 0; i < n && len(out) < k; i++ {
-		en := es.nodes[(start+i)%n]
-		if cl.suspects[en.addr] {
-			continue
+	pick := func() []string {
+		out := make([]string, 0, k)
+		for i := 0; i < n && len(out) < k; i++ {
+			en := es.nodes[(start+i)%n]
+			if cl.isSuspect(en.addr) {
+				continue
+			}
+			out = append(out, en.addr)
 		}
-		out = append(out, en.addr)
+		return out
+	}
+	out := pick()
+	if len(out) < k && len(cl.suspects) > 0 {
+		cl.suspects = nil
+		out = pick()
 	}
 	if len(out) < k {
-		return nil, fmt.Errorf("dfs: extent chain needs %d nodes, only %d of %d not suspect",
-			k, len(out), n)
+		return nil, fmt.Errorf("dfs: extent chain needs %d nodes, have %d", k, n)
 	}
 	return out, nil
 }
 
-// suspect excludes a chain member from future chain picks on this mount.
-// (The member may be healthy again later; like NCL's suspect cooldown this
-// trades capacity for not re-forming onto a flapping node. Mounts are as
-// long-lived as their node, so the set dies with a client crash.)
+// suspect excludes a chain member from chain picks on this mount until the
+// probation window expires. Like NCL's suspect cooldown this trades
+// capacity for not re-forming onto a flapping node — but the blame is
+// timeout-based and cannot distinguish crashed from merely slow, so it must
+// not be permanent. Mounts are as long-lived as their node, so the set
+// dies with a client crash.
 func (cl *Client) suspect(addr string) {
 	if addr == "" {
 		return
 	}
 	if cl.suspects == nil {
-		cl.suspects = make(map[string]bool)
+		cl.suspects = make(map[string]time.Duration)
 	}
-	cl.suspects[addr] = true
+	cl.suspects[addr] = cl.cluster.sim.Now() + chainProbation
+}
+
+// isSuspect reports whether addr is inside its probation window, lazily
+// expiring stale entries.
+func (cl *Client) isSuspect(addr string) bool {
+	until, ok := cl.suspects[addr]
+	if !ok {
+		return false
+	}
+	if cl.cluster.sim.Now() >= until {
+		delete(cl.suspects, addr)
+		return false
+	}
+	return true
 }
 
 // chunk is one contiguous append stream: a logical range of the file
@@ -239,12 +278,20 @@ func (cl *Client) writeChunk(p *simnet.Proc, ch chunk) ([]extSeg, error) {
 			})
 		}
 		if err == nil {
+			cl.reforms = 0
 			return segs, nil
 		}
 		if cl.dead {
 			return segs, err
 		}
 		cl.suspect(suspect)
+		// Consecutive re-forms without a completed chunk mean the blame is
+		// not converging (gray fabric, not one bad node): amnesty the whole
+		// suspect set so healthy nodes blamed by slow hops come back.
+		if cl.reforms++; cl.reforms > chainReformAmnesty {
+			cl.suspects = nil
+			cl.reforms = 0
+		}
 		if serr := cl.extMeta().Seal(p, ch.ext, ch.nodes, ch.extOff+acked); serr != nil {
 			return segs, serr
 		}

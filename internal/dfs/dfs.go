@@ -170,7 +170,8 @@ type Client struct {
 	meta          ExtentMeta
 	allocNext     uint64
 	allocEnd      uint64
-	suspects      map[string]bool
+	suspects      map[string]time.Duration
+	reforms       int
 	extEgressBusy time.Duration
 	pumpSeq       uint64
 

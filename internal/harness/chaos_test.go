@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"splitft/internal/simnet"
+)
+
+func chaosCluster(seed int64) *Cluster {
+	return New(Options{Seed: seed, NumPeers: 6, PeerDomainCount: 3})
+}
+
+// Every scenario must leave the cluster healthy: all peers alive, no link
+// fault outliving the run, and an event log with nondecreasing timestamps.
+func TestChaosScenariosLeaveClusterHealthy(t *testing.T) {
+	for _, sc := range ChaosScenarios {
+		sc := sc
+		t.Run(sc, func(t *testing.T) {
+			c := chaosCluster(11)
+			in := NewInjector(c, 42)
+			if err := c.Run(func(p *simnet.Proc) error {
+				return in.Run(p, sc)
+			}); err != nil {
+				t.Fatalf("scenario %s: %v", sc, err)
+			}
+			for i, n := range c.PeerNodes {
+				if !n.Alive() {
+					t.Errorf("peer %d dead after %s", i, sc)
+				}
+			}
+			net := c.Sim.Net()
+			for _, n := range c.PeerNodes {
+				if net.Partitioned(c.AppNode, n) || net.GrayLatency(c.AppNode, n) != 0 {
+					t.Errorf("lingering fault toward %s after %s", n.Name(), sc)
+				}
+			}
+			for _, n := range c.Controller.Nodes() {
+				if net.Isolated(n) {
+					t.Errorf("controller node %s still isolated after %s", n.Name(), sc)
+				}
+			}
+			if len(in.Events) < 2 {
+				t.Fatalf("scenario %s logged %d events", sc, len(in.Events))
+			}
+			last := time.Duration(-1)
+			for _, ev := range in.Events {
+				if ev.At < last {
+					t.Errorf("event %q at %v after %v", ev.What, ev.At, last)
+				}
+				last = ev.At
+			}
+			if got := in.Events[len(in.Events)-1].What; got != "heal-all" {
+				t.Errorf("last event = %q, want heal-all", got)
+			}
+		})
+	}
+}
+
+// The executed schedule is a pure function of (cluster seed, injector seed):
+// two fresh runs of the full sweep produce identical event logs.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	runOnce := func() []ChaosEvent {
+		c := chaosCluster(7)
+		in := NewInjector(c, 99)
+		if err := c.Run(func(p *simnet.Proc) error {
+			for _, sc := range ChaosScenarios {
+				if err := in.Run(p, sc); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return in.Events
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// The rack scenario crashes exactly one whole failure domain, correlated.
+func TestChaosRackCrashesWholeDomain(t *testing.T) {
+	c := chaosCluster(3)
+	in := NewInjector(c, 5)
+	var downAtOnce int
+	in.OnEvent = func(p *simnet.Proc, what string) error {
+		down := 0
+		for _, n := range c.PeerNodes {
+			if !n.Alive() {
+				down++
+			}
+		}
+		if down > downAtOnce {
+			downAtOnce = down
+		}
+		return nil
+	}
+	if err := c.Run(func(p *simnet.Proc) error {
+		return in.Run(p, "rack")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 6 peers over 3 domains: a rack failure takes exactly 2 down together.
+	if downAtOnce != 2 {
+		t.Fatalf("max simultaneous crashes = %d, want 2 (one domain)", downAtOnce)
+	}
+}
+
+// An OnEvent error aborts the scenario; unknown scenarios are rejected.
+func TestChaosErrorPaths(t *testing.T) {
+	c := chaosCluster(4)
+	in := NewInjector(c, 1)
+	sentinel := errors.New("check failed")
+	in.OnEvent = func(p *simnet.Proc, what string) error { return sentinel }
+	if err := c.Run(func(p *simnet.Proc) error {
+		if err := in.Run(p, "peer-crash"); err != sentinel {
+			t.Errorf("OnEvent error not propagated: %v", err)
+		}
+		if err := in.Run(p, "no-such-scenario"); err == nil {
+			t.Error("unknown scenario accepted")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

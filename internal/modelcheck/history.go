@@ -1,0 +1,147 @@
+// History-based durability/linearizability checking for live chaos runs.
+// The BFS checkers in this package verify protocol state spaces offline;
+// History verifies an *execution*: workload clients record every write they
+// invoke and every acknowledgement they receive, and after each recovery
+// the observed store state is checked against the acked prefix.
+//
+// The model is a register per key written by a single owner with strictly
+// increasing versions — exactly the shape the chaos workload generates — so
+// linearizability of the fsynced prefix collapses to a window invariant
+// per key:
+//
+//	lastAcked(k) <= recovered(k) <= lastInvoked(k)
+//
+// Below the window an acknowledged write was lost (the durability violation
+// SplitFT's protocol exists to prevent); above it the store surfaced a
+// version that was never written (fabrication — corruption or misdirected
+// replay). In-flight writes (invoked, never acked) may legally land or
+// vanish with the crash, which is why the window has width.
+//
+// A verified observation re-baselines the key: the recovered version was
+// externalized by the check itself, so a *later* recovery returning less is
+// a monotonicity violation even if it still exceeds the original acked
+// version. This gives monotone reads across successive recoveries for free.
+package modelcheck
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// HistoryViolation is one failed window check.
+type HistoryViolation struct {
+	Kind      string        `json:"kind"` // "lost-acked-write" | "fabricated-write" | "ack-without-invoke"
+	Key       string        `json:"key"`
+	Recovered int64         `json:"recovered"` // 0 = key missing
+	Acked     int64         `json:"acked"`
+	Invoked   int64         `json:"invoked"`
+	At        time.Duration `json:"at"`
+}
+
+func (v HistoryViolation) String() string {
+	return fmt.Sprintf("%s: key %s recovered v%d, acked v%d, invoked v%d (t=%v)",
+		v.Kind, v.Key, v.Recovered, v.Acked, v.Invoked, v.At)
+}
+
+// keyHist tracks one key's window. Versions are positive; 0 means "never".
+type keyHist struct {
+	acked   int64
+	invoked int64
+}
+
+// History accumulates the per-key write windows of one workload execution.
+// It lives on the host heap (not on any simulated node), so it survives
+// every crash the run injects. Not concurrency-safe across OS threads; the
+// simulator's cooperative scheduling is.
+type History struct {
+	keys       map[string]*keyHist
+	violations []HistoryViolation
+	// Invocations and Acks count recorded operations (reporting).
+	Invocations int64
+	Acks        int64
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{keys: make(map[string]*keyHist)}
+}
+
+func (h *History) key(k string) *keyHist {
+	kh := h.keys[k]
+	if kh == nil {
+		kh = &keyHist{}
+		h.keys[k] = kh
+	}
+	return kh
+}
+
+// Invoke records that the key's owner is about to submit version ver.
+// Call it before the write leaves the client, so a write that commits but
+// whose ack is lost still widens the window.
+func (h *History) Invoke(key string, ver int64) {
+	kh := h.key(key)
+	if ver > kh.invoked {
+		kh.invoked = ver
+	}
+	h.Invocations++
+}
+
+// Ack records that version ver of key was acknowledged durable. An ack for
+// a version never invoked is a harness bug and recorded as a violation.
+func (h *History) Ack(key string, ver int64, at time.Duration) {
+	kh := h.key(key)
+	if ver > kh.invoked {
+		h.violations = append(h.violations, HistoryViolation{
+			Kind: "ack-without-invoke", Key: key,
+			Recovered: ver, Acked: kh.acked, Invoked: kh.invoked, At: at,
+		})
+		return
+	}
+	if ver > kh.acked {
+		kh.acked = ver
+	}
+	h.Acks++
+}
+
+// Observe checks one recovered (or read-back) value against the key's
+// window and re-baselines the acked floor to what was observed. found =
+// false means the key was missing entirely (recovered version 0).
+func (h *History) Observe(key string, ver int64, found bool, at time.Duration) *HistoryViolation {
+	kh := h.key(key)
+	if !found {
+		ver = 0
+	}
+	var kind string
+	switch {
+	case ver < kh.acked:
+		kind = "lost-acked-write"
+	case ver > kh.invoked:
+		kind = "fabricated-write"
+	default:
+		if ver > kh.acked {
+			// The store externalized an in-flight write; later recoveries
+			// must not regress below it.
+			kh.acked = ver
+		}
+		return nil
+	}
+	v := HistoryViolation{Kind: kind, Key: key,
+		Recovered: ver, Acked: kh.acked, Invoked: kh.invoked, At: at}
+	h.violations = append(h.violations, v)
+	return &v
+}
+
+// Keys returns every key ever invoked, sorted (deterministic iteration for
+// recovery sweeps).
+func (h *History) Keys() []string {
+	out := make([]string, 0, len(h.keys))
+	for k := range h.keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Violations returns every violation recorded so far, in record order.
+func (h *History) Violations() []HistoryViolation { return h.violations }

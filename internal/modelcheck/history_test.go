@@ -1,0 +1,92 @@
+package modelcheck
+
+import "testing"
+
+func TestHistoryWindowAccepts(t *testing.T) {
+	h := NewHistory()
+	h.Invoke("k", 1)
+	h.Ack("k", 1, 0)
+	h.Invoke("k", 2)
+	h.Invoke("k", 3) // 2 and 3 in flight, never acked
+	for ver, found := range map[int64]bool{1: true, 2: true, 3: true} {
+		h2 := NewHistory()
+		h2.Invoke("k", 1)
+		h2.Ack("k", 1, 0)
+		h2.Invoke("k", 2)
+		h2.Invoke("k", 3)
+		if v := h2.Observe("k", ver, found, 0); v != nil {
+			t.Errorf("recovered v%d inside window [1,3] flagged: %v", ver, v)
+		}
+	}
+	if got := len(h.Violations()); got != 0 {
+		t.Fatalf("violations = %d, want 0", got)
+	}
+}
+
+func TestHistoryLostAckedWrite(t *testing.T) {
+	h := NewHistory()
+	h.Invoke("k", 1)
+	h.Ack("k", 1, 0)
+	h.Invoke("k", 2)
+	h.Ack("k", 2, 0)
+	v := h.Observe("k", 1, true, 0)
+	if v == nil || v.Kind != "lost-acked-write" {
+		t.Fatalf("recovered v1 with v2 acked: violation = %v, want lost-acked-write", v)
+	}
+	// A missing key with acked writes is the same loss.
+	h2 := NewHistory()
+	h2.Invoke("k", 1)
+	h2.Ack("k", 1, 0)
+	if v := h2.Observe("k", 0, false, 0); v == nil || v.Kind != "lost-acked-write" {
+		t.Fatalf("missing key with acked write: violation = %v, want lost-acked-write", v)
+	}
+	// But a missing key with only in-flight writes is legal.
+	h3 := NewHistory()
+	h3.Invoke("k", 1)
+	if v := h3.Observe("k", 0, false, 0); v != nil {
+		t.Fatalf("missing unacked key flagged: %v", v)
+	}
+}
+
+func TestHistoryFabricatedWrite(t *testing.T) {
+	h := NewHistory()
+	h.Invoke("k", 2)
+	if v := h.Observe("k", 5, true, 0); v == nil || v.Kind != "fabricated-write" {
+		t.Fatalf("recovered v5 with only v2 invoked: violation = %v, want fabricated-write", v)
+	}
+}
+
+// An observed in-flight write re-baselines the acked floor: a later
+// recovery regressing below it violates monotone reads across recoveries.
+func TestHistoryObservationRebaselines(t *testing.T) {
+	h := NewHistory()
+	h.Invoke("k", 1)
+	h.Ack("k", 1, 0)
+	h.Invoke("k", 2) // in flight at the crash
+	if v := h.Observe("k", 2, true, 0); v != nil {
+		t.Fatalf("first recovery at v2: %v", v)
+	}
+	if v := h.Observe("k", 1, true, 0); v == nil || v.Kind != "lost-acked-write" {
+		t.Fatalf("second recovery regressed to v1 after observing v2: violation = %v", v)
+	}
+}
+
+func TestHistoryAckWithoutInvoke(t *testing.T) {
+	h := NewHistory()
+	h.Ack("k", 1, 0)
+	vs := h.Violations()
+	if len(vs) != 1 || vs[0].Kind != "ack-without-invoke" {
+		t.Fatalf("violations = %v, want one ack-without-invoke", vs)
+	}
+}
+
+func TestHistoryKeysSorted(t *testing.T) {
+	h := NewHistory()
+	for _, k := range []string{"c", "a", "b"} {
+		h.Invoke(k, 1)
+	}
+	keys := h.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("keys = %v, want sorted [a b c]", keys)
+	}
+}

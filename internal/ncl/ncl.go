@@ -57,6 +57,13 @@ type Config struct {
 	RegionSize int64
 	// Model holds the calibrated cost constants (internal/model).
 	Model model.NCLConfig
+	// UnsafeAckQuorum, when in (0, AckNeed), deliberately weakens Record's
+	// ack wait to that many peers. It exists ONLY so the chaos checker can
+	// prove it catches real protocol bugs: acking below the policy's commit
+	// rule loses acknowledged writes under the right crash schedule, and
+	// the history checker must produce that counterexample. Never set it
+	// in production configurations.
+	UnsafeAckQuorum int
 }
 
 // ConfigFromProfile derives the ncl configuration from a hardware profile:
@@ -573,7 +580,11 @@ func (lg *Log) Record(p *simnet.Proc, off int64, data []byte) error {
 	p.Sleep(lg.lib.cfg.Model.RecordCPU)
 	lg.Records++
 	start := p.Now()
-	for lg.ackCount(seq) < lg.place.AckNeed {
+	need := lg.place.AckNeed
+	if u := lg.lib.cfg.UnsafeAckQuorum; u > 0 && u < need {
+		need = u // seeded mutation: ack before the commit rule holds
+	}
+	for lg.ackCount(seq) < need {
 		if lg.released {
 			return ErrReleased
 		}

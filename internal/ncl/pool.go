@@ -126,9 +126,28 @@ func (l *Lib) allocateFromPool(p *simnet.Proc, lg *Log, tried []string, epoch in
 		tried = append(tried, cand.Name)
 		pc, err := l.connectPeer(p, lg, cand, epoch)
 		if err != nil {
-			continue // rejected or dead: try the next candidate
+			// Rejected or dead: drop the candidate from the cached registry
+			// so allocations within the TTL stop paying its setup timeout,
+			// then try the next one. The peer re-enters the pool at the next
+			// refresh (a rejection is not a death sentence — the cache is a
+			// hint, and a healthy-again peer is rediscovered within one TTL).
+			l.dropPooledPeer(cand.Name)
+			continue
 		}
 		return pc, nil
 	}
 	return nil, ErrNoPeers
+}
+
+// dropPooledPeer invalidates one entry of the cached registry in place.
+// Without this, a peer that died inside the refresh window keeps ranking in
+// rendezvous order and every allocation until the TTL lapses re-pays the
+// full setup timeout against it.
+func (l *Lib) dropPooledPeer(name string) {
+	for i, info := range l.pool.peers {
+		if info.Name == name {
+			l.pool.peers = append(l.pool.peers[:i], l.pool.peers[i+1:]...)
+			return
+		}
+	}
 }

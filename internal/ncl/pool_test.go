@@ -1,0 +1,103 @@
+package ncl
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"splitft/internal/simnet"
+)
+
+// Regression: a peer that dies inside the pool's refresh window must be
+// dropped from the cached registry on the first failed setup, not retried
+// (at a full setup timeout each) by every allocation until the TTL lapses.
+func TestPoolDropsDeadPeerInsideRefreshWindow(t *testing.T) {
+	c := newCluster(31, 5, smallPeerCfg())
+	c.run(t, func(p *simnet.Proc) {
+		libCfg := DefaultConfig()
+		libCfg.Model.PoolRefresh = time.Minute // far longer than the test
+		l, err := NewLib(p, c.svc, c.fabric, c.appNode, "app1", 0, libCfg)
+		if err != nil {
+			t.Fatalf("new lib: %v", err)
+		}
+		lg, err := l.Open(p, "warm", 1<<20) // warms the registry cache
+		if err != nil {
+			t.Fatalf("open warm: %v", err)
+		}
+		member := map[string]bool{}
+		for _, n := range lg.LivePeers() {
+			member[n] = true
+		}
+		// Crash a spare (non-member), so no repair traffic interferes and
+		// the only way the death is noticed is a failed allocation.
+		victim := ""
+		names := make([]string, 0, len(c.pNodes))
+		for name := range c.pNodes {
+			names = append(names, name)
+		}
+		sortStrings(names)
+		for _, name := range names {
+			if !member[name] {
+				victim = name
+				break
+			}
+		}
+		c.pNodes[victim].Crash()
+		fetchedAt := l.pool.fetchedAt
+
+		// File names whose rendezvous ranking puts the dead peer first, so
+		// an allocation must try (and fail against) it.
+		victimRanked := func(from int) string {
+			for i := from; i < from+10000; i++ {
+				cand := fmt.Sprintf("w%d", i)
+				key := "app1/" + cand
+				best, bw := "", uint64(0)
+				for _, pn := range names {
+					if w := rdvWeight(pn, key); w > bw {
+						bw, best = w, pn
+					}
+				}
+				if best == victim {
+					return cand
+				}
+			}
+			t.Fatal("no victim-ranked file name found")
+			return ""
+		}
+
+		first := victimRanked(0)
+		start := p.Now()
+		lg2, err := l.Open(p, first, 1<<20)
+		if err != nil {
+			t.Fatalf("open %s: %v", first, err)
+		}
+		firstCost := p.Now() - start
+		if firstCost < 200*time.Millisecond {
+			t.Fatalf("first open took %v; expected it to pay one setup timeout against the dead peer", firstCost)
+		}
+		for _, n := range lg2.LivePeers() {
+			if n == victim {
+				t.Fatalf("dead peer %s became a member", victim)
+			}
+		}
+		for _, info := range l.pool.peers {
+			if info.Name == victim {
+				t.Fatalf("dead peer %s still in the cached registry after a failed setup", victim)
+			}
+		}
+		if !l.pool.valid || l.pool.fetchedAt != fetchedAt {
+			t.Fatal("dropping one dead entry must not invalidate or refresh the whole cache")
+		}
+
+		// A later allocation inside the same TTL that would again rank the
+		// dead peer first must not re-pay the setup timeout.
+		second := victimRanked(10000)
+		start = p.Now()
+		if _, err := l.Open(p, second, 1<<20); err != nil {
+			t.Fatalf("open %s: %v", second, err)
+		}
+		if cost := p.Now() - start; cost >= 100*time.Millisecond {
+			t.Fatalf("second open took %v; the dead peer was dropped, no timeout should be paid", cost)
+		}
+	})
+}

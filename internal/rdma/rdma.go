@@ -385,6 +385,10 @@ func (qp *QP) engine(p *simnet.Proc) {
 			size = len(wr.into)
 		}
 		xfer := pm.WRBase/2 + time.Duration(float64(size)/pm.Bandwidth*float64(time.Second))
+		// A gray (slow-but-alive) link toward the remote delays every WR; the
+		// in-order engine turns that into a growing completion backlog, which
+		// is exactly how a slow NCL peer starves an ack quorum.
+		xfer += net.GrayLatency(qp.local.node, qp.remote.node)
 		p.Sleep(xfer) // request propagation + serialization
 		var err error
 		switch {

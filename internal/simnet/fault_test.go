@@ -1,0 +1,284 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Tests for the directional fault surface: one-way partitions, gray
+// latency, loss, node isolation, and crash re-entrancy. Like net_test.go,
+// timings are pinned to exact virtual instants.
+
+// A one-way cut is asymmetric at the message level: with cli->srv cut the
+// handler never runs, with srv->cli cut the handler runs (the request got
+// through) but the caller still times out because the reply is dropped.
+func TestOneWayPartitionAsymmetry(t *testing.T) {
+	s := New(1)
+	srv := s.NewNode("srv")
+	cli := s.NewNode("cli")
+	served := 0
+	s.Net().Register("count", srv, func(p *Proc, req Msg) (Msg, error) {
+		served++
+		return req, nil
+	})
+	s.Go("main", func(p *Proc) {
+		s.Net().PartitionOneWay(cli, srv)
+		if !s.Net().Partitioned(cli, srv) {
+			t.Error("cli->srv should be partitioned")
+		}
+		if s.Net().Partitioned(srv, cli) {
+			t.Error("srv->cli should not be partitioned")
+		}
+		if _, err := s.Net().CallTimeout(p, cli, "count", Msg{}, time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Errorf("request-cut call err = %v, want ErrTimeout", err)
+		}
+		if served != 0 {
+			t.Errorf("handler ran %d times behind a request-side cut, want 0", served)
+		}
+
+		s.Net().HealOneWay(cli, srv)
+		s.Net().PartitionOneWay(srv, cli)
+		if _, err := s.Net().CallTimeout(p, cli, "count", Msg{}, time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Errorf("reply-cut call err = %v, want ErrTimeout", err)
+		}
+		if served != 1 {
+			t.Errorf("handler ran %d times behind a reply-side cut, want 1 (request got through)", served)
+		}
+
+		s.Net().HealOneWay(srv, cli)
+		if _, err := s.Net().Call(p, cli, "count", Msg{}); err != nil {
+			t.Errorf("healed call err = %v", err)
+		}
+		if served != 2 {
+			t.Errorf("served = %d after heal, want 2", served)
+		}
+	})
+	run(t, s)
+}
+
+// The symmetric Partition/Heal wrappers cut and restore both directions,
+// preserving the old API's behavior.
+func TestSymmetricPartitionCutsBothWays(t *testing.T) {
+	s := New(1)
+	a := s.NewNode("a")
+	b := s.NewNode("b")
+	s.Net().Partition(a, b)
+	if !s.Net().Partitioned(a, b) || !s.Net().Partitioned(b, a) {
+		t.Fatal("Partition must cut both directions")
+	}
+	s.Net().Heal(a, b)
+	if s.Net().Partitioned(a, b) || s.Net().Partitioned(b, a) {
+		t.Fatal("Heal must restore both directions")
+	}
+}
+
+// Net.Heal restores connectivity only — a per-pair latency override and a
+// per-link gray override installed before (or during) the partition must
+// survive the heal, not be reset to defaultLat. (Regression: healing a
+// cable does not recalibrate the link.)
+func TestHealKeepsLatencyOverride(t *testing.T) {
+	s := New(1)
+	srv := s.NewNode("srv")
+	cli := s.NewNode("cli")
+	s.Net().SetLatency(srv, cli, 100*time.Microsecond)
+	s.Net().SetLinkLatency(cli, srv, 50*time.Microsecond) // gray on the request path
+	s.Net().Register("echo", srv, func(p *Proc, req Msg) (Msg, error) { return req, nil })
+	s.Go("main", func(p *Proc) {
+		s.Net().Partition(cli, srv)
+		s.Net().Heal(cli, srv)
+		if got := s.Net().Latency(cli, srv); got != 150*time.Microsecond {
+			t.Errorf("post-heal cli->srv latency = %v, want 150us (override + gray)", got)
+		}
+		if got := s.Net().Latency(srv, cli); got != 100*time.Microsecond {
+			t.Errorf("post-heal srv->cli latency = %v, want the 100us override", got)
+		}
+		// And the override is what the wire actually pays: 150us out, 100us
+		// back.
+		start := p.Now()
+		if _, err := s.Net().Call(p, cli, "echo", Msg{}); err != nil {
+			t.Fatalf("post-heal call: %v", err)
+		}
+		if got := p.Now() - start; got != 250*time.Microsecond {
+			t.Errorf("post-heal RTT = %v, want exactly 250us", got)
+		}
+	})
+	run(t, s)
+}
+
+// Isolate cuts every link of a node in both directions while HealAll
+// restores all faults at once — including one-way cuts and loss — but
+// keeps base latency overrides.
+func TestIsolateAndHealAll(t *testing.T) {
+	s := New(1)
+	a := s.NewNode("a")
+	b := s.NewNode("b")
+	c := s.NewNode("c")
+	s.Net().SetLatency(a, b, 40*time.Microsecond)
+	s.Net().Register("b-svc", b, func(p *Proc, req Msg) (Msg, error) { return req, nil })
+	s.Net().Register("c-svc", c, func(p *Proc, req Msg) (Msg, error) { return req, nil })
+	s.Go("main", func(p *Proc) {
+		s.Net().Isolate(b)
+		s.Net().PartitionOneWay(a, c)
+		s.Net().SetLoss(c, a, 1.0)
+		if !s.Net().Partitioned(a, b) || !s.Net().Partitioned(b, a) || !s.Net().Isolated(b) {
+			t.Error("isolation must cut both directions of every link")
+		}
+		if _, err := s.Net().CallTimeout(p, a, "b-svc", Msg{}, time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Errorf("call into isolated node err = %v, want ErrTimeout", err)
+		}
+		if _, err := s.Net().CallTimeout(p, a, "c-svc", Msg{}, time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Errorf("one-way-cut call err = %v, want ErrTimeout", err)
+		}
+		s.Net().HealAll()
+		if s.Net().Isolated(b) || s.Net().Partitioned(a, b) || s.Net().Partitioned(a, c) {
+			t.Error("HealAll must clear isolation and cuts")
+		}
+		start := p.Now()
+		if _, err := s.Net().Call(p, a, "b-svc", Msg{}); err != nil {
+			t.Errorf("post-HealAll call err = %v", err)
+		}
+		if got := p.Now() - start; got != 80*time.Microsecond {
+			t.Errorf("post-HealAll RTT = %v, want 80us (latency override survives HealAll)", got)
+		}
+		if _, err := s.Net().Call(p, a, "c-svc", Msg{}); err != nil {
+			t.Errorf("post-HealAll lossy-link call err = %v (loss must be cleared)", err)
+		}
+	})
+	run(t, s)
+}
+
+// Loss = 1.0 drops every message; loss = 0 restores the link; and a lossy
+// run is deterministic per seed (two sims with the same seed agree on every
+// drop decision).
+func TestLossDropsAndIsDeterministic(t *testing.T) {
+	outcomes := func(seed int64, loss float64) []bool {
+		s := New(seed)
+		srv := s.NewNode("srv")
+		cli := s.NewNode("cli")
+		s.Net().Register("echo", srv, func(p *Proc, req Msg) (Msg, error) { return req, nil })
+		var got []bool
+		s.Go("main", func(p *Proc) {
+			s.Net().SetLoss(cli, srv, loss)
+			for i := 0; i < 32; i++ {
+				_, err := s.Net().CallTimeout(p, cli, "echo", Msg{}, 500*time.Microsecond)
+				got = append(got, err == nil)
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("sim run: %v", err)
+		}
+		return got
+	}
+	for _, ok := range outcomes(1, 1.0) {
+		if ok {
+			t.Fatal("loss=1.0 delivered a message")
+		}
+	}
+	for _, ok := range outcomes(1, 0) {
+		if !ok {
+			t.Fatal("loss=0 dropped a message")
+		}
+	}
+	a, b := outcomes(7, 0.5), outcomes(7, 0.5)
+	delivered := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: same seed diverged (%v vs %v)", i, a[i], b[i])
+		}
+		if a[i] {
+			delivered++
+		}
+	}
+	if delivered == 0 || delivered == len(a) {
+		t.Fatalf("loss=0.5 delivered %d/%d, want a mix", delivered, len(a))
+	}
+}
+
+// Node.Crash invoked from inside an OnCrash hook — the crash-storm case
+// where one machine's death handler takes another down, whose handler
+// crashes back. Hooks must run exactly once per node, re-entrant
+// self-crash must be a no-op, and every proc must unwind (no leaks on the
+// nodes' intrusive lists).
+func TestCrashReentrantFromOnCrashHook(t *testing.T) {
+	s := New(1)
+	a := s.NewNode("a")
+	b := s.NewNode("b")
+	hookRuns := map[string]int{}
+	a.OnCrash(func() {
+		hookRuns["a"]++
+		b.Crash() // cascade into b...
+	})
+	b.OnCrash(func() {
+		hookRuns["b"]++
+		a.Crash() // ...which crashes back into a, already dead: must no-op
+		b.Crash() // and a re-entrant self-crash must no-op too
+	})
+	// Procs on both nodes so the kill sweep has something to unwind.
+	for i := 0; i < 3; i++ {
+		a.Go("a-worker", func(p *Proc) {
+			for {
+				p.Sleep(10 * time.Microsecond)
+			}
+		})
+		b.Go("b-worker", func(p *Proc) {
+			for {
+				p.Sleep(10 * time.Microsecond)
+			}
+		})
+	}
+	s.Go("storm", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		a.Crash()
+		if a.Alive() || b.Alive() {
+			t.Error("both nodes must be down after the cascading crash")
+		}
+		// Let killed procs wake once and unwind.
+		p.Sleep(time.Millisecond)
+		if a.procsHead != nil || b.procsHead != nil {
+			t.Error("crashed nodes still hold procs: leak in the kill sweep")
+		}
+		if hookRuns["a"] != 1 || hookRuns["b"] != 1 {
+			t.Errorf("hook runs = %v, want exactly one per node", hookRuns)
+		}
+	})
+	run(t, s)
+}
+
+// A node crash that kills a proc parked inside Cond.Wait/WaitTimeout must
+// unwind cleanly through the caller's deferred Unlock. Before the fix the
+// cond had released the mutex for the duration of the park, so the unwind
+// hit "unlock of unlocked Mutex" and the secondary panic masked the kill —
+// every chaos schedule that crashed a node mid-ack-wait blew up the sim.
+func TestCrashUnwindsCondWaitUnderDeferredUnlock(t *testing.T) {
+	s := New(1)
+	n := s.NewNode("n")
+	mu := &Mutex{}
+	cond := NewCond(mu)
+	reached := false
+	n.Go("waiter", func(p *Proc) {
+		mu.Lock(p)
+		defer mu.Unlock(p) // the idiom every store's critical section uses
+		for {
+			cond.WaitTimeout(p, time.Millisecond)
+			reached = true
+		}
+	})
+	n.Go("sleeper", func(p *Proc) {
+		mu.Lock(p)
+		defer mu.Unlock(p)
+		cond.Wait(p) // plain Wait variant: killed while parked forever
+	})
+	s.Go("main", func(p *Proc) {
+		p.Sleep(100 * time.Microsecond) // both procs are parked in the cond
+		n.Crash()
+		p.Sleep(time.Millisecond) // killed procs wake once and unwind
+		if n.procsHead != nil {
+			t.Error("crashed node still holds procs")
+		}
+	})
+	if reached {
+		t.Error("waiter advanced before any signal/timeout")
+	}
+	run(t, s)
+}

@@ -9,9 +9,9 @@ import (
 )
 
 // Net models the datacenter network: per-pair one-way latency, partitions,
-// and an RPC layer. RDMA traffic (internal/rdma) shares the same latency
-// matrix and partition state so control-plane and data-plane failures are
-// consistent.
+// directional link faults (gray latency, loss, one-way cuts), and an RPC
+// layer. RDMA traffic (internal/rdma) shares the same latency matrix and
+// partition state so control-plane and data-plane failures are consistent.
 //
 // The RPC layer is allocation-free in steady state: requests and responses
 // are value-typed Msg records (no interface boxing), reply channels are
@@ -22,7 +22,8 @@ type Net struct {
 	sim        *Sim
 	defaultLat time.Duration
 	latency    map[pairKey]time.Duration
-	parts      map[pairKey]bool
+	faults     map[linkKey]linkFault
+	isolated   map[string]bool
 	servers    map[string]*rpcServer
 
 	// freeReplies recycles reply records across calls. A record's gen is
@@ -40,12 +41,27 @@ func pk(a, b string) pairKey {
 	return pairKey{a, b}
 }
 
+// linkKey is a directed edge. Unlike pairKey it is not canonicalized, so
+// asymmetric faults (a reaches b but not vice versa) are expressible.
+type linkKey struct{ from, to string }
+
+// linkFault is the fault state of one directed link, layered over the base
+// latency matrix: a one-way cut, extra "gray" latency a slow-but-alive hop
+// adds to every message, and a probabilistic message-loss rate. The zero
+// value means a healthy link and is not stored.
+type linkFault struct {
+	cut  bool
+	gray time.Duration
+	loss float64
+}
+
 func newNet(s *Sim) *Net {
 	return &Net{
 		sim:        s,
 		defaultLat: 25 * time.Microsecond, // kernel TCP-ish datacenter RTT/2
 		latency:    make(map[pairKey]time.Duration),
-		parts:      make(map[pairKey]bool),
+		faults:     make(map[linkKey]linkFault),
+		isolated:   make(map[string]bool),
 		servers:    make(map[string]*rpcServer),
 	}
 }
@@ -59,26 +75,127 @@ func (nt *Net) SetLatency(a, b *Node, d time.Duration) {
 	nt.latency[pk(a.name, b.name)] = d
 }
 
-// Latency returns the current one-way latency between two nodes. Messages
-// within a node are instantaneous.
+// Latency returns the current one-way latency from a to b: the pair's base
+// latency (override or default) plus any gray latency installed on the
+// directed link. Messages within a node are instantaneous.
 func (nt *Net) Latency(a, b *Node) time.Duration {
 	if a == b {
 		return 0
 	}
+	base := nt.defaultLat
 	if d, ok := nt.latency[pk(a.name, b.name)]; ok {
-		return d
+		base = d
 	}
-	return nt.defaultLat
+	if len(nt.faults) != 0 {
+		base += nt.faults[linkKey{a.name, b.name}].gray
+	}
+	return base
+}
+
+// mutateFault edits the directed link a->b in place, dropping the entry
+// when it returns to the healthy zero value.
+func (nt *Net) mutateFault(a, b string, f func(*linkFault)) {
+	k := linkKey{a, b}
+	lf := nt.faults[k]
+	f(&lf)
+	if lf == (linkFault{}) {
+		delete(nt.faults, k)
+	} else {
+		nt.faults[k] = lf
+	}
 }
 
 // Partition cuts connectivity between two nodes (both directions).
-func (nt *Net) Partition(a, b *Node) { nt.parts[pk(a.name, b.name)] = true }
+func (nt *Net) Partition(a, b *Node) {
+	nt.PartitionOneWay(a, b)
+	nt.PartitionOneWay(b, a)
+}
 
-// Heal restores connectivity between two nodes.
-func (nt *Net) Heal(a, b *Node) { delete(nt.parts, pk(a.name, b.name)) }
+// PartitionOneWay cuts delivery from a to b only; b's messages still reach
+// a. This is the asymmetric half of a gray failure: a dead uplink, a
+// firewall rule, a one-way congested path.
+func (nt *Net) PartitionOneWay(a, b *Node) {
+	nt.mutateFault(a.name, b.name, func(f *linkFault) { f.cut = true })
+}
 
-// Partitioned reports whether a and b cannot communicate.
-func (nt *Net) Partitioned(a, b *Node) bool { return a != b && nt.parts[pk(a.name, b.name)] }
+// Heal restores connectivity between two nodes. Only the cut is cleared:
+// latency overrides (SetLatency, SetLinkLatency) and loss rates installed
+// while the partition was up survive the heal — healing a cable does not
+// recalibrate the link.
+func (nt *Net) Heal(a, b *Node) {
+	nt.HealOneWay(a, b)
+	nt.HealOneWay(b, a)
+}
+
+// HealOneWay restores delivery from a to b.
+func (nt *Net) HealOneWay(a, b *Node) {
+	nt.mutateFault(a.name, b.name, func(f *linkFault) { f.cut = false })
+}
+
+// SetLinkLatency installs extra one-way latency on the directed link a->b,
+// on top of the pair's base latency — a slow-but-alive hop. RDMA transfers
+// toward b pay it too (internal/rdma reads it via GrayLatency). Zero
+// removes the override.
+func (nt *Net) SetLinkLatency(a, b *Node, extra time.Duration) {
+	nt.mutateFault(a.name, b.name, func(f *linkFault) { f.gray = extra })
+}
+
+// GrayLatency returns the extra gray latency on the directed link a->b
+// (zero for healthy links).
+func (nt *Net) GrayLatency(a, b *Node) time.Duration {
+	if len(nt.faults) == 0 || a == b {
+		return 0
+	}
+	return nt.faults[linkKey{a.name, b.name}].gray
+}
+
+// SetLoss sets the probability that a message on the directed link a->b is
+// silently dropped (RPC requests and replies; RDMA models loss as gray
+// latency via its transport retries instead). Zero removes the override.
+func (nt *Net) SetLoss(a, b *Node, prob float64) {
+	nt.mutateFault(a.name, b.name, func(f *linkFault) { f.loss = prob })
+}
+
+// lose reports whether a message on a->b is dropped by a lossy link. The
+// RNG is consulted only when a loss rate is installed somewhere, so
+// fault-free runs consume no randomness and their traces are unchanged.
+func (nt *Net) lose(a, b *Node) bool {
+	if len(nt.faults) == 0 {
+		return false
+	}
+	lf := nt.faults[linkKey{a.name, b.name}]
+	return lf.loss > 0 && nt.sim.rng.Float64() < lf.loss
+}
+
+// Isolate cuts every link to and from n — the node stays alive (procs keep
+// running, local state survives) but no message crosses its NIC.
+func (nt *Net) Isolate(n *Node) { nt.isolated[n.name] = true }
+
+// Unisolate reconnects an isolated node.
+func (nt *Net) Unisolate(n *Node) { delete(nt.isolated, n.name) }
+
+// Isolated reports whether n is currently isolated.
+func (nt *Net) Isolated(n *Node) bool { return nt.isolated[n.name] }
+
+// HealAll clears every fault: cuts (one-way and symmetric), isolations,
+// gray latencies and loss rates. Base latencies (SetLatency/
+// SetDefaultLatency) are topology, not faults, and are preserved.
+func (nt *Net) HealAll() {
+	nt.faults = make(map[linkKey]linkFault)
+	nt.isolated = make(map[string]bool)
+}
+
+// Partitioned reports whether a message from a would be cut before
+// reaching b: the directed link is cut, or either endpoint is isolated.
+func (nt *Net) Partitioned(a, b *Node) bool {
+	if a == b {
+		return false
+	}
+	if len(nt.isolated) != 0 && (nt.isolated[a.name] || nt.isolated[b.name]) {
+		return true
+	}
+	return len(nt.faults) != 0 && nt.faults[linkKey{a.name, b.name}].cut
+}
 
 // Reachable reports whether a message from a would currently arrive at b.
 func (nt *Net) Reachable(a, b *Node) bool {
@@ -221,7 +338,7 @@ func (w *rpcWorker) loop(p *Proc) {
 			p.EndSpan(hsp)
 		}
 		p.AdoptSpan(nil) // don't leak the caller's span into the next request
-		if nt.Reachable(srv.node, r.from) {
+		if nt.Reachable(srv.node, r.from) && !nt.lose(srv.node, r.from) {
 			// Error values cross the wire intact (everything is in-process);
 			// handlers must return immutable errors.
 			r.rep.ch.SendAfter(p, rpcResp{m: m, err: err, gen: r.gen}, nt.Latency(srv.node, r.from))
@@ -256,7 +373,7 @@ func (nt *Net) CallTimeout(p *Proc, from *Node, addr string, req Msg, timeout ti
 	}
 	rec := nt.acquireReply()
 	defer nt.releaseReply(rec)
-	if nt.Reachable(from, srv.node) && srv.node.incarnation == srv.incarnation {
+	if nt.Reachable(from, srv.node) && srv.node.incarnation == srv.incarnation && !nt.lose(from, srv.node) {
 		srv.inbox.SendAfter(p, rpcReq{from: from, m: req, rep: rec, gen: rec.gen, span: sp}, nt.Latency(from, srv.node))
 	}
 	deadline := p.sim.now + timeout

@@ -67,9 +67,22 @@ func (c *Cond) Wait(p *Proc) {
 	w := p.newWaiter()
 	c.q.push(w)
 	c.L.Unlock(p)
+	defer c.relockOnKill(p)
 	p.park()
 	p.releaseWaiter(w)
 	c.L.Lock(p)
+}
+
+// relockOnKill restores the caller's lock ownership when a node crash
+// kills the proc mid-wait. The kill panic from park unwinds through the
+// caller, whose deferred Unlock expects to own c.L — without this it dies
+// on "unlock of unlocked Mutex" and masks the crash. Handing the dead proc
+// the lock is sound: a Mutex is node-local, so every other user dies with
+// the same crash.
+func (c *Cond) relockOnKill(p *Proc) {
+	if p.killed {
+		c.L.held = true
+	}
 }
 
 // WaitTimeout is Wait with a deadline. It reports whether the wait timed
@@ -78,6 +91,7 @@ func (c *Cond) WaitTimeout(p *Proc, d time.Duration) (timedOut bool) {
 	w := p.newWaiter()
 	c.q.push(w)
 	c.L.Unlock(p)
+	defer c.relockOnKill(p)
 	p.sim.schedule(p.sim.now+d, p, p.gen)
 	p.park()
 	timedOut = w.state == wWaiting // nobody claimed the record: timer fired first
